@@ -1,0 +1,194 @@
+//! Makespan minimization under an energy budget, **without migration** —
+//! the non-migratory analog of `ssp_migratory::mbal`.
+//!
+//! Same outer structure (binary search over a common deadline `X`), but the
+//! inner feasibility question — "is there a non-migratory schedule finishing
+//! by `X` with energy ≤ E?" — is NP-hard, so the inner solver is pluggable:
+//! the marginal-energy greedy by default (upper-bounding the optimum ⇒ the
+//! returned makespan is *achievable*, possibly not minimal), or the exact
+//! solver for `n ≤ 16` (then the result is optimal).
+//!
+//! Sandwich guarantee used by the tests: with `X_mig` the migratory optimum
+//! and `X_greedy`/`X_exact` the results here,
+//! `X_mig ≤ X_exact ≤ X_greedy`, with equality of all three at `m = 1`
+//! (a single machine cannot migrate).
+
+use crate::assignment::{assignment_energy, assignment_schedule, Assignment};
+use crate::exact::exact_nonmigratory;
+use crate::list::marginal_energy_greedy;
+use ssp_model::numeric::bisect_threshold;
+use ssp_model::{Instance, Schedule};
+
+/// Inner assignment solver used by the makespan search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InnerSolver {
+    /// Marginal-energy greedy (polynomial; result is an achievable upper
+    /// bound on the minimal makespan).
+    Greedy,
+    /// Exact branch-and-bound (exponential, `n ≤ 16`; result is optimal).
+    Exact,
+}
+
+/// Result of the non-migratory budgeted-makespan search.
+#[derive(Debug, Clone)]
+pub struct BudgetSolution {
+    /// The makespan found (minimal for [`InnerSolver::Exact`]).
+    pub makespan: f64,
+    /// The assignment realizing it.
+    pub assignment: Assignment,
+    /// Energy of that assignment on the clamped instance (`<= budget`).
+    pub energy: f64,
+    /// The instance clamped at the final makespan.
+    pub clamped: Instance,
+}
+
+impl BudgetSolution {
+    /// Materialize the schedule achieving the makespan.
+    pub fn schedule(&self) -> Schedule {
+        assignment_schedule(&self.clamped, &self.assignment)
+    }
+}
+
+/// Minimize makespan under energy budget `E` without migration. Deadlines in
+/// `instance` act as additional constraints. Returns `None` when even an
+/// unbounded makespan cannot meet the budget (hard deadlines force more
+/// energy), mirroring `mbal`.
+pub fn makespan_under_budget(
+    instance: &Instance,
+    budget: f64,
+    solver: InnerSolver,
+) -> Option<BudgetSolution> {
+    assert!(budget > 0.0 && budget.is_finite(), "budget must be positive");
+    if instance.is_empty() {
+        return Some(BudgetSolution {
+            makespan: 0.0,
+            assignment: Assignment::new(vec![]),
+            energy: 0.0,
+            clamped: instance.clone(),
+        });
+    }
+    if solver == InnerSolver::Exact {
+        assert!(instance.len() <= 16, "exact inner solver is for n <= 16");
+    }
+
+    let energy_at = |x: f64| -> Option<(f64, Assignment)> {
+        let clamped = instance.clamp_deadlines(x).ok()?;
+        let assignment = match solver {
+            InnerSolver::Greedy => marginal_energy_greedy(&clamped),
+            InnerSolver::Exact => exact_nonmigratory(&clamped).assignment,
+        };
+        Some((assignment_energy(&clamped, &assignment), assignment))
+    };
+    let feasible = |x: f64| -> bool {
+        energy_at(x).map_or(false, |(e, _)| e <= budget * (1.0 + 1e-9))
+    };
+
+    // Bounds as in MBAL: serial execution after the last release always
+    // works; perfect parallelism lower-bounds.
+    let w = instance.total_work();
+    let alpha = instance.alpha();
+    let serial = (w.powf(alpha) / budget).powf(1.0 / (alpha - 1.0));
+    let max_release =
+        instance.jobs().iter().map(|j| j.release).fold(f64::NEG_INFINITY, f64::max);
+    let x_lb = (serial / instance.machines() as f64).max(1e-12);
+    let mut x_ub = max_release + serial;
+    let mut guard = 0;
+    while !feasible(x_ub) {
+        // Existing hard deadlines may cap what any makespan can achieve.
+        if guard >= 64 {
+            return None;
+        }
+        x_ub = max_release + (x_ub - max_release) * 2.0;
+        guard += 1;
+        // Beyond the latest original deadline, growing X changes nothing.
+        if let Some((_, hi)) = instance.horizon() {
+            if x_ub > hi * 4.0 + serial * 1e6 {
+                return None;
+            }
+        }
+    }
+    let lo = x_lb.min(x_ub).max(max_release * (1.0 + 1e-15));
+    let (_, x) = bisect_threshold(lo, x_ub, 1e-11, feasible);
+    let clamped = instance.clamp_deadlines(x).expect("feasible x clamps validly");
+    let (energy, assignment) = energy_at(x).expect("feasible x evaluates");
+    Some(BudgetSolution { makespan: x, assignment, energy, clamped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_migratory::mbal::mbal;
+    use ssp_model::{Instance, Job};
+
+    fn free(jobs: Vec<(f64, f64)>, m: usize, alpha: f64) -> Instance {
+        let jobs: Vec<Job> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (w, r))| Job::new(i as u32, w, r, 1e7))
+            .collect();
+        Instance::new(jobs, m, alpha).unwrap()
+    }
+
+    #[test]
+    fn single_machine_matches_migratory_mbal() {
+        // m = 1: migration is meaningless, so the exact non-migratory search
+        // and MBAL must agree.
+        let inst = free(vec![(2.0, 0.0), (1.0, 0.5), (1.5, 1.2)], 1, 2.0);
+        let budget = 6.0;
+        let nonmig =
+            makespan_under_budget(&inst, budget, InnerSolver::Exact).unwrap();
+        let mig = mbal(&inst, budget).unwrap();
+        assert!(
+            (nonmig.makespan - mig.makespan).abs() <= 1e-6 * mig.makespan,
+            "m=1: {} vs {}",
+            nonmig.makespan,
+            mig.makespan
+        );
+    }
+
+    #[test]
+    fn sandwich_against_migratory_and_greedy() {
+        let inst = free(vec![(1.0, 0.0), (2.0, 0.2), (0.7, 0.8), (1.3, 1.0)], 2, 2.5);
+        let budget = 8.0;
+        let mig = mbal(&inst, budget).unwrap().makespan;
+        let exact =
+            makespan_under_budget(&inst, budget, InnerSolver::Exact).unwrap().makespan;
+        let greedy =
+            makespan_under_budget(&inst, budget, InnerSolver::Greedy).unwrap().makespan;
+        assert!(mig <= exact * (1.0 + 1e-6), "migration can only shorten: {mig} vs {exact}");
+        assert!(exact <= greedy * (1.0 + 1e-6), "exact beats greedy: {exact} vs {greedy}");
+    }
+
+    #[test]
+    fn monotone_in_budget_and_budget_respected() {
+        let inst = free(vec![(2.0, 0.0), (1.0, 0.1), (3.0, 0.5)], 2, 2.0);
+        let mut prev = f64::INFINITY;
+        for budget in [3.0, 6.0, 12.0, 24.0] {
+            let sol = makespan_under_budget(&inst, budget, InnerSolver::Greedy).unwrap();
+            assert!(sol.energy <= budget * (1.0 + 1e-6));
+            assert!(sol.makespan <= prev * (1.0 + 1e-9));
+            prev = sol.makespan;
+            // The schedule is real and non-migratory.
+            let stats = sol
+                .schedule()
+                .validate(&sol.clamped, ssp_model::schedule::ValidationOptions::non_migratory())
+                .unwrap();
+            assert!(stats.makespan <= sol.makespan * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn impossible_budget_under_hard_deadlines() {
+        let inst = Instance::new(vec![Job::new(0, 2.0, 0.0, 1.0)], 1, 2.0).unwrap();
+        // Deadline forces E >= 4.
+        assert!(makespan_under_budget(&inst, 3.9, InnerSolver::Exact).is_none());
+        assert!(makespan_under_budget(&inst, 4.1, InnerSolver::Exact).is_some());
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![], 3, 2.0).unwrap();
+        let sol = makespan_under_budget(&inst, 1.0, InnerSolver::Greedy).unwrap();
+        assert_eq!(sol.makespan, 0.0);
+    }
+}

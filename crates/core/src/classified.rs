@@ -1,0 +1,152 @@
+//! ClassifiedRR — work classification + per-class round-robin for arbitrary
+//! works with agreeable deadlines (the paper's R3 regime).
+//!
+//! Heterogeneous works break plain round-robin: one huge job dealt like a
+//! unit job starves its machine. The classification fix (the source of the
+//! `2^α`-type factors in the paper's `α^α 2^{4α}` analysis): bucket jobs into
+//! **power-of-two work classes** `[2^k·w_min, 2^(k+1)·w_min)`. Inside a class
+//! works differ by at most 2×, so the class behaves like a unit-work
+//! agreeable instance and sorted round-robin (with a per-class rotating
+//! cursor) spreads it near-optimally; classes are dealt independently and the
+//! per-machine union is re-optimized with YDS.
+
+use crate::assignment::Assignment;
+use ssp_model::{Instance, Schedule};
+
+/// The classified round-robin assignment (power-of-two classes). Also fine
+/// as a heuristic outside the agreeable regime.
+pub fn classified_assignment(instance: &Instance) -> Assignment {
+    classified_assignment_with_base(instance, 2.0)
+}
+
+/// [`classified_assignment`] with an explicit class base `b > 1` — the
+/// ablation axis of EXP-10: works in `[b^k·w_min, b^(k+1)·w_min)` share a
+/// class. `b = 2` is the paper's choice; `b → ∞` degenerates to plain RR
+/// (one class), small `b` approaches per-work classes.
+pub fn classified_assignment_with_base(instance: &Instance, base: f64) -> Assignment {
+    assert!(base > 1.0, "class base must exceed 1");
+    let n = instance.len();
+    let mut machine_of = vec![0usize; n];
+    if n == 0 {
+        return Assignment::new(machine_of);
+    }
+    let w_min = instance.jobs().iter().map(|j| j.work).fold(f64::INFINITY, f64::min);
+    let class_of = |w: f64| -> usize {
+        // floor(log_base(w / w_min)), robust at exact class boundaries.
+        ((w / w_min).log2() / base.log2() + 1e-12).floor() as usize
+    };
+    let num_classes = instance.jobs().iter().map(|j| class_of(j.work)).max().unwrap() + 1;
+    let m = instance.machines();
+    // Per-class rotating cursor; offset classes by their index so different
+    // classes do not all start hammering machine 0.
+    let mut cursor: Vec<usize> = (0..num_classes).map(|c| c % m).collect();
+    for &i in &instance.release_order() {
+        let c = class_of(instance.job(i).work);
+        machine_of[i] = cursor[c];
+        cursor[c] = (cursor[c] + 1) % m;
+    }
+    Assignment::new(machine_of)
+}
+
+/// ClassifiedRR followed by per-machine YDS.
+pub fn classified_rr(instance: &Instance) -> Schedule {
+    crate::assignment::assignment_schedule(instance, &classified_assignment(instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::assignment_energy;
+    use crate::exact::exact_nonmigratory;
+    use crate::rr::rr_assignment;
+    use ssp_model::schedule::ValidationOptions;
+    use ssp_model::{Instance, Job};
+    use ssp_workloads::families;
+
+    /// The paper's factor for this regime (very loose; measurements sit far
+    /// below it).
+    fn bound(alpha: f64) -> f64 {
+        alpha.powf(alpha) * 2.0f64.powf(4.0 * alpha)
+    }
+
+    #[test]
+    fn unit_works_collapse_to_plain_rr() {
+        let inst = families::unit_agreeable(20, 3, 2.0).gen(5);
+        assert_eq!(classified_assignment(&inst), rr_assignment(&inst));
+    }
+
+    #[test]
+    fn heavy_jobs_are_dealt_in_their_own_class() {
+        // 2 machines; alternating heavy (w=8) and light (w=1) jobs released
+        // together in pairs. Plain RR in release order puts both heavies of a
+        // pair... actually deals heavy+light per machine; classified RR deals
+        // heavies round-robin *among themselves*, so consecutive heavies
+        // alternate machines.
+        let mut jobs = Vec::new();
+        for k in 0..4u32 {
+            jobs.push(Job::new(2 * k, 8.0, k as f64 * 10.0, k as f64 * 10.0 + 12.0));
+            jobs.push(Job::new(2 * k + 1, 1.0, k as f64 * 10.0, k as f64 * 10.0 + 12.0));
+        }
+        let inst = Instance::new(jobs, 2, 2.0).unwrap();
+        let a = classified_assignment(&inst);
+        let heavy_machines: Vec<usize> = (0..4).map(|k| a.machine_of(2 * k)).collect();
+        assert_ne!(heavy_machines[0], heavy_machines[1]);
+        assert_ne!(heavy_machines[1], heavy_machines[2]);
+    }
+
+    #[test]
+    fn within_paper_bound_against_migratory_lb() {
+        for (seed, m, alpha) in [(1u64, 2usize, 2.0), (2, 4, 2.5), (3, 3, 1.5)] {
+            let inst = families::weighted_agreeable(24, m, alpha).gen(seed);
+            let e = assignment_energy(&inst, &classified_assignment(&inst));
+            let lb = ssp_migratory::bal::bal(&inst).energy;
+            let ratio = e / lb;
+            assert!(ratio >= 1.0 - 1e-6);
+            assert!(
+                ratio <= bound(alpha),
+                "seed {seed}: ratio {ratio} exceeds bound {}",
+                bound(alpha)
+            );
+        }
+    }
+
+    #[test]
+    fn reasonable_against_exact_on_small_instances() {
+        for seed in [7u64, 8] {
+            let inst = families::weighted_agreeable(8, 2, 2.0).gen(seed);
+            let approx = assignment_energy(&inst, &classified_assignment(&inst));
+            let opt = exact_nonmigratory(&inst).energy;
+            let ratio = approx / opt;
+            assert!(ratio >= 1.0 - 1e-9);
+            // Empirical sanity: the measured gap on these families is small
+            // even though the proof-level bound is huge.
+            assert!(ratio <= 2.0, "seed {seed}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn schedule_validates_non_migratory() {
+        let inst = families::weighted_agreeable(30, 4, 2.0).gen(9);
+        let s = classified_rr(&inst);
+        s.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+    }
+
+    #[test]
+    fn beats_plain_rr_on_bimodal_works() {
+        // Bimodal loads where naive RR alternation correlates classes onto
+        // the same machine; classification decorrelates them.
+        let mut jobs = Vec::new();
+        for k in 0..8u32 {
+            let heavy = k % 2 == 0;
+            let w = if heavy { 10.0 } else { 1.0 };
+            jobs.push(Job::new(k, w, 0.0, 20.0));
+        }
+        let inst = Instance::new(jobs, 2, 2.0).unwrap();
+        let e_class = assignment_energy(&inst, &classified_assignment(&inst));
+        let e_rr = assignment_energy(&inst, &rr_assignment(&inst));
+        assert!(
+            e_class <= e_rr * (1.0 + 1e-9),
+            "classified {e_class} worse than plain RR {e_rr}"
+        );
+    }
+}

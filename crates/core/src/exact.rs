@@ -1,0 +1,215 @@
+//! Exact non-migratory optimum by assignment enumeration.
+//!
+//! Machines are identical, so assignments are enumerated up to machine
+//! relabeling as *restricted growth strings*: job 0 goes to machine 0, and
+//! job `k` may use machines `0..=min(used, m-1)` where `used` is the number
+//! of machines already populated. The search is branch-and-bound: per-machine
+//! YDS energy is monotone in the job set, so a partial sum that already
+//! exceeds the incumbent is pruned.
+//!
+//! Complexity is Bell-number-ish (`<= m^n`); intended for ground truth on
+//! `n ≲ 12` (EXP-1/2/5), not production use.
+
+use crate::assignment::{assignment_energy, Assignment};
+use ssp_model::{Instance, Job};
+use ssp_single::yds::yds;
+
+/// Result of the exact search.
+#[derive(Debug, Clone)]
+pub struct ExactSolution {
+    /// The optimal assignment.
+    pub assignment: Assignment,
+    /// Its energy (the non-migratory optimum).
+    pub energy: f64,
+    /// Number of assignment tree nodes explored (complexity probe).
+    pub nodes: usize,
+}
+
+/// Exhaustive branch-and-bound over job→machine assignments. Panics if
+/// `n > 16` (the search would not finish; use the approximation algorithms).
+///
+/// ```
+/// use ssp_model::{Instance, Job};
+/// use ssp_core::exact::exact_nonmigratory;
+///
+/// // Two identical unit jobs, two machines: optimal splits them.
+/// let inst = Instance::new(
+///     vec![Job::new(0, 1.0, 0.0, 1.0), Job::new(1, 1.0, 0.0, 1.0)],
+///     2,
+///     2.0,
+/// ).unwrap();
+/// let sol = exact_nonmigratory(&inst);
+/// assert!((sol.energy - 2.0).abs() < 1e-9);
+/// assert_ne!(sol.assignment.machine_of(0), sol.assignment.machine_of(1));
+/// ```
+pub fn exact_nonmigratory(instance: &Instance) -> ExactSolution {
+    let n = instance.len();
+    assert!(n <= 16, "exact solver is for ground truth on small n (got {n})");
+    let m = instance.machines();
+    if n == 0 {
+        return ExactSolution {
+            assignment: Assignment::new(vec![]),
+            energy: 0.0,
+            nodes: 0,
+        };
+    }
+
+    // Assign in release order: earlier jobs first keeps partial energies
+    // meaningful and pruning effective.
+    let order = instance.release_order();
+    let mut state = Search {
+        instance,
+        order: &order,
+        m,
+        current: vec![0usize; n],     // machine per *rank* in `order`
+        groups: vec![Vec::new(); m],  // jobs (instance indices) per machine
+        machine_energy: vec![0.0; m],
+        best_energy: f64::INFINITY,
+        best: vec![0usize; n],
+        nodes: 0,
+    };
+    state.recurse(0, 0, 0.0);
+
+    // Translate rank-indexed best assignment to instance indexing.
+    let mut machine_of = vec![0usize; n];
+    for (rank, &i) in order.iter().enumerate() {
+        machine_of[i] = state.best[rank];
+    }
+    let assignment = Assignment::new(machine_of);
+    let energy = assignment_energy(instance, &assignment);
+    ExactSolution { assignment, energy, nodes: state.nodes }
+}
+
+struct Search<'a> {
+    instance: &'a Instance,
+    order: &'a [usize],
+    m: usize,
+    current: Vec<usize>,
+    groups: Vec<Vec<usize>>,
+    machine_energy: Vec<f64>,
+    best_energy: f64,
+    best: Vec<usize>,
+    nodes: usize,
+}
+
+impl Search<'_> {
+    fn recurse(&mut self, rank: usize, used: usize, total: f64) {
+        self.nodes += 1;
+        if rank == self.order.len() {
+            if total < self.best_energy {
+                self.best_energy = total;
+                self.best.copy_from_slice(&self.current);
+            }
+            return;
+        }
+        let job_idx = self.order[rank];
+        // Restricted growth: only the first unused machine is tried among
+        // the empty ones (identical machines => symmetric).
+        let limit = (used + 1).min(self.m);
+        for machine in 0..limit {
+            let old_energy = self.machine_energy[machine];
+            self.groups[machine].push(job_idx);
+            let jobs: Vec<Job> =
+                self.groups[machine].iter().map(|&i| *self.instance.job(i)).collect();
+            let new_energy = yds(&jobs, self.instance.alpha()).energy;
+            let new_total = total - old_energy + new_energy;
+            if new_total < self.best_energy {
+                self.current[rank] = machine;
+                self.machine_energy[machine] = new_energy;
+                let new_used = used.max(machine + 1);
+                self.recurse(rank + 1, new_used, new_total);
+                self.machine_energy[machine] = old_energy;
+            }
+            self.groups[machine].pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rr::rr_assignment;
+    use ssp_model::{Instance, Job};
+    use ssp_workloads::families;
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Instance::new(vec![], 3, 2.0).unwrap();
+        assert_eq!(exact_nonmigratory(&empty).energy, 0.0);
+
+        let one = Instance::new(vec![Job::new(0, 2.0, 0.0, 2.0)], 3, 2.0).unwrap();
+        let sol = exact_nonmigratory(&one);
+        assert!((sol.energy - 2.0).abs() < 1e-9); // speed 1, E = 2·1
+    }
+
+    #[test]
+    fn two_identical_jobs_split_across_machines() {
+        let inst = Instance::new(
+            vec![Job::new(0, 1.0, 0.0, 1.0), Job::new(1, 1.0, 0.0, 1.0)],
+            2,
+            2.0,
+        )
+        .unwrap();
+        let sol = exact_nonmigratory(&inst);
+        assert!((sol.energy - 2.0).abs() < 1e-9);
+        assert_ne!(sol.assignment.machine_of(0), sol.assignment.machine_of(1));
+    }
+
+    #[test]
+    fn symmetry_pruning_explores_fewer_nodes_than_m_pow_n() {
+        let inst = families::general(8, 4, 2.0).gen(3);
+        let sol = exact_nonmigratory(&inst);
+        // Full enumeration would be 4^8 = 65536 leaves; restricted growth +
+        // pruning must do much better.
+        assert!(sol.nodes < 30_000, "nodes = {}", sol.nodes);
+        assert!(sol.energy.is_finite());
+    }
+
+    #[test]
+    fn never_beaten_by_heuristics() {
+        for seed in [1u64, 5, 9] {
+            let inst = families::general(7, 2, 2.3).gen(seed);
+            let opt = exact_nonmigratory(&inst).energy;
+            let rr = crate::assignment::assignment_energy(&inst, &rr_assignment(&inst));
+            assert!(
+                opt <= rr * (1.0 + 1e-9),
+                "seed {seed}: exact {opt} beaten by RR {rr}"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bounded_by_migratory_optimum() {
+        for seed in [2u64, 4] {
+            let inst = families::general(6, 2, 2.0).gen(seed);
+            let opt = exact_nonmigratory(&inst).energy;
+            let lb = ssp_migratory::bal::bal(&inst).energy;
+            assert!(
+                opt >= lb * (1.0 - 1e-6),
+                "seed {seed}: non-migratory OPT {opt} below migratory LB {lb}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_tiny_instance() {
+        // n = 4, m = 2: compare against literal 2^4 enumeration.
+        let inst = families::general(4, 2, 2.0).gen(11);
+        let sol = exact_nonmigratory(&inst);
+        let mut best = f64::INFINITY;
+        for mask in 0..(1u32 << 4) {
+            let assign = Assignment::new(
+                (0..4).map(|i| ((mask >> i) & 1) as usize).collect(),
+            );
+            best = best.min(assignment_energy(&inst, &assign));
+        }
+        assert!((sol.energy - best).abs() < 1e-9, "{} vs {}", sol.energy, best);
+    }
+
+    #[test]
+    #[should_panic(expected = "exact solver is for ground truth")]
+    fn refuses_large_instances() {
+        let inst = families::general(17, 2, 2.0).gen(0);
+        exact_nonmigratory(&inst);
+    }
+}

@@ -1,0 +1,223 @@
+//! Adversarial gadget families for the NP-hard regime (unit works, arbitrary
+//! windows, `m ≥ 2`).
+//!
+//! The paper proves NP-hardness of the unit-work problem with general release
+//! dates and deadlines. The families below exercise the structures that make
+//! the problem combinatorially hard and are used by EXP-2 to (a) show the
+//! exact solver's node count growing exponentially while heuristic/optimal
+//! gaps stay, and (b) stress the approximation algorithms exactly where their
+//! analysis is tight:
+//!
+//! * [`interlock`] — `k` *interlocked triples*: two tight unit jobs sharing a
+//!   window plus one wide job straddling two neighboring windows. Any
+//!   assignment must thread the wide jobs between the tight pairs; greedy
+//!   orderings routinely misplace them.
+//! * [`crossing`] — laddered half-overlapping windows (the minimal
+//!   non-agreeable pattern, `r` increasing while `d` interleaves), densified
+//!   so machine parity matters.
+
+use crate::assignment::Assignment;
+use ssp_model::{Instance, Job};
+
+/// The PARTITION reduction for *weighted* jobs (the textbook hardness
+/// witness for non-migratory speed scaling): numbers `a_1..a_k` become `k`
+/// jobs with works `a_i` sharing the common window `[0, 1]` on 2 machines.
+///
+/// For a fixed assignment with per-machine loads `L_1, L_2` the optimal
+/// energy is `L_1^α + L_2^α` (each machine runs at constant speed = its
+/// load). By strict convexity this is minimized exactly by the most balanced
+/// split, so the instance's optimum equals `2·(Σa/2)^α` **iff** a perfect
+/// partition exists — deciding the optimum decides PARTITION.
+pub fn from_partition(numbers: &[f64], alpha: f64) -> Instance {
+    assert!(!numbers.is_empty(), "PARTITION needs at least one number");
+    let jobs: Vec<Job> = numbers
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            assert!(a > 0.0, "PARTITION numbers must be positive");
+            Job::new(i as u32, a, 0.0, 1.0)
+        })
+        .collect();
+    Instance::new(jobs, 2, alpha).expect("reduction jobs are valid")
+}
+
+/// Read a 2-partition back out of an assignment for a [`from_partition`]
+/// instance: the indices on machine 0 and the two load sums.
+pub fn partition_of(instance: &Instance, assignment: &Assignment) -> (Vec<usize>, f64, f64) {
+    let mut side0 = Vec::new();
+    let (mut l0, mut l1) = (0.0, 0.0);
+    for i in 0..instance.len() {
+        if assignment.machine_of(i) == 0 {
+            side0.push(i);
+            l0 += instance.job(i).work;
+        } else {
+            l1 += instance.job(i).work;
+        }
+    }
+    (side0, l0, l1)
+}
+
+/// The energy a perfect partition would achieve: `2 · (Σ w / 2)^α`.
+/// The exact optimum matches this value iff the underlying PARTITION
+/// instance is a YES instance.
+pub fn perfect_partition_energy(instance: &Instance) -> f64 {
+    let half = instance.total_work() / 2.0;
+    2.0 * half.powf(instance.alpha())
+}
+
+/// `k` interlocked triples on `m` machines (3k unit jobs). Windows:
+/// pair `g`: two tight jobs on `[3g+0.5, 3g+1.5]`, *nested inside* the wide
+/// job `g` on `[3g, 3(g+1)]` — released earlier, due later, so the instance
+/// is strictly non-agreeable.
+pub fn interlock(k: usize, machines: usize, alpha: f64) -> Instance {
+    let mut jobs = Vec::with_capacity(3 * k);
+    let mut id = 0u32;
+    for g in 0..k {
+        let base = 3.0 * g as f64;
+        for _ in 0..2 {
+            jobs.push(Job::new(id, 1.0, base + 0.5, base + 1.5));
+            id += 1;
+        }
+        jobs.push(Job::new(id, 1.0, base, base + 3.0));
+        id += 1;
+    }
+    Instance::new(jobs, machines, alpha).expect("gadget jobs are valid")
+}
+
+/// A crossing ladder: `n` unit jobs, job `i` has window
+/// `[i·step, i·step + width]` with `width > step` so consecutive windows
+/// overlap; odd jobs get their deadline pulled *earlier* than the preceding
+/// even job's (nested/crossing structure ⇒ not agreeable).
+pub fn crossing(n: usize, machines: usize, alpha: f64) -> Instance {
+    let step = 1.0;
+    let width = 2.5;
+    let jobs: Vec<Job> = (0..n)
+        .map(|i| {
+            let r = i as f64 * step;
+            let d = if i % 2 == 1 { r + width * 0.5 } else { r + width };
+            Job::new(i as u32, 1.0, r, d)
+        })
+        .collect();
+    Instance::new(jobs, machines, alpha).expect("gadget jobs are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::assignment_energy;
+    use crate::exact::exact_nonmigratory;
+    use crate::rr::rr_assignment;
+
+    #[test]
+    fn partition_yes_instance_reaches_the_perfect_energy() {
+        // {3, 1, 1, 2, 2, 1} splits into {3,2} vs {1,1,2,1}: both sum 5.
+        let inst = from_partition(&[3.0, 1.0, 1.0, 2.0, 2.0, 1.0], 2.0);
+        let sol = exact_nonmigratory(&inst);
+        let perfect = perfect_partition_energy(&inst);
+        assert!(
+            (sol.energy - perfect).abs() <= 1e-9 * perfect,
+            "YES instance must reach 2*(S/2)^a: {} vs {perfect}",
+            sol.energy
+        );
+        // And the assignment decodes to an actual perfect partition.
+        let (_, l0, l1) = partition_of(&inst, &sol.assignment);
+        assert!((l0 - l1).abs() < 1e-9, "loads {l0} vs {l1}");
+    }
+
+    #[test]
+    fn partition_no_instance_stays_strictly_above() {
+        // {3, 1, 1} sums to 5 (odd-ish split impossible: best is 3 vs 2).
+        let inst = from_partition(&[3.0, 1.0, 1.0], 2.0);
+        let sol = exact_nonmigratory(&inst);
+        let perfect = perfect_partition_energy(&inst);
+        assert!(
+            sol.energy > perfect * (1.0 + 1e-6),
+            "NO instance must sit strictly above the perfect energy"
+        );
+        // Best split 3 vs 2: energy 9 + 4 = 13 at alpha 2.
+        assert!((sol.energy - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_reduction_decides_several_instances() {
+        let cases: &[(&[f64], bool)] = &[
+            (&[1.0, 1.0], true),
+            (&[2.0, 1.0, 1.0], true),
+            (&[5.0, 4.0, 3.0, 2.0, 2.0], true), // 5+3 = 4+2+2
+            (&[7.0, 1.0, 1.0], false),
+            (&[2.0, 2.0, 3.0], false),
+        ];
+        for &(numbers, expect_yes) in cases {
+            let inst = from_partition(numbers, 2.0);
+            let sol = exact_nonmigratory(&inst);
+            let perfect = perfect_partition_energy(&inst);
+            let is_yes = (sol.energy - perfect).abs() <= 1e-9 * perfect;
+            assert_eq!(is_yes, expect_yes, "{numbers:?}");
+        }
+    }
+
+    #[test]
+    fn migratory_relaxation_erases_the_hardness() {
+        // With migration, works split fractionally across machines
+        // (water-filling), independent of partitionability — exactly why the
+        // lower bound is polynomial while OPT is NP-hard. {2,2,3} at α=2:
+        // migratory water-fills everything at speed 3.5 (E = 24.5) while the
+        // best integer split is 4 vs 3 (E = 25).
+        let inst = from_partition(&[2.0, 2.0, 3.0], 2.0);
+        let mig = ssp_migratory::bal::bal(&inst).energy;
+        let exact = exact_nonmigratory(&inst).energy;
+        assert!((mig - 24.5).abs() < 1e-6 * 24.5, "water-filled optimum: {mig}");
+        assert!((exact - 25.0).abs() < 1e-9, "best split: {exact}");
+        assert!(mig < exact * (1.0 - 1e-9));
+    }
+
+    #[test]
+    fn gadgets_are_unit_work_and_not_agreeable() {
+        let a = interlock(3, 2, 2.0);
+        assert!(a.is_uniform_work(Default::default()));
+        assert!(!a.is_agreeable(), "interlock must leave the easy regime");
+        let b = crossing(8, 2, 2.0);
+        assert!(b.is_uniform_work(Default::default()));
+        assert!(!b.is_agreeable(), "crossing must leave the easy regime");
+    }
+
+    #[test]
+    fn interlock_sizes() {
+        let inst = interlock(4, 2, 2.0);
+        assert_eq!(inst.len(), 12);
+        assert_eq!(inst.horizon(), Some((0.0, 12.0)));
+    }
+
+    #[test]
+    fn rr_is_suboptimal_on_gadgets() {
+        // The whole point of the gadgets: sorted RR (optimal in the agreeable
+        // regime) loses measurably once windows cross.
+        let inst = crossing(9, 2, 2.0);
+        let rr = assignment_energy(&inst, &rr_assignment(&inst));
+        let opt = exact_nonmigratory(&inst).energy;
+        assert!(
+            rr > opt * (1.0 + 1e-6),
+            "expected a strict RR gap on the crossing gadget: rr={rr} opt={opt}"
+        );
+    }
+
+    #[test]
+    fn exact_node_counts_grow_with_k() {
+        let n1 = exact_nonmigratory(&interlock(2, 2, 2.0)).nodes;
+        let n2 = exact_nonmigratory(&interlock(4, 2, 2.0)).nodes;
+        assert!(n2 > n1, "search should grow with gadget size: {n1} -> {n2}");
+    }
+
+    #[test]
+    fn gadgets_remain_feasible_for_all_algorithms() {
+        use ssp_model::schedule::ValidationOptions;
+        let inst = interlock(3, 2, 2.0);
+        for schedule in [
+            crate::rr::rr_yds(&inst),
+            crate::classified::classified_rr(&inst),
+            crate::assignment::assignment_schedule(&inst, &crate::relax::relax_round(&inst)),
+        ] {
+            schedule.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+        }
+    }
+}

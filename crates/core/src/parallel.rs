@@ -1,0 +1,282 @@
+//! Parallel exact search: the branch-and-bound of [`crate::exact`]
+//! parallelized over top-level subtrees with a shared atomic incumbent.
+//!
+//! The sequential solver explores a restricted-growth assignment tree with
+//! energy-monotone pruning. Parallelization: expand the tree breadth-first
+//! to a frontier of a few hundred prefixes, then process the frontier's
+//! subtrees on scoped threads. The incumbent bound is shared through an
+//! `AtomicU64` (f64 bits; monotone decreasing updates via compare-exchange),
+//! so pruning strength is nearly identical to the sequential run — every
+//! thread sees improvements from every other thread immediately.
+//!
+//! Determinism: the *result value* is deterministic (the optimum); the
+//! reported assignment may differ between runs among energy-ties, exactly as
+//! for any tie in the sequential enumeration order.
+
+use crate::assignment::{assignment_energy, Assignment};
+use crate::exact::ExactSolution;
+use ssp_model::{Instance, Job};
+use ssp_single::yds::yds;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Shared monotone-decreasing f64 stored as ordered bits.
+struct AtomicBest {
+    bits: AtomicU64,
+}
+
+impl AtomicBest {
+    fn new(v: f64) -> Self {
+        AtomicBest { bits: AtomicU64::new(v.to_bits()) }
+    }
+    fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+    /// Lower the bound to `v` if it improves; returns whether it did.
+    fn try_lower(&self, v: f64) -> bool {
+        let mut current = self.bits.load(Ordering::Acquire);
+        loop {
+            if v >= f64::from_bits(current) {
+                return false;
+            }
+            match self.bits.compare_exchange_weak(
+                current,
+                v.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(now) => current = now,
+            }
+        }
+    }
+}
+
+/// A frontier node: an assignment prefix plus its per-machine state.
+#[derive(Clone)]
+struct Prefix {
+    /// Machine per rank, for ranks `0..depth`.
+    assigned: Vec<usize>,
+    /// Machines used so far (restricted growth bound).
+    used: usize,
+    /// Per-machine partial energies.
+    machine_energy: Vec<f64>,
+    /// Total partial energy.
+    total: f64,
+}
+
+/// Parallel exact non-migratory optimum. Same contract as
+/// [`crate::exact::exact_nonmigratory`] (panics for `n > 16`); uses all
+/// available cores. `nodes` aggregates across threads.
+pub fn exact_nonmigratory_parallel(instance: &Instance) -> ExactSolution {
+    let n = instance.len();
+    assert!(n <= 16, "exact solver is for ground truth on small n (got {n})");
+    let m = instance.machines();
+    if n == 0 {
+        return ExactSolution { assignment: Assignment::new(vec![]), energy: 0.0, nodes: 0 };
+    }
+    let order = instance.release_order();
+
+    // Breadth-first expansion to a frontier of subtree roots.
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let target_frontier = (threads * 16).max(32);
+    let mut frontier = vec![Prefix {
+        assigned: Vec::new(),
+        used: 0,
+        machine_energy: vec![0.0; m],
+        total: 0.0,
+    }];
+    while frontier.len() < target_frontier && frontier[0].assigned.len() < n {
+        let mut next = Vec::with_capacity(frontier.len() * m);
+        for p in frontier {
+            for machine in 0..(p.used + 1).min(m) {
+                let mut q = p.clone();
+                q.assigned.push(machine);
+                q.used = q.used.max(machine + 1);
+                // Recompute the receiving machine's energy over its jobs
+                // (the new job is included via the assignment filter).
+                let jobs: Vec<Job> = q
+                    .assigned
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &mm)| mm == machine)
+                    .map(|(rank, _)| *instance.job(order[rank]))
+                    .collect();
+                let e = yds(&jobs, instance.alpha()).energy;
+                q.total = q.total - q.machine_energy[machine] + e;
+                q.machine_energy[machine] = e;
+                next.push(q);
+            }
+        }
+        frontier = next;
+    }
+
+    // Shared incumbent, seeded by a cheap greedy so early pruning bites.
+    let greedy = crate::list::least_loaded(instance);
+    let best = AtomicBest::new(assignment_energy(instance, &greedy));
+    let best_assignment: Mutex<Vec<usize>> = Mutex::new(
+        order.iter().map(|&i| greedy.machine_of(i)).collect(),
+    );
+    let nodes = AtomicUsize::new(0);
+    let next_item = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(frontier.len()) {
+            scope.spawn(|| {
+                let mut local_nodes = 0usize;
+                loop {
+                    let k = next_item.fetch_add(1, Ordering::Relaxed);
+                    if k >= frontier.len() {
+                        break;
+                    }
+                    let p = &frontier[k];
+                    if p.total < best.get() {
+                        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); m];
+                        for (rank, &mm) in p.assigned.iter().enumerate() {
+                            groups[mm].push(order[rank]);
+                        }
+                        let mut current = p.assigned.clone();
+                        dfs(
+                            instance,
+                            &order,
+                            m,
+                            &mut current,
+                            &mut groups,
+                            &mut p.machine_energy.clone(),
+                            p.used,
+                            p.total,
+                            &best,
+                            &best_assignment,
+                            &mut local_nodes,
+                        );
+                    }
+                }
+                nodes.fetch_add(local_nodes, Ordering::Relaxed);
+            });
+        }
+    });
+
+    let ranks = best_assignment.into_inner().unwrap();
+    let mut machine_of = vec![0usize; n];
+    for (rank, &i) in order.iter().enumerate() {
+        machine_of[i] = ranks[rank];
+    }
+    let assignment = Assignment::new(machine_of);
+    let energy = assignment_energy(instance, &assignment);
+    ExactSolution { assignment, energy, nodes: nodes.load(Ordering::Relaxed) }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    instance: &Instance,
+    order: &[usize],
+    m: usize,
+    current: &mut Vec<usize>,
+    groups: &mut [Vec<usize>],
+    machine_energy: &mut [f64],
+    used: usize,
+    total: f64,
+    best: &AtomicBest,
+    best_assignment: &Mutex<Vec<usize>>,
+    nodes: &mut usize,
+) {
+    *nodes += 1;
+    let rank = current.len();
+    if rank == order.len() {
+        // Take the lock *before* lowering the bound: otherwise another
+        // thread could lower it further between our try_lower and our store,
+        // and we would overwrite a better assignment with a worse one.
+        let mut guard = best_assignment.lock().unwrap();
+        if best.try_lower(total) {
+            *guard = current.clone();
+        }
+        return;
+    }
+    let job_idx = order[rank];
+    for machine in 0..(used + 1).min(m) {
+        let old_energy = machine_energy[machine];
+        groups[machine].push(job_idx);
+        let jobs: Vec<Job> = groups[machine].iter().map(|&i| *instance.job(i)).collect();
+        let new_energy = yds(&jobs, instance.alpha()).energy;
+        let new_total = total - old_energy + new_energy;
+        if new_total < best.get() {
+            current.push(machine);
+            machine_energy[machine] = new_energy;
+            dfs(
+                instance,
+                order,
+                m,
+                current,
+                groups,
+                machine_energy,
+                used.max(machine + 1),
+                new_total,
+                best,
+                best_assignment,
+                nodes,
+            );
+            machine_energy[machine] = old_energy;
+            current.pop();
+        }
+        groups[machine].pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_nonmigratory;
+    use ssp_workloads::families;
+
+    #[test]
+    fn matches_the_sequential_solver() {
+        for seed in [1u64, 2, 3, 4] {
+            let inst = families::general(10, 3, 2.0).gen(seed);
+            let seq = exact_nonmigratory(&inst);
+            let par = exact_nonmigratory_parallel(&inst);
+            assert!(
+                (seq.energy - par.energy).abs() <= 1e-9 * seq.energy,
+                "seed {seed}: sequential {} vs parallel {}",
+                seq.energy,
+                par.energy
+            );
+            // The returned assignment really evaluates to the optimum.
+            let e = assignment_energy(&inst, &par.assignment);
+            assert!((e - par.energy).abs() <= 1e-9 * e);
+        }
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        let empty = ssp_model::Instance::new(vec![], 2, 2.0).unwrap();
+        assert_eq!(exact_nonmigratory_parallel(&empty).energy, 0.0);
+        let one = families::general(1, 3, 2.0).gen(9);
+        let sol = exact_nonmigratory_parallel(&one);
+        assert!((sol.energy - exact_nonmigratory(&one).energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_value_across_runs() {
+        let inst = families::general(9, 2, 2.5).gen(13);
+        let a = exact_nonmigratory_parallel(&inst).energy;
+        let b = exact_nonmigratory_parallel(&inst).energy;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn atomic_best_lowers_monotonically() {
+        let b = AtomicBest::new(10.0);
+        assert!(b.try_lower(5.0));
+        assert!(!b.try_lower(7.0));
+        assert!(!b.try_lower(5.0));
+        assert!(b.try_lower(4.9));
+        assert_eq!(b.get(), 4.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "for ground truth on small n")]
+    fn refuses_large_instances() {
+        let inst = families::general(17, 2, 2.0).gen(0);
+        exact_nonmigratory_parallel(&inst);
+    }
+}

@@ -1,0 +1,118 @@
+//! Sorted round-robin — the paper's optimal algorithm for unit-work jobs
+//! with agreeable deadlines (R1).
+//!
+//! Sort jobs by `(release, deadline, id)` and deal them to machines in
+//! round-robin order (`k`-th job → machine `k mod m`); then run YDS on every
+//! machine. For unit works and agreeable deadlines this is **optimal**: on
+//! agreeable instances the sorted order interleaves the machines' alive sets
+//! as evenly as possible, and an exchange argument shows no assignment does
+//! better. The experiment suite validates optimality against the exponential
+//! exact solver (`EXP-1`).
+//!
+//! On instances *outside* that regime `rr_yds` is still a well-defined
+//! heuristic (and a useful baseline); it just loses its optimality proof.
+
+use crate::assignment::{assignment_schedule, Assignment};
+use ssp_model::{Instance, Schedule};
+
+/// The sorted round-robin assignment.
+pub fn rr_assignment(instance: &Instance) -> Assignment {
+    let order = instance.release_order();
+    let m = instance.machines();
+    let mut machine_of = vec![0usize; instance.len()];
+    for (k, &i) in order.iter().enumerate() {
+        machine_of[i] = k % m;
+    }
+    Assignment::new(machine_of)
+}
+
+/// Round-robin assignment followed by per-machine YDS. Optimal for
+/// unit-work agreeable instances; a heuristic otherwise.
+pub fn rr_yds(instance: &Instance) -> Schedule {
+    assignment_schedule(instance, &rr_assignment(instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::assignment_energy;
+    use ssp_model::schedule::ValidationOptions;
+    use ssp_model::{Instance, Job};
+    use ssp_workloads::families;
+
+    #[test]
+    fn deals_in_sorted_order() {
+        let inst = Instance::new(
+            vec![
+                Job::new(0, 1.0, 2.0, 4.0),
+                Job::new(1, 1.0, 0.0, 2.0),
+                Job::new(2, 1.0, 1.0, 3.0),
+                Job::new(3, 1.0, 3.0, 5.0),
+            ],
+            2,
+            2.0,
+        )
+        .unwrap();
+        let a = rr_assignment(&inst);
+        // Sorted by release: 1, 2, 0, 3 → machines 0, 1, 0, 1.
+        assert_eq!(a.machine_of(1), 0);
+        assert_eq!(a.machine_of(2), 1);
+        assert_eq!(a.machine_of(0), 0);
+        assert_eq!(a.machine_of(3), 1);
+    }
+
+    #[test]
+    fn single_machine_reduces_to_yds() {
+        let jobs = vec![
+            Job::new(0, 1.0, 0.0, 2.0),
+            Job::new(1, 1.0, 0.5, 2.5),
+            Job::new(2, 1.0, 1.0, 3.0),
+        ];
+        let inst = Instance::new(jobs.clone(), 1, 2.0).unwrap();
+        let s = rr_yds(&inst);
+        let e_yds = ssp_single::yds::yds(&jobs, 2.0).energy;
+        assert!((s.energy(2.0) - e_yds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_is_valid_and_non_migratory() {
+        let inst = families::unit_agreeable(24, 3, 2.0).gen(7);
+        let s = rr_yds(&inst);
+        s.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+    }
+
+    #[test]
+    fn disjoint_batches_spread_across_machines() {
+        // 2 machines, batches of 2 simultaneous unit jobs: RR puts each
+        // batch's jobs on different machines — clearly optimal.
+        let jobs: Vec<Job> = (0..6)
+            .map(|k| Job::new(k, 1.0, (k / 2) as f64 * 10.0, (k / 2) as f64 * 10.0 + 1.0))
+            .collect();
+        let inst = Instance::new(jobs, 2, 2.0).unwrap();
+        let a = rr_assignment(&inst);
+        for batch in 0..3 {
+            assert_ne!(a.machine_of(2 * batch), a.machine_of(2 * batch + 1));
+        }
+        // Energy: 6 unit jobs each alone in a unit window at speed 1.
+        assert!((assignment_energy(&inst, &a) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_migratory_lower_bound_on_unit_agreeable() {
+        // On unit agreeable instances RR-YDS is optimal, and in every case we
+        // generate it actually meets the *migratory* lower bound too.
+        for seed in [1u64, 2, 3] {
+            let inst = families::unit_agreeable(16, 2, 2.0).gen(seed);
+            let e_rr = assignment_energy(&inst, &rr_assignment(&inst));
+            let lb = ssp_migratory::bal::bal(&inst).energy;
+            assert!(
+                e_rr >= lb - 1e-6 * lb,
+                "seed {seed}: RR {e_rr} below the migratory lower bound {lb}"
+            );
+            assert!(
+                e_rr <= lb * (1.0 + 5e-2),
+                "seed {seed}: RR {e_rr} unexpectedly far above migratory LB {lb}"
+            );
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Throughput maximization under a maximum-speed cap.
+//!
+//! When `s_max` is too low for the whole job set (see
+//! `ssp_migratory::bounded`), a scheduler must choose *which* jobs to admit.
+//! Maximizing the number of admitted jobs is the classic
+//! throughput objective of the bounded-speed literature (Chan et al.); the
+//! selection problem is NP-hard in general.
+//!
+//! Tools provided:
+//!
+//! * [`admissible`] — is a given subset feasible under the cap? (Run
+//!   everything at `s_max` — slower speeds only use *more* time, so this is
+//!   exact, via one WAP max-flow.)
+//! * [`max_throughput_exact`] — largest admissible subset by subset-lattice
+//!   search with pruning (`n ≤ 20`).
+//! * [`max_throughput_greedy`] — polynomial greedy admission (smallest work
+//!   first, skip-on-infeasible); its quality is measured in EXP-12.
+
+use ssp_migratory::wap::Wap;
+use ssp_model::Instance;
+
+/// Is the subset (instance indices) schedulable with every speed `≤ s_max`?
+/// Exact: feasibility with a cap ⟺ feasibility running everything *at* the
+/// cap, which is one max-flow.
+pub fn admissible(instance: &Instance, subset: &[usize], s_max: f64) -> bool {
+    assert!(s_max > 0.0);
+    let (wap, _) = Wap::from_instance(instance);
+    let mut demands = vec![0.0; instance.len()];
+    for &i in subset {
+        demands[i] = instance.job(i).work / s_max;
+    }
+    wap.solve(&demands).feasible()
+}
+
+/// Result of a throughput search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputSolution {
+    /// Admitted instance indices, ascending.
+    pub admitted: Vec<usize>,
+    /// Rejected instance indices, ascending.
+    pub rejected: Vec<usize>,
+}
+
+impl ThroughputSolution {
+    /// Number of admitted jobs.
+    pub fn throughput(&self) -> usize {
+        self.admitted.len()
+    }
+}
+
+/// Greedy admission: consider jobs in nondecreasing work order (cheap jobs
+/// are easiest to fit and each counts the same), keep a job iff the set so
+/// far plus the job stays admissible. `O(n)` max-flows.
+pub fn max_throughput_greedy(instance: &Instance, s_max: f64) -> ThroughputSolution {
+    let mut order: Vec<usize> = (0..instance.len()).collect();
+    order.sort_by(|&a, &b| {
+        instance
+            .job(a)
+            .work
+            .total_cmp(&instance.job(b).work)
+            .then(instance.job(a).id.cmp(&instance.job(b).id))
+    });
+    let mut admitted: Vec<usize> = Vec::new();
+    let mut rejected: Vec<usize> = Vec::new();
+    for &i in &order {
+        admitted.push(i);
+        if admissible(instance, &admitted, s_max) {
+            continue;
+        }
+        admitted.pop();
+        rejected.push(i);
+    }
+    admitted.sort_unstable();
+    rejected.sort_unstable();
+    ThroughputSolution { admitted, rejected }
+}
+
+/// Exact maximum throughput by depth-first subset search with two prunings:
+/// stop when even admitting every remaining job cannot beat the incumbent,
+/// and seed the incumbent with the greedy solution. Exponential; `n ≤ 20`.
+pub fn max_throughput_exact(instance: &Instance, s_max: f64) -> ThroughputSolution {
+    let n = instance.len();
+    assert!(n <= 20, "exact throughput search is for small n (got {n})");
+    let greedy = max_throughput_greedy(instance, s_max);
+    let mut best: Vec<usize> = greedy.admitted.clone();
+
+    // DFS over include/exclude decisions in work order (cheap first gives
+    // the greedy-like incumbent early).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| instance.job(a).work.total_cmp(&instance.job(b).work));
+
+    fn dfs(
+        instance: &Instance,
+        s_max: f64,
+        order: &[usize],
+        k: usize,
+        current: &mut Vec<usize>,
+        best: &mut Vec<usize>,
+    ) {
+        if current.len() + (order.len() - k) <= best.len() {
+            return; // cannot beat the incumbent
+        }
+        if k == order.len() {
+            if current.len() > best.len() {
+                *best = current.clone();
+            }
+            return;
+        }
+        // Include order[k] if the partial set stays admissible (admissible
+        // sets are downward closed, so pruning here is safe).
+        current.push(order[k]);
+        if admissible(instance, current, s_max) {
+            dfs(instance, s_max, order, k + 1, current, best);
+        }
+        current.pop();
+        // Exclude.
+        dfs(instance, s_max, order, k + 1, current, best);
+    }
+    let mut current = Vec::new();
+    dfs(instance, s_max, &order, 0, &mut current, &mut best);
+    best.sort_unstable();
+    let rejected: Vec<usize> = (0..n).filter(|i| !best.contains(i)).collect();
+    ThroughputSolution { admitted: best, rejected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_migratory::bounded::min_peak_speed;
+    use ssp_model::{Instance, Job};
+    use ssp_workloads::families;
+
+    fn overloaded() -> Instance {
+        // 4 unit jobs in [0,1] on 1 machine: k admissible iff k <= s_max.
+        let jobs: Vec<Job> = (0..4).map(|i| Job::new(i, 1.0, 0.0, 1.0)).collect();
+        Instance::new(jobs, 1, 2.0).unwrap()
+    }
+
+    #[test]
+    fn admissible_counts_match_cap() {
+        let inst = overloaded();
+        assert!(admissible(&inst, &[0], 1.0));
+        assert!(admissible(&inst, &[0, 1], 2.0));
+        assert!(!admissible(&inst, &[0, 1, 2], 2.0));
+        assert!(admissible(&inst, &[], 0.5), "empty subset always fits");
+    }
+
+    #[test]
+    fn greedy_and_exact_on_uniform_overload() {
+        let inst = overloaded();
+        for (cap, expect) in [(1.0, 1usize), (2.0, 2), (3.5, 3), (4.0, 4)] {
+            let g = max_throughput_greedy(&inst, cap);
+            let e = max_throughput_exact(&inst, cap);
+            assert_eq!(e.throughput(), expect, "exact at cap {cap}");
+            assert_eq!(g.throughput(), expect, "greedy at cap {cap}");
+            assert_eq!(g.admitted.len() + g.rejected.len(), 4);
+        }
+    }
+
+    #[test]
+    fn greedy_prefers_small_jobs() {
+        // One huge job vs three small ones, cap admits either the huge one
+        // alone or all three small ones: greedy (smallest first) takes 3.
+        let jobs = vec![
+            Job::new(0, 3.0, 0.0, 1.0),
+            Job::new(1, 1.0, 0.0, 1.0),
+            Job::new(2, 1.0, 0.0, 1.0),
+            Job::new(3, 1.0, 0.0, 1.0),
+        ];
+        let inst = Instance::new(jobs, 1, 2.0).unwrap();
+        let g = max_throughput_greedy(&inst, 3.0);
+        assert_eq!(g.throughput(), 3);
+        assert_eq!(g.admitted, vec![1, 2, 3]);
+        assert_eq!(max_throughput_exact(&inst, 3.0).throughput(), 3);
+    }
+
+    #[test]
+    fn exact_beats_greedy_when_order_misleads() {
+        // Greedy admits cheap long-window jobs that block a pair of tight
+        // ones. Jobs: two tight unit jobs in [0,1]; one job w=0.9 spanning
+        // [0,2] (cheapest, admitted first, eats capacity everywhere).
+        // Cap 1.45, m=1: {tight, tight} infeasible (needs 2);
+        // {w0.9, tight}: demand in [0,1]: 1/1.45 + 0.9 part... engineered
+        // check below just asserts exact >= greedy.
+        let jobs = vec![
+            Job::new(0, 0.9, 0.0, 2.0),
+            Job::new(1, 1.0, 0.0, 1.0),
+            Job::new(2, 1.0, 1.0, 2.0),
+        ];
+        let inst = Instance::new(jobs, 1, 2.0).unwrap();
+        for cap in [1.0, 1.2, 1.45, 2.0] {
+            let g = max_throughput_greedy(&inst, cap);
+            let e = max_throughput_exact(&inst, cap);
+            assert!(e.throughput() >= g.throughput(), "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn full_admission_above_the_peak() {
+        for seed in [3u64, 4] {
+            let inst = families::general(10, 2, 2.0).gen(seed);
+            let peak = min_peak_speed(&inst);
+            let g = max_throughput_greedy(&inst, peak * 1.01);
+            assert_eq!(g.throughput(), 10, "everything fits above the min peak");
+            assert!(g.rejected.is_empty());
+            let e = max_throughput_exact(&inst, peak * 1.01);
+            assert_eq!(e.throughput(), 10);
+        }
+    }
+
+    #[test]
+    fn throughput_is_monotone_in_the_cap() {
+        let inst = families::unit_arbitrary(12, 2, 2.0).gen(5);
+        let peak = min_peak_speed(&inst);
+        let mut prev = 0usize;
+        for f in [0.3, 0.5, 0.7, 0.9, 1.1] {
+            let t = max_throughput_greedy(&inst, peak * f).throughput();
+            assert!(t >= prev, "greedy throughput dropped as the cap rose");
+            prev = t;
+        }
+        assert_eq!(prev, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "for small n")]
+    fn exact_guards_size() {
+        let inst = families::general(21, 2, 2.0).gen(0);
+        max_throughput_exact(&inst, 1.0);
+    }
+}

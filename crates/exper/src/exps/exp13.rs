@@ -1,0 +1,101 @@
+//! EXP-13 — "Figure 5": the flow-time / energy trade-off (multicriteria
+//! context of the paper's introduction; Pruhs–Uthaisombut–Woeginger's
+//! budgeted objective for unit jobs on one processor).
+//!
+//! Sweep the energy budget and record the optimal total flow time alongside
+//! the fixed-speed baseline spending the same energy. Expected shape: the
+//! Pareto frontier is decreasing and convex (in log-log), the budget is
+//! spent (up to the small Lagrangian-extreme jumps where the chain
+//! partition changes), and the optimum beats the fixed-speed clock at every
+//! point except the degenerate extremes.
+
+use crate::table::{Cell, Table};
+use crate::RunCfg;
+use rand_free_releases::poisson_releases;
+use ssp_single::flowtime::{fixed_speed_flow, min_flow_time_budget};
+
+/// Deterministic pseudo-Poisson releases without an RNG dependency in this
+/// module (SplitMix-derived uniforms through the inverse-exponential map).
+mod rand_free_releases {
+    use ssp_workloads::subseed;
+
+    /// `n` arrivals with mean gap `1/rate`.
+    pub fn poisson_releases(n: usize, rate: f64, seed: u64) -> Vec<f64> {
+        let mut t = 0.0;
+        (0..n)
+            .map(|i| {
+                let u = (subseed(seed, i as u64) >> 11) as f64 / (1u64 << 53) as f64;
+                t += -(1.0 - u).ln() / rate;
+                t
+            })
+            .collect()
+    }
+}
+
+/// Run EXP-13.
+pub fn run(cfg: &RunCfg) -> Vec<Table> {
+    let n = cfg.pick(40usize, 12);
+    let alpha = 2.0f64;
+    let releases = poisson_releases(n, 1.2, cfg.seed ^ 0x133);
+
+    let mut t = Table::new(
+        "Figure 5 (series) — flow-time vs energy budget (unit jobs, 1 processor)",
+        &[
+            "budget E",
+            "optimal flow",
+            "energy used",
+            "fixed-speed flow",
+            "improvement %",
+        ],
+    );
+    let budgets: Vec<f64> = cfg
+        .pick(vec![0.5, 1.0, 2.0, 4.0, 8.0], vec![1.0, 4.0])
+        .into_iter()
+        .map(|f| f * n as f64)
+        .collect();
+    let mut prev_flow = f64::INFINITY;
+    let mut points = Vec::new();
+    for &budget in &budgets {
+        let sol = min_flow_time_budget(&releases, alpha, budget);
+        assert!(sol.energy <= budget * (1.0 + 1e-6), "budget exceeded");
+        // The lambda-path jumps where the chain partition changes; the
+        // solver returns the best extreme point within budget (see the
+        // flowtime module docs), so allow a small underspend.
+        assert!(
+            sol.energy >= budget * (1.0 - 0.05),
+            "budget far from binding: {} of {budget}",
+            sol.energy
+        );
+        assert!(sol.total_flow < prev_flow, "frontier must strictly decrease");
+        prev_flow = sol.total_flow;
+        // Fixed-speed baseline with identical energy.
+        let s = (budget / n as f64).powf(1.0 / (alpha - 1.0));
+        let fixed = fixed_speed_flow(&releases, s);
+        assert!(
+            sol.total_flow <= fixed * (1.0 + 1e-9),
+            "optimum lost to the fixed clock: {} vs {fixed}",
+            sol.total_flow
+        );
+        t.push(vec![
+            Cell::Num(budget, 2),
+            Cell::Num(sol.total_flow, 4),
+            Cell::Num(sol.energy, 4),
+            Cell::Num(fixed, 4),
+            Cell::Num((1.0 - sol.total_flow / fixed) * 100.0, 2),
+        ]);
+        points.push((sol.energy, sol.total_flow));
+    }
+    // Convexity of the frontier in (energy, flow) space: the returned points
+    // are Pareto-extreme, so consecutive slopes must be nondecreasing.
+    let slopes: Vec<f64> = points
+        .windows(2)
+        .map(|w| (w[1].1 - w[0].1) / (w[1].0 - w[0].0))
+        .collect();
+    for pair in slopes.windows(2) {
+        assert!(
+            pair[1] >= pair[0] * (1.0 + 1e-9) || pair[1] >= pair[0] - 1e-9,
+            "frontier not convex: slopes {pair:?}"
+        );
+    }
+    vec![t]
+}

@@ -1,0 +1,57 @@
+//! EXP-14 — "Table 11": the AVR-adversarial cascade.
+//!
+//! The random families of EXP-8 make AVR look benign (ratios ≤ 2.4). The
+//! geometric release cascade (`families::avr_cascade`) is the classic
+//! stress structure: densities double toward a shared deadline, so
+//! committing each job to its average rate stacks the rates while the
+//! optimum smooths them. Measured shape: the AVR/OPT ratio climbs
+//! monotonically with cascade depth and converges to `2^(α−1)` (= 2 at
+//! α = 2) — the textbook AVR lower-bound value. A notable secondary
+//! finding: on this family OA *coincides* with AVR (with a common deadline,
+//! replanning the optimum over the remaining work reproduces exactly the
+//! average rates), so the cascade is adversarial for both.
+
+use crate::table::{Cell, Table};
+use crate::RunCfg;
+use ssp_core::online::{avr_m_energy, oa_m};
+use ssp_migratory::bal::bal;
+use ssp_workloads::families;
+
+/// Run EXP-14.
+pub fn run(cfg: &RunCfg) -> Vec<Table> {
+    let mut t = Table::new(
+        "Table 11 — AVR on its adversarial cascade (m=1, alpha=2)",
+        &["cascade depth n", "AVR/OPT", "OA/OPT", "theory AVR bound"],
+    );
+    let alpha = 2.0f64;
+    let depths: Vec<usize> = cfg.pick(vec![2, 4, 8, 12, 16, 20], vec![4, 16]);
+    let bound = alpha.powf(alpha) * 2.0f64.powf(alpha - 1.0);
+    let mut prev_ratio = 0.0f64;
+    for &n in &depths {
+        let inst = families::avr_cascade(n, 1, alpha);
+        let opt = bal(&inst).energy;
+        let avr = avr_m_energy(&inst) / opt;
+        let oa = oa_m(&inst).energy(alpha) / opt;
+        assert!(avr >= 1.0 - 1e-6 && oa >= 1.0 - 1e-6);
+        assert!(avr <= bound * (1.0 + 1e-6), "AVR above its competitive bound");
+        assert!(
+            avr >= prev_ratio - 1e-6,
+            "cascade should monotonically stress AVR: {avr} after {prev_ratio}"
+        );
+        prev_ratio = avr;
+        t.push(vec![
+            n.into(),
+            Cell::Num(avr, 4),
+            Cell::Num(oa, 4),
+            Cell::Num(bound, 2),
+        ]);
+    }
+    // Deep cascades approach the 2^(alpha-1) asymptote.
+    let asymptote = 2.0f64.powf(alpha - 1.0);
+    assert!(
+        prev_ratio > asymptote - 0.1,
+        "deep cascades should approach {asymptote}: got {prev_ratio}"
+    );
+    assert!(prev_ratio <= asymptote + 1e-6);
+    vec![t]
+}

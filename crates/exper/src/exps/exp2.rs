@@ -1,0 +1,62 @@
+//! EXP-2 — "Table 2": the NP-hard regime (unit works, arbitrary windows).
+//!
+//! Two observable consequences of R2's hardness proof are measured on the
+//! gadget families: (a) the exact branch-and-bound's node count grows
+//! quickly with gadget size, and (b) polynomial heuristics — including RR,
+//! which is *optimal* in the agreeable regime — leave strict gaps to the
+//! optimum once windows cross.
+
+use crate::table::Table;
+use crate::RunCfg;
+use ssp_core::exact::exact_nonmigratory;
+use ssp_core::hardness::{crossing, interlock};
+use ssp_core::relax::relax_round;
+use ssp_core::rr::rr_assignment;
+
+/// Run EXP-2.
+pub fn run(cfg: &RunCfg) -> Vec<Table> {
+    let mut t = Table::new(
+        "Table 2 — gadget families: exact-search growth and heuristic gaps",
+        &["family", "n", "exact nodes", "OPT energy", "RR/OPT", "RelaxRound/OPT"],
+    );
+    let inter_ks: Vec<usize> = cfg.pick(vec![1, 2, 3, 4], vec![1, 2]);
+    for k in inter_ks {
+        let inst = interlock(k, 2, 2.0);
+        let exact = exact_nonmigratory(&inst);
+        let rr = super::ratio_of(&inst, &rr_assignment(&inst), exact.energy);
+        let relax = super::ratio_of(&inst, &relax_round(&inst), exact.energy);
+        assert!(rr >= 1.0 - 1e-9 && relax >= 1.0 - 1e-9);
+        t.push(vec![
+            format!("interlock k={k}").into(),
+            inst.len().into(),
+            exact.nodes.into(),
+            exact.energy.into(),
+            rr.into(),
+            relax.into(),
+        ]);
+    }
+    let cross_ns: Vec<usize> = cfg.pick(vec![5, 7, 9, 11], vec![5, 7]);
+    let mut rr_gap_seen = false;
+    for n in cross_ns {
+        let inst = crossing(n, 2, 2.0);
+        let exact = exact_nonmigratory(&inst);
+        let rr = super::ratio_of(&inst, &rr_assignment(&inst), exact.energy);
+        let relax = super::ratio_of(&inst, &relax_round(&inst), exact.energy);
+        if rr > 1.0 + 1e-6 {
+            rr_gap_seen = true;
+        }
+        t.push(vec![
+            format!("crossing n={n}").into(),
+            inst.len().into(),
+            exact.nodes.into(),
+            exact.energy.into(),
+            rr.into(),
+            relax.into(),
+        ]);
+    }
+    assert!(
+        rr_gap_seen,
+        "expected RR to be strictly suboptimal on at least one crossing gadget"
+    );
+    vec![t]
+}

@@ -1,0 +1,77 @@
+//! EXP-7 — "Figure 4": the energy–makespan Pareto frontier (MBAL).
+//!
+//! For a fixed workload, sweep the energy budget geometrically and plot the
+//! minimal makespan. Expected shape: monotone decreasing, convex in
+//! log–log, and in the release-dominated-free regime the slope of
+//! `log X` vs `log E` approaches `-1/(α-1)` (the closed-form trade-off);
+//! the floor is `max release` + parallel work.
+
+use crate::table::{Cell, Table};
+use crate::RunCfg;
+use ssp_migratory::mbal::mbal;
+use ssp_workloads::{subseed, ArrivalDist, Spec, WindowDist, WorkDist};
+
+/// Run EXP-7.
+pub fn run(cfg: &RunCfg) -> Vec<Table> {
+    let n = cfg.pick(16usize, 8);
+    let m = 2usize;
+    let alpha = 2.5f64;
+    // Deadline-free workload (huge windows): the budget is the only binding
+    // constraint besides releases.
+    let inst = Spec::new(n, m, alpha)
+        .arrivals(ArrivalDist::Poisson { rate: 2.0 })
+        .work(WorkDist::Uniform { min: 0.5, max: 2.0 })
+        .window(WindowDist::Fixed(1e6))
+        .gen(subseed(cfg.seed ^ 0x77, 1));
+
+    let mut t = Table::new(
+        "Figure 4 (series) — MBAL energy-budget vs minimal makespan",
+        &["budget E", "makespan X", "energy used", "X_LB (no releases)", "X / X_LB"],
+    );
+    let w: f64 = inst.total_work();
+    let base = w; // a natural energy scale
+    let budgets: Vec<f64> = cfg
+        .pick(vec![0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0], vec![0.5, 2.0, 8.0])
+        .into_iter()
+        .map(|f| base * f)
+        .collect();
+    let mut prev_x = f64::INFINITY;
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for &budget in &budgets {
+        let sol = mbal(&inst, budget).expect("deadline-free instances always admit a budget");
+        assert!(
+            sol.makespan <= prev_x * (1.0 + 1e-9),
+            "frontier not monotone: X({budget}) = {} after {prev_x}",
+            sol.makespan
+        );
+        assert!(sol.energy <= budget * (1.0 + 1e-6), "budget exceeded");
+        let x_lb = (w.powf(alpha) / budget).powf(1.0 / (alpha - 1.0)) / m as f64;
+        t.push(vec![
+            Cell::Num(budget, 3),
+            Cell::Num(sol.makespan, 4),
+            Cell::Num(sol.energy, 4),
+            Cell::Num(x_lb, 4),
+            Cell::Num(sol.makespan / x_lb, 3),
+        ]);
+        points.push((budget, sol.makespan));
+        prev_x = sol.makespan;
+    }
+
+    // Empirical trade-off exponent between consecutive low-budget points
+    // (where releases don't bind): slope of log X over log E ≈ -1/(α-1).
+    let mut t2 = Table::new(
+        "Figure 4 (fit) — local trade-off exponent d log X / d log E",
+        &["between budgets", "slope", "theory -1/(alpha-1)"],
+    );
+    let theory = -1.0 / (alpha - 1.0);
+    for pair in points.windows(2) {
+        let ((e0, x0), (e1, x1)) = (pair[0], pair[1]);
+        let slope = (x1.ln() - x0.ln()) / (e1.ln() - e0.ln());
+        t2.push(vec![
+            format!("{e0:.2} -> {e1:.2}").into(),
+            Cell::Num(slope, 4),
+            Cell::Num(theory, 4),
+        ]);
+    }
+    vec![t, t2]
+}

@@ -1,0 +1,193 @@
+//! Result tables with Markdown and CSV emitters.
+
+use std::fmt::Write as _;
+
+/// A cell: text or a number with a display precision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Verbatim text.
+    Text(String),
+    /// Integer count.
+    Int(i64),
+    /// Float rendered with the given number of significant decimals.
+    Num(f64, usize),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Num(x, prec) => format!("{x:.prec$}"),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Int(v)
+    }
+}
+impl From<f64> for Cell {
+    fn from(x: f64) -> Self {
+        Cell::Num(x, 4)
+    }
+}
+
+/// A titled table of results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title (matches the EXPERIMENTS.md artifact name).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows (each with `columns.len()` cells).
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics on arity mismatch (a programming error in the
+    /// experiment runner, not a data condition).
+    pub fn push(&mut self, row: Vec<Cell>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch in '{}'", self.title);
+        self.rows.push(row);
+    }
+
+    /// Render as GitHub-flavored Markdown (title as an `###` header).
+    pub fn to_markdown(&self) -> String {
+        let mut rendered: Vec<Vec<String>> = vec![self.columns.clone()];
+        rendered.extend(self.rows.iter().map(|r| r.iter().map(Cell::render).collect()));
+        let widths: Vec<usize> = (0..self.columns.len())
+            .map(|c| rendered.iter().map(|r| r[c].len()).max().unwrap_or(1))
+            .collect();
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        for (k, row) in rendered.iter().enumerate() {
+            let cells: Vec<String> =
+                row.iter().zip(&widths).map(|(v, w)| format!("{v:>w$}")).collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+            if k == 0 {
+                let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+                let _ = writeln!(out, "| {} |", dashes.join(" | "));
+            }
+        }
+        out
+    }
+
+    /// Render as CSV (no title; callers name the file).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|c| escape(&c.render())).collect();
+            let _ = writeln!(out, "{}", line.join(","));
+        }
+        out
+    }
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Max of a slice (0 for empty).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+/// Min of a slice (+inf for empty).
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Sample standard deviation (0 for fewer than two samples).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo", &["name", "n", "ratio"]);
+        t.push(vec!["alpha=2".into(), 10usize.into(), 1.2345678.into()]);
+        t.push(vec![Cell::Text("a,b".into()), Cell::Int(-3), Cell::Num(0.5, 2)]);
+        t
+    }
+
+    #[test]
+    fn markdown_has_header_separator_and_alignment() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("### Demo"));
+        assert!(md.contains("name") && md.contains("ratio"));
+        assert!(md.contains("----"), "separator row missing");
+        assert!(md.contains("1.2346")); // default 4 decimals
+        assert!(md.contains("0.50"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let csv = sample().to_csv();
+        assert!(csv.lines().next().unwrap().contains("name,n,ratio"));
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("-3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("X", &["a", "b"]);
+        t.push(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(max(&[1.0, 3.0]), 3.0);
+        assert_eq!(min(&[1.0, 3.0]), 1.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[1.0, 3.0]) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+}

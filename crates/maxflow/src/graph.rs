@@ -1,0 +1,436 @@
+//! Dinic's max-flow over `f64` capacities, with residual-reachability
+//! queries and per-edge flow readback.
+
+/// Handle to a *forward* edge added with [`FlowNetwork::add_edge`]. Used to
+/// read back the flow it carries after [`FlowNetwork::max_flow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeId(usize);
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    /// Remaining residual capacity.
+    cap: f64,
+    /// Original capacity (forward edges) or 0 (reverse edges).
+    orig: f64,
+    /// Saturation threshold: residual below this counts as zero. Scales with
+    /// the *pair's* original capacity so that networks mixing very large and
+    /// very small capacities (common in scheduling: long and short intervals)
+    /// classify each edge at its own magnitude.
+    eps: f64,
+}
+
+/// Relative per-edge saturation threshold.
+const EDGE_EPS_REL: f64 = 1e-12;
+
+/// A directed flow network. Nodes are `0..n`; parallel edges are allowed.
+///
+/// Numerics: capacities are `f64`; an edge counts as residual when its
+/// remaining capacity exceeds its *own* epsilon (`orig_cap · 1e-12`).
+/// Termination does not depend on the epsilon: every augmenting path zeroes
+/// its bottleneck edge exactly (`cap - cap == 0.0`), so each blocking-flow
+/// phase finds at most `E` paths and Dinic's phase bound applies unchanged;
+/// the epsilon only keeps rounding slivers from being chased or reported as
+/// residual connectivity.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    /// `adj[v]` = indices into `edges` (edge pairs are at `2k`, `2k+1`).
+    adj: Vec<Vec<usize>>,
+    edges: Vec<Edge>,
+    /// Source of the last `max_flow` call (for reachability queries).
+    last_source: Option<usize>,
+    /// Sink of the last `max_flow` call.
+    last_sink: Option<usize>,
+    // Scratch buffers reused across blocking-flow phases.
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl FlowNetwork {
+    /// An empty network with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+            last_source: None,
+            last_sink: None,
+            level: vec![-1; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of forward edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// Append a new node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.level.push(-1);
+        self.iter.push(0);
+        self.adj.len() - 1
+    }
+
+    /// Add a directed edge `u → v` with capacity `cap >= 0`.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: f64) -> EdgeId {
+        assert!(u < self.adj.len() && v < self.adj.len(), "edge endpoint out of range");
+        assert!(cap >= 0.0 && cap.is_finite(), "capacity must be finite and >= 0, got {cap}");
+        let id = self.edges.len();
+        let eps = cap * EDGE_EPS_REL;
+        self.adj[u].push(id);
+        self.edges.push(Edge { to: v, cap, orig: cap, eps });
+        self.adj[v].push(id + 1);
+        self.edges.push(Edge { to: u, cap: 0.0, orig: 0.0, eps });
+        EdgeId(id)
+    }
+
+    /// Flow currently routed through a forward edge (its reverse residual).
+    pub fn flow(&self, e: EdgeId) -> f64 {
+        let fwd = &self.edges[e.0];
+        (fwd.orig - fwd.cap).max(0.0)
+    }
+
+    /// Remaining residual capacity of a forward edge.
+    pub fn residual(&self, e: EdgeId) -> f64 {
+        self.edges[e.0].cap
+    }
+
+    /// Is a forward edge saturated (residual below its epsilon)?
+    pub fn is_saturated(&self, e: EdgeId) -> bool {
+        self.edges[e.0].cap <= self.edges[e.0].eps
+    }
+
+    /// Compute a maximum `s → t` flow (Dinic) and return its value. Resets
+    /// any previous flow first, so the call is idempotent.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        assert!(s < self.adj.len() && t < self.adj.len(), "terminal out of range");
+        assert_ne!(s, t, "source and sink must differ");
+        for e in &mut self.edges {
+            e.cap = e.orig;
+        }
+        self.last_source = Some(s);
+        self.last_sink = Some(t);
+        let mut total = 0.0;
+        while self.build_levels(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let pushed = self.blocking_dfs(s, t, f64::INFINITY);
+                if pushed <= 0.0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        total
+    }
+
+    /// BFS on the residual graph building the level structure; `true` iff the
+    /// sink is reachable.
+    fn build_levels(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &ei in &self.adj[u] {
+                let e = &self.edges[ei];
+                if e.cap > e.eps && self.level[e.to] < 0 {
+                    self.level[e.to] = self.level[u] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    /// DFS with per-node edge iterators; pushes a blocking path and returns
+    /// the pushed amount (0 when none).
+    fn blocking_dfs(&mut self, u: usize, t: usize, limit: f64) -> f64 {
+        if u == t {
+            return limit;
+        }
+        while self.iter[u] < self.adj[u].len() {
+            let ei = self.adj[u][self.iter[u]];
+            let (to, cap, eps) = {
+                let e = &self.edges[ei];
+                (e.to, e.cap, e.eps)
+            };
+            if cap > eps && self.level[to] == self.level[u] + 1 {
+                let pushed = self.blocking_dfs(to, t, limit.min(cap));
+                if pushed > 0.0 {
+                    self.edges[ei].cap -= pushed;
+                    self.edges[ei ^ 1].cap += pushed;
+                    return pushed;
+                }
+            }
+            self.iter[u] += 1;
+        }
+        0.0
+    }
+
+    /// Nodes reachable from `node` in the residual graph of the current flow.
+    pub fn residual_reachable(&self, node: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[node] = true;
+        queue.push_back(node);
+        while let Some(u) = queue.pop_front() {
+            for &ei in &self.adj[u] {
+                let e = &self.edges[ei];
+                if e.cap > e.eps && !seen[e.to] {
+                    seen[e.to] = true;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Nodes reachable from the source of the last `max_flow` call in the
+    /// residual graph. After a max flow, this is the source side `X` of the
+    /// canonical minimum cut, and precisely the set of *upstream* nodes
+    /// (nodes on the source side of **every** minimum cut).
+    pub fn residual_reachable_from_source(&self) -> Vec<bool> {
+        let s = self.last_source.expect("call max_flow first");
+        self.residual_reachable(s)
+    }
+
+    /// Nodes from which the sink of the last `max_flow` call is reachable in
+    /// the residual graph (reverse BFS). A node *outside* this set has all of
+    /// its paths to the sink saturated — the criticality test of the
+    /// migratory solver.
+    pub fn residual_coreachable_to_sink(&self) -> Vec<bool> {
+        let t = self.last_sink.expect("call max_flow first");
+        let mut seen = vec![false; self.adj.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[t] = true;
+        queue.push_back(t);
+        while let Some(u) = queue.pop_front() {
+            // Traverse edges *into* u with residual capacity: edge e = (v, u)
+            // has residual cap iff edges[ei].cap > eps where ei is stored in
+            // adj[v]; equivalently, for each edge pair index at u, the
+            // partner edge (u → v reversed) tells us about (v → u).
+            for &ei in &self.adj[u] {
+                // `ei` is an edge u → w; its partner `ei ^ 1` is w → u.
+                let partner = ei ^ 1;
+                let w = self.edges[ei].to;
+                if self.edges[partner].cap > self.edges[partner].eps && !seen[w] {
+                    seen[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The minimum-cut edges of the last `max_flow` call: forward edges from
+    /// the residual-reachable side to the rest. Their capacities sum to the
+    /// flow value (max-flow/min-cut theorem).
+    pub fn min_cut_edges(&self) -> Vec<EdgeId> {
+        let side = self.residual_reachable_from_source();
+        let mut cut = Vec::new();
+        for id in (0..self.edges.len()).step_by(2) {
+            let e = &self.edges[id];
+            // Forward edge u→v: u is edges[id^1].to.
+            let u = self.edges[id ^ 1].to;
+            if side[u] && !side[e.to] && e.orig > 0.0 {
+                cut.push(EdgeId(id));
+            }
+        }
+        cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic CLRS example network (max flow 23).
+    fn clrs() -> (FlowNetwork, Vec<EdgeId>) {
+        let mut g = FlowNetwork::new(6);
+        let ids = vec![
+            g.add_edge(0, 1, 16.0),
+            g.add_edge(0, 2, 13.0),
+            g.add_edge(1, 2, 10.0),
+            g.add_edge(2, 1, 4.0),
+            g.add_edge(1, 3, 12.0),
+            g.add_edge(3, 2, 9.0),
+            g.add_edge(2, 4, 14.0),
+            g.add_edge(4, 3, 7.0),
+            g.add_edge(3, 5, 20.0),
+            g.add_edge(4, 5, 4.0),
+        ];
+        (g, ids)
+    }
+
+    #[test]
+    fn clrs_max_flow_is_23() {
+        let (mut g, _) = clrs();
+        assert!((g.max_flow(0, 5) - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_flow_is_idempotent() {
+        let (mut g, _) = clrs();
+        let a = g.max_flow(0, 5);
+        let b = g.max_flow(0, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_edge_flows_conserve() {
+        let (mut g, ids) = clrs();
+        let total = g.max_flow(0, 5);
+        // Out of source = total.
+        let out: f64 = g.flow(ids[0]) + g.flow(ids[1]);
+        assert!((out - total).abs() < 1e-9);
+        // Into sink = total.
+        let inflow: f64 = g.flow(ids[8]) + g.flow(ids[9]);
+        assert!((inflow - total).abs() < 1e-9);
+        // Each flow within capacity.
+        for &id in &ids {
+            assert!(g.flow(id) >= -1e-12);
+            assert!(g.flow(id) <= g.edges[id.0].orig + 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_cut_matches_flow_value() {
+        let (mut g, _) = clrs();
+        let v = g.max_flow(0, 5);
+        let cut = g.min_cut_edges();
+        let cap: f64 = cut.iter().map(|&e| g.edges[e.0].orig).sum();
+        assert!((cap - v).abs() < 1e-9);
+        // Every cut edge is saturated.
+        for e in cut {
+            assert!(g.is_saturated(e));
+        }
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(2, 3, 5.0);
+        assert_eq!(g.max_flow(0, 3), 0.0);
+        let side = g.residual_reachable_from_source();
+        assert_eq!(side, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, 1.5);
+        g.add_edge(0, 1, 2.5);
+        assert!((g.max_flow(0, 1) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        // Layered network with fractional caps typical of WAP graphs.
+        let mut g = FlowNetwork::new(5);
+        g.add_edge(0, 1, 1.0 / 3.0);
+        g.add_edge(0, 2, 0.2);
+        g.add_edge(1, 3, 0.25);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 4, 0.5);
+        let v = g.max_flow(0, 4);
+        // min(1/3, 0.25) + 0.2 = 0.45 limited by 0.5 sink edge => 0.45.
+        assert!((v - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sink_never_residual_reachable_after_max_flow() {
+        let (mut g, _) = clrs();
+        g.max_flow(0, 5);
+        assert!(!g.residual_reachable_from_source()[5]);
+    }
+
+    #[test]
+    fn coreachable_to_sink_identifies_saturated_nodes() {
+        // s → a → t with bottleneck at (a, t); plus s → b → t wide open
+        // ... but b's path saturated too at max flow; then neither a nor b
+        // can reach t. Add an extra non-saturated lane c to check positives.
+        let mut g = FlowNetwork::new(5);
+        g.add_edge(0, 1, 10.0); // s→a
+        g.add_edge(1, 4, 1.0); // a→t (bottleneck, saturated)
+        g.add_edge(0, 2, 1.0); // s→b (bottleneck, saturated)
+        g.add_edge(2, 4, 10.0); // b→t (slack remains)
+        let v = g.max_flow(0, 4);
+        assert!((v - 2.0).abs() < 1e-12);
+        let co = g.residual_coreachable_to_sink();
+        assert!(co[4]);
+        assert!(!co[1], "a's only path to t is saturated");
+        assert!(co[2], "b still has residual capacity to t");
+        // And s can reach t through nobody (max flow), though s→a has slack:
+        assert!(!g.residual_reachable_from_source()[4]);
+    }
+
+    #[test]
+    fn add_node_grows_network() {
+        let mut g = FlowNetwork::new(2);
+        let v = g.add_node();
+        assert_eq!(v, 2);
+        g.add_edge(0, 2, 3.0);
+        g.add_edge(2, 1, 2.0);
+        assert!((g.max_flow(0, 1) - 2.0).abs() < 1e-12);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "source and sink must differ")]
+    fn same_terminals_panic() {
+        let mut g = FlowNetwork::new(2);
+        g.max_flow(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be finite")]
+    fn negative_capacity_panics() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    fn zero_capacity_edges_are_legal_and_carry_nothing() {
+        let mut g = FlowNetwork::new(3);
+        let e = g.add_edge(0, 1, 0.0);
+        g.add_edge(1, 2, 5.0);
+        assert_eq!(g.max_flow(0, 2), 0.0);
+        assert_eq!(g.flow(e), 0.0);
+    }
+
+    #[test]
+    fn large_layered_network_is_fast_and_exact() {
+        // 200 jobs × 50 intervals bipartite-ish WAP-shaped graph.
+        let (jobs, ivals) = (200usize, 50usize);
+        let s = 0usize;
+        let t = 1 + jobs + ivals;
+        let mut g = FlowNetwork::new(t + 1);
+        for i in 0..jobs {
+            g.add_edge(s, 1 + i, 1.0);
+        }
+        for i in 0..jobs {
+            for j in 0..ivals {
+                if (i + j) % 3 == 0 {
+                    g.add_edge(1 + i, 1 + jobs + j, 0.5);
+                }
+            }
+        }
+        for j in 0..ivals {
+            g.add_edge(1 + jobs + j, t, 4.0);
+        }
+        let v = g.max_flow(s, t);
+        assert!(v > 0.0 && v <= jobs as f64);
+        // Value equals min-cut capacity.
+        let cut_cap: f64 = g.min_cut_edges().iter().map(|&e| g.edges[e.0].orig).sum();
+        assert!((cut_cap - v).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,112 @@
+//! # ssp-maxflow
+//!
+//! A max-flow / min-cut engine tailored to the flow formulations used in
+//! speed-scaled scheduling:
+//!
+//! * feasibility of `P|r_j, d_j, pmtn|−` (the *Work Assignment Problem*): a
+//!   three-layer network `source → jobs → intervals → sink`;
+//! * criticality detection in the migratory optimum, which needs
+//!   *residual-reachability* queries (BFS from the source after a max flow
+//!   identifies the "upstream" side of every minimum cut);
+//! * the final schedule construction, which reads per-edge flows back as
+//!   per-interval time allotments.
+//!
+//! The engine is Dinic's algorithm over `f64` capacities with an explicit
+//! epsilon (capacities in this workspace are times/works, inherently real).
+//! A slow exact integer Ford–Fulkerson reference lives in [`mod@reference`] and
+//! property tests cross-check the two on random graphs.
+//!
+//! The scheduling networks are *layered* (longest path ≤ 4 edges), where
+//! Dinic's blocking-flow phases terminate very quickly in practice; `f(n)` in
+//! the paper's complexity statements is exactly this primitive.
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod push_relabel;
+pub mod reference;
+
+pub use graph::{EdgeId, FlowNetwork};
+pub use push_relabel::PushRelabel;
+
+#[cfg(test)]
+mod cross_tests {
+    use crate::graph::FlowNetwork;
+    use crate::reference::IntFlowNetwork;
+    use proptest::prelude::*;
+
+    /// Build the same random graph in both engines and compare values.
+    fn roundtrip(n: usize, edges: &[(usize, usize, u32)]) -> (f64, u64) {
+        let mut real = FlowNetwork::new(n);
+        let mut exact = IntFlowNetwork::new(n);
+        for &(u, v, c) in edges {
+            real.add_edge(u, v, c as f64);
+            exact.add_edge(u, v, c as u64);
+        }
+        let f_real = real.max_flow(0, n - 1);
+        let f_exact = exact.max_flow(0, n - 1);
+        (f_real, f_exact)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Dinic over f64 must agree exactly with integer Ford–Fulkerson on
+        /// integer capacities (values below 2^32 are exact in f64).
+        #[test]
+        fn dinic_matches_integer_reference(
+            n in 2usize..9,
+            raw_edges in proptest::collection::vec((0usize..8, 0usize..8, 0u32..64), 0..40),
+        ) {
+            let edges: Vec<(usize, usize, u32)> = raw_edges
+                .into_iter()
+                .filter(|&(u, v, _)| u < n && v < n && u != v)
+                .collect();
+            let (f_real, f_exact) = roundtrip(n, &edges);
+            prop_assert!((f_real - f_exact as f64).abs() < 1e-6,
+                "dinic {} vs exact {}", f_real, f_exact);
+        }
+
+        /// Min-cut capacity equals max-flow value (strong duality), and the
+        /// source side returned by `residual_reachable_from_source` is a
+        /// valid cut certificate. Also checks flow conservation at inner
+        /// nodes.
+        #[test]
+        fn min_cut_certifies_max_flow(
+            n in 2usize..9,
+            raw_edges in proptest::collection::vec((0usize..8, 0usize..8, 0u32..64), 0..40),
+        ) {
+            let edges: Vec<(usize, usize, u32)> = raw_edges
+                .into_iter()
+                .filter(|&(u, v, _)| u < n && v < n && u != v)
+                .collect();
+            let mut net = FlowNetwork::new(n);
+            let ids: Vec<_> = edges.iter().map(|&(u, v, c)| net.add_edge(u, v, c as f64)).collect();
+            let value = net.max_flow(0, n - 1);
+            let source_side = net.residual_reachable_from_source();
+            prop_assert!(source_side[0]);
+            if value > 0.0 || edges.iter().any(|&(u, _, c)| u == 0 && c > 0) {
+                // The sink is separated whenever a max flow exists (it always
+                // does; value may be 0 when no s-t path has capacity).
+                prop_assert!(!source_side[n - 1]);
+            }
+            // Capacity of the cut = sum of caps of edges from X to Y.
+            let cut_cap: f64 = edges
+                .iter()
+                .filter(|&&(u, v, _)| source_side[u] && !source_side[v])
+                .map(|&(_, _, c)| c as f64)
+                .sum();
+            prop_assert!((cut_cap - value).abs() < 1e-6, "cut {} vs flow {}", cut_cap, value);
+            // Flow conservation at inner nodes.
+            for node in 1..n - 1 {
+                let mut balance = 0.0;
+                for (&(u, v, _), &id) in edges.iter().zip(&ids) {
+                    let f = net.flow(id);
+                    if v == node { balance += f; }
+                    if u == node { balance -= f; }
+                }
+                prop_assert!(balance.abs() < 1e-6, "node {} imbalance {}", node, balance);
+            }
+        }
+    }
+}

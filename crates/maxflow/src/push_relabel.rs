@@ -1,0 +1,281 @@
+//! Push–relabel max-flow (highest-label selection with the gap heuristic).
+//!
+//! An independent second engine: same edge-list representation as
+//! [`crate::FlowNetwork`] but a completely different algorithm family
+//! (preflows instead of augmenting paths). It exists for two reasons:
+//!
+//! * **cross-checking** — property tests run both engines on random graphs
+//!   and on WAP-shaped scheduling networks and require identical values;
+//!   an agreement bug would have to be present in two unrelated algorithms;
+//! * **benchmarking** — `micro_engines` compares the engines on the layered
+//!   networks this workspace actually builds (Dinic wins there, which is why
+//!   it is the default; the result is recorded rather than assumed).
+//!
+//! Only the flow *value* and per-edge flows are exposed; residual
+//! reachability queries stay with the default engine.
+
+/// Handle to a forward edge added with [`PushRelabel::add_edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrEdgeId(usize);
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: f64,
+    orig: f64,
+    eps: f64,
+}
+
+/// A push–relabel max-flow solver over `f64` capacities.
+#[derive(Debug, Clone)]
+pub struct PushRelabel {
+    adj: Vec<Vec<usize>>,
+    edges: Vec<Edge>,
+}
+
+impl PushRelabel {
+    /// An empty network with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        PushRelabel { adj: vec![Vec::new(); n], edges: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Add a directed edge `u → v` with capacity `cap >= 0`.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: f64) -> PrEdgeId {
+        assert!(u < self.adj.len() && v < self.adj.len(), "edge endpoint out of range");
+        assert!(cap >= 0.0 && cap.is_finite(), "capacity must be finite and >= 0");
+        let id = self.edges.len();
+        let eps = cap * 1e-12;
+        self.adj[u].push(id);
+        self.edges.push(Edge { to: v, cap, orig: cap, eps });
+        self.adj[v].push(id + 1);
+        self.edges.push(Edge { to: u, cap: 0.0, orig: 0.0, eps });
+        PrEdgeId(id)
+    }
+
+    /// Flow routed through a forward edge after [`PushRelabel::max_flow`].
+    pub fn flow(&self, e: PrEdgeId) -> f64 {
+        let fwd = &self.edges[e.0];
+        (fwd.orig - fwd.cap).max(0.0)
+    }
+
+    /// Compute the maximum `s → t` flow value. Resets previous state.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        let n = self.adj.len();
+        assert!(s < n && t < n && s != t);
+        for e in &mut self.edges {
+            e.cap = e.orig;
+        }
+        let mut height = vec![0usize; n];
+        let mut excess = vec![0.0f64; n];
+        height[s] = n;
+
+        // Buckets of active nodes by height (highest-label selection).
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); 2 * n + 1];
+        let mut in_bucket = vec![false; n];
+        // Count of nodes at each height < n (gap heuristic).
+        let mut height_count = vec![0usize; 2 * n + 1];
+        for &h in height.iter() {
+            height_count[h] += 1;
+        }
+
+        // Saturate all source edges.
+        let source_edges: Vec<usize> = self.adj[s].clone();
+        for ei in source_edges {
+            if ei % 2 == 0 {
+                let cap = self.edges[ei].cap;
+                if cap > self.edges[ei].eps {
+                    let v = self.edges[ei].to;
+                    self.edges[ei].cap = 0.0;
+                    self.edges[ei ^ 1].cap += cap;
+                    excess[v] += cap;
+                    if v != t && v != s && !in_bucket[v] {
+                        buckets[height[v]].push(v);
+                        in_bucket[v] = true;
+                    }
+                }
+            }
+        }
+
+        let mut highest = 0usize;
+        loop {
+            // Find the highest bucket with an active node.
+            while highest > 0 && buckets[highest].is_empty() {
+                highest -= 1;
+            }
+            if highest == 0 && buckets[0].is_empty() {
+                break;
+            }
+            let u = match buckets[highest].pop() {
+                Some(u) => u,
+                None => break,
+            };
+            in_bucket[u] = false;
+            if excess[u] <= 0.0 {
+                continue;
+            }
+            // Discharge u.
+            'discharge: loop {
+                let mut lowest_neighbor = usize::MAX;
+                for k in 0..self.adj[u].len() {
+                    let ei = self.adj[u][k];
+                    let (to, cap, eps) = {
+                        let e = &self.edges[ei];
+                        (e.to, e.cap, e.eps)
+                    };
+                    if cap <= eps.max(0.0) {
+                        continue;
+                    }
+                    if height[u] == height[to] + 1 {
+                        // Push.
+                        let delta = excess[u].min(cap);
+                        self.edges[ei].cap -= delta;
+                        self.edges[ei ^ 1].cap += delta;
+                        excess[u] -= delta;
+                        excess[to] += delta;
+                        if to != s && to != t && !in_bucket[to] {
+                            buckets[height[to]].push(to);
+                            in_bucket[to] = true;
+                            // `to` is below u; `highest` stays valid.
+                        }
+                        if excess[u] <= 0.0 {
+                            break 'discharge;
+                        }
+                    } else if height[to] + 1 < lowest_neighbor {
+                        lowest_neighbor = height[to] + 1;
+                    }
+                }
+                if excess[u] <= 0.0 {
+                    break;
+                }
+                // Relabel (with gap heuristic).
+                if lowest_neighbor == usize::MAX {
+                    break; // no admissible or relabelable edge: stuck excess stays
+                }
+                let old = height[u];
+                if old < n {
+                    height_count[old] -= 1;
+                    if height_count[old] == 0 {
+                        // Gap: lift every node above `old` (below n) past n.
+                        for v in 0..n {
+                            if v != s && height[v] > old && height[v] < n {
+                                if height[v] < n {
+                                    height_count[height[v]] -= 1;
+                                }
+                                height[v] = n + 1;
+                            }
+                        }
+                    }
+                }
+                height[u] = lowest_neighbor.min(2 * n);
+                if height[u] < n {
+                    height_count[height[u]] += 1;
+                }
+                if height[u] > highest {
+                    highest = height[u];
+                }
+            }
+            if excess[u] > 0.0 && height[u] <= 2 * n {
+                // Still active after relabel: requeue at its (new) height.
+                if !in_bucket[u] {
+                    buckets[height[u].min(2 * n)].push(u);
+                    in_bucket[u] = true;
+                }
+                highest = highest.max(height[u].min(2 * n));
+                continue;
+            }
+        }
+        excess[t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowNetwork;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clrs_value() {
+        let mut g = PushRelabel::new(6);
+        for (u, v, c) in [
+            (0, 1, 16.0),
+            (0, 2, 13.0),
+            (1, 2, 10.0),
+            (2, 1, 4.0),
+            (1, 3, 12.0),
+            (3, 2, 9.0),
+            (2, 4, 14.0),
+            (4, 3, 7.0),
+            (3, 5, 20.0),
+            (4, 5, 4.0),
+        ] {
+            g.add_edge(u, v, c);
+        }
+        assert!((g.max_flow(0, 5) - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let mut g = PushRelabel::new(2);
+        g.add_edge(0, 1, 3.5);
+        assert!((g.max_flow(0, 1) - 3.5).abs() < 1e-12);
+
+        let mut g = PushRelabel::new(3);
+        g.add_edge(1, 2, 10.0);
+        assert_eq!(g.max_flow(0, 2), 0.0);
+    }
+
+    #[test]
+    fn wap_shaped_network_matches_dinic() {
+        let (jobs, ivals) = (60usize, 20usize);
+        let t = 1 + jobs + ivals;
+        let mut a = PushRelabel::new(t + 1);
+        let mut b = FlowNetwork::new(t + 1);
+        for i in 0..jobs {
+            a.add_edge(0, 1 + i, 1.0 + (i % 5) as f64 * 0.3);
+            b.add_edge(0, 1 + i, 1.0 + (i % 5) as f64 * 0.3);
+            for j in 0..ivals {
+                if (i + 2 * j) % 4 == 0 {
+                    a.add_edge(1 + i, 1 + jobs + j, 0.7);
+                    b.add_edge(1 + i, 1 + jobs + j, 0.7);
+                }
+            }
+        }
+        for j in 0..ivals {
+            a.add_edge(1 + jobs + j, t, 3.0);
+            b.add_edge(1 + jobs + j, t, 3.0);
+        }
+        let (fa, fb) = (a.max_flow(0, t), b.max_flow(0, t));
+        assert!((fa - fb).abs() < 1e-7, "push-relabel {fa} vs dinic {fb}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// The two engines agree on arbitrary random graphs with integer
+        /// capacities (exact in f64).
+        #[test]
+        fn agrees_with_dinic_on_random_graphs(
+            n in 2usize..10,
+            raw_edges in proptest::collection::vec((0usize..9, 0usize..9, 0u32..50), 0..50),
+        ) {
+            let edges: Vec<(usize, usize, u32)> = raw_edges
+                .into_iter()
+                .filter(|&(u, v, _)| u < n && v < n && u != v)
+                .collect();
+            let mut a = PushRelabel::new(n);
+            let mut b = FlowNetwork::new(n);
+            for &(u, v, c) in &edges {
+                a.add_edge(u, v, c as f64);
+                b.add_edge(u, v, c as f64);
+            }
+            let (fa, fb) = (a.max_flow(0, n - 1), b.max_flow(0, n - 1));
+            prop_assert!((fa - fb).abs() < 1e-6, "push-relabel {} vs dinic {}", fa, fb);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Exact integer max-flow reference (Edmonds–Karp).
+//!
+//! Deliberately simple and slow; exists purely so property tests can check
+//! the production `f64` Dinic engine against exact arithmetic on integer
+//! capacities.
+
+/// Integer-capacity flow network solved by BFS augmenting paths.
+#[derive(Debug, Clone)]
+pub struct IntFlowNetwork {
+    n: usize,
+    /// Dense capacity matrix `cap[u][v]` (parallel edges merged by summing).
+    cap: Vec<Vec<u64>>,
+}
+
+impl IntFlowNetwork {
+    /// An empty network with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        IntFlowNetwork { n, cap: vec![vec![0; n]; n] }
+    }
+
+    /// Add (or widen) the edge `u → v`.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: u64) {
+        assert!(u < self.n && v < self.n);
+        self.cap[u][v] += cap;
+    }
+
+    /// Maximum `s → t` flow by Edmonds–Karp. Consumes the capacities
+    /// (call once), returns the value.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        assert_ne!(s, t);
+        let mut residual = self.cap.clone();
+        let mut total = 0u64;
+        loop {
+            // BFS for shortest augmenting path.
+            let mut parent = vec![usize::MAX; self.n];
+            parent[s] = s;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for v in 0..self.n {
+                    if parent[v] == usize::MAX && residual[u][v] > 0 {
+                        parent[v] = u;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if parent[t] == usize::MAX {
+                return total;
+            }
+            // Bottleneck.
+            let mut bottleneck = u64::MAX;
+            let mut v = t;
+            while v != s {
+                let u = parent[v];
+                bottleneck = bottleneck.min(residual[u][v]);
+                v = u;
+            }
+            // Augment.
+            let mut v = t;
+            while v != s {
+                let u = parent[v];
+                residual[u][v] -= bottleneck;
+                residual[v][u] += bottleneck;
+                v = u;
+            }
+            total += bottleneck;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clrs_reference_value() {
+        let mut g = IntFlowNetwork::new(6);
+        for (u, v, c) in [
+            (0, 1, 16),
+            (0, 2, 13),
+            (1, 2, 10),
+            (2, 1, 4),
+            (1, 3, 12),
+            (3, 2, 9),
+            (2, 4, 14),
+            (4, 3, 7),
+            (3, 5, 20),
+            (4, 5, 4),
+        ] {
+            g.add_edge(u, v, c);
+        }
+        assert_eq!(g.max_flow(0, 5), 23);
+    }
+
+    #[test]
+    fn unit_bipartite_matching() {
+        // 3 left, 3 right, perfect matching exists.
+        let mut g = IntFlowNetwork::new(8); // 0 s, 1-3 left, 4-6 right, 7 t
+        for l in 1..=3 {
+            g.add_edge(0, l, 1);
+        }
+        for r in 4..=6 {
+            g.add_edge(r, 7, 1);
+        }
+        g.add_edge(1, 4, 1);
+        g.add_edge(1, 5, 1);
+        g.add_edge(2, 5, 1);
+        g.add_edge(3, 6, 1);
+        assert_eq!(g.max_flow(0, 7), 3);
+    }
+
+    #[test]
+    fn no_path_gives_zero() {
+        let mut g = IntFlowNetwork::new(3);
+        g.add_edge(1, 2, 10);
+        assert_eq!(g.max_flow(0, 2), 0);
+    }
+}

@@ -1,0 +1,530 @@
+//! BAL — the optimal migratory multiprocessor speed-scaling algorithm.
+//!
+//! High-level structure (critical-speed peeling):
+//!
+//! 1. Binary-search the minimum uniform speed `v*` at which the remaining
+//!    jobs fit into the remaining per-interval capacities (feasibility =
+//!    max-flow on the WAP network).
+//! 2. Just below `v*` the instance is infeasible; the canonical minimum cut
+//!    of that infeasible network classifies the remaining jobs and intervals:
+//!    *critical jobs* (job node residual-reachable from the source) cannot
+//!    run slower than `v*`, and *saturated intervals* (interval node
+//!    reachable) are completely busy. Moreover every `(critical job,
+//!    non-saturated span interval)` edge lies in the cut, i.e. the critical
+//!    job occupies that interval **entirely**.
+//! 3. Fix the critical jobs at speed `v*` with the structured allotment
+//!    (full non-saturated intervals, residue routed into saturated intervals
+//!    by a small dedicated flow), zero the saturated intervals' capacities,
+//!    subtract one processor (`|I_j|`) per critical job from the others, and
+//!    recurse on the remaining jobs.
+//!
+//! Each round fixes at least one job, so there are at most `n` rounds of
+//! `O(log P)` max-flow computations: `O(n · f(n) · log P)` total.
+//!
+//! The result is returned as speeds **plus** per-interval allotments, from
+//! which [`BalSolution::schedule`] builds an explicit schedule (McNaughton
+//! wrap-around per interval) and [`crate::kkt::certify`] checks the KKT
+//! optimality certificate.
+
+use crate::mcnaughton::mcnaughton;
+use crate::wap::Wap;
+use ssp_maxflow::FlowNetwork;
+use ssp_model::numeric::BINARY_SEARCH_REL_WIDTH;
+use ssp_model::{Instance, IntervalSet, Schedule, SpeedAssignment};
+
+/// One peeling round: the critical speed and the jobs fixed at it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalRound {
+    /// The critical speed of this round.
+    pub speed: f64,
+    /// Instance-indices of the jobs fixed in this round.
+    pub jobs: Vec<usize>,
+    /// Interval indices whose capacity was saturated (zeroed) this round.
+    pub saturated: Vec<usize>,
+}
+
+/// Output of [`bal`]: optimal constant speeds, the optimal energy, the
+/// per-round peeling trace, and per-interval time allotments.
+#[derive(Debug, Clone)]
+pub struct BalSolution {
+    /// Optimal speed per job (instance indexing).
+    pub speeds: SpeedAssignment,
+    /// Optimal total energy `Σ w_i s_i^(α-1)`.
+    pub energy: f64,
+    /// Peeling trace, in decreasing-speed order.
+    pub rounds: Vec<BalRound>,
+    /// `allotments[i]` = `(interval, time)` pairs for job `i` over the
+    /// canonical interval set, summing to `w_i / s_i`.
+    pub allotments: Vec<Vec<(usize, f64)>>,
+    /// The canonical interval decomposition the allotments refer to.
+    pub intervals: IntervalSet,
+    /// Total number of max-flow computations performed (complexity probe).
+    pub flow_computations: usize,
+}
+
+impl BalSolution {
+    /// Materialize an explicit migratory schedule (McNaughton wrap-around in
+    /// every elementary interval).
+    pub fn schedule(&self, instance: &Instance) -> Schedule {
+        let mut per_interval: Vec<Vec<(ssp_model::JobId, f64, f64)>> =
+            vec![Vec::new(); self.intervals.len()];
+        for (i, allot) in self.allotments.iter().enumerate() {
+            for &(j, t) in allot {
+                if t > 0.0 {
+                    per_interval[j].push((instance.job(i).id, t, self.speeds.get(i)));
+                }
+            }
+        }
+        let mut schedule = Schedule::new(instance.machines());
+        for (j, pieces) in per_interval.iter().enumerate() {
+            if !pieces.is_empty() {
+                mcnaughton(self.intervals.bounds(j), instance.machines(), pieces, &mut schedule);
+            }
+        }
+        schedule
+    }
+}
+
+/// Compute the optimal migratory solution. See the module docs for the
+/// algorithm. Panics only on internal invariant violations (the problem is
+/// always feasible: speeds are unbounded).
+pub fn bal(instance: &Instance) -> BalSolution {
+    let (wap, intervals) = Wap::from_instance(instance);
+    bal_with_wap(instance, wap, intervals)
+}
+
+/// BAL over a caller-built WAP (custom per-interval capacities — e.g.
+/// machine downtime, see [`crate::downtime`]). The WAP's intervals must be
+/// (a refinement of) the instance's canonical decomposition and every job
+/// must have positive open time, or the peeling loop panics on its
+/// invariants.
+pub fn bal_with_wap(instance: &Instance, wap: Wap, intervals: IntervalSet) -> BalSolution {
+    let n = instance.len();
+    let mut wap = wap;
+    let mut speeds = vec![0.0f64; n];
+    let mut allotments: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let mut rounds = Vec::new();
+    let mut flow_computations = 0usize;
+
+    if n == 0 {
+        return BalSolution {
+            speeds: SpeedAssignment::new(speeds),
+            energy: 0.0,
+            rounds,
+            allotments,
+            intervals,
+            flow_computations,
+        };
+    }
+
+    let mut remaining: Vec<usize> = (0..n).collect();
+    // Initial upper bound, valid for arbitrary capacities: route each job
+    // proportionally to interval lengths over its *open* span. With
+    // `open_i = Σ_{open j in span} |I_j|`, the routing is feasible when
+    // v >= w_i/open_i (per-job caps) and, per interval,
+    // v >= |I_j| · Σ_{alive, open} (w_i/open_i) / c_j (capacity caps).
+    let mut hi = {
+        let open: Vec<f64> = (0..n).map(|i| wap.open_time_of(i)).collect();
+        let mut v = (0..n)
+            .map(|i| {
+                assert!(open[i] > 0.0, "job {} has no open capacity at all", instance.job(i).id);
+                instance.job(i).work / open[i]
+            })
+            .fold(0.0f64, f64::max);
+        for j in 0..intervals.len() {
+            if wap.capacity(j) <= 0.0 {
+                continue;
+            }
+            let dens: f64 = intervals
+                .alive(j)
+                .iter()
+                .map(|&i| instance.job(i).work / open[i])
+                .sum();
+            v = v.max(intervals.length(j) * dens / wap.capacity(j));
+        }
+        v * (1.0 + 1e-12)
+    };
+
+    while !remaining.is_empty() {
+        // Effective densities: job work over its still-open time.
+        let mut lo: f64 = 0.0;
+        for &i in &remaining {
+            let open = wap.open_time_of(i);
+            assert!(
+                open > 0.0,
+                "job {} has no open intervals left — BAL invariant broken",
+                instance.job(i).id
+            );
+            lo = lo.max(instance.job(i).work / open);
+        }
+
+        let demands_at = |v: f64| -> Vec<f64> {
+            let mut p = vec![0.0; n];
+            for &i in &remaining {
+                p[i] = instance.job(i).work / v;
+            }
+            p
+        };
+        let mut feasible = |v: f64| -> bool {
+            flow_computations += 1;
+            wap.solve(&demands_at(v)).feasible()
+        };
+
+        // The previous round's speed should be feasible; tolerate boundary
+        // noise by nudging upward a few times before growing aggressively.
+        let mut guard = 0;
+        while !feasible(hi) {
+            hi *= if guard < 4 { 1.0 + 1e-9 } else { 2.0 };
+            guard += 1;
+            assert!(guard < 80, "could not re-establish a feasible upper bound");
+        }
+        if lo > hi {
+            lo = hi; // effective density can slightly exceed hi by tolerance
+        }
+
+        // Binary search the critical speed.
+        let (_, v_hi) = ssp_model::numeric::bisect_threshold(
+            lo,
+            hi,
+            BINARY_SEARCH_REL_WIDTH,
+            &mut feasible,
+        );
+        let v_crit = v_hi;
+        // Probe strictly below the critical speed for the cut structure. The
+        // offset must (a) stay above the *next* critical speed — guaranteed
+        // because the bisection bracketed v* within 1e-12 relative — and
+        // (b) make the shortfall per overloaded job large compared to the
+        // flow engine's epsilon, hence the much coarser 1e-9.
+        let probe = v_hi * (1.0 - 1e-9);
+
+        flow_computations += 1;
+        let infeasible_flow = wap.solve(&demands_at(probe));
+        let job_side = infeasible_flow.jobs_reachable();
+        let ival_side = infeasible_flow.intervals_reachable();
+
+        let mut critical: Vec<usize> =
+            remaining.iter().copied().filter(|&i| job_side[i]).collect();
+        if critical.is_empty() {
+            // Numerical fallback: the effective-density argmax is certainly
+            // critical when the cut degenerates. Keeps progress guaranteed.
+            debug_assert!(false, "empty critical set — cut degenerated numerically");
+            let &fallback = remaining
+                .iter()
+                .max_by(|&&a, &&b| {
+                    let da = instance.job(a).work / wap.open_time_of(a);
+                    let db = instance.job(b).work / wap.open_time_of(b);
+                    da.total_cmp(&db)
+                })
+                .unwrap();
+            critical.push(fallback);
+        }
+        let saturated: Vec<usize> = (0..intervals.len())
+            .filter(|&j| wap.capacity(j) > 0.0 && ival_side[j])
+            .collect();
+        let saturated_set: Vec<bool> = {
+            let mut v = vec![false; intervals.len()];
+            for &j in &saturated {
+                v[j] = true;
+            }
+            v
+        };
+
+        // Structured allotment for the critical jobs: fill non-saturated
+        // open span intervals entirely; route the residue into saturated
+        // intervals with a small dedicated flow.
+        let mut residues: Vec<f64> = Vec::with_capacity(critical.len());
+        for &i in &critical {
+            let demand = instance.job(i).work / v_crit;
+            let mut need = demand;
+            let open: Vec<usize> = wap.open_intervals_of(i).collect();
+            for &j in open.iter().filter(|&&j| !saturated_set[j]) {
+                let t = need.min(intervals.length(j));
+                if t > 0.0 {
+                    allotments[i].push((j, t));
+                    need -= t;
+                }
+            }
+            // Sub-tolerance slivers are probe-offset noise, not real demand
+            // (threshold = 10x the probe offset).
+            residues.push(if need <= 1e-8 * demand { 0.0 } else { need });
+        }
+        let demand_scale: f64 =
+            critical.iter().map(|&i| instance.job(i).work / v_crit).sum();
+        route_residues(
+            &critical,
+            &residues,
+            &saturated,
+            &wap,
+            &intervals,
+            v_crit,
+            demand_scale,
+            &mut allotments,
+            &mut flow_computations,
+        );
+        // The probe's 1e-9 offset makes the cut classification exact only up
+        // to that scale; over many jobs the routed totals can fall short of
+        // the demands by ~1e-7 relative. Normalize each critical job's
+        // allotment to its exact demand (energy-irrelevant; downstream
+        // tolerances absorb the matching per-interval overshoot).
+        for &i in &critical {
+            let need = instance.job(i).work / v_crit;
+            let got: f64 = allotments[i].iter().map(|&(_, t)| t).sum();
+            assert!(
+                (got - need).abs() <= 1e-5 * need,
+                "allotment of job {} off by more than tolerance: {got} vs {need}",
+                instance.job(i).id
+            );
+            if got > 0.0 && got != need {
+                let factor = need / got;
+                for entry in &mut allotments[i] {
+                    // Clamp at the interval length: the scaling may push a
+                    // full interval over by ~1e-7 relative to the *demand*,
+                    // which can exceed per-interval tolerances on short
+                    // intervals. The clamped sliver is noise-sized and stays
+                    // far below the conservation tolerance.
+                    entry.1 = (entry.1 * factor).min(intervals.length(entry.0));
+                }
+            }
+        }
+
+        // Capacity updates: zero saturated intervals; one processor per
+        // critical job elsewhere.
+        for &j in &saturated {
+            wap.set_capacity(j, 0.0);
+        }
+        for &i in &critical {
+            for j in intervals.intervals_of(i).to_vec() {
+                if wap.capacity(j) > 0.0 && !saturated_set[j] {
+                    let c = wap.capacity(j) - intervals.length(j);
+                    debug_assert!(
+                        c >= -1e-6 * intervals.length(j),
+                        "critical job filled interval {j} lacking a full machine: \
+                         capacity {} vs length {}",
+                        wap.capacity(j),
+                        intervals.length(j)
+                    );
+                    wap.set_capacity(j, c.max(0.0));
+                }
+            }
+        }
+
+        for &i in &critical {
+            speeds[i] = v_crit;
+        }
+        remaining.retain(|i| !critical.contains(i));
+        rounds.push(BalRound { speed: v_crit, jobs: critical, saturated });
+        hi = v_crit;
+    }
+
+    let assignment = SpeedAssignment::new(speeds);
+    let energy = assignment.energy(instance);
+    BalSolution {
+        speeds: assignment,
+        energy,
+        rounds,
+        allotments,
+        intervals,
+        flow_computations,
+    }
+}
+
+/// Route the critical jobs' residual demands into the saturated intervals
+/// (a bipartite max-flow). Feasible by the structure theorem up to the
+/// probe-offset noise; shortfalls are asserted against the jobs' *total*
+/// demand scale (the per-job normalization in `bal` repairs them).
+#[allow(clippy::too_many_arguments)]
+fn route_residues(
+    critical: &[usize],
+    residues: &[f64],
+    saturated: &[usize],
+    wap: &Wap,
+    intervals: &IntervalSet,
+    v_crit: f64,
+    demand_scale: f64,
+    allotments: &mut [Vec<(usize, f64)>],
+    flow_computations: &mut usize,
+) {
+    let total_residue: f64 = residues.iter().sum();
+    if total_residue <= 0.0 {
+        return;
+    }
+    let k = critical.len();
+    let l = saturated.len();
+    // Node layout: 0 source, 1..=k criticals, k+1..=k+l intervals, k+l+1 sink.
+    let mut net = FlowNetwork::new(k + l + 2);
+    let ival_pos: std::collections::HashMap<usize, usize> =
+        saturated.iter().enumerate().map(|(pos, &j)| (j, pos)).collect();
+    let mut edge_of: Vec<Vec<(usize, ssp_maxflow::EdgeId)>> = vec![Vec::new(); k];
+    for (c, (&i, &res)) in critical.iter().zip(residues).enumerate() {
+        net.add_edge(0, 1 + c, res);
+        for j in wap.open_intervals_of(i) {
+            if let Some(&pos) = ival_pos.get(&j) {
+                let e = net.add_edge(1 + c, 1 + k + pos, intervals.length(j));
+                edge_of[c].push((j, e));
+            }
+        }
+    }
+    for (pos, &j) in saturated.iter().enumerate() {
+        net.add_edge(1 + k + pos, k + l + 1, wap.capacity(j));
+    }
+    *flow_computations += 1;
+    let routed = net.max_flow(0, k + l + 1);
+    // Scale the shortfall tolerance by the critical jobs' total demand: the
+    // residues themselves can be arbitrarily small, but the probe-offset
+    // noise they inherit is proportional to the demands.
+    assert!(
+        routed >= total_residue - 1e-5 * demand_scale - 1e-12,
+        "residue routing incomplete: {routed} of {total_residue} at speed {v_crit}"
+    );
+    for (c, &i) in critical.iter().enumerate() {
+        for &(j, e) in &edge_of[c] {
+            let t = net.flow(e);
+            if t > 0.0 {
+                allotments[i].push((j, t));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_model::{Instance, Job};
+    use ssp_single::yds::yds;
+
+    fn inst(jobs: Vec<Job>, m: usize, alpha: f64) -> Instance {
+        Instance::new(jobs, m, alpha).unwrap()
+    }
+
+    #[test]
+    fn empty_instance() {
+        let sol = bal(&inst(vec![], 3, 2.0));
+        assert_eq!(sol.energy, 0.0);
+        assert!(sol.rounds.is_empty());
+    }
+
+    #[test]
+    fn single_job_runs_at_density() {
+        let sol = bal(&inst(vec![Job::new(0, 3.0, 1.0, 4.0)], 2, 2.0));
+        assert!((sol.speeds.get(0) - 1.0).abs() < 1e-9);
+        assert!((sol.energy - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn m1_equals_yds_on_small_cases() {
+        let cases: Vec<Vec<Job>> = vec![
+            vec![Job::new(0, 2.0, 0.0, 4.0), Job::new(1, 2.0, 1.0, 2.0)],
+            vec![
+                Job::new(0, 1.0, 0.0, 2.0),
+                Job::new(1, 1.5, 0.5, 2.5),
+                Job::new(2, 0.5, 1.0, 4.0),
+            ],
+            vec![Job::new(0, 1.0, 0.0, 1.0), Job::new(1, 1.0, 0.0, 1.0)],
+        ];
+        for jobs in cases {
+            for alpha in [1.5, 2.0, 3.0] {
+                let e_yds = yds(&jobs, alpha).energy;
+                let e_bal = bal(&inst(jobs.clone(), 1, alpha)).energy;
+                assert!(
+                    (e_yds - e_bal).abs() <= 1e-6 * e_yds.max(1.0),
+                    "m=1 mismatch: yds {e_yds} vs bal {e_bal} (alpha {alpha})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn common_window_closed_form() {
+        // n equal jobs (w, window [0,T]) on m machines:
+        // uniform speed max(w/T, n*w/(m*T)).
+        for (n, m, w, t) in [(3usize, 2usize, 2.0, 4.0), (5, 2, 1.0, 2.0), (2, 4, 3.0, 3.0)] {
+            let jobs: Vec<Job> = (0..n).map(|i| Job::new(i as u32, w, 0.0, t)).collect();
+            let alpha = 2.5;
+            let sol = bal(&inst(jobs, m, alpha));
+            let expect_speed = (w / t).max(n as f64 * w / (m as f64 * t));
+            for i in 0..n {
+                assert!(
+                    (sol.speeds.get(i) - expect_speed).abs() < 1e-8,
+                    "speed {} vs {}",
+                    sol.speeds.get(i),
+                    expect_speed
+                );
+            }
+            let expect_energy = n as f64 * w * expect_speed.powf(alpha - 1.0);
+            assert!((sol.energy - expect_energy).abs() < 1e-6 * expect_energy);
+        }
+    }
+
+    #[test]
+    fn two_rounds_with_distinct_speeds() {
+        // A tight job forces a high critical speed; a loose one settles lower.
+        let jobs = vec![Job::new(0, 4.0, 0.0, 1.0), Job::new(1, 1.0, 0.0, 10.0)];
+        let sol = bal(&inst(jobs, 2, 2.0));
+        assert_eq!(sol.rounds.len(), 2);
+        assert!((sol.speeds.get(0) - 4.0).abs() < 1e-8);
+        assert!((sol.speeds.get(1) - 0.1).abs() < 1e-8);
+        assert!(sol.rounds[0].speed > sol.rounds[1].speed);
+    }
+
+    #[test]
+    fn schedule_materializes_and_validates() {
+        let jobs = vec![
+            Job::new(0, 3.0, 0.0, 2.0),
+            Job::new(1, 2.0, 0.0, 3.0),
+            Job::new(2, 2.0, 1.0, 4.0),
+            Job::new(3, 1.0, 2.0, 5.0),
+            Job::new(4, 4.0, 0.0, 5.0),
+        ];
+        let instance = inst(jobs, 2, 2.0);
+        let sol = bal(&instance);
+        let schedule = sol.schedule(&instance);
+        let stats = schedule.validate(&instance, Default::default()).unwrap();
+        assert!(
+            (stats.energy - sol.energy).abs() <= 1e-6 * sol.energy,
+            "schedule energy {} vs objective {}",
+            stats.energy,
+            sol.energy
+        );
+    }
+
+    #[test]
+    fn more_machines_never_increase_energy() {
+        let jobs = vec![
+            Job::new(0, 2.0, 0.0, 2.0),
+            Job::new(1, 2.0, 0.0, 2.0),
+            Job::new(2, 2.0, 0.5, 3.0),
+            Job::new(3, 1.0, 1.0, 4.0),
+        ];
+        let mut prev = f64::INFINITY;
+        for m in 1..=4 {
+            let e = bal(&inst(jobs.clone(), m, 2.3)).energy;
+            assert!(e <= prev * (1.0 + 1e-9), "m={m}: {e} > previous {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn saturation_structure_is_reported() {
+        // Two machines fully saturated by four tight jobs.
+        let jobs = vec![
+            Job::new(0, 2.0, 0.0, 1.0),
+            Job::new(1, 2.0, 0.0, 1.0),
+            Job::new(2, 2.0, 0.0, 1.0),
+            Job::new(3, 2.0, 0.0, 1.0),
+        ];
+        let instance = inst(jobs, 2, 2.0);
+        let sol = bal(&instance);
+        // Everyone at speed 4 (total work 8 over 2 processor-units of time).
+        for i in 0..4 {
+            assert!((sol.speeds.get(i) - 4.0).abs() < 1e-8);
+        }
+        assert_eq!(sol.rounds.len(), 1);
+    }
+
+    #[test]
+    fn flow_computation_count_is_reported() {
+        let jobs = vec![Job::new(0, 1.0, 0.0, 1.0), Job::new(1, 1.0, 0.0, 4.0)];
+        let sol = bal(&inst(jobs, 1, 2.0));
+        assert!(sol.flow_computations > 0);
+    }
+}

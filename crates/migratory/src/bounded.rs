@@ -1,0 +1,139 @@
+//! Bounded maximum speed (the main practical deviation from the paper's
+//! unbounded-speed model).
+//!
+//! Real processors cap out at some `s_max`. Two observations make the
+//! bounded model tractable on top of the machinery already built:
+//!
+//! * **BAL's first critical speed is the min-max speed**: the first peeling
+//!   round computes the smallest uniform speed at which everything fits,
+//!   and no feasible schedule (of any speed profile) can keep *every* job
+//!   below that value — the first critical set genuinely needs it. Hence
+//!   an instance is feasible under cap `s_max` **iff**
+//!   [`min_peak_speed`]`(inst) ≤ s_max`.
+//! * When feasible, the unbounded optimum (BAL) never exceeds that peak, so
+//!   the energy-optimal bounded schedule *is* the unbounded one —
+//!   [`bal_bounded`] just certifies the cap.
+//!
+//! When infeasible, one must drop jobs; throughput maximization under the
+//! cap lives in `ssp-core::throughput`.
+
+use crate::bal::{bal, BalSolution};
+use crate::wap::Wap;
+use ssp_model::numeric::{bisect_threshold, BINARY_SEARCH_REL_WIDTH};
+use ssp_model::Instance;
+
+/// The smallest achievable maximum speed of any feasible schedule: the
+/// uniform-speed feasibility threshold (= BAL's first critical speed),
+/// computed directly by one binary search over WAP feasibility.
+pub fn min_peak_speed(instance: &Instance) -> f64 {
+    if instance.is_empty() {
+        return 0.0;
+    }
+    let (wap, intervals) = Wap::from_instance(instance);
+    let lo = instance.max_density();
+    let mut hi = {
+        let mut v = lo;
+        for j in 0..intervals.len() {
+            let dens: f64 =
+                intervals.alive(j).iter().map(|&i| instance.job(i).density()).sum();
+            v = v.max(dens / instance.machines() as f64);
+        }
+        v * (1.0 + 1e-12)
+    };
+    let feasible = |v: f64| -> bool {
+        let p: Vec<f64> = instance.jobs().iter().map(|j| j.work / v).collect();
+        wap.solve(&p).feasible()
+    };
+    let mut guard = 0;
+    while !feasible(hi) {
+        hi *= 2.0;
+        guard += 1;
+        assert!(guard < 64, "could not find a feasible uniform speed");
+    }
+    let (_, v) = bisect_threshold(lo, hi, BINARY_SEARCH_REL_WIDTH, feasible);
+    v
+}
+
+/// Optimal migratory solution under a maximum-speed cap, or `None` when the
+/// cap makes the instance infeasible. When feasible the solution coincides
+/// with the unbounded optimum (see module docs).
+pub fn bal_bounded(instance: &Instance, s_max: f64) -> Option<BalSolution> {
+    assert!(s_max > 0.0 && s_max.is_finite());
+    if instance.is_empty() {
+        return Some(bal(instance));
+    }
+    // Cheap reject before running the full algorithm.
+    if min_peak_speed(instance) > s_max * (1.0 + 1e-9) {
+        return None;
+    }
+    let sol = bal(instance);
+    debug_assert!(
+        sol.speeds.max_speed() <= s_max * (1.0 + 1e-6),
+        "unbounded optimum exceeded a feasible cap — min_peak_speed is wrong"
+    );
+    Some(sol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_model::{Instance, Job};
+    use ssp_workloads::families;
+
+    #[test]
+    fn single_job_peak_is_density() {
+        let inst = Instance::new(vec![Job::new(0, 3.0, 0.0, 2.0)], 2, 2.0).unwrap();
+        assert!((min_peak_speed(&inst) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crowded_window_peak_is_load_over_capacity() {
+        // 4 unit jobs, window [0,1], 2 machines: uniform speed 2 needed.
+        let jobs: Vec<Job> = (0..4).map(|i| Job::new(i, 1.0, 0.0, 1.0)).collect();
+        let inst = Instance::new(jobs, 2, 2.0).unwrap();
+        assert!((min_peak_speed(&inst) - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn peak_matches_bal_first_round() {
+        for seed in [1u64, 2, 3] {
+            let inst = families::general(15, 3, 2.0).gen(seed);
+            let direct = min_peak_speed(&inst);
+            let first_round = ssp_migratory_first_round(&inst);
+            assert!(
+                (direct - first_round).abs() <= 1e-8 * first_round,
+                "seed {seed}: {direct} vs {first_round}"
+            );
+        }
+    }
+
+    fn ssp_migratory_first_round(inst: &Instance) -> f64 {
+        bal(inst).rounds.first().map(|r| r.speed).unwrap_or(0.0)
+    }
+
+    #[test]
+    fn bounded_feasibility_threshold() {
+        let jobs: Vec<Job> = (0..4).map(|i| Job::new(i, 1.0, 0.0, 1.0)).collect();
+        let inst = Instance::new(jobs, 2, 2.0).unwrap();
+        assert!(bal_bounded(&inst, 1.9).is_none());
+        let sol = bal_bounded(&inst, 2.1).unwrap();
+        assert!(sol.speeds.max_speed() <= 2.1);
+        // And at (essentially) the threshold itself.
+        assert!(bal_bounded(&inst, 2.0 * (1.0 + 1e-6)).is_some());
+    }
+
+    #[test]
+    fn generous_cap_equals_unbounded_optimum() {
+        let inst = families::general(12, 2, 2.5).gen(9);
+        let unbounded = bal(&inst).energy;
+        let capped = bal_bounded(&inst, 1e9).unwrap().energy;
+        assert!((unbounded - capped).abs() <= 1e-9 * unbounded);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![], 2, 2.0).unwrap();
+        assert_eq!(min_peak_speed(&inst), 0.0);
+        assert!(bal_bounded(&inst, 1.0).is_some());
+    }
+}

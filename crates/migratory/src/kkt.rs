@@ -1,0 +1,339 @@
+//! KKT optimality certificate for the migratory convex program.
+//!
+//! The energy-minimization problem is convex, strictly feasible, and
+//! differentiable, so the Karush–Kuhn–Tucker conditions are necessary *and
+//! sufficient*. Translated into schedule structure, a feasible solution
+//! `(speeds s_i, allotments t_ij)` is optimal **iff**:
+//!
+//! 1. every job runs at one constant speed (true by construction here);
+//! 2. if `t_ij = 0` for an alive pair, then `s_i ≤ s_k` for every job `k`
+//!    alive in `I_j` with `t_kj > 0`;
+//! 3. if `t_ij = |I_j|`, then `s_i ≥ s_k` for every alive `k` with
+//!    `t_kj < |I_j|`;
+//! 4. all jobs with `0 < t_ij < |I_j|` in one interval share a single speed;
+//! 5. if at most `m` jobs are alive in `I_j`, each of them has
+//!    `t_ij = |I_j|`.
+//!
+//! Because the conditions are sufficient, [`certify`] is a *proof checker*:
+//! any solution that passes (within tolerance) is optimal, independently of
+//! how it was computed. The experiment harness certifies every BAL run.
+
+use crate::bal::BalSolution;
+use ssp_model::numeric::Tol;
+use ssp_model::Instance;
+
+/// A violated certificate condition, with enough context to debug.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum KktViolation {
+    /// Allotment outside the job's alive intervals.
+    AllotmentOutsideSpan { job: usize, interval: usize },
+    /// Negative or over-long allotment.
+    AllotmentOutOfRange { job: usize, interval: usize, time: f64, length: f64 },
+    /// `Σ_j t_ij ≠ w_i / s_i`.
+    WorkNotConserved { job: usize, allotted: f64, required: f64 },
+    /// `Σ_i t_ij > m |I_j|`.
+    CapacityExceeded { interval: usize, used: f64, capacity: f64 },
+    /// Property 2 violated.
+    IdleWhileSlowerRuns { job: usize, other: usize, interval: usize },
+    /// Property 3 violated.
+    FullButSlower { job: usize, other: usize, interval: usize },
+    /// Property 4 violated.
+    PartialSpeedsDiffer { job: usize, other: usize, interval: usize, s_a: f64, s_b: f64 },
+    /// Property 5 violated.
+    UnderloadedIntervalNotFull { job: usize, interval: usize, alive: usize },
+}
+
+impl std::fmt::Display for KktViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KktViolation::AllotmentOutsideSpan { job, interval } => {
+                write!(f, "job {job} allotted time outside its span (interval {interval})")
+            }
+            KktViolation::AllotmentOutOfRange { job, interval, time, length } => write!(
+                f,
+                "job {job} allotted {time} in interval {interval} of length {length}"
+            ),
+            KktViolation::WorkNotConserved { job, allotted, required } => {
+                write!(f, "job {job}: allotted {allotted}, requires {required}")
+            }
+            KktViolation::CapacityExceeded { interval, used, capacity } => {
+                write!(f, "interval {interval}: used {used} of {capacity}")
+            }
+            KktViolation::IdleWhileSlowerRuns { job, other, interval } => write!(
+                f,
+                "job {job} idle in interval {interval} while slower job {other} runs (P2)"
+            ),
+            KktViolation::FullButSlower { job, other, interval } => write!(
+                f,
+                "job {job} fills interval {interval} but is slower than partial job {other} (P3)"
+            ),
+            KktViolation::PartialSpeedsDiffer { job, other, interval, s_a, s_b } => write!(
+                f,
+                "partial jobs {job} ({s_a}) and {other} ({s_b}) differ in interval {interval} (P4)"
+            ),
+            KktViolation::UnderloadedIntervalNotFull { job, interval, alive } => write!(
+                f,
+                "interval {interval} has {alive} <= m alive jobs but job {job} does not fill it (P5)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KktViolation {}
+
+/// Certify a BAL solution against the KKT conditions. `tol` classifies
+/// allotments as zero / partial / full and compares speeds; the workspace
+/// default for certificates is `Tol::rel(1e-6)` — far looser than the
+/// binary-search width, far tighter than any real violation.
+pub fn certify(instance: &Instance, sol: &BalSolution, tol: Tol) -> Result<(), KktViolation> {
+    let n = instance.len();
+    let ivals = &sol.intervals;
+    let m = instance.machines() as f64;
+
+    // Dense allotment lookup and feasibility checks.
+    let mut t = vec![vec![0.0f64; ivals.len()]; n];
+    for (i, allot) in sol.allotments.iter().enumerate() {
+        for &(j, time) in allot {
+            if !ivals.intervals_of(i).contains(&j) {
+                return Err(KktViolation::AllotmentOutsideSpan { job: i, interval: j });
+            }
+            t[i][j] += time;
+        }
+    }
+    for i in 0..n {
+        for j in 0..ivals.len() {
+            let len = ivals.length(j);
+            if t[i][j] < -tol.margin(len) || t[i][j] > len + tol.margin(len) {
+                return Err(KktViolation::AllotmentOutOfRange {
+                    job: i,
+                    interval: j,
+                    time: t[i][j],
+                    length: len,
+                });
+            }
+        }
+        let allotted: f64 = t[i].iter().sum();
+        let required = instance.job(i).work / sol.speeds.get(i);
+        if !tol.eq(allotted, required) {
+            return Err(KktViolation::WorkNotConserved { job: i, allotted, required });
+        }
+    }
+    for j in 0..ivals.len() {
+        let used: f64 = (0..n).map(|i| t[i][j]).sum();
+        let capacity = m * ivals.length(j);
+        if !tol.le(used, capacity) {
+            return Err(KktViolation::CapacityExceeded { interval: j, used, capacity });
+        }
+    }
+
+    // Structural properties per interval.
+    for j in 0..ivals.len() {
+        let len = ivals.length(j);
+        let alive = ivals.alive(j);
+        let is_zero = |i: usize| t[i][j] <= tol.margin(len);
+        let is_full = |i: usize| t[i][j] >= len - tol.margin(len);
+
+        // P5: few alive jobs => all full.
+        if alive.len() <= instance.machines() {
+            for &i in alive {
+                if !is_full(i) {
+                    return Err(KktViolation::UnderloadedIntervalNotFull {
+                        job: i,
+                        interval: j,
+                        alive: alive.len(),
+                    });
+                }
+            }
+        }
+
+        for &i in alive {
+            let s_i = sol.speeds.get(i);
+            for &k in alive {
+                if i == k {
+                    continue;
+                }
+                let s_k = sol.speeds.get(k);
+                // P2: idle job never faster than a runner.
+                if is_zero(i) && !is_zero(k) && tol.gt(s_i, s_k) {
+                    return Err(KktViolation::IdleWhileSlowerRuns { job: i, other: k, interval: j });
+                }
+                // P3: a full job is at least as fast as any non-full one.
+                if is_full(i) && !is_full(k) && tol.lt(s_i, s_k) {
+                    return Err(KktViolation::FullButSlower { job: i, other: k, interval: j });
+                }
+                // P4: partial runners share one speed.
+                let partial_i = !is_zero(i) && !is_full(i);
+                let partial_k = !is_zero(k) && !is_full(k);
+                if partial_i && partial_k && !tol.eq(s_i, s_k) {
+                    return Err(KktViolation::PartialSpeedsDiffer {
+                        job: i,
+                        other: k,
+                        interval: j,
+                        s_a: s_i,
+                        s_b: s_k,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bal::bal;
+    use ssp_model::{Instance, Job};
+
+    fn cert_tol() -> Tol {
+        Tol::rel(1e-6)
+    }
+
+    #[test]
+    fn bal_solutions_certify_on_varied_instances() {
+        let cases: Vec<(Vec<Job>, usize)> = vec![
+            (vec![Job::new(0, 2.0, 0.0, 2.0)], 1),
+            (vec![Job::new(0, 4.0, 0.0, 1.0), Job::new(1, 1.0, 0.0, 10.0)], 2),
+            (
+                vec![
+                    Job::new(0, 3.0, 0.0, 2.0),
+                    Job::new(1, 2.0, 0.0, 3.0),
+                    Job::new(2, 2.0, 1.0, 4.0),
+                    Job::new(3, 1.0, 2.0, 5.0),
+                    Job::new(4, 4.0, 0.0, 5.0),
+                ],
+                2,
+            ),
+            (
+                vec![
+                    Job::new(0, 1.0, 0.0, 1.0),
+                    Job::new(1, 1.0, 0.5, 1.5),
+                    Job::new(2, 1.0, 1.0, 2.0),
+                    Job::new(3, 1.0, 0.0, 2.0),
+                ],
+                3,
+            ),
+        ];
+        for (jobs, m) in cases {
+            for alpha in [1.5, 2.0, 3.0] {
+                let inst = Instance::new(jobs.clone(), m, alpha).unwrap();
+                let sol = bal(&inst);
+                certify(&inst, &sol, cert_tol()).unwrap_or_else(|v| {
+                    panic!("certificate failed (m={m}, alpha={alpha}): {v}")
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn detects_wrong_speed() {
+        let inst = Instance::new(
+            vec![Job::new(0, 2.0, 0.0, 2.0), Job::new(1, 2.0, 0.0, 2.0)],
+            1,
+            2.0,
+        )
+        .unwrap();
+        let mut sol = bal(&inst);
+        // Corrupt: claim a slower speed without adjusting allotments.
+        sol.speeds.set(0, sol.speeds.get(0) * 0.5);
+        assert!(matches!(
+            certify(&inst, &sol, cert_tol()),
+            Err(KktViolation::WorkNotConserved { job: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn detects_capacity_violation() {
+        let inst = Instance::new(
+            vec![Job::new(0, 2.0, 0.0, 2.0), Job::new(1, 2.0, 0.0, 2.0)],
+            1,
+            2.0,
+        )
+        .unwrap();
+        let mut sol = bal(&inst);
+        // Give job 0 extra phantom time: breaks conservation AND capacity;
+        // conservation triggers first unless we also bump the speed story.
+        sol.allotments[0].push((0, 2.0));
+        let err = certify(&inst, &sol, cert_tol()).unwrap_err();
+        assert!(matches!(
+            err,
+            KktViolation::WorkNotConserved { .. }
+                | KktViolation::CapacityExceeded { .. }
+                | KktViolation::AllotmentOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn detects_unbalanced_partial_speeds() {
+        // Hand-build a *feasible but suboptimal* solution: two identical
+        // jobs on one machine, each running at a different speed.
+        let inst = Instance::new(
+            vec![Job::new(0, 2.0, 0.0, 2.0), Job::new(1, 2.0, 0.0, 2.0)],
+            1,
+            2.0,
+        )
+        .unwrap();
+        let mut sol = bal(&inst);
+        // Optimal: both at speed 2, each one unit of time. Corrupt into
+        // speeds 4 and 4/3 (job 0 gets 0.5, job 1 gets 1.5 time units).
+        sol.speeds.set(0, 4.0);
+        sol.speeds.set(1, 4.0 / 3.0);
+        sol.allotments[0] = vec![(0, 0.5)];
+        sol.allotments[1] = vec![(0, 1.5)];
+        let err = certify(&inst, &sol, cert_tol()).unwrap_err();
+        assert!(
+            matches!(err, KktViolation::PartialSpeedsDiffer { .. }),
+            "expected P4 violation, got {err}"
+        );
+    }
+
+    #[test]
+    fn detects_underloaded_interval_not_full() {
+        // One job, huge window: optimal fills the whole window (P5).
+        let inst = Instance::new(vec![Job::new(0, 1.0, 0.0, 4.0)], 2, 2.0).unwrap();
+        let mut sol = bal(&inst);
+        // Corrupt: run twice as fast using half the window.
+        sol.speeds.set(0, 0.5);
+        sol.allotments[0] = vec![(0, 2.0)];
+        let err = certify(&inst, &sol, cert_tol()).unwrap_err();
+        assert!(
+            matches!(err, KktViolation::UnderloadedIntervalNotFull { .. }),
+            "expected P5 violation, got {err}"
+        );
+    }
+
+    #[test]
+    fn detects_idle_while_slower_runs() {
+        // Two intervals, two jobs on one machine. Optimal: job 0 (tight)
+        // runs [0,1]; job 1 runs [1,2]. Corrupt: swap part of the usage so
+        // the *faster* job idles while the slower one runs.
+        let inst = Instance::new(
+            vec![Job::new(0, 3.0, 0.0, 1.0), Job::new(1, 1.0, 0.0, 2.0)],
+            1,
+            2.0,
+        )
+        .unwrap();
+        let sol = bal(&inst);
+        certify(&inst, &sol, cert_tol()).unwrap();
+        // Job 0 must have speed 3 in [0,1]; job 1 speed 1 in [1,2].
+        let mut bad = sol.clone();
+        // Make job 1 (slower) grab time in interval 0 while job 0 squeezes
+        // into less of interval 0 at higher claimed speed — P2/P3 break.
+        bad.speeds.set(0, 6.0);
+        bad.allotments[0] = vec![(0, 0.5)];
+        bad.speeds.set(1, 2.0 / 3.0);
+        bad.allotments[1] = vec![(0, 0.5), (1, 1.0)];
+        let err = certify(&inst, &bad, cert_tol()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                KktViolation::PartialSpeedsDiffer { .. }
+                    | KktViolation::IdleWhileSlowerRuns { .. }
+                    | KktViolation::FullButSlower { .. }
+                    | KktViolation::UnderloadedIntervalNotFull { .. }
+            ),
+            "expected a structural violation, got {err}"
+        );
+    }
+}

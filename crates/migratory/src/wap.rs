@@ -1,0 +1,372 @@
+//! The Work Assignment Problem (WAP) and `P|r_j, d_j, pmtn|−` feasibility.
+//!
+//! Given jobs with *time demands* `p_i`, intervals with lengths `|I_j|` and
+//! processor-time capacities `c_j` (initially `m·|I_j|`), decide whether the
+//! demands can be packed so that job `i` receives at most `|I_j|` time inside
+//! `I_j` (no parallel self-execution) and interval `j` hands out at most
+//! `c_j` total time. Classic reduction: the packing exists iff the max flow
+//! of the network
+//!
+//! ```text
+//!   source --(p_i)--> job_i --(|I_j|, if alive)--> interval_j --(c_j)--> sink
+//! ```
+//!
+//! equals `Σ p_i`. For the uniform-speed question of the papers, `p_i = w_i/v`.
+
+use ssp_maxflow::{EdgeId, FlowNetwork};
+use ssp_model::numeric::Tol;
+use ssp_model::{Instance, IntervalSet, Schedule};
+
+use crate::mcnaughton::mcnaughton;
+
+/// A WAP instance: the bipartite alive structure plus capacities.
+///
+/// Job indexing is the caller's (for [`Wap::from_instance`] it is the
+/// instance's internal indexing); interval indexing refers to the interval
+/// set the structure was built from.
+#[derive(Debug, Clone)]
+pub struct Wap {
+    /// `alive[i]` = interval indices where job `i` may run, ascending.
+    alive: Vec<Vec<usize>>,
+    /// Interval lengths `|I_j|`.
+    lengths: Vec<f64>,
+    /// Remaining processor-time capacity `c_j` of each interval.
+    capacity: Vec<f64>,
+}
+
+impl Wap {
+    /// Build from explicit parts.
+    pub fn new(alive: Vec<Vec<usize>>, lengths: Vec<f64>, capacity: Vec<f64>) -> Self {
+        assert_eq!(lengths.len(), capacity.len());
+        for ivals in &alive {
+            for &j in ivals {
+                assert!(j < lengths.len(), "alive interval out of range");
+            }
+        }
+        Wap { alive, lengths, capacity }
+    }
+
+    /// Build from an instance: intervals are the canonical elementary
+    /// intervals, every capacity starts at `m·|I_j|`.
+    pub fn from_instance(instance: &Instance) -> (Self, IntervalSet) {
+        let ivals = IntervalSet::from_jobs(instance.jobs());
+        let lengths: Vec<f64> = (0..ivals.len()).map(|j| ivals.length(j)).collect();
+        let capacity: Vec<f64> =
+            lengths.iter().map(|l| l * instance.machines() as f64).collect();
+        let alive: Vec<Vec<usize>> =
+            (0..instance.len()).map(|i| ivals.intervals_of(i).to_vec()).collect();
+        (Wap { alive, lengths, capacity }, ivals)
+    }
+
+    /// Number of jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Number of intervals.
+    pub fn num_intervals(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Interval length accessor.
+    pub fn length(&self, j: usize) -> f64 {
+        self.lengths[j]
+    }
+
+    /// Current capacity accessor.
+    pub fn capacity(&self, j: usize) -> f64 {
+        self.capacity[j]
+    }
+
+    /// Mutate a capacity (BAL's per-round updates). Values below a relative
+    /// epsilon of the interval length snap to exactly zero: repeated
+    /// `c - |I_j|` updates on non-dyadic lengths leave ~1e-16 residues, and
+    /// an "open" interval with no real capacity would let a later round
+    /// allot a full machine that does not exist.
+    pub fn set_capacity(&mut self, j: usize, c: f64) {
+        assert!(c >= 0.0);
+        self.capacity[j] = if c <= 1e-9 * self.lengths[j] { 0.0 } else { c };
+    }
+
+    /// Alive intervals of job `i`.
+    pub fn alive_of(&self, i: usize) -> &[usize] {
+        &self.alive[i]
+    }
+
+    /// Intervals of job `i` that still have positive capacity.
+    pub fn open_intervals_of(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.alive[i].iter().copied().filter(|&j| self.capacity[j] > 0.0)
+    }
+
+    /// Total open (positive-capacity ∩ alive) time of job `i` — the maximum
+    /// execution time it can still receive; `w_i / open_time` is its
+    /// *effective density*, a lower bound on its final speed.
+    pub fn open_time_of(&self, i: usize) -> f64 {
+        self.open_intervals_of(i).map(|j| self.lengths[j]).sum()
+    }
+
+    /// Solve the packing with per-job demands `p` (max-flow) and return the
+    /// annotated flow for feasibility tests / allotment readback /
+    /// residual-reachability queries.
+    pub fn solve(&self, p: &[f64]) -> WapFlow {
+        assert_eq!(p.len(), self.alive.len(), "demand vector length mismatch");
+        let n = self.alive.len();
+        let l = self.lengths.len();
+        // Node layout: 0 = source, 1..=n jobs, n+1..=n+l intervals, n+l+1 sink.
+        let source = 0usize;
+        let sink = n + l + 1;
+        let mut net = FlowNetwork::new(n + l + 2);
+        let mut source_edges = Vec::with_capacity(n);
+        let mut job_edges: Vec<Vec<(usize, EdgeId)>> = vec![Vec::new(); n];
+        for (i, &demand) in p.iter().enumerate() {
+            assert!(demand >= 0.0 && demand.is_finite(), "demand must be finite/nonnegative");
+            source_edges.push(net.add_edge(source, 1 + i, demand));
+        }
+        for (i, ivals) in self.alive.iter().enumerate() {
+            for &j in ivals {
+                if self.capacity[j] > 0.0 {
+                    let cap = self.lengths[j].min(self.capacity[j]);
+                    let e = net.add_edge(1 + i, 1 + n + j, cap);
+                    job_edges[i].push((j, e));
+                }
+            }
+        }
+        let mut sink_edges = Vec::with_capacity(l);
+        for j in 0..l {
+            sink_edges.push(net.add_edge(1 + n + j, sink, self.capacity[j]));
+        }
+        let value = net.max_flow(source, sink);
+        WapFlow {
+            value,
+            demand: p.iter().sum(),
+            num_jobs: n,
+            num_intervals: l,
+            net,
+            source_edges,
+            job_edges,
+            sink_edges,
+        }
+    }
+}
+
+/// A solved WAP flow with readback accessors.
+#[derive(Debug)]
+pub struct WapFlow {
+    /// Achieved max-flow value.
+    pub value: f64,
+    /// Total demand `Σ p_i`.
+    pub demand: f64,
+    num_jobs: usize,
+    num_intervals: usize,
+    net: FlowNetwork,
+    source_edges: Vec<EdgeId>,
+    job_edges: Vec<Vec<(usize, EdgeId)>>,
+    sink_edges: Vec<EdgeId>,
+}
+
+impl WapFlow {
+    /// Feasible iff the flow meets the whole demand (tolerantly: max-flow
+    /// arithmetic accumulates `O(E·eps)` error).
+    pub fn feasible(&self) -> bool {
+        self.value >= self.demand - Tol::rel(1e-9).margin(self.demand)
+    }
+
+    /// Time allotted to job `i` in each of its open intervals: `(j, t_ij)`,
+    /// skipping zero allotments.
+    pub fn allotment(&self, i: usize) -> Vec<(usize, f64)> {
+        self.job_edges[i]
+            .iter()
+            .map(|&(j, e)| (j, self.net.flow(e)))
+            .filter(|&(_, t)| t > 0.0)
+            .collect()
+    }
+
+    /// Demand actually routed for job `i`.
+    pub fn routed(&self, i: usize) -> f64 {
+        self.net.flow(self.source_edges[i])
+    }
+
+    /// For each job: is its node residual-reachable from the source? On an
+    /// *infeasible* instance just below the critical speed, the reachable
+    /// jobs are exactly the **critical jobs** (Lemma 5 of the migratory
+    /// analysis).
+    pub fn jobs_reachable(&self) -> Vec<bool> {
+        let side = self.net.residual_reachable_from_source();
+        (0..self.num_jobs).map(|i| side[1 + i]).collect()
+    }
+
+    /// For each interval: is its node residual-reachable from the source?
+    /// On the same infeasible instance these are the **saturated intervals**
+    /// (their `(y_j, sink)` edge lies in the canonical minimum cut).
+    pub fn intervals_reachable(&self) -> Vec<bool> {
+        let side = self.net.residual_reachable_from_source();
+        (0..self.num_intervals).map(|j| side[1 + self.num_jobs + j]).collect()
+    }
+
+    /// Flow into the sink from interval `j` (total time handed out there).
+    pub fn interval_usage(&self, j: usize) -> f64 {
+        self.net.flow(self.sink_edges[j])
+    }
+}
+
+/// Explicit `P|r_j, d_j, pmtn|−` schedule: pack jobs with fixed processing
+/// times `p` onto the instance's `m` machines. Returns `None` when
+/// infeasible. Speeds in the produced schedule are `w_i / p_i`.
+pub fn schedule_with_processing_times(instance: &Instance, p: &[f64]) -> Option<Schedule> {
+    assert_eq!(p.len(), instance.len());
+    let (wap, ivals) = Wap::from_instance(instance);
+    let flow = wap.solve(p);
+    if !flow.feasible() {
+        return None;
+    }
+    let speeds: Vec<f64> =
+        instance.jobs().iter().zip(p).map(|(job, &pi)| job.work / pi).collect();
+    let mut per_interval: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ivals.len()];
+    for i in 0..instance.len() {
+        for (j, t) in flow.allotment(i) {
+            per_interval[j].push((i, t));
+        }
+    }
+    let mut schedule = Schedule::new(instance.machines());
+    for (j, items) in per_interval.iter().enumerate() {
+        if items.is_empty() {
+            continue;
+        }
+        let pieces: Vec<(ssp_model::JobId, f64, f64)> = items
+            .iter()
+            .map(|&(i, t)| (instance.job(i).id, t, speeds[i]))
+            .collect();
+        mcnaughton(ivals.bounds(j), instance.machines(), &pieces, &mut schedule);
+    }
+    Some(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_model::{Instance, Job};
+
+    fn inst(jobs: Vec<Job>, m: usize) -> Instance {
+        Instance::new(jobs, m, 2.0).unwrap()
+    }
+
+    #[test]
+    fn single_job_feasibility_boundary() {
+        let instance = inst(vec![Job::new(0, 2.0, 0.0, 2.0)], 1);
+        let (wap, _) = Wap::from_instance(&instance);
+        assert!(wap.solve(&[2.0]).feasible()); // p = window length
+        assert!(!wap.solve(&[2.1]).feasible());
+    }
+
+    #[test]
+    fn two_jobs_one_machine_share_window() {
+        let instance = inst(
+            vec![Job::new(0, 1.0, 0.0, 2.0), Job::new(1, 1.0, 0.0, 2.0)],
+            1,
+        );
+        let (wap, _) = Wap::from_instance(&instance);
+        assert!(wap.solve(&[1.0, 1.0]).feasible());
+        assert!(!wap.solve(&[1.5, 1.0]).feasible());
+    }
+
+    #[test]
+    fn parallel_self_execution_is_blocked_by_job_interval_caps() {
+        // One job, window length 1, two machines: demand 1.5 impossible even
+        // though total capacity is 2 (a job can't run on both machines).
+        let instance = inst(vec![Job::new(0, 1.0, 0.0, 1.0)], 2);
+        let (wap, _) = Wap::from_instance(&instance);
+        assert!(wap.solve(&[1.0]).feasible());
+        assert!(!wap.solve(&[1.5]).feasible());
+    }
+
+    #[test]
+    fn migration_enables_otherwise_impossible_packings() {
+        // Three jobs, two machines, common window [0,3], demand 2 each:
+        // total 6 = 2*3 exactly; feasible only with migration-style splitting.
+        let instance = inst(
+            vec![
+                Job::new(0, 1.0, 0.0, 3.0),
+                Job::new(1, 1.0, 0.0, 3.0),
+                Job::new(2, 1.0, 0.0, 3.0),
+            ],
+            2,
+        );
+        let (wap, _) = Wap::from_instance(&instance);
+        assert!(wap.solve(&[2.0, 2.0, 2.0]).feasible());
+        assert!(!wap.solve(&[2.0, 2.0, 2.2]).feasible());
+    }
+
+    #[test]
+    fn allotments_meet_demand_and_caps() {
+        let instance = inst(
+            vec![
+                Job::new(0, 1.0, 0.0, 2.0),
+                Job::new(1, 1.0, 1.0, 3.0),
+                Job::new(2, 1.0, 0.0, 3.0),
+            ],
+            2,
+        );
+        let (wap, ivals) = Wap::from_instance(&instance);
+        let p = [1.5, 1.5, 2.0];
+        let flow = wap.solve(&p);
+        assert!(flow.feasible());
+        for i in 0..3 {
+            let total: f64 = flow.allotment(i).iter().map(|&(_, t)| t).sum();
+            assert!((total - p[i]).abs() < 1e-9, "job {i}: {total} vs {}", p[i]);
+            for (j, t) in flow.allotment(i) {
+                assert!(t <= ivals.length(j) + 1e-9);
+            }
+        }
+        for j in 0..ivals.len() {
+            assert!(flow.interval_usage(j) <= 2.0 * ivals.length(j) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn effective_density_with_closed_intervals() {
+        let instance = inst(vec![Job::new(0, 2.0, 0.0, 4.0)], 1);
+        let (mut wap, ivals) = Wap::from_instance(&instance);
+        assert_eq!(ivals.len(), 1);
+        assert_eq!(wap.open_time_of(0), 4.0);
+        wap.set_capacity(0, 0.0);
+        assert_eq!(wap.open_time_of(0), 0.0);
+        assert_eq!(wap.open_intervals_of(0).count(), 0);
+    }
+
+    #[test]
+    fn schedule_with_processing_times_builds_valid_schedule() {
+        let jobs = vec![
+            Job::new(0, 2.0, 0.0, 2.0),
+            Job::new(1, 2.0, 0.0, 2.0),
+            Job::new(2, 2.0, 0.0, 2.0),
+        ];
+        let instance = inst(jobs, 2);
+        // Each needs 4/3 time in [0,2]: classic McNaughton-with-migration.
+        let p = vec![4.0 / 3.0; 3];
+        let s = schedule_with_processing_times(&instance, &p).unwrap();
+        let stats = s.validate(&instance, Default::default()).unwrap();
+        assert!(stats.migrations >= 1, "splitting across machines is necessary here");
+    }
+
+    #[test]
+    fn schedule_with_processing_times_detects_infeasible() {
+        let instance = inst(vec![Job::new(0, 1.0, 0.0, 1.0)], 1);
+        assert!(schedule_with_processing_times(&instance, &[1.2]).is_none());
+    }
+
+    #[test]
+    fn reachability_on_infeasible_instance_flags_overloaded_side() {
+        // Job 0 tight [0,1], job 1 loose [0,10]; at demand just over the
+        // window, job 0's node stays reachable (its source edge can't fill).
+        let instance = inst(
+            vec![Job::new(0, 1.0, 0.0, 1.0), Job::new(1, 1.0, 0.0, 10.0)],
+            1,
+        );
+        let (wap, _) = Wap::from_instance(&instance);
+        let flow = wap.solve(&[1.05, 1.0]);
+        assert!(!flow.feasible());
+        let jr = flow.jobs_reachable();
+        assert!(jr[0], "the overloaded job must sit on the source side of the cut");
+        assert!(!jr[1], "the slack job routes fully and is cut away");
+    }
+}

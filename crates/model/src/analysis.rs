@@ -1,0 +1,171 @@
+//! Schedule analysis: the quantities an operator actually asks about.
+//!
+//! All functions are read-only views over a [`Schedule`]; none of them make
+//! feasibility judgments (that is [`Schedule::validate`]'s job).
+
+use crate::instance::Instance;
+use crate::numeric::pow_alpha;
+use crate::schedule::Schedule;
+use crate::JobId;
+
+/// Per-machine busy fraction over the schedule's own time range
+/// `[first start, makespan]`. Empty schedules yield all zeros.
+pub fn utilization(schedule: &Schedule) -> Vec<f64> {
+    let m = schedule.machines();
+    if schedule.is_empty() {
+        return vec![0.0; m];
+    }
+    let t0 = schedule.segments().iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+    let span = (schedule.makespan() - t0).max(1e-300);
+    schedule.busy_times().into_iter().map(|b| b / span).collect()
+}
+
+/// Completion time of every job appearing in the schedule (its latest
+/// segment end), as `(job, completion)` pairs sorted by job id.
+pub fn completion_times(schedule: &Schedule) -> Vec<(JobId, f64)> {
+    let mut latest: std::collections::HashMap<JobId, f64> = std::collections::HashMap::new();
+    for s in schedule.segments() {
+        let e = latest.entry(s.job).or_insert(f64::NEG_INFINITY);
+        if s.end > *e {
+            *e = s.end;
+        }
+    }
+    let mut out: Vec<(JobId, f64)> = latest.into_iter().collect();
+    out.sort_by_key(|&(id, _)| id);
+    out
+}
+
+/// Response time (completion − release) per job, using the instance for
+/// release dates. Jobs absent from the schedule are skipped.
+pub fn response_times(schedule: &Schedule, instance: &Instance) -> Vec<(JobId, f64)> {
+    completion_times(schedule)
+        .into_iter()
+        .filter_map(|(id, c)| instance.job_by_id(id).map(|j| (id, c - j.release)))
+        .collect()
+}
+
+/// Deadline slack (deadline − completion) per job; negative slack would mean
+/// a miss (the validator rejects those schedules, so analysis of a validated
+/// schedule sees only nonnegative values up to tolerance).
+pub fn deadline_slacks(schedule: &Schedule, instance: &Instance) -> Vec<(JobId, f64)> {
+    completion_times(schedule)
+        .into_iter()
+        .filter_map(|(id, c)| instance.job_by_id(id).map(|j| (id, j.deadline - c)))
+        .collect()
+}
+
+/// The aggregate power profile: piecewise-constant `Σ_machines s^α` as
+/// `(start, end, power)` pieces covering the busy parts of the timeline,
+/// sorted by start. Pieces where nothing runs are omitted.
+pub fn power_profile(schedule: &Schedule, alpha: f64) -> Vec<(f64, f64, f64)> {
+    if schedule.is_empty() {
+        return Vec::new();
+    }
+    // Breakpoints = all segment starts/ends.
+    let mut points: Vec<f64> = Vec::with_capacity(schedule.len() * 2);
+    for s in schedule.segments() {
+        points.push(s.start);
+        points.push(s.end);
+    }
+    points.sort_by(f64::total_cmp);
+    points.dedup();
+    let mut out = Vec::new();
+    for w in points.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let mid = 0.5 * (a + b);
+        let power: f64 = schedule
+            .segments()
+            .iter()
+            .filter(|s| s.start <= mid && mid < s.end)
+            .map(|s| pow_alpha(s.speed, alpha))
+            .sum();
+        if power > 0.0 {
+            out.push((a, b, power));
+        }
+    }
+    out
+}
+
+/// Peak aggregate power over time.
+pub fn peak_power(schedule: &Schedule, alpha: f64) -> f64 {
+    power_profile(schedule, alpha).into_iter().map(|(_, _, p)| p).fold(0.0, f64::max)
+}
+
+/// Integral of the power profile — must equal `schedule.energy(alpha)`
+/// (used as a self-check in tests and exposed for completeness).
+pub fn profile_energy(schedule: &Schedule, alpha: f64) -> f64 {
+    power_profile(schedule, alpha).into_iter().map(|(a, b, p)| (b - a) * p).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Instance, Job, Schedule};
+
+    fn setup() -> (Instance, Schedule) {
+        let inst = Instance::new(
+            vec![Job::new(0, 2.0, 0.0, 3.0), Job::new(1, 1.0, 1.0, 4.0)],
+            2,
+            2.0,
+        )
+        .unwrap();
+        let mut s = Schedule::new(2);
+        s.run(JobId(0), 0, 0.0, 2.0, 1.0);
+        s.run(JobId(1), 1, 1.0, 3.0, 0.5);
+        (inst, s)
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        let (_, s) = setup();
+        // Range [0,3]; m0 busy 2, m1 busy 2.
+        let u = utilization(&s);
+        assert!((u[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((u[1] - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(utilization(&Schedule::new(3)), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn completion_and_response() {
+        let (inst, s) = setup();
+        assert_eq!(completion_times(&s), vec![(JobId(0), 2.0), (JobId(1), 3.0)]);
+        let rt = response_times(&s, &inst);
+        assert_eq!(rt, vec![(JobId(0), 2.0), (JobId(1), 2.0)]);
+        let slack = deadline_slacks(&s, &inst);
+        assert_eq!(slack, vec![(JobId(0), 1.0), (JobId(1), 1.0)]);
+    }
+
+    #[test]
+    fn power_profile_pieces() {
+        let (_, s) = setup();
+        // alpha=2: [0,1]: 1.0; [1,2]: 1 + 0.25; [2,3]: 0.25.
+        let p = power_profile(&s, 2.0);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0], (0.0, 1.0, 1.0));
+        assert!((p[1].2 - 1.25).abs() < 1e-12);
+        assert!((p[2].2 - 0.25).abs() < 1e-12);
+        assert!((peak_power(&s, 2.0) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_energy_matches_schedule_energy() {
+        let (_, s) = setup();
+        for alpha in [1.5, 2.0, 3.0] {
+            assert!(
+                (profile_energy(&s, alpha) - s.energy(alpha)).abs() <= 1e-9,
+                "alpha {alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn idle_gaps_are_omitted_from_the_profile() {
+        let mut s = Schedule::new(1);
+        s.run(JobId(0), 0, 0.0, 1.0, 1.0);
+        s.run(JobId(0), 0, 5.0, 6.0, 1.0);
+        let p = power_profile(&s, 2.0);
+        assert_eq!(p.len(), 2);
+        assert_eq!((p[0].0, p[0].1), (0.0, 1.0));
+        assert_eq!((p[1].0, p[1].1), (5.0, 6.0));
+    }
+}

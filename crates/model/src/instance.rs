@@ -1,0 +1,345 @@
+//! Problem instances: a job set, a machine count and a power exponent.
+
+use crate::error::ModelError;
+use crate::job::{Job, JobId};
+use crate::numeric::Tol;
+use crate::Time;
+use std::collections::HashMap;
+
+/// An instance of multiprocessor speed scaling: jobs to be scheduled on
+/// `machines` identical variable-speed processors with power `s^alpha`.
+///
+/// Construction validates all invariants (positive works, nonempty windows,
+/// finite fields, unique ids, `machines >= 1`, `alpha > 1`), so downstream
+/// algorithms can rely on them unconditionally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    jobs: Vec<Job>,
+    machines: usize,
+    alpha: f64,
+    /// Map from job id to position in `jobs`.
+    by_id: HashMap<JobId, usize>,
+}
+
+impl Instance {
+    /// Validate and build an instance. Jobs keep the given order; algorithms
+    /// that need a particular order sort indices, not the instance.
+    pub fn new(jobs: Vec<Job>, machines: usize, alpha: f64) -> Result<Self, ModelError> {
+        if machines == 0 {
+            return Err(ModelError::NoMachines);
+        }
+        if !(alpha > 1.0) || !alpha.is_finite() {
+            return Err(ModelError::BadAlpha { alpha });
+        }
+        let mut by_id = HashMap::with_capacity(jobs.len());
+        for job in &jobs {
+            for (name, v) in [
+                ("work", job.work),
+                ("release", job.release),
+                ("deadline", job.deadline),
+            ] {
+                if !v.is_finite() {
+                    return Err(ModelError::NotFinite { job: job.id.0, field: name, value: v });
+                }
+            }
+            if job.work <= 0.0 {
+                return Err(ModelError::NonPositiveWork { job: job.id.0, work: job.work });
+            }
+            if job.deadline <= job.release {
+                return Err(ModelError::EmptyWindow {
+                    job: job.id.0,
+                    release: job.release,
+                    deadline: job.deadline,
+                });
+            }
+            if by_id.insert(job.id, by_id.len()).is_some() {
+                return Err(ModelError::DuplicateJobId { job: job.id.0 });
+            }
+        }
+        Ok(Instance { jobs, machines, alpha, by_id })
+    }
+
+    /// The jobs, in construction order.
+    #[inline]
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of machines `m`.
+    #[inline]
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Power exponent `alpha > 1`.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of jobs `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` if the instance has no jobs (allowed; the optimum is the empty
+    /// schedule with zero energy).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Job at internal index `idx`.
+    #[inline]
+    pub fn job(&self, idx: usize) -> &Job {
+        &self.jobs[idx]
+    }
+
+    /// Look a job up by id.
+    pub fn job_by_id(&self, id: JobId) -> Option<&Job> {
+        self.by_id.get(&id).map(|&i| &self.jobs[i])
+    }
+
+    /// Internal index of a job id.
+    pub fn index_of(&self, id: JobId) -> Option<usize> {
+        self.by_id.get(&id).copied()
+    }
+
+    /// Sum of all works `W`.
+    pub fn total_work(&self) -> f64 {
+        self.jobs.iter().map(|j| j.work).sum()
+    }
+
+    /// Largest job density — a lower bound on the maximum speed any feasible
+    /// schedule must use.
+    pub fn max_density(&self) -> f64 {
+        self.jobs.iter().map(|j| j.density()).fold(0.0, f64::max)
+    }
+
+    /// `(min release, max deadline)`; `None` for empty instances.
+    pub fn horizon(&self) -> Option<(Time, Time)> {
+        if self.jobs.is_empty() {
+            return None;
+        }
+        let lo = self.jobs.iter().map(|j| j.release).fold(f64::INFINITY, f64::min);
+        let hi = self.jobs.iter().map(|j| j.deadline).fold(f64::NEG_INFINITY, f64::max);
+        Some((lo, hi))
+    }
+
+    /// Do all jobs have (tolerantly) equal works? This is the "unit work"
+    /// hypothesis of the paper's R1/R2 results (any common work value counts:
+    /// rescaling works rescales energy but preserves schedules).
+    pub fn is_uniform_work(&self, tol: Tol) -> bool {
+        match self.jobs.first() {
+            None => true,
+            Some(first) => self.jobs.iter().all(|j| tol.eq(j.work, first.work)),
+        }
+    }
+
+    /// Agreeable deadlines: sorting by release date also sorts deadlines
+    /// (`r_i < r_j ⟹ d_i ≤ d_j`). Equal releases impose no constraint.
+    pub fn is_agreeable(&self) -> bool {
+        let mut order: Vec<usize> = (0..self.jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.jobs[a]
+                .release
+                .total_cmp(&self.jobs[b].release)
+                .then(self.jobs[a].deadline.total_cmp(&self.jobs[b].deadline))
+        });
+        order.windows(2).all(|w| {
+            let (a, b) = (&self.jobs[w[0]], &self.jobs[w[1]]);
+            a.release == b.release || a.deadline <= b.deadline
+        })
+    }
+
+    /// Indices sorted by `(release, deadline, id)` — the canonical order used
+    /// by the round-robin and list algorithms.
+    pub fn release_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (ja, jb) = (&self.jobs[a], &self.jobs[b]);
+            ja.release
+                .total_cmp(&jb.release)
+                .then(ja.deadline.total_cmp(&jb.deadline))
+                .then(ja.id.cmp(&jb.id))
+        });
+        order
+    }
+
+    /// A copy with a different machine count.
+    pub fn with_machines(&self, machines: usize) -> Result<Self, ModelError> {
+        Instance::new(self.jobs.clone(), machines, self.alpha)
+    }
+
+    /// A copy with a different power exponent.
+    pub fn with_alpha(&self, alpha: f64) -> Result<Self, ModelError> {
+        Instance::new(self.jobs.clone(), self.machines, alpha)
+    }
+
+    /// The sub-instance containing only the jobs at the given internal
+    /// indices (used by divide-and-conquer and per-machine re-optimization).
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        let jobs: Vec<Job> = indices.iter().map(|&i| self.jobs[i]).collect();
+        Instance::new(jobs, self.machines, self.alpha)
+            .expect("subset of a valid instance is valid")
+    }
+
+    /// A copy where every deadline is clamped to `min(d_i, x)` — the
+    /// common-deadline restriction used by the makespan/budget algorithm
+    /// (MBAL). Fails if some job's window becomes empty (`x <= r_i`).
+    pub fn clamp_deadlines(&self, x: Time) -> Result<Self, ModelError> {
+        let jobs: Vec<Job> = self
+            .jobs
+            .iter()
+            .map(|j| Job { deadline: j.deadline.min(x), ..*j })
+            .collect();
+        Instance::new(jobs, self.machines, self.alpha)
+    }
+
+    /// A copy with all works multiplied by `c > 0`. Optimal energy scales by
+    /// `c^alpha` (speeds scale by `c`); used by scale-invariance tests.
+    pub fn scale_works(&self, c: f64) -> Result<Self, ModelError> {
+        let jobs: Vec<Job> = self.jobs.iter().map(|j| Job { work: j.work * c, ..*j }).collect();
+        Instance::new(jobs, self.machines, self.alpha)
+    }
+
+    /// A copy with the time axis stretched by `c > 0` (releases and deadlines
+    /// multiplied). Optimal energy scales by `c^(1-alpha)`.
+    pub fn scale_time(&self, c: f64) -> Result<Self, ModelError> {
+        let jobs: Vec<Job> = self
+            .jobs
+            .iter()
+            .map(|j| Job { release: j.release * c, deadline: j.deadline * c, ..*j })
+            .collect();
+        Instance::new(jobs, self.machines, self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(id: u32, w: f64, r: f64, d: f64) -> Job {
+        Job::new(id, w, r, d)
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert_eq!(
+            Instance::new(vec![j(0, 0.0, 0.0, 1.0)], 1, 2.0),
+            Err(ModelError::NonPositiveWork { job: 0, work: 0.0 })
+        );
+        assert_eq!(
+            Instance::new(vec![j(0, 1.0, 1.0, 1.0)], 1, 2.0),
+            Err(ModelError::EmptyWindow { job: 0, release: 1.0, deadline: 1.0 })
+        );
+        assert_eq!(Instance::new(vec![], 0, 2.0), Err(ModelError::NoMachines));
+        assert_eq!(Instance::new(vec![], 1, 1.0), Err(ModelError::BadAlpha { alpha: 1.0 }));
+        assert_eq!(
+            Instance::new(vec![j(0, 1.0, 0.0, 1.0), j(0, 1.0, 0.0, 2.0)], 1, 2.0),
+            Err(ModelError::DuplicateJobId { job: 0 })
+        );
+        assert!(matches!(
+            Instance::new(vec![j(0, f64::NAN, 0.0, 1.0)], 1, 2.0),
+            Err(ModelError::NotFinite { field: "work", .. })
+        ));
+    }
+
+    #[test]
+    fn empty_instance_is_allowed() {
+        let inst = Instance::new(vec![], 2, 2.0).unwrap();
+        assert!(inst.is_empty());
+        assert_eq!(inst.total_work(), 0.0);
+        assert_eq!(inst.horizon(), None);
+        assert!(inst.is_agreeable());
+        assert!(inst.is_uniform_work(Tol::default()));
+    }
+
+    #[test]
+    fn lookup_and_aggregates() {
+        let inst =
+            Instance::new(vec![j(5, 1.0, 0.0, 2.0), j(9, 3.0, 1.0, 2.0)], 3, 2.5).unwrap();
+        assert_eq!(inst.index_of(JobId(9)), Some(1));
+        assert_eq!(inst.job_by_id(JobId(5)).unwrap().work, 1.0);
+        assert_eq!(inst.job_by_id(JobId(7)), None);
+        assert_eq!(inst.total_work(), 4.0);
+        assert_eq!(inst.max_density(), 3.0); // job 9: 3/(2-1)
+        assert_eq!(inst.horizon(), Some((0.0, 2.0)));
+    }
+
+    #[test]
+    fn agreeable_detection() {
+        // Agreeable: releases and deadlines sorted together.
+        let a = Instance::new(
+            vec![j(0, 1.0, 0.0, 2.0), j(1, 1.0, 1.0, 3.0), j(2, 1.0, 1.0, 2.5)],
+            1,
+            2.0,
+        )
+        .unwrap();
+        assert!(a.is_agreeable());
+
+        // Not agreeable: later release, earlier deadline (nested windows).
+        let b = Instance::new(
+            vec![j(0, 1.0, 0.0, 10.0), j(1, 1.0, 2.0, 3.0)],
+            1,
+            2.0,
+        )
+        .unwrap();
+        assert!(!b.is_agreeable());
+    }
+
+    #[test]
+    fn uniform_work_detection() {
+        let u = Instance::new(vec![j(0, 2.0, 0.0, 1.0), j(1, 2.0, 0.0, 2.0)], 1, 2.0).unwrap();
+        assert!(u.is_uniform_work(Tol::default()));
+        let v = Instance::new(vec![j(0, 2.0, 0.0, 1.0), j(1, 1.0, 0.0, 2.0)], 1, 2.0).unwrap();
+        assert!(!v.is_uniform_work(Tol::default()));
+    }
+
+    #[test]
+    fn release_order_breaks_ties_deterministically() {
+        let inst = Instance::new(
+            vec![j(2, 1.0, 0.0, 3.0), j(1, 1.0, 0.0, 2.0), j(0, 1.0, 0.0, 2.0)],
+            1,
+            2.0,
+        )
+        .unwrap();
+        let order = inst.release_order();
+        // Same release: deadline then id ordering => job 0 (d=2), job 1 (d=2), job 2 (d=3).
+        let ids: Vec<u32> = order.iter().map(|&i| inst.job(i).id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn transforms() {
+        let inst = Instance::new(vec![j(0, 1.0, 0.0, 2.0), j(1, 2.0, 1.0, 4.0)], 2, 2.0).unwrap();
+        let clamped = inst.clamp_deadlines(3.0).unwrap();
+        assert_eq!(clamped.job(0).deadline, 2.0);
+        assert_eq!(clamped.job(1).deadline, 3.0);
+        assert!(inst.clamp_deadlines(0.5).is_err()); // job 1 window empties
+
+        let scaled = inst.scale_works(3.0).unwrap();
+        assert_eq!(scaled.job(1).work, 6.0);
+        let stretched = inst.scale_time(2.0).unwrap();
+        assert_eq!(stretched.job(1).release, 2.0);
+        assert_eq!(stretched.job(1).deadline, 8.0);
+
+        assert_eq!(inst.with_machines(5).unwrap().machines(), 5);
+        assert_eq!(inst.with_alpha(3.0).unwrap().alpha(), 3.0);
+    }
+
+    #[test]
+    fn subset_keeps_selected_jobs() {
+        let inst = Instance::new(
+            vec![j(0, 1.0, 0.0, 1.0), j(1, 2.0, 0.0, 2.0), j(2, 3.0, 0.0, 3.0)],
+            2,
+            2.0,
+        )
+        .unwrap();
+        let sub = inst.subset(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.job(0).id, JobId(2));
+        assert_eq!(sub.job(1).id, JobId(0));
+    }
+}

@@ -1,0 +1,293 @@
+//! The canonical decomposition of the time axis.
+//!
+//! Let `T = {t_0 < t_1 < ... < t_L}` be the sorted set of all release dates
+//! and deadlines. The *elementary intervals* are `I_j = [t_{j-1}, t_j]`.
+//! Inside an elementary interval the alive set `A(j)` (jobs whose span
+//! contains `I_j`) is constant, which is what makes flow formulations and
+//! KKT bookkeeping finite. [`IntervalSet`] materializes the decomposition and
+//! both directions of the alive relation.
+
+use crate::job::Job;
+use crate::Time;
+
+/// Sorted, deduplicated breakpoints of the time axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    points: Vec<Time>,
+}
+
+impl Timeline {
+    /// Breakpoints of a job set: all releases and deadlines, sorted, exact
+    /// duplicates removed. (Values that differ only by floating noise are kept
+    /// distinct — generators in this workspace produce exact breakpoints.)
+    pub fn from_jobs(jobs: &[Job]) -> Self {
+        let mut points: Vec<Time> = Vec::with_capacity(2 * jobs.len());
+        for j in jobs {
+            points.push(j.release);
+            points.push(j.deadline);
+        }
+        points.sort_by(f64::total_cmp);
+        points.dedup();
+        Timeline { points }
+    }
+
+    /// The breakpoints.
+    #[inline]
+    pub fn points(&self) -> &[Time] {
+        &self.points
+    }
+
+    /// Number of elementary intervals (`L = points - 1`, or 0).
+    #[inline]
+    pub fn num_intervals(&self) -> usize {
+        self.points.len().saturating_sub(1)
+    }
+}
+
+/// The elementary intervals of a job set together with alive sets in both
+/// directions (`interval -> jobs` and `job -> intervals`).
+///
+/// Job indices refer to positions in the slice the set was built from (which
+/// for [`crate::Instance`]-derived sets is the instance's internal indexing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalSet {
+    starts: Vec<Time>,
+    ends: Vec<Time>,
+    /// `alive[j]` = indices of jobs alive throughout interval `j`, ascending.
+    alive: Vec<Vec<usize>>,
+    /// `intervals_of[i]` = indices of intervals inside job `i`'s span, ascending.
+    intervals_of: Vec<Vec<usize>>,
+}
+
+impl IntervalSet {
+    /// Build the decomposition for a job slice.
+    pub fn from_jobs(jobs: &[Job]) -> Self {
+        Self::from_jobs_with_points(jobs, &[])
+    }
+
+    /// Build the decomposition with additional breakpoints (e.g. machine
+    /// downtime boundaries): extra points strictly inside the horizon split
+    /// the elementary intervals further; points outside are ignored.
+    pub fn from_jobs_with_points(jobs: &[Job], extra: &[Time]) -> Self {
+        let timeline = Timeline::from_jobs(jobs);
+        let mut points: Vec<Time> = timeline.points().to_vec();
+        if let (Some(&lo), Some(&hi)) = (points.first(), points.last()) {
+            for &p in extra {
+                if p > lo && p < hi {
+                    points.push(p);
+                }
+            }
+            points.sort_by(f64::total_cmp);
+            points.dedup();
+        }
+        let pts: &[Time] = &points;
+        let l = pts.len().saturating_sub(1);
+        let mut starts = Vec::with_capacity(l);
+        let mut ends = Vec::with_capacity(l);
+        let mut alive: Vec<Vec<usize>> = vec![Vec::new(); l];
+        let mut intervals_of: Vec<Vec<usize>> = vec![Vec::new(); jobs.len()];
+        for j in 0..l {
+            starts.push(pts[j]);
+            ends.push(pts[j + 1]);
+        }
+        // A job's span is a contiguous run of elementary intervals; find the
+        // run with binary search rather than scanning all L intervals per job.
+        for (i, job) in jobs.iter().enumerate() {
+            let first = match pts.binary_search_by(|p| p.total_cmp(&job.release)) {
+                Ok(k) => k,
+                Err(_) => unreachable!("release is a breakpoint by construction"),
+            };
+            let last = match pts.binary_search_by(|p| p.total_cmp(&job.deadline)) {
+                Ok(k) => k,
+                Err(_) => unreachable!("deadline is a breakpoint by construction"),
+            };
+            for j in first..last {
+                alive[j].push(i);
+                intervals_of[i].push(j);
+            }
+        }
+        IntervalSet { starts, ends, alive, intervals_of }
+    }
+
+    /// Number of elementary intervals `L`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// `true` when there are no intervals (empty job set).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Bounds `[start, end]` of interval `j`.
+    #[inline]
+    pub fn bounds(&self, j: usize) -> (Time, Time) {
+        (self.starts[j], self.ends[j])
+    }
+
+    /// Start of interval `j`.
+    #[inline]
+    pub fn start(&self, j: usize) -> Time {
+        self.starts[j]
+    }
+
+    /// End of interval `j`.
+    #[inline]
+    pub fn end(&self, j: usize) -> Time {
+        self.ends[j]
+    }
+
+    /// Length `|I_j|`.
+    #[inline]
+    pub fn length(&self, j: usize) -> Time {
+        self.ends[j] - self.starts[j]
+    }
+
+    /// Jobs alive throughout interval `j` (ascending job indices).
+    #[inline]
+    pub fn alive(&self, j: usize) -> &[usize] {
+        &self.alive[j]
+    }
+
+    /// Intervals covered by job `i`'s span (ascending interval indices).
+    #[inline]
+    pub fn intervals_of(&self, i: usize) -> &[usize] {
+        &self.intervals_of[i]
+    }
+
+    /// Index of the elementary interval containing instant `t`, choosing the
+    /// interval that *starts* at `t` when `t` is a breakpoint (the final
+    /// breakpoint maps to the last interval). `None` outside the horizon.
+    pub fn interval_at(&self, t: Time) -> Option<usize> {
+        if self.is_empty() || t < self.starts[0] || t > *self.ends.last().unwrap() {
+            return None;
+        }
+        match self.starts.binary_search_by(|s| s.total_cmp(&t)) {
+            Ok(j) => Some(j),
+            Err(0) => None,
+            Err(k) => {
+                let j = k - 1;
+                if t <= self.ends[j] {
+                    Some(j)
+                } else {
+                    Some(j + 1).filter(|&jj| jj < self.len())
+                }
+            }
+        }
+    }
+
+    /// Total processor-time capacity `m * |I_j|` summed over all intervals —
+    /// handy upper bound in sanity checks.
+    pub fn total_capacity(&self, machines: usize) -> Time {
+        (0..self.len()).map(|j| self.length(j)).sum::<Time>() * machines as Time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+
+    fn jobs3() -> Vec<Job> {
+        vec![
+            Job::new(0, 1.0, 0.0, 4.0),
+            Job::new(1, 1.0, 1.0, 2.0),
+            Job::new(2, 1.0, 2.0, 5.0),
+        ]
+    }
+
+    #[test]
+    fn timeline_sorts_and_dedups() {
+        let t = Timeline::from_jobs(&jobs3());
+        assert_eq!(t.points(), &[0.0, 1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(t.num_intervals(), 4);
+    }
+
+    #[test]
+    fn timeline_of_empty_set() {
+        let t = Timeline::from_jobs(&[]);
+        assert_eq!(t.num_intervals(), 0);
+        let s = IntervalSet::from_jobs(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.interval_at(0.0), None);
+    }
+
+    #[test]
+    fn alive_sets_match_definition() {
+        let jobs = jobs3();
+        let s = IntervalSet::from_jobs(&jobs);
+        assert_eq!(s.len(), 4);
+        // I_0=[0,1]: only job 0. I_1=[1,2]: jobs 0,1. I_2=[2,4]: jobs 0,2.
+        // I_3=[4,5]: job 2.
+        assert_eq!(s.alive(0), &[0]);
+        assert_eq!(s.alive(1), &[0, 1]);
+        assert_eq!(s.alive(2), &[0, 2]);
+        assert_eq!(s.alive(3), &[2]);
+        assert_eq!(s.intervals_of(0), &[0, 1, 2]);
+        assert_eq!(s.intervals_of(1), &[1]);
+        assert_eq!(s.intervals_of(2), &[2, 3]);
+    }
+
+    #[test]
+    fn alive_is_consistent_both_directions() {
+        let jobs = jobs3();
+        let s = IntervalSet::from_jobs(&jobs);
+        for j in 0..s.len() {
+            for &i in s.alive(j) {
+                assert!(s.intervals_of(i).contains(&j));
+                let (a, b) = s.bounds(j);
+                assert!(jobs[i].alive_during(a, b));
+            }
+        }
+        for (i, job) in jobs.iter().enumerate() {
+            // Span is exactly covered by its intervals.
+            let covered: f64 = s.intervals_of(i).iter().map(|&j| s.length(j)).sum();
+            assert!((covered - job.span()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lengths_and_bounds() {
+        let s = IntervalSet::from_jobs(&jobs3());
+        assert_eq!(s.bounds(2), (2.0, 4.0));
+        assert_eq!(s.length(2), 2.0);
+        assert_eq!(s.start(3), 4.0);
+        assert_eq!(s.end(3), 5.0);
+        assert!((s.total_capacity(3) - 15.0).abs() < 1e-12); // 5.0 horizon * 3
+    }
+
+    #[test]
+    fn interval_at_lookup() {
+        let s = IntervalSet::from_jobs(&jobs3());
+        assert_eq!(s.interval_at(0.5), Some(0));
+        assert_eq!(s.interval_at(1.0), Some(1)); // breakpoint -> starting interval
+        assert_eq!(s.interval_at(3.9), Some(2));
+        assert_eq!(s.interval_at(5.0), Some(3)); // final breakpoint -> last interval
+        assert_eq!(s.interval_at(-0.1), None);
+        assert_eq!(s.interval_at(5.1), None);
+    }
+
+    #[test]
+    fn extra_points_split_intervals() {
+        let jobs = vec![Job::new(0, 1.0, 0.0, 4.0)];
+        let s = IntervalSet::from_jobs_with_points(&jobs, &[1.0, 2.5, -3.0, 9.0, 2.5]);
+        // Outside-horizon and duplicate points ignored: [0,1],[1,2.5],[2.5,4].
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.bounds(1), (1.0, 2.5));
+        // The job is alive in all three pieces.
+        assert_eq!(s.intervals_of(0), &[0, 1, 2]);
+        // Span coverage unchanged.
+        let covered: f64 = (0..s.len()).map(|j| s.length(j)).sum();
+        assert!((covered - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_breakpoints_collapse() {
+        let jobs = vec![Job::new(0, 1.0, 0.0, 1.0), Job::new(1, 1.0, 0.0, 1.0)];
+        let s = IntervalSet::from_jobs(&jobs);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.alive(0), &[0, 1]);
+    }
+}

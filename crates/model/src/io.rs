@@ -1,0 +1,143 @@
+//! A small line-oriented text format for instances.
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! machines 4
+//! alpha 2.0
+//! job 0 1.5 0.0 3.0     # job <id> <work> <release> <deadline>
+//! job 1 2.0 1.0 4.0
+//! ```
+//!
+//! The format exists so examples and the experiment CLI can persist workloads
+//! without pulling serialization dependencies into the tree. Emission is
+//! round-trip exact: numbers are printed with enough digits (`{:?}` / Ryū) to
+//! reparse to the identical `f64`.
+
+use crate::error::ModelError;
+use crate::instance::Instance;
+use crate::job::Job;
+
+/// Serialize an instance to the text format.
+pub fn emit(instance: &Instance) -> String {
+    let mut out = String::new();
+    out.push_str("# speedscale instance v1\n");
+    out.push_str(&format!("machines {}\n", instance.machines()));
+    out.push_str(&format!("alpha {:?}\n", instance.alpha()));
+    for j in instance.jobs() {
+        out.push_str(&format!(
+            "job {} {:?} {:?} {:?}\n",
+            j.id.0, j.work, j.release, j.deadline
+        ));
+    }
+    out
+}
+
+/// Parse the text format. Defaults: `machines 1`, `alpha 2.0` when the
+/// directives are absent. Unknown directives are errors (typos should not be
+/// silently ignored in experiment configs).
+pub fn parse(text: &str) -> Result<Instance, ModelError> {
+    let mut machines: usize = 1;
+    let mut alpha: f64 = 2.0;
+    let mut jobs: Vec<Job> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let head = parts.next().unwrap();
+        let err = |message: String| ModelError::Parse { line: lineno + 1, message };
+        match head {
+            "machines" => {
+                let v = parts
+                    .next()
+                    .ok_or_else(|| err("machines needs a value".into()))?;
+                machines = v
+                    .parse()
+                    .map_err(|_| err(format!("bad machine count '{v}'")))?;
+            }
+            "alpha" => {
+                let v = parts.next().ok_or_else(|| err("alpha needs a value".into()))?;
+                alpha = v.parse().map_err(|_| err(format!("bad alpha '{v}'")))?;
+            }
+            "job" => {
+                let fields: Vec<&str> = parts.collect();
+                if fields.len() != 4 {
+                    return Err(err(format!(
+                        "job needs 4 fields (id work release deadline), got {}",
+                        fields.len()
+                    )));
+                }
+                let id: u32 =
+                    fields[0].parse().map_err(|_| err(format!("bad job id '{}'", fields[0])))?;
+                let nums: Result<Vec<f64>, _> =
+                    fields[1..].iter().map(|f| f.parse::<f64>()).collect();
+                let nums = nums.map_err(|_| err("bad numeric field in job line".into()))?;
+                jobs.push(Job::new(id, nums[0], nums[1], nums[2]));
+            }
+            other => {
+                return Err(err(format!("unknown directive '{other}'")));
+            }
+        }
+    }
+    Instance::new(jobs, machines, alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let inst = Instance::new(
+            vec![
+                Job::new(0, 1.0 / 3.0, 0.1, 2.7),
+                Job::new(1, 2.0, 1e-3, 4.0),
+                Job::new(7, 0.123456789012345, 0.0, 1.0),
+            ],
+            4,
+            2.5,
+        )
+        .unwrap();
+        let text = emit(&inst);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn parses_comments_defaults_and_whitespace() {
+        let text = "\n# header\n  job 3 1.0 0.0 2.0  # trailing comment\n\n";
+        let inst = parse(text).unwrap();
+        assert_eq!(inst.machines(), 1);
+        assert_eq!(inst.alpha(), 2.0);
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst.job(0).id.0, 3);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(matches!(parse("machines"), Err(ModelError::Parse { line: 1, .. })));
+        assert!(matches!(parse("job 0 1.0 0.0"), Err(ModelError::Parse { .. })));
+        assert!(matches!(parse("job x 1.0 0.0 2.0"), Err(ModelError::Parse { .. })));
+        assert!(matches!(parse("frobnicate 3"), Err(ModelError::Parse { .. })));
+        assert!(matches!(parse("alpha banana"), Err(ModelError::Parse { .. })));
+    }
+
+    #[test]
+    fn semantic_errors_bubble_up() {
+        // Parses fine but violates model invariants (work <= 0).
+        assert!(matches!(
+            parse("job 0 -1.0 0.0 2.0"),
+            Err(ModelError::NonPositiveWork { .. })
+        ));
+    }
+
+    #[test]
+    fn directive_order_is_free() {
+        let text = "job 0 1.0 0.0 2.0\nmachines 3\nalpha 1.5\n";
+        let inst = parse(text).unwrap();
+        assert_eq!(inst.machines(), 3);
+        assert_eq!(inst.alpha(), 1.5);
+    }
+}

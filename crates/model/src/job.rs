@@ -1,0 +1,118 @@
+//! Jobs: the unit of work in every problem variant.
+
+use crate::Time;
+
+/// Identifier of a job. Ids are small integers chosen by the caller; an
+/// [`crate::Instance`] requires them to be unique but not contiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u32);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+impl From<u32> for JobId {
+    fn from(v: u32) -> Self {
+        JobId(v)
+    }
+}
+
+/// A job with processing requirement (*work*) `w`, release date `r` and
+/// deadline `d`. The job may only run inside its *span* `[r, d]`, and running
+/// it at speed `s` for time `t` completes `s·t` units of work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Job {
+    /// Caller-chosen unique id.
+    pub id: JobId,
+    /// Processing requirement `w > 0` (work, sometimes called volume).
+    pub work: f64,
+    /// Release date `r`.
+    pub release: Time,
+    /// Deadline `d > r`.
+    pub deadline: Time,
+}
+
+impl Job {
+    /// Construct a job. Invariants are *not* checked here — they are enforced
+    /// when the job enters an [`crate::Instance`] — so tests can build
+    /// deliberately broken jobs.
+    pub fn new(id: u32, work: f64, release: Time, deadline: Time) -> Self {
+        Job { id: JobId(id), work, release, deadline }
+    }
+
+    /// Length of the feasible window `d - r`.
+    #[inline]
+    pub fn span(&self) -> Time {
+        self.deadline - self.release
+    }
+
+    /// Density `w / (d - r)`: the minimum constant speed at which the job can
+    /// be completed inside its own window (and thus a lower bound on its speed
+    /// in *any* feasible schedule).
+    #[inline]
+    pub fn density(&self) -> f64 {
+        self.work / self.span()
+    }
+
+    /// Is instant `t` inside the job's span (closed interval)?
+    #[inline]
+    pub fn alive_at(&self, t: Time) -> bool {
+        self.release <= t && t <= self.deadline
+    }
+
+    /// Does the job's span contain the whole interval `[a, b]`?
+    #[inline]
+    pub fn alive_during(&self, a: Time, b: Time) -> bool {
+        self.release <= a && b <= self.deadline
+    }
+
+    /// Time needed to run the whole job at constant speed `s`.
+    #[inline]
+    pub fn duration_at(&self, s: f64) -> Time {
+        self.work / s
+    }
+
+    /// Laxity at speed `s`: slack between window length and execution time.
+    /// Negative laxity means speed `s` is infeasible even in isolation.
+    #[inline]
+    pub fn laxity_at(&self, s: f64) -> Time {
+        self.span() - self.duration_at(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_is_minimum_feasible_speed() {
+        let j = Job::new(0, 2.0, 1.0, 5.0);
+        assert!((j.density() - 0.5).abs() < 1e-15);
+        // At exactly density, the job fills its window.
+        assert!((j.duration_at(j.density()) - j.span()).abs() < 1e-12);
+        assert!(j.laxity_at(j.density()).abs() < 1e-12);
+        // Above density there is slack; below, negative laxity.
+        assert!(j.laxity_at(1.0) > 0.0);
+        assert!(j.laxity_at(0.25) < 0.0);
+    }
+
+    #[test]
+    fn alive_predicates() {
+        let j = Job::new(3, 1.0, 2.0, 4.0);
+        assert!(j.alive_at(2.0) && j.alive_at(4.0) && j.alive_at(3.0));
+        assert!(!j.alive_at(1.999) && !j.alive_at(4.001));
+        assert!(j.alive_during(2.5, 3.5));
+        assert!(j.alive_during(2.0, 4.0));
+        assert!(!j.alive_during(1.5, 3.0));
+        assert!(!j.alive_during(3.0, 4.5));
+    }
+
+    #[test]
+    fn job_id_display_and_ord() {
+        assert_eq!(JobId(12).to_string(), "j12");
+        assert!(JobId(1) < JobId(2));
+        assert_eq!(JobId::from(5u32), JobId(5));
+    }
+}

@@ -1,0 +1,171 @@
+//! ASCII rendering of schedules (Gantt charts and speed profiles).
+//!
+//! Debugging a scheduler from segment lists is miserable; these renderers
+//! draw fixed-width charts good enough for terminals, examples and test
+//! failure messages. Rendering is lossy by nature (time is quantized into
+//! character cells); all *judgments* about schedules belong to
+//! [`crate::Schedule::validate`], never to the renderer.
+
+use crate::schedule::Schedule;
+use crate::Time;
+use std::fmt::Write as _;
+
+/// Options for [`gantt`].
+#[derive(Debug, Clone, Copy)]
+pub struct GanttOptions {
+    /// Total character width of the time axis.
+    pub width: usize,
+    /// Render a per-machine speed track under each machine row.
+    pub show_speeds: bool,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions { width: 72, show_speeds: false }
+    }
+}
+
+/// Render a machine × time Gantt chart. Each machine gets one row; cells
+/// show the last hex digit of the job id occupying that time slot (`.` =
+/// idle, `#` = more than one job shares the cell after quantization).
+pub fn gantt(schedule: &Schedule, opts: GanttOptions) -> String {
+    let mut out = String::new();
+    if schedule.is_empty() {
+        return "(empty schedule)\n".to_string();
+    }
+    let t0 = schedule.segments().iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+    let t1 = schedule.makespan();
+    let span = (t1 - t0).max(1e-300);
+    let width = opts.width.max(8);
+    let cell = |t: Time| -> usize {
+        (((t - t0) / span) * width as f64).floor().min(width as f64 - 1.0).max(0.0) as usize
+    };
+
+    let _ = writeln!(out, "time [{t0:.3}, {t1:.3}] ({width} cells, {:.4}/cell)", span / width as f64);
+    for machine in 0..schedule.machines() {
+        let mut row = vec!['.'; width];
+        let mut speeds = vec![0.0f64; width];
+        for s in schedule.segments().iter().filter(|s| s.machine == machine) {
+            let (a, b) = (cell(s.start), cell(s.end - 1e-12 * span));
+            let glyph = char::from_digit((s.job.0 % 16) as u32, 16).unwrap_or('?');
+            for (k, slot) in row.iter_mut().enumerate().take(b + 1).skip(a) {
+                *slot = if *slot == '.' || *slot == glyph { glyph } else { '#' };
+                speeds[k] = speeds[k].max(s.speed);
+            }
+        }
+        let _ = writeln!(out, "m{machine:<2} |{}|", row.iter().collect::<String>());
+        if opts.show_speeds {
+            let peak = speeds.iter().copied().fold(0.0, f64::max).max(1e-300);
+            let track: String = speeds
+                .iter()
+                .map(|&v| {
+                    if v == 0.0 {
+                        ' '
+                    } else {
+                        // 8-level block ramp.
+                        const RAMP: [char; 8] =
+                            ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+                        RAMP[((v / peak) * 7.0).round() as usize]
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "    |{track}| speed (peak {peak:.3})");
+        }
+    }
+    out
+}
+
+/// Render the aggregate speed profile (total speed across machines over
+/// time) as a one-line sparkline plus summary stats.
+pub fn speed_sparkline(schedule: &Schedule, width: usize) -> String {
+    if schedule.is_empty() {
+        return "(empty schedule)".to_string();
+    }
+    let t0 = schedule.segments().iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+    let t1 = schedule.makespan();
+    let span = (t1 - t0).max(1e-300);
+    let width = width.max(4);
+    let mut total = vec![0.0f64; width];
+    for s in schedule.segments() {
+        let a = (((s.start - t0) / span) * width as f64).floor() as usize;
+        let b = (((s.end - t0) / span) * width as f64).ceil() as usize;
+        for slot in total.iter_mut().take(b.min(width)).skip(a.min(width - 1)) {
+            *slot += s.speed;
+        }
+    }
+    let peak = total.iter().copied().fold(0.0, f64::max).max(1e-300);
+    const RAMP: [char; 8] =
+        ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    let line: String = total
+        .iter()
+        .map(|&v| if v == 0.0 { ' ' } else { RAMP[((v / peak) * 7.0).round() as usize] })
+        .collect();
+    format!("|{line}| total speed, peak {peak:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JobId, Schedule};
+
+    fn sample() -> Schedule {
+        let mut s = Schedule::new(2);
+        s.run(JobId(0), 0, 0.0, 2.0, 1.0);
+        s.run(JobId(1), 1, 1.0, 3.0, 2.0);
+        s.run(JobId(2), 0, 2.5, 4.0, 0.5);
+        s
+    }
+
+    #[test]
+    fn empty_schedule_renders_placeholder() {
+        let s = Schedule::new(2);
+        assert!(gantt(&s, Default::default()).contains("empty"));
+        assert!(speed_sparkline(&s, 40).contains("empty"));
+    }
+
+    #[test]
+    fn rows_match_machines_and_jobs_appear() {
+        let out = gantt(&sample(), Default::default());
+        assert!(out.contains("m0 "));
+        assert!(out.contains("m1 "));
+        assert!(out.contains('0'), "job 0 glyph missing:\n{out}");
+        assert!(out.contains('1'));
+        assert!(out.contains('2'));
+        // Idle time exists on both machines.
+        assert!(out.contains('.'));
+    }
+
+    #[test]
+    fn width_is_respected() {
+        let out = gantt(&sample(), GanttOptions { width: 40, show_speeds: false });
+        for line in out.lines().skip(1) {
+            // "mX |....|" → 40 cells between the pipes.
+            let inner = line.split('|').nth(1).unwrap();
+            assert_eq!(inner.chars().count(), 40, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn speed_track_appears_on_request() {
+        let out = gantt(&sample(), GanttOptions { width: 32, show_speeds: true });
+        assert!(out.contains("speed (peak"));
+    }
+
+    #[test]
+    fn sparkline_has_requested_width() {
+        let line = speed_sparkline(&sample(), 24);
+        let inner = line.split('|').nth(1).unwrap();
+        assert_eq!(inner.chars().count(), 24);
+        assert!(line.contains("peak"));
+    }
+
+    #[test]
+    fn overlap_marker_for_shared_cells() {
+        // Two different jobs in the same quantized cell on one machine.
+        let mut s = Schedule::new(1);
+        s.run(JobId(1), 0, 0.0, 0.001, 1.0);
+        s.run(JobId(2), 0, 0.001, 1000.0, 1.0);
+        let out = gantt(&s, GanttOptions { width: 10, show_speeds: false });
+        assert!(out.contains('#') || out.contains('2'));
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-job constant speed assignments.
+//!
+//! By convexity of `s^alpha` there is always an optimal schedule in which
+//! every job runs at a single constant speed, so most algorithms in this
+//! workspace first decide *speeds* and only then materialize segments. A
+//! [`SpeedAssignment`] is that intermediate: `speeds[i]` belongs to the job at
+//! internal index `i` of the instance it was computed for.
+
+use crate::instance::Instance;
+use crate::numeric::{energy_of, Tol};
+
+/// Constant speeds, indexed like `Instance::jobs()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedAssignment {
+    speeds: Vec<f64>,
+}
+
+impl SpeedAssignment {
+    /// Wrap a speed vector (length must match the instance it refers to;
+    /// checked at use sites via [`SpeedAssignment::energy`] etc.).
+    pub fn new(speeds: Vec<f64>) -> Self {
+        SpeedAssignment { speeds }
+    }
+
+    /// All speeds.
+    #[inline]
+    pub fn speeds(&self) -> &[f64] {
+        &self.speeds
+    }
+
+    /// Speed of job at internal index `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.speeds[i]
+    }
+
+    /// Overwrite the speed of job `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, s: f64) {
+        self.speeds[i] = s;
+    }
+
+    /// Number of jobs covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// `true` when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.speeds.is_empty()
+    }
+
+    /// Total energy `Σ w_i · s_i^(alpha-1)` — the convex-program objective.
+    pub fn energy(&self, instance: &Instance) -> f64 {
+        assert_eq!(self.speeds.len(), instance.len(), "assignment/instance length mismatch");
+        instance
+            .jobs()
+            .iter()
+            .zip(&self.speeds)
+            .map(|(j, &s)| energy_of(j.work, s, instance.alpha()))
+            .sum()
+    }
+
+    /// Processing time of each job at its assigned speed: `w_i / s_i`.
+    pub fn processing_times(&self, instance: &Instance) -> Vec<f64> {
+        assert_eq!(self.speeds.len(), instance.len(), "assignment/instance length mismatch");
+        instance.jobs().iter().zip(&self.speeds).map(|(j, &s)| j.work / s).collect()
+    }
+
+    /// Fastest assigned speed (0 when empty).
+    pub fn max_speed(&self) -> f64 {
+        self.speeds.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Slowest assigned speed (+inf when empty).
+    pub fn min_speed(&self) -> f64 {
+        self.speeds.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Every feasible assignment must run each job at least at its density
+    /// (otherwise the job cannot fit in its own window). Tolerant check used
+    /// as a cheap sanity screen before expensive feasibility tests.
+    pub fn respects_densities(&self, instance: &Instance, tol: Tol) -> bool {
+        assert_eq!(self.speeds.len(), instance.len(), "assignment/instance length mismatch");
+        instance
+            .jobs()
+            .iter()
+            .zip(&self.speeds)
+            .all(|(j, &s)| tol.ge(s, j.density()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+
+    fn inst() -> Instance {
+        Instance::new(
+            vec![Job::new(0, 2.0, 0.0, 2.0), Job::new(1, 3.0, 0.0, 3.0)],
+            1,
+            3.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn energy_matches_objective() {
+        let a = SpeedAssignment::new(vec![2.0, 1.0]);
+        // alpha = 3: E = 2*2^2 + 3*1^2 = 11.
+        assert!((a.energy(&inst()) - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn processing_times_divide_work_by_speed() {
+        let a = SpeedAssignment::new(vec![2.0, 1.5]);
+        assert_eq!(a.processing_times(&inst()), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn extremes() {
+        let a = SpeedAssignment::new(vec![2.0, 0.5]);
+        assert_eq!(a.max_speed(), 2.0);
+        assert_eq!(a.min_speed(), 0.5);
+        let e = SpeedAssignment::new(vec![]);
+        assert_eq!(e.max_speed(), 0.0);
+        assert_eq!(e.min_speed(), f64::INFINITY);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn density_screen() {
+        // densities: 1.0 and 1.0.
+        let ok = SpeedAssignment::new(vec![1.0, 1.2]);
+        assert!(ok.respects_densities(&inst(), Tol::default()));
+        let bad = SpeedAssignment::new(vec![0.9, 1.2]);
+        assert!(!bad.respects_densities(&inst(), Tol::default()));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        SpeedAssignment::new(vec![1.0]).energy(&inst());
+    }
+}

@@ -1,0 +1,165 @@
+//! SVG rendering of schedules — publication-quality counterpart of the
+//! ASCII charts in [`crate::render`].
+//!
+//! The output is a self-contained `<svg>` document: one horizontal lane per
+//! machine, one rectangle per segment, fill lightness encoding speed
+//! (darker = faster), with a time axis and an optional per-job hue. No
+//! external crates; the builder emits plain strings and escapes everything
+//! that needs escaping.
+
+use crate::schedule::Schedule;
+use std::fmt::Write as _;
+
+/// Options for [`svg_gantt`].
+#[derive(Debug, Clone, Copy)]
+pub struct SvgOptions {
+    /// Total document width in pixels.
+    pub width: u32,
+    /// Lane height per machine in pixels.
+    pub lane_height: u32,
+    /// Color segments by job id hue (otherwise all lanes share one hue).
+    pub color_by_job: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions { width: 960, lane_height: 36, color_by_job: true }
+    }
+}
+
+/// Render the schedule as an SVG document string.
+pub fn svg_gantt(schedule: &Schedule, opts: SvgOptions) -> String {
+    let machines = schedule.machines().max(1);
+    let margin = 40.0;
+    let axis_height = 24.0;
+    let lane_h = opts.lane_height as f64;
+    let width = opts.width as f64;
+    let height = machines as f64 * (lane_h + 8.0) + axis_height + 16.0;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="monospace" font-size="11">"#,
+        w = width,
+        h = height
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+
+    if schedule.is_empty() {
+        let _ = writeln!(out, r#"<text x="{margin}" y="24">empty schedule</text>"#);
+        out.push_str("</svg>\n");
+        return out;
+    }
+
+    let t0 = schedule.segments().iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+    let t1 = schedule.makespan();
+    let span = (t1 - t0).max(1e-300);
+    let plot_w = width - 2.0 * margin;
+    let x_of = |t: f64| margin + (t - t0) / span * plot_w;
+    let peak_speed = schedule.segments().iter().map(|s| s.speed).fold(0.0, f64::max).max(1e-300);
+
+    // Lanes.
+    for m in 0..machines {
+        let y = 8.0 + m as f64 * (lane_h + 8.0);
+        let _ = writeln!(
+            out,
+            r##"<rect x="{margin}" y="{y}" width="{plot_w}" height="{lane_h}" fill="#f2f2f2"/>"##
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="4" y="{ty}">m{m}</text>"#,
+            ty = y + lane_h / 2.0 + 4.0
+        );
+    }
+
+    // Segments.
+    for seg in schedule.segments() {
+        let y = 8.0 + seg.machine as f64 * (lane_h + 8.0);
+        let x = x_of(seg.start);
+        let w = (x_of(seg.end) - x).max(0.5);
+        let hue = if opts.color_by_job { (seg.job.0 as u64 * 47) % 360 } else { 210 };
+        // Faster => darker (lower lightness), floor at 30%.
+        let lightness = 80.0 - 50.0 * (seg.speed / peak_speed);
+        let _ = writeln!(
+            out,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{lane_h}" fill="hsl({hue},70%,{lightness:.0}%)" stroke="white" stroke-width="0.5"><title>{title}</title></rect>"#,
+            title = format!(
+                "{} on m{}: [{:.4}, {:.4}] at speed {:.4}",
+                seg.job, seg.machine, seg.start, seg.end, seg.speed
+            ),
+        );
+    }
+
+    // Time axis with ~8 ticks.
+    let axis_y = 8.0 + machines as f64 * (lane_h + 8.0) + 12.0;
+    let _ = writeln!(
+        out,
+        r#"<line x1="{margin}" y1="{axis_y}" x2="{x2}" y2="{axis_y}" stroke="black"/>"#,
+        x2 = margin + plot_w
+    );
+    for k in 0..=8 {
+        let t = t0 + span * k as f64 / 8.0;
+        let x = x_of(t);
+        let _ = writeln!(
+            out,
+            r#"<line x1="{x:.2}" y1="{axis_y}" x2="{x:.2}" y2="{y2}" stroke="black"/><text x="{x:.2}" y="{ty}" text-anchor="middle">{t:.2}</text>"#,
+            y2 = axis_y + 4.0,
+            ty = axis_y + 16.0
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JobId, Schedule};
+
+    fn sample() -> Schedule {
+        let mut s = Schedule::new(2);
+        s.run(JobId(0), 0, 0.0, 2.0, 1.0);
+        s.run(JobId(1), 1, 1.0, 3.0, 2.0);
+        s
+    }
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let svg = svg_gantt(&sample(), Default::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One background + 2 lanes + 2 segments = at least 5 rects.
+        assert!(svg.matches("<rect").count() >= 5);
+        // Tooltips carry the segment data.
+        assert!(svg.contains("j0 on m0"));
+        assert!(svg.contains("speed 2.0000"));
+    }
+
+    #[test]
+    fn empty_schedule_has_placeholder() {
+        let svg = svg_gantt(&Schedule::new(3), Default::default());
+        assert!(svg.contains("empty schedule"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn lane_count_matches_machines() {
+        let svg = svg_gantt(&sample(), Default::default());
+        assert!(svg.contains(">m0<"));
+        assert!(svg.contains(">m1<"));
+        assert!(!svg.contains(">m2<"));
+    }
+
+    #[test]
+    fn monochrome_mode() {
+        let svg = svg_gantt(&sample(), SvgOptions { color_by_job: false, ..Default::default() });
+        assert!(svg.contains("hsl(210,"));
+    }
+
+    #[test]
+    fn axis_ticks_cover_the_span() {
+        let svg = svg_gantt(&sample(), Default::default());
+        assert!(svg.contains(">0.00<"));
+        assert!(svg.contains(">3.00<"));
+    }
+}

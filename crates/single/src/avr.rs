@@ -1,0 +1,105 @@
+//! AVR — the Average Rate online heuristic (Yao, Demers, Shenker 1995).
+//!
+//! Every job is processed at exactly its density `den_i = w_i/(d_i - r_i)`
+//! spread uniformly over its span, so the processor speed at time `t` is
+//! `s(t) = Σ_{alive at t} den_i`. AVR is online (it needs only the jobs
+//! released so far) and `α^α · 2^(α-1)`-competitive against YDS.
+//!
+//! On one machine the profile is realized by time-multiplexing: inside each
+//! elementary interval every alive job receives a slice of length
+//! `den_i/s · |I|` at speed `s`.
+
+use ssp_model::numeric::pow_alpha;
+use ssp_model::{IntervalSet, Job, Schedule};
+
+/// Energy of the AVR profile: `Σ_intervals |I| · (Σ_alive den_i)^α`.
+pub fn avr_energy(jobs: &[Job], alpha: f64) -> f64 {
+    let ivals = IntervalSet::from_jobs(jobs);
+    let dens: Vec<f64> = jobs.iter().map(Job::density).collect();
+    (0..ivals.len())
+        .map(|j| {
+            let s: f64 = ivals.alive(j).iter().map(|&i| dens[i]).sum();
+            ivals.length(j) * pow_alpha(s, alpha)
+        })
+        .sum()
+}
+
+/// Materialize the AVR schedule on machine `machine` by slicing each
+/// elementary interval among the alive jobs proportionally to density.
+pub fn avr_schedule(jobs: &[Job], machine: usize) -> Schedule {
+    let ivals = IntervalSet::from_jobs(jobs);
+    let dens: Vec<f64> = jobs.iter().map(Job::density).collect();
+    let mut schedule = Schedule::new(machine + 1);
+    for j in 0..ivals.len() {
+        let alive = ivals.alive(j);
+        if alive.is_empty() {
+            continue;
+        }
+        let speed: f64 = alive.iter().map(|&i| dens[i]).sum();
+        let (start, _) = ivals.bounds(j);
+        let len = ivals.length(j);
+        let mut cursor = start;
+        for &i in alive {
+            let slice = len * dens[i] / speed;
+            schedule.run(jobs[i].id, machine, cursor, cursor + slice, speed);
+            cursor += slice;
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yds::yds;
+    use ssp_model::schedule::ValidationOptions;
+    use ssp_model::Instance;
+
+    #[test]
+    fn single_job_avr_equals_yds() {
+        // One job: AVR runs it at density — exactly optimal.
+        let jobs = vec![Job::new(0, 2.0, 0.0, 4.0)];
+        assert!((avr_energy(&jobs, 2.0) - yds(&jobs, 2.0).energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_jobs_avr_is_optimal() {
+        let jobs = vec![Job::new(0, 1.0, 0.0, 1.0), Job::new(1, 2.0, 2.0, 4.0)];
+        assert!((avr_energy(&jobs, 3.0) - yds(&jobs, 3.0).energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_makes_avr_suboptimal() {
+        // Two identical jobs [0,2], w=1 each. AVR: speed 1 on [0,2],
+        // E = 2 * 1^2 = 2 — here actually optimal too (YDS gives the same).
+        // Use staggered windows instead where AVR wastes energy:
+        // job0 [0,2] w=2, job1 [1,3] w=2 => AVR speed 1,2,1 on unit pieces:
+        // E(alpha=2) = 1 + 4 + 1 = 6. OPT is speed 4/3 everywhere: E = 16/3.
+        let jobs = vec![Job::new(0, 2.0, 0.0, 2.0), Job::new(1, 2.0, 1.0, 3.0)];
+        let e_avr = avr_energy(&jobs, 2.0);
+        assert!((e_avr - 6.0).abs() < 1e-12);
+        let e_opt = yds(&jobs, 2.0).energy;
+        assert!((e_opt - 16.0 / 3.0).abs() < 1e-9);
+        assert!(e_avr > e_opt);
+    }
+
+    #[test]
+    fn schedule_matches_profile_energy_and_validates() {
+        let jobs = vec![
+            Job::new(0, 2.0, 0.0, 2.0),
+            Job::new(1, 2.0, 1.0, 3.0),
+            Job::new(2, 0.5, 0.5, 2.5),
+        ];
+        let alpha = 2.2;
+        let s = avr_schedule(&jobs, 0);
+        let inst = Instance::new(jobs, 1, alpha).unwrap();
+        let stats = s.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+        assert!((stats.energy - avr_energy(inst.jobs(), alpha)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_jobs() {
+        assert_eq!(avr_energy(&[], 2.0), 0.0);
+        assert!(avr_schedule(&[], 0).is_empty());
+    }
+}

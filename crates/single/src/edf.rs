@@ -1,0 +1,200 @@
+//! Preemptive earliest-deadline-first execution with fixed processing times.
+//!
+//! Given jobs and per-job processing times `p_i` (already derived from chosen
+//! speeds, `p_i = w_i / s_i`), EDF is the canonical optimal single-machine
+//! policy: if *any* preemptive schedule meets all deadlines, EDF does. It is
+//! used to materialize explicit [`Schedule`]s once an algorithm has fixed
+//! speeds, and as a feasibility test inside the non-migratory assignment
+//! heuristics.
+
+use ssp_model::numeric::Tol;
+use ssp_model::{Job, Schedule};
+
+/// Event-driven preemptive EDF. Returns the explicit schedule on machine
+/// `machine` (each job's segments run at its implied constant speed
+/// `w_i / p_i`), or `None` if some deadline is missed.
+///
+/// `p` must be positive and aligned with `jobs`.
+pub fn edf_schedule(jobs: &[Job], p: &[f64], machine: usize) -> Option<Schedule> {
+    assert_eq!(jobs.len(), p.len(), "jobs/processing-times length mismatch");
+    let tol = Tol::default();
+    let mut schedule = Schedule::new(machine + 1);
+    if jobs.is_empty() {
+        return Some(schedule);
+    }
+    for (j, &pt) in jobs.iter().zip(p) {
+        assert!(pt > 0.0 && pt.is_finite(), "processing time of {} must be > 0", j.id);
+        // Quick reject: job longer than its own window (beyond tolerance).
+        if pt > j.span() + tol.margin(j.span()) {
+            return None;
+        }
+    }
+
+    // Jobs sorted by release; `next` walks this order as time advances.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| jobs[a].release.total_cmp(&jobs[b].release));
+
+    // Ready set: (deadline, index) min-heap via BinaryHeap of Reverse.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    #[derive(PartialEq)]
+    struct Key(f64, usize);
+    impl Eq for Key {}
+    impl PartialOrd for Key {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Key {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+        }
+    }
+    let mut ready: BinaryHeap<Reverse<Key>> = BinaryHeap::new();
+
+    let mut remaining: Vec<f64> = p.to_vec();
+    let speed: Vec<f64> = jobs.iter().zip(p).map(|(j, &pt)| j.work / pt).collect();
+    let mut next = 0usize;
+    let mut now = jobs[order[0]].release;
+
+    loop {
+        // Admit everything released by `now`.
+        while next < order.len() && jobs[order[next]].release <= now + tol.margin(now.abs()) {
+            let i = order[next];
+            ready.push(Reverse(Key(jobs[i].deadline, i)));
+            next += 1;
+        }
+        match ready.peek() {
+            None => {
+                if next >= order.len() {
+                    break; // all done
+                }
+                now = jobs[order[next]].release; // idle gap
+            }
+            Some(&Reverse(Key(_, i))) => {
+                // Run job i until completion or next release.
+                let finish = now + remaining[i];
+                let horizon = if next < order.len() {
+                    jobs[order[next]].release
+                } else {
+                    f64::INFINITY
+                };
+                let until = finish.min(horizon);
+                if until > now {
+                    schedule.run(jobs[i].id, machine, now, until, speed[i]);
+                    remaining[i] -= until - now;
+                }
+                now = until;
+                if remaining[i] <= tol.margin(p[i]) {
+                    // Completed: check the deadline.
+                    if now > jobs[i].deadline + tol.margin(jobs[i].deadline.abs().max(1.0)) {
+                        return None;
+                    }
+                    ready.pop();
+                    remaining[i] = 0.0;
+                } else if now > jobs[i].deadline + tol.margin(jobs[i].deadline.abs().max(1.0)) {
+                    return None; // still unfinished past its deadline
+                }
+            }
+        }
+    }
+    Some(schedule)
+}
+
+/// Feasibility-only wrapper: can the jobs with processing times `p` be
+/// EDF-scheduled on one machine?
+pub fn edf_feasible(jobs: &[Job], p: &[f64]) -> bool {
+    edf_schedule(jobs, p, 0).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_model::schedule::ValidationOptions;
+    use ssp_model::{Instance, JobId};
+
+    #[test]
+    fn empty_input_is_trivially_feasible() {
+        assert!(edf_feasible(&[], &[]));
+    }
+
+    #[test]
+    fn single_job_exact_fit() {
+        let jobs = vec![Job::new(0, 2.0, 1.0, 3.0)];
+        let s = edf_schedule(&jobs, &[2.0], 0).unwrap();
+        assert_eq!(s.len(), 1);
+        let seg = s.segments()[0];
+        assert_eq!((seg.start, seg.end), (1.0, 3.0));
+        assert!((seg.speed - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preempts_for_tighter_deadline() {
+        // Long job [0,10] p=6; short urgent job released at 2, deadline 4, p=2.
+        let jobs = vec![Job::new(0, 6.0, 0.0, 10.0), Job::new(1, 2.0, 2.0, 4.0)];
+        let s = edf_schedule(&jobs, &[6.0, 2.0], 0).unwrap();
+        // Job 1 must occupy [2,4].
+        let j1: Vec<_> = s.segments().iter().filter(|g| g.job == JobId(1)).collect();
+        assert_eq!(j1.len(), 1);
+        assert_eq!((j1[0].start, j1[0].end), (2.0, 4.0));
+        // Job 0 split around it.
+        let j0: Vec<_> = s.segments().iter().filter(|g| g.job == JobId(0)).collect();
+        assert_eq!(j0.len(), 2);
+        // Validate against the instance (speeds 1.0 each).
+        let inst = Instance::new(jobs, 1, 2.0).unwrap();
+        s.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+    }
+
+    #[test]
+    fn infeasible_when_overloaded() {
+        // Two unit-time jobs, same unit window.
+        let jobs = vec![Job::new(0, 1.0, 0.0, 1.0), Job::new(1, 1.0, 0.0, 1.0)];
+        assert!(!edf_feasible(&jobs, &[1.0, 1.0]));
+        // Feasible when each takes half the time.
+        assert!(edf_feasible(&jobs, &[0.5, 0.5]));
+    }
+
+    #[test]
+    fn infeasible_when_single_job_exceeds_window() {
+        let jobs = vec![Job::new(0, 1.0, 0.0, 1.0)];
+        assert!(!edf_feasible(&jobs, &[1.5]));
+    }
+
+    #[test]
+    fn idle_gaps_are_skipped() {
+        let jobs = vec![Job::new(0, 1.0, 0.0, 1.0), Job::new(1, 1.0, 5.0, 6.0)];
+        let s = edf_schedule(&jobs, &[1.0, 1.0], 0).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.segments()[0].end, 1.0);
+        assert_eq!(s.segments()[1].start, 5.0);
+    }
+
+    #[test]
+    fn ties_on_deadline_are_deterministic() {
+        let jobs = vec![Job::new(0, 1.0, 0.0, 2.0), Job::new(1, 1.0, 0.0, 2.0)];
+        let s = edf_schedule(&jobs, &[1.0, 1.0], 0).unwrap();
+        // Lower index wins the tie.
+        assert_eq!(s.segments()[0].job, JobId(0));
+        assert_eq!(s.segments()[1].job, JobId(1));
+    }
+
+    #[test]
+    fn respects_requested_machine_index() {
+        let jobs = vec![Job::new(0, 1.0, 0.0, 2.0)];
+        let s = edf_schedule(&jobs, &[1.0], 3).unwrap();
+        assert_eq!(s.segments()[0].machine, 3);
+    }
+
+    #[test]
+    fn classic_feasibility_boundary() {
+        // Three unit jobs with staggered unit windows on [0,3]: feasible at
+        // p=1 each, infeasible if any p grows.
+        let jobs = vec![
+            Job::new(0, 1.0, 0.0, 1.0),
+            Job::new(1, 1.0, 1.0, 2.0),
+            Job::new(2, 1.0, 2.0, 3.0),
+        ];
+        assert!(edf_feasible(&jobs, &[1.0, 1.0, 1.0]));
+        assert!(!edf_feasible(&jobs, &[1.0, 1.1, 1.0]));
+    }
+}

@@ -1,0 +1,155 @@
+//! OA — Optimal Available (Yao, Demers, Shenker 1995).
+//!
+//! At every scheduling event, OA computes the *optimal* schedule for the
+//! currently available (released, unfinished) work assuming nothing else
+//! arrives, and follows it until the next event. For work available at time
+//! `τ` (all of it released), the optimal plan is determined by prefix
+//! intensities: sort remaining jobs by deadline; the current speed is
+//! `max_k (Σ_{i<=k} rem_i) / (d_k − τ)` and the job served is the earliest
+//! deadline one. Events are releases and completions. OA is
+//! `α^α`-competitive.
+
+use ssp_model::numeric::Tol;
+use ssp_model::{Job, Schedule};
+
+/// Simulate OA and return the explicit schedule on machine `machine`.
+///
+/// OA never misses deadlines (its plan is feasible at every instant and
+/// replanning only ever adds work on release events, which the new plan
+/// absorbs); a deadline miss therefore indicates a bug and panics.
+pub fn oa_schedule(jobs: &[Job], alpha: f64, machine: usize) -> Schedule {
+    let _ = alpha; // the OA *policy* is alpha-independent; kept for symmetry
+    let tol = Tol::default();
+    let mut schedule = Schedule::new(machine + 1);
+    if jobs.is_empty() {
+        return schedule;
+    }
+
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| jobs[a].release.total_cmp(&jobs[b].release));
+    let mut remaining: Vec<f64> = jobs.iter().map(|j| j.work).collect();
+    let mut done: Vec<bool> = vec![false; jobs.len()];
+    let mut available: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    let mut now = jobs[order[0]].release;
+
+    loop {
+        while next < order.len() && jobs[order[next]].release <= now + tol.margin(now.abs()) {
+            available.push(order[next]);
+            next += 1;
+        }
+        available.retain(|&i| !done[i]);
+        if available.is_empty() {
+            if next >= order.len() {
+                break;
+            }
+            now = jobs[order[next]].release;
+            continue;
+        }
+        // Prefix-intensity plan over the available set.
+        available.sort_by(|&a, &b| jobs[a].deadline.total_cmp(&jobs[b].deadline));
+        let mut acc = 0.0;
+        let mut speed = 0.0;
+        for &i in &available {
+            acc += remaining[i];
+            let g = acc / (jobs[i].deadline - now);
+            if g > speed {
+                speed = g;
+            }
+        }
+        debug_assert!(speed > 0.0, "available nonempty ⇒ positive OA speed");
+        let current = available[0]; // earliest deadline
+        // Run until completion or the next release.
+        let completion = now + remaining[current] / speed;
+        let horizon =
+            if next < order.len() { jobs[order[next]].release } else { f64::INFINITY };
+        let until = completion.min(horizon);
+        if until > now {
+            schedule.run(jobs[current].id, machine, now, until, speed);
+            remaining[current] -= speed * (until - now);
+        }
+        now = until;
+        if remaining[current] <= tol.margin(jobs[current].work) {
+            assert!(
+                now <= jobs[current].deadline + tol.margin(jobs[current].deadline.abs().max(1.0)),
+                "OA missed a deadline — this is a bug"
+            );
+            done[current] = true;
+            remaining[current] = 0.0;
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yds::yds;
+    use ssp_model::schedule::ValidationOptions;
+    use ssp_model::Instance;
+
+    #[test]
+    fn single_job_oa_is_optimal() {
+        let jobs = vec![Job::new(0, 2.0, 1.0, 3.0)];
+        let s = oa_schedule(&jobs, 2.0, 0);
+        assert!((s.energy(2.0) - yds(&jobs, 2.0).energy).abs() < 1e-12);
+        // Runs exactly at density over the whole window.
+        assert_eq!(s.len(), 1);
+        assert!((s.segments()[0].speed - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oa_common_release_is_optimal() {
+        // All jobs available at once: OA's plan *is* the optimum and no new
+        // releases ever disturb it.
+        let jobs = vec![
+            Job::new(0, 1.0, 0.0, 1.0),
+            Job::new(1, 1.0, 0.0, 2.0),
+            Job::new(2, 1.0, 0.0, 4.0),
+        ];
+        let alpha = 2.0;
+        let e_oa = oa_schedule(&jobs, alpha, 0).energy(alpha);
+        let e_opt = yds(&jobs, alpha).energy;
+        assert!((e_oa - e_opt).abs() < 1e-9, "{e_oa} vs {e_opt}");
+    }
+
+    #[test]
+    fn surprise_release_makes_oa_suboptimal() {
+        // Job 0 [0,2] w=1: OA starts at speed 0.5. At t=1 job 1 [1,2] w=1
+        // arrives and OA must sprint; clairvoyant OPT runs faster earlier.
+        let jobs = vec![Job::new(0, 1.0, 0.0, 2.0), Job::new(1, 1.0, 1.0, 2.0)];
+        let alpha = 2.0;
+        let e_oa = oa_schedule(&jobs, alpha, 0).energy(alpha);
+        let e_opt = yds(&jobs, alpha).energy;
+        assert!(e_oa > e_opt + 1e-9, "OA {e_oa} should exceed OPT {e_opt}");
+        assert!(e_oa <= alpha.powf(alpha) * e_opt + 1e-9, "competitive bound violated");
+    }
+
+    #[test]
+    fn schedule_validates_and_completes_all_work() {
+        let jobs = vec![
+            Job::new(0, 1.0, 0.0, 3.0),
+            Job::new(1, 2.0, 0.5, 2.0),
+            Job::new(2, 0.7, 1.0, 4.0),
+            Job::new(3, 1.2, 2.5, 5.0),
+        ];
+        let alpha = 2.7;
+        let s = oa_schedule(&jobs, alpha, 0);
+        let inst = Instance::new(jobs, 1, alpha).unwrap();
+        s.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+    }
+
+    #[test]
+    fn gap_between_batches_idles() {
+        let jobs = vec![Job::new(0, 1.0, 0.0, 1.0), Job::new(1, 1.0, 10.0, 11.0)];
+        let s = oa_schedule(&jobs, 2.0, 0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.segments()[0].end, 1.0);
+        assert_eq!(s.segments()[1].start, 10.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(oa_schedule(&[], 2.0, 0).is_empty());
+    }
+}

@@ -1,0 +1,348 @@
+//! YDS — the optimal single-processor algorithm (Yao, Demers, Shenker 1995).
+//!
+//! Repeatedly find the *critical interval*: the interval `I` maximizing the
+//! intensity `g(I) = (Σ_{span_i ⊆ I} w_i) / |I|`. The jobs fully contained in
+//! `I` run at speed `g(I)` (EDF-ordered inside `I`); they and the interval are
+//! then removed — remaining jobs' windows are "squeezed" around the excised
+//! interval — and the process repeats. The result is the unique optimal speed
+//! profile; its energy is `Σ w_i · s_i^(α-1)`.
+//!
+//! Complexity: each peel scans `O(n²)` candidate intervals with an `O(n)`
+//! sweep per left endpoint, i.e. `O(n²)` per peel and `O(n³)` worst case —
+//! the classic bound for direct YDS implementations.
+
+use crate::edf::edf_schedule;
+use ssp_model::numeric::energy_of;
+use ssp_model::{Job, Schedule, SpeedAssignment};
+
+/// Result of running [`yds`]: optimal constant speed per job (aligned with
+/// the input slice) and the optimal energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YdsSolution {
+    /// Optimal speed of each input job.
+    pub speeds: Vec<f64>,
+    /// Optimal total energy `Σ w_i · s_i^(α-1)`.
+    pub energy: f64,
+    /// Critical intervals in peel order: `(start, end, intensity)` in the
+    /// *original* (un-squeezed) time coordinates of the first peel only for
+    /// the head element; later entries are in squeezed coordinates and are
+    /// exposed for diagnostics/tests of the peeling process.
+    pub peels: Vec<(f64, f64, f64)>,
+}
+
+impl YdsSolution {
+    /// Speeds as a [`SpeedAssignment`] (same indexing as the input slice).
+    pub fn assignment(&self) -> SpeedAssignment {
+        SpeedAssignment::new(self.speeds.clone())
+    }
+}
+
+/// Working copy of a job during peeling.
+#[derive(Debug, Clone, Copy)]
+struct Active {
+    orig: usize,
+    work: f64,
+    release: f64,
+    deadline: f64,
+}
+
+/// Compute the optimal speed per job on a single processor.
+///
+/// ```
+/// use ssp_model::Job;
+/// use ssp_single::yds::yds;
+///
+/// // A tight job nested in a loose one: the tight one sets the peak.
+/// let jobs = vec![Job::new(0, 2.0, 0.0, 4.0), Job::new(1, 2.0, 1.0, 2.0)];
+/// let sol = yds(&jobs, 2.0);
+/// assert!((sol.speeds[1] - 2.0).abs() < 1e-9);      // critical interval [1,2]
+/// assert!((sol.speeds[0] - 2.0 / 3.0).abs() < 1e-9); // squeezed remainder
+/// ```
+pub fn yds(jobs: &[Job], alpha: f64) -> YdsSolution {
+    assert!(alpha > 1.0, "alpha must exceed 1");
+    let mut speeds = vec![0.0f64; jobs.len()];
+    let mut peels = Vec::new();
+    let mut active: Vec<Active> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| Active { orig: i, work: j.work, release: j.release, deadline: j.deadline })
+        .collect();
+
+    while !active.is_empty() {
+        let (a, b, g) = critical_interval(&active);
+        peels.push((a, b, g));
+        debug_assert!(g.is_finite() && g > 0.0);
+        // Fix speeds of contained jobs; keep the rest.
+        let mut rest = Vec::with_capacity(active.len());
+        for job in active.into_iter() {
+            if a <= job.release && job.deadline <= b {
+                speeds[job.orig] = g;
+            } else {
+                rest.push(job);
+            }
+        }
+        // Squeeze the excised interval out of the timeline.
+        let shift = b - a;
+        for job in &mut rest {
+            job.release = squeeze(job.release, a, b, shift);
+            job.deadline = squeeze(job.deadline, a, b, shift);
+            debug_assert!(job.deadline > job.release);
+        }
+        active = rest;
+    }
+
+    let energy = jobs
+        .iter()
+        .zip(&speeds)
+        .map(|(j, &s)| energy_of(j.work, s, alpha))
+        .sum();
+    YdsSolution { speeds, energy, peels }
+}
+
+/// Map a time coordinate after excising `[a, b]`.
+fn squeeze(x: f64, a: f64, b: f64, shift: f64) -> f64 {
+    if x <= a {
+        x
+    } else if x >= b {
+        x - shift
+    } else {
+        a
+    }
+}
+
+/// The maximum-intensity interval of the active set. Candidate intervals run
+/// from a release date to a deadline. Ties break toward the earliest start,
+/// then the longest interval, making peeling deterministic.
+fn critical_interval(active: &[Active]) -> (f64, f64, f64) {
+    debug_assert!(!active.is_empty());
+    // For each candidate left endpoint `a` (a release), sweep jobs in
+    // deadline order accumulating the work of jobs with release >= a.
+    let mut by_deadline: Vec<usize> = (0..active.len()).collect();
+    by_deadline.sort_by(|&x, &y| active[x].deadline.total_cmp(&active[y].deadline));
+    let mut starts: Vec<f64> = active.iter().map(|j| j.release).collect();
+    starts.sort_by(f64::total_cmp);
+    starts.dedup();
+
+    // Deterministic argmax: iteration order is fixed (starts ascending,
+    // deadlines ascending), strict `>` keeps the first maximizer — i.e. the
+    // earliest start, then the earliest right endpoint achieving the maximum.
+    let mut best = (0.0, 0.0, f64::NEG_INFINITY);
+    for &a in &starts {
+        let mut acc = 0.0;
+        for &idx in &by_deadline {
+            let j = &active[idx];
+            // `release >= a` implies `deadline > a` since windows are nonempty.
+            if j.release >= a {
+                acc += j.work;
+                let g = acc / (j.deadline - a);
+                if g > best.2 {
+                    best = (a, j.deadline, g);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Full pipeline: optimal speeds via [`yds`], then an explicit EDF schedule
+/// on machine `machine`. The schedule is guaranteed feasible by YDS theory;
+/// this function panics if EDF rejects it (which would indicate a bug, not an
+/// input condition).
+pub fn yds_schedule(jobs: &[Job], alpha: f64, machine: usize) -> (YdsSolution, Schedule) {
+    let sol = yds(jobs, alpha);
+    let p: Vec<f64> = jobs.iter().zip(&sol.speeds).map(|(j, &s)| j.work / s).collect();
+    let schedule = edf_schedule(jobs, &p, machine)
+        .expect("YDS speeds are always EDF-feasible on one machine");
+    (sol, schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use ssp_model::schedule::ValidationOptions;
+    use ssp_model::Instance;
+
+    #[test]
+    fn empty_input() {
+        let sol = yds(&[], 2.0);
+        assert_eq!(sol.energy, 0.0);
+        assert!(sol.speeds.is_empty());
+    }
+
+    #[test]
+    fn single_job_runs_at_density() {
+        let jobs = vec![Job::new(0, 3.0, 1.0, 4.0)];
+        let sol = yds(&jobs, 2.0);
+        assert!((sol.speeds[0] - 1.0).abs() < 1e-12);
+        assert!((sol.energy - 3.0).abs() < 1e-12); // w * s^(a-1) = 3*1
+    }
+
+    #[test]
+    fn two_disjoint_jobs_each_at_density() {
+        let jobs = vec![Job::new(0, 2.0, 0.0, 1.0), Job::new(1, 1.0, 5.0, 7.0)];
+        let sol = yds(&jobs, 3.0);
+        assert!((sol.speeds[0] - 2.0).abs() < 1e-12);
+        assert!((sol.speeds[1] - 0.5).abs() < 1e-12);
+        assert!((sol.energy - (2.0 * 4.0 + 1.0 * 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_job_raises_peak() {
+        // Outer job [0,4] w=2; inner urgent job [1,2] w=2.
+        // Critical interval is [1,2] at speed 2 (only the inner job fits in
+        // [1,2]). After excision the outer job has window [0,3], speed 2/3.
+        let jobs = vec![Job::new(0, 2.0, 0.0, 4.0), Job::new(1, 2.0, 1.0, 2.0)];
+        let sol = yds(&jobs, 2.0);
+        assert!((sol.speeds[1] - 2.0).abs() < 1e-12);
+        assert!((sol.speeds[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(sol.peels.len(), 2);
+        assert_eq!(sol.peels[0], (1.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn identical_windows_share_one_speed() {
+        let jobs: Vec<Job> = (0..4).map(|i| Job::new(i, 1.0, 0.0, 2.0)).collect();
+        let sol = yds(&jobs, 2.0);
+        for &s in &sol.speeds {
+            assert!((s - 2.0).abs() < 1e-12); // total work 4 over length 2
+        }
+    }
+
+    #[test]
+    fn schedule_is_valid_and_energy_matches() {
+        let jobs = vec![
+            Job::new(0, 2.0, 0.0, 4.0),
+            Job::new(1, 2.0, 1.0, 2.0),
+            Job::new(2, 1.0, 3.0, 6.0),
+            Job::new(3, 0.5, 0.0, 1.0),
+        ];
+        let alpha = 2.5;
+        let (sol, schedule) = yds_schedule(&jobs, alpha, 0);
+        let inst = Instance::new(jobs, 1, alpha).unwrap();
+        let stats = schedule.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+        assert!((stats.energy - sol.energy).abs() < 1e-6 * sol.energy);
+    }
+
+    #[test]
+    fn speeds_never_below_density() {
+        let jobs = vec![
+            Job::new(0, 1.0, 0.0, 10.0),
+            Job::new(1, 5.0, 2.0, 3.0),
+            Job::new(2, 2.0, 2.5, 6.0),
+        ];
+        let sol = yds(&jobs, 2.0);
+        for (j, &s) in jobs.iter().zip(&sol.speeds) {
+            assert!(s >= j.density() - 1e-9, "{} below density", j.id);
+        }
+    }
+
+    #[test]
+    fn agreeable_chain_with_uniform_load_is_flat() {
+        // Unit jobs, windows [i, i+1]: constant speed 1 everywhere.
+        let jobs: Vec<Job> = (0..5).map(|i| Job::new(i, 1.0, i as f64, i as f64 + 1.0)).collect();
+        let sol = yds(&jobs, 2.0);
+        for &s in &sol.speeds {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        assert!((sol.energy - 5.0).abs() < 1e-12);
+    }
+
+    /// Brute-force check on 2-job instances: discretize both speeds and keep
+    /// EDF-feasible combinations; YDS must not be beaten.
+    #[test]
+    fn two_job_grid_search_cannot_beat_yds() {
+        use crate::edf::edf_feasible;
+        let cases = [
+            (Job::new(0, 1.0, 0.0, 2.0), Job::new(1, 1.5, 0.5, 2.5)),
+            (Job::new(0, 2.0, 0.0, 3.0), Job::new(1, 1.0, 1.0, 2.0)),
+            (Job::new(0, 1.0, 0.0, 1.0), Job::new(1, 1.0, 0.0, 1.0)),
+        ];
+        let alpha = 2.0;
+        for (a, b) in cases {
+            let jobs = vec![a, b];
+            let opt = yds(&jobs, alpha).energy;
+            let mut best = f64::INFINITY;
+            for sa in 1..=120 {
+                for sb in 1..=120 {
+                    let (sa, sb) = (sa as f64 * 0.05, sb as f64 * 0.05);
+                    let p = vec![a.work / sa, b.work / sb];
+                    if edf_feasible(&jobs, &p) {
+                        let e = energy_of(a.work, sa, alpha) + energy_of(b.work, sb, alpha);
+                        best = best.min(e);
+                    }
+                }
+            }
+            assert!(
+                opt <= best + 1e-9,
+                "grid search found energy {best} below YDS {opt}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Scale laws: multiplying works by c multiplies OPT by c^alpha;
+        /// stretching time by c multiplies OPT by c^(1-alpha).
+        #[test]
+        fn yds_respects_scale_laws(
+            seeds in proptest::collection::vec((0.1f64..3.0, 0.0f64..8.0, 0.2f64..4.0), 1..8),
+            alpha in 1.4f64..3.0,
+            c in 0.3f64..3.0,
+        ) {
+            let jobs: Vec<Job> = seeds
+                .iter()
+                .enumerate()
+                .map(|(i, &(w, r, len))| Job::new(i as u32, w, r, r + len))
+                .collect();
+            let base = yds(&jobs, alpha).energy;
+
+            let scaled_w: Vec<Job> = jobs.iter().map(|j| Job { work: j.work * c, ..*j }).collect();
+            let ew = yds(&scaled_w, alpha).energy;
+            prop_assert!((ew - base * c.powf(alpha)).abs() <= 1e-6 * ew.max(base),
+                "work scale law: {} vs {}", ew, base * c.powf(alpha));
+
+            let scaled_t: Vec<Job> = jobs
+                .iter()
+                .map(|j| Job { release: j.release * c, deadline: j.deadline * c, ..*j })
+                .collect();
+            let et = yds(&scaled_t, alpha).energy;
+            prop_assert!((et - base * c.powf(1.0 - alpha)).abs() <= 1e-6 * et.max(base),
+                "time scale law: {} vs {}", et, base * c.powf(1.0 - alpha));
+        }
+
+        /// The YDS speed profile is always EDF-feasible and the explicit
+        /// schedule validates with matching energy.
+        #[test]
+        fn yds_schedule_always_validates(
+            seeds in proptest::collection::vec((0.1f64..3.0, 0.0f64..8.0, 0.2f64..4.0), 1..10),
+            alpha in 1.4f64..3.0,
+        ) {
+            let jobs: Vec<Job> = seeds
+                .iter()
+                .enumerate()
+                .map(|(i, &(w, r, len))| Job::new(i as u32, w, r, r + len))
+                .collect();
+            let (sol, schedule) = yds_schedule(&jobs, alpha, 0);
+            let inst = Instance::new(jobs, 1, alpha).unwrap();
+            let stats = schedule.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+            prop_assert!((stats.energy - sol.energy).abs() <= 1e-6 * sol.energy.max(1e-12));
+        }
+
+        /// Removing a job never increases optimal energy (monotonicity).
+        #[test]
+        fn yds_is_monotone_in_job_set(
+            seeds in proptest::collection::vec((0.1f64..3.0, 0.0f64..8.0, 0.2f64..4.0), 2..8),
+        ) {
+            let jobs: Vec<Job> = seeds
+                .iter()
+                .enumerate()
+                .map(|(i, &(w, r, len))| Job::new(i as u32, w, r, r + len))
+                .collect();
+            let full = yds(&jobs, 2.0).energy;
+            let fewer = yds(&jobs[1..], 2.0).energy;
+            prop_assert!(fewer <= full + 1e-9 * full.max(1.0));
+        }
+    }
+}

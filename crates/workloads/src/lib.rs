@@ -1,0 +1,169 @@
+//! # ssp-workloads
+//!
+//! Seeded, reproducible workload generators for the experiment suite. The
+//! target paper is pure theory with no public instances, so every experiment
+//! in `EXPERIMENTS.md` names a generator + seed + parameters from this crate
+//! (the substitution is documented in DESIGN.md §6).
+//!
+//! The central type is [`Spec`]: a declarative description of a workload
+//! family (arrival process, work distribution, window policy, agreeable
+//! post-processing). `Spec::gen(seed)` produces a valid
+//! [`ssp_model::Instance`], identical for identical seeds across runs and
+//! platforms (`StdRng` is seedable and portable).
+
+#![warn(missing_docs)]
+
+pub mod spec;
+pub mod swf;
+
+pub use spec::{ArrivalDist, Spec, WindowDist, WorkDist};
+pub use swf::{parse_swf, SwfOptions, SwfReport};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use ssp_model::{Instance, Job};
+
+/// Convenience: the four canonical families used throughout the experiments.
+pub mod families {
+    use super::*;
+
+    /// Unit works, agreeable deadlines — the R1 (optimal round-robin) regime.
+    pub fn unit_agreeable(n: usize, machines: usize, alpha: f64) -> Spec {
+        Spec::new(n, machines, alpha)
+            .work(WorkDist::Unit)
+            .window(WindowDist::LaxityFactor { min: 1.5, max: 6.0 })
+            .agreeable(true)
+    }
+
+    /// Unit works, arbitrary windows — the R2 (NP-hard / `2(2-1/m)^α`) regime.
+    pub fn unit_arbitrary(n: usize, machines: usize, alpha: f64) -> Spec {
+        Spec::new(n, machines, alpha)
+            .work(WorkDist::Unit)
+            .window(WindowDist::LaxityFactor { min: 1.2, max: 8.0 })
+            .agreeable(false)
+    }
+
+    /// Heterogeneous works, agreeable deadlines — the R3 regime.
+    pub fn weighted_agreeable(n: usize, machines: usize, alpha: f64) -> Spec {
+        Spec::new(n, machines, alpha)
+            .work(WorkDist::LogNormal { mu: 0.0, sigma: 1.0 })
+            .window(WindowDist::LaxityFactor { min: 1.5, max: 6.0 })
+            .agreeable(true)
+    }
+
+    /// Fully general instances (heterogeneous works, nested windows).
+    pub fn general(n: usize, machines: usize, alpha: f64) -> Spec {
+        Spec::new(n, machines, alpha)
+            .work(WorkDist::LogNormal { mu: 0.0, sigma: 0.8 })
+            .window(WindowDist::LaxityFactor { min: 1.2, max: 10.0 })
+            .agreeable(false)
+    }
+
+    /// Bursty arrivals (Poisson bursts) for the online experiments.
+    pub fn bursty(n: usize, machines: usize, alpha: f64) -> Spec {
+        Spec::new(n, machines, alpha)
+            .arrivals(ArrivalDist::Bursty { burst: 4, gap: 2.0 })
+            .work(WorkDist::Uniform { min: 0.5, max: 2.0 })
+            .window(WindowDist::LaxityFactor { min: 1.2, max: 4.0 })
+            .agreeable(false)
+    }
+
+    /// The classic AVR-adversarial shape: unit jobs released in a geometric
+    /// cascade, all sharing one deadline. Densities stack up toward the end,
+    /// so committing each job to its average rate (AVR) overlaps many rates
+    /// at once while the optimum smooths them — the family behind AVR's
+    /// `Ω(α^α)`-ish lower bound. Deterministic (the seed is ignored).
+    pub fn avr_cascade(n: usize, machines: usize, alpha: f64) -> Instance {
+        let horizon = 1.0;
+        let jobs: Vec<Job> = (0..n)
+            .map(|i| {
+                // Release i at 1 - 2^-i (clamped), deadline 1 for everyone.
+                let r = horizon * (1.0 - 0.5f64.powi(i as i32));
+                Job::new(i as u32, 1.0, r, horizon * (1.0 + 1e-9) + 1e-9)
+            })
+            .collect();
+        Instance::new(jobs, machines, alpha).expect("cascade jobs are valid")
+    }
+}
+
+/// A standard normal sample via Box–Muller (the `rand` core crate ships no
+/// normal distribution; this avoids a `rand_distr` dependency).
+pub(crate) fn standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Deterministic sub-seed derivation so one experiment seed can fan out into
+/// many independent instance seeds (SplitMix64 finalizer).
+pub fn subseed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn subseed_is_deterministic_and_spreads() {
+        assert_eq!(subseed(42, 0), subseed(42, 0));
+        assert_ne!(subseed(42, 0), subseed(42, 1));
+        assert_ne!(subseed(42, 0), subseed(43, 0));
+        // Low bits should differ too (finalizer quality smoke test).
+        assert_ne!(subseed(1, 0) & 0xFF, subseed(1, 1) & 0xFF);
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn canonical_families_generate_valid_instances() {
+        for (name, spec) in [
+            ("unit_agreeable", families::unit_agreeable(40, 4, 2.0)),
+            ("unit_arbitrary", families::unit_arbitrary(40, 4, 2.0)),
+            ("weighted_agreeable", families::weighted_agreeable(40, 4, 2.0)),
+            ("general", families::general(40, 4, 2.0)),
+            ("bursty", families::bursty(40, 4, 2.0)),
+        ] {
+            let inst = spec.gen(123);
+            assert_eq!(inst.len(), 40, "{name}");
+            assert_eq!(inst.machines(), 4, "{name}");
+        }
+    }
+
+    #[test]
+    fn avr_cascade_has_stacked_densities() {
+        let inst = families::avr_cascade(8, 1, 2.0);
+        assert_eq!(inst.len(), 8);
+        // Densities grow geometrically toward the deadline.
+        let dens: Vec<f64> = inst.jobs().iter().map(|j| j.density()).collect();
+        assert!(dens.windows(2).all(|w| w[1] > w[0] * 1.5));
+    }
+
+    #[test]
+    fn family_properties_hold() {
+        let ua = families::unit_agreeable(60, 2, 2.5).gen(9);
+        assert!(ua.is_uniform_work(Default::default()));
+        assert!(ua.is_agreeable());
+
+        let wa = families::weighted_agreeable(60, 2, 2.5).gen(9);
+        assert!(wa.is_agreeable());
+        assert!(!wa.is_uniform_work(Default::default()));
+    }
+}

@@ -1,0 +1,299 @@
+//! Declarative workload specifications.
+
+use crate::{standard_normal, subseed};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssp_model::{Instance, Job};
+
+/// Arrival (release-date) process over the horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum ArrivalDist {
+    /// i.i.d. uniform over `[0, horizon]`.
+    Uniform,
+    /// Poisson process: exponential inter-arrival gaps with the given rate
+    /// (the horizon then *emerges* from `n` and the rate).
+    Poisson { rate: f64 },
+    /// Bursts of `burst` simultaneous releases separated by exponential gaps
+    /// with mean `gap`.
+    Bursty { burst: usize, gap: f64 },
+}
+
+/// Work (processing volume) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum WorkDist {
+    /// All works exactly 1 (the paper's "unit size" hypothesis).
+    Unit,
+    /// Uniform on `[min, max]`.
+    Uniform { min: f64, max: f64 },
+    /// `exp(mu + sigma·N(0,1))` — heavy-ish tail, the classic job-size model.
+    LogNormal { mu: f64, sigma: f64 },
+}
+
+/// Deadline policy: how long each job's window is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum WindowDist {
+    /// Window length uniform on `[min, max]` (absolute).
+    Uniform { min: f64, max: f64 },
+    /// Window length = `work × U[min, max]` — i.e. the job's *inverse
+    /// density* (slack factor at unit speed) is uniform. Keeps densities
+    /// comparable across work distributions.
+    LaxityFactor { min: f64, max: f64 },
+    /// Fixed window length.
+    Fixed(f64),
+}
+
+/// A reproducible workload family. Build with [`Spec::new`] + the fluent
+/// setters, then call [`Spec::gen`] with a seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spec {
+    /// Number of jobs.
+    pub n: usize,
+    /// Machine count of the generated instances.
+    pub machines: usize,
+    /// Power exponent.
+    pub alpha: f64,
+    /// Horizon for `ArrivalDist::Uniform` (ignored by the point processes).
+    pub horizon: f64,
+    /// Arrival process.
+    pub arrivals: ArrivalDist,
+    /// Work distribution.
+    pub work: WorkDist,
+    /// Window policy.
+    pub window: WindowDist,
+    /// Post-process into an agreeable instance (sort releases, then clamp
+    /// each deadline to the running maximum so `r_i ≤ r_j ⇒ d_i ≤ d_j`).
+    pub agreeable: bool,
+}
+
+impl Spec {
+    /// A spec with uniform arrivals over `[0, n/2]`, unit works and laxity
+    /// factor `[1.5, 6]`; customize with the fluent setters.
+    pub fn new(n: usize, machines: usize, alpha: f64) -> Self {
+        Spec {
+            n,
+            machines,
+            alpha,
+            horizon: (n as f64 / 2.0).max(1.0),
+            arrivals: ArrivalDist::Uniform,
+            work: WorkDist::Unit,
+            window: WindowDist::LaxityFactor { min: 1.5, max: 6.0 },
+            agreeable: false,
+        }
+    }
+
+    /// Set the arrival process.
+    pub fn arrivals(mut self, a: ArrivalDist) -> Self {
+        self.arrivals = a;
+        self
+    }
+
+    /// Set the work distribution.
+    pub fn work(mut self, w: WorkDist) -> Self {
+        self.work = w;
+        self
+    }
+
+    /// Set the window policy.
+    pub fn window(mut self, w: WindowDist) -> Self {
+        self.window = w;
+        self
+    }
+
+    /// Toggle the agreeable post-processing.
+    pub fn agreeable(mut self, yes: bool) -> Self {
+        self.agreeable = yes;
+        self
+    }
+
+    /// Set the uniform-arrival horizon.
+    pub fn horizon(mut self, h: f64) -> Self {
+        assert!(h > 0.0);
+        self.horizon = h;
+        self
+    }
+
+    /// Override the machine count.
+    pub fn machines(mut self, m: usize) -> Self {
+        self.machines = m;
+        self
+    }
+
+    /// Override alpha.
+    pub fn alpha(mut self, a: f64) -> Self {
+        self.alpha = a;
+        self
+    }
+
+    /// Generate the instance for `seed`. Deterministic: same spec + seed ⇒
+    /// identical instance.
+    pub fn gen(&self, seed: u64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut releases = self.draw_releases(&mut rng);
+        if self.agreeable {
+            releases.sort_by(f64::total_cmp);
+        }
+        let mut jobs = Vec::with_capacity(self.n);
+        let mut running_deadline = f64::NEG_INFINITY;
+        for (i, &r) in releases.iter().enumerate() {
+            let work = self.draw_work(&mut rng);
+            let len = self.draw_window(&mut rng, work);
+            let mut d = r + len;
+            if self.agreeable {
+                // Running max keeps deadlines sorted with releases while
+                // preserving d > r (the max can only push deadlines later).
+                running_deadline = running_deadline.max(d);
+                d = running_deadline;
+            }
+            jobs.push(Job::new(i as u32, work, r, d));
+        }
+        Instance::new(jobs, self.machines, self.alpha)
+            .expect("generated jobs always satisfy model invariants")
+    }
+
+    /// Generate `count` independent instances derived from one master seed.
+    pub fn gen_batch(&self, master_seed: u64, count: usize) -> Vec<Instance> {
+        (0..count).map(|i| self.gen(subseed(master_seed, i as u64))).collect()
+    }
+
+    fn draw_releases(&self, rng: &mut StdRng) -> Vec<f64> {
+        match self.arrivals {
+            ArrivalDist::Uniform => {
+                (0..self.n).map(|_| rng.gen::<f64>() * self.horizon).collect()
+            }
+            ArrivalDist::Poisson { rate } => {
+                assert!(rate > 0.0, "Poisson rate must be positive");
+                let mut t = 0.0;
+                (0..self.n)
+                    .map(|_| {
+                        t += -(1.0 - rng.gen::<f64>()).ln() / rate;
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalDist::Bursty { burst, gap } => {
+                assert!(burst > 0 && gap > 0.0);
+                let mut t = 0.0;
+                let mut out = Vec::with_capacity(self.n);
+                while out.len() < self.n {
+                    t += -(1.0 - rng.gen::<f64>()).ln() * gap;
+                    for _ in 0..burst.min(self.n - out.len()) {
+                        out.push(t);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    fn draw_work(&self, rng: &mut StdRng) -> f64 {
+        match self.work {
+            WorkDist::Unit => 1.0,
+            WorkDist::Uniform { min, max } => min + rng.gen::<f64>() * (max - min),
+            WorkDist::LogNormal { mu, sigma } => (mu + sigma * standard_normal(rng)).exp(),
+        }
+    }
+
+    fn draw_window(&self, rng: &mut StdRng, work: f64) -> f64 {
+        let len = match self.window {
+            WindowDist::Uniform { min, max } => min + rng.gen::<f64>() * (max - min),
+            WindowDist::LaxityFactor { min, max } => {
+                work * (min + rng.gen::<f64>() * (max - min))
+            }
+            WindowDist::Fixed(l) => l,
+        };
+        assert!(len > 0.0, "window policy produced a nonpositive length");
+        len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_instance() {
+        let spec = Spec::new(30, 3, 2.0)
+            .work(WorkDist::LogNormal { mu: 0.0, sigma: 1.0 })
+            .arrivals(ArrivalDist::Poisson { rate: 2.0 });
+        assert_eq!(spec.gen(5), spec.gen(5));
+        assert_ne!(spec.gen(5), spec.gen(6));
+    }
+
+    #[test]
+    fn agreeable_postprocessing_works_for_every_arrival_kind() {
+        for arrivals in [
+            ArrivalDist::Uniform,
+            ArrivalDist::Poisson { rate: 1.0 },
+            ArrivalDist::Bursty { burst: 3, gap: 1.0 },
+        ] {
+            let inst = Spec::new(50, 2, 2.0)
+                .arrivals(arrivals)
+                .work(WorkDist::Uniform { min: 0.2, max: 3.0 })
+                .agreeable(true)
+                .gen(11);
+            assert!(inst.is_agreeable(), "{arrivals:?}");
+        }
+    }
+
+    #[test]
+    fn unit_work_is_unit() {
+        let inst = Spec::new(25, 2, 2.0).work(WorkDist::Unit).gen(3);
+        assert!(inst.jobs().iter().all(|j| j.work == 1.0));
+    }
+
+    #[test]
+    fn laxity_factor_controls_density() {
+        let inst = Spec::new(100, 2, 2.0)
+            .work(WorkDist::Uniform { min: 0.5, max: 2.0 })
+            .window(WindowDist::LaxityFactor { min: 2.0, max: 4.0 })
+            .gen(17);
+        for j in inst.jobs() {
+            let laxity = j.span() / j.work;
+            assert!(laxity >= 2.0 - 1e-12 && laxity <= 4.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn poisson_releases_are_increasing() {
+        let inst = Spec::new(40, 1, 2.0).arrivals(ArrivalDist::Poisson { rate: 3.0 }).gen(1);
+        let rel: Vec<f64> = inst.jobs().iter().map(|j| j.release).collect();
+        assert!(rel.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn bursts_share_release_instants() {
+        let inst =
+            Spec::new(12, 1, 2.0).arrivals(ArrivalDist::Bursty { burst: 4, gap: 5.0 }).gen(2);
+        let rel: Vec<f64> = inst.jobs().iter().map(|j| j.release).collect();
+        // 12 jobs in bursts of 4 => exactly 3 distinct release instants.
+        let mut distinct = rel.clone();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn batch_instances_differ() {
+        let batch = Spec::new(10, 2, 2.0).gen_batch(99, 5);
+        assert_eq!(batch.len(), 5);
+        for w in batch.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn fixed_and_uniform_windows() {
+        let f = Spec::new(10, 1, 2.0).window(WindowDist::Fixed(3.0)).gen(0);
+        assert!(f.jobs().iter().all(|j| (j.span() - 3.0).abs() < 1e-12));
+        let u = Spec::new(50, 1, 2.0).window(WindowDist::Uniform { min: 1.0, max: 2.0 }).gen(0);
+        assert!(u.jobs().iter().all(|j| j.span() >= 1.0 - 1e-12 && j.span() <= 2.0 + 1e-12));
+    }
+
+    #[test]
+    fn horizon_bounds_uniform_releases() {
+        let inst = Spec::new(50, 1, 2.0).horizon(7.0).gen(4);
+        assert!(inst.jobs().iter().all(|j| j.release >= 0.0 && j.release <= 7.0));
+    }
+}

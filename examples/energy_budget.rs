@@ -1,0 +1,83 @@
+//! Battery-budget makespan planning (the MBAL extension).
+//!
+//! Scenario: a battery-powered edge box (e.g. a field gateway with a
+//! multi-core SoC) receives a burst of inference/compression tasks and must
+//! finish them as early as possible *without* spending more than a fixed
+//! energy allowance. This is exactly the paper family's second objective:
+//! minimize makespan subject to an energy budget, solved optimally by an
+//! outer binary search over a common deadline around the migratory optimum.
+//!
+//! The example sweeps the budget and prints the resulting Pareto frontier,
+//! then inspects one operating point in detail.
+//!
+//! ```text
+//! cargo run --release --example energy_budget
+//! ```
+
+use speedscale::migratory::mbal::mbal;
+use speedscale::model::{Instance, Job};
+
+fn main() {
+    // Ten tasks trickling in over ~2 s on a 2-core SoC; cubic power model.
+    // Deadline field = "no deadline" (the budget is the binding constraint).
+    let horizon = 1e9;
+    let works = [1.2, 0.8, 2.0, 0.5, 1.5, 0.9, 1.1, 0.7, 1.8, 0.6];
+    let releases = [0.0, 0.1, 0.3, 0.5, 0.8, 1.0, 1.2, 1.5, 1.8, 2.0];
+    let jobs: Vec<Job> = works
+        .iter()
+        .zip(&releases)
+        .enumerate()
+        .map(|(i, (&w, &r))| Job::new(i as u32, w, r, horizon))
+        .collect();
+    let inst = Instance::new(jobs, 2, 3.0).expect("valid instance");
+    let total_work: f64 = inst.total_work();
+    println!(
+        "{} tasks, total work {:.1}, 2 cores, alpha = 3 (cubic power)\n",
+        inst.len(),
+        total_work
+    );
+
+    println!("{:>10} {:>12} {:>12} {:>14}", "budget", "makespan", "energy used", "mean speed");
+    let mut previous = f64::INFINITY;
+    for factor in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+        let budget = total_work * factor;
+        let sol = mbal(&inst, budget).expect("deadline-free => some makespan always works");
+        assert!(sol.makespan <= previous + 1e-9, "frontier must be monotone");
+        previous = sol.makespan;
+        // Mean speed = work over total busy time.
+        let schedule = sol.schedule();
+        let busy: f64 = schedule.segments().iter().map(|s| s.end - s.start).sum();
+        println!(
+            "{:>10.2} {:>12.4} {:>12.4} {:>14.3}",
+            budget,
+            sol.makespan,
+            sol.energy,
+            total_work / busy
+        );
+    }
+
+    // Inspect one operating point.
+    let budget = total_work * 2.0;
+    let sol = mbal(&inst, budget).unwrap();
+    let schedule = sol.schedule();
+    let stats = schedule.validate(&sol.clamped, Default::default()).unwrap();
+    println!(
+        "\noperating point (budget {:.1}): makespan {:.3}, energy {:.3} ({:.1}% of budget), \
+         {} migrations",
+        budget,
+        sol.makespan,
+        stats.energy,
+        100.0 * stats.energy / budget,
+        stats.migrations
+    );
+    println!("\nper-task speeds at this point:");
+    for (i, job) in sol.clamped.jobs().iter().enumerate() {
+        println!(
+            "  task {}: work {:.1}, release {:.1} -> speed {:.3}",
+            job.id,
+            job.work,
+            job.release,
+            sol.solution.speeds.get(i)
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Online dispatch: what does not knowing the future cost?
+//!
+//! Scenario: a serving tier schedules incoming requests with SLO deadlines
+//! on DVFS cores *as they arrive*. Two classic online policies are compared
+//! against the clairvoyant offline optimum on the same trace:
+//!
+//! * **AVR-m** — commit each job to its average rate (density); simple,
+//!   stateless, provably `α^α·2^(α-1)`-competitive on one core.
+//! * **OA-m** — replan the optimal schedule for the remaining work at every
+//!   arrival; `α^α`-competitive on one core.
+//!
+//! ```text
+//! cargo run --release --example online_dispatch
+//! ```
+
+use speedscale::core::online::{avr_m, oa_m};
+use speedscale::migratory::bal::bal;
+use speedscale::workloads::{families, subseed};
+
+fn main() {
+    let (n, cores, alpha) = (60usize, 4usize, 2.0f64);
+    println!(
+        "bursty request trace: n = {n}, cores = {cores}, alpha = {alpha}\n"
+    );
+    println!(
+        "{:>6} {:>12} {:>10} {:>10} {:>12} {:>12}",
+        "seed", "OPT energy", "AVR-m/OPT", "OA-m/OPT", "AVR preempts", "OA preempts"
+    );
+
+    let mut avr_ratios = Vec::new();
+    let mut oa_ratios = Vec::new();
+    for seed in 0..8u64 {
+        let inst = families::bursty(n, cores, alpha).gen(subseed(2025, seed));
+        let opt = bal(&inst).energy;
+
+        let avr_schedule = avr_m(&inst);
+        let avr_stats = avr_schedule.validate(&inst, Default::default()).expect("AVR-m valid");
+        let oa_schedule = oa_m(&inst);
+        let oa_stats = oa_schedule.validate(&inst, Default::default()).expect("OA-m valid");
+
+        let (ra, ro) = (avr_stats.energy / opt, oa_stats.energy / opt);
+        println!(
+            "{:>6} {:>12.3} {:>10.4} {:>10.4} {:>12} {:>12}",
+            seed, opt, ra, ro, avr_stats.preemptions, oa_stats.preemptions
+        );
+        avr_ratios.push(ra);
+        oa_ratios.push(ro);
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let avr_bound = alpha.powf(alpha) * 2.0f64.powf(alpha - 1.0);
+    let oa_bound = alpha.powf(alpha);
+    println!(
+        "\nmean AVR-m ratio {:.4} (theory bound {:.1});  mean OA-m ratio {:.4} (theory bound {:.1})",
+        mean(&avr_ratios),
+        avr_bound,
+        mean(&oa_ratios),
+        oa_bound
+    );
+    println!(
+        "takeaway: replanning (OA) recovers most of the clairvoyance gap; \
+         rate-commitment (AVR) pays for burstiness but needs no solver online."
+    );
+}

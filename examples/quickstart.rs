@@ -1,0 +1,69 @@
+//! Quickstart: define a workload, schedule it three ways, compare energies.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use speedscale::core::assignment::{assignment_energy, assignment_schedule};
+use speedscale::core::{relax_round, rr_assignment};
+use speedscale::migratory::bal::bal;
+use speedscale::model::schedule::ValidationOptions;
+use speedscale::model::{Instance, Job};
+
+fn main() {
+    // Eight jobs on two speed-scalable processors, power = s^2.
+    // Job::new(id, work, release, deadline).
+    let inst = Instance::new(
+        vec![
+            Job::new(0, 2.0, 0.0, 2.0),
+            Job::new(1, 1.0, 0.0, 3.0),
+            Job::new(2, 3.0, 1.0, 4.0),
+            Job::new(3, 1.5, 1.5, 5.0),
+            Job::new(4, 2.0, 2.0, 6.0),
+            Job::new(5, 1.0, 3.0, 7.0),
+            Job::new(6, 2.5, 4.0, 8.0),
+            Job::new(7, 1.0, 5.0, 8.0),
+        ],
+        2,
+        2.0,
+    )
+    .expect("valid instance");
+
+    println!("n = {}, m = {}, alpha = {}", inst.len(), inst.machines(), inst.alpha());
+    println!("agreeable deadlines: {}\n", inst.is_agreeable());
+
+    // 1. The migratory optimum — certified lower bound for everything else.
+    let lower_bound = bal(&inst);
+    println!("migratory optimum (lower bound): {:.4}", lower_bound.energy);
+
+    // 2. Sorted round-robin + YDS per machine (the paper's algorithm).
+    let rr = rr_assignment(&inst);
+    let e_rr = assignment_energy(&inst, &rr);
+    println!("round-robin + YDS:               {:.4}  (x{:.3} of LB)", e_rr, e_rr / lower_bound.energy);
+
+    // 3. Relax-and-round (migratory relaxation, list rounding, YDS).
+    let rrnd = relax_round(&inst);
+    let e_rrnd = assignment_energy(&inst, &rrnd);
+    println!("relax-and-round + YDS:           {:.4}  (x{:.3} of LB)", e_rrnd, e_rrnd / lower_bound.energy);
+
+    // Materialize and validate the best non-migratory schedule.
+    let (best_name, best) =
+        if e_rr <= e_rrnd { ("round-robin", rr) } else { ("relax-and-round", rrnd) };
+    let schedule = assignment_schedule(&inst, &best);
+    let stats = schedule
+        .validate(&inst, ValidationOptions::non_migratory())
+        .expect("produced schedule must validate");
+    println!(
+        "\nbest non-migratory policy: {best_name}\n  energy {:.4}, makespan {:.2}, preemptions {}, max speed {:.3}",
+        stats.energy, stats.makespan, stats.preemptions, stats.max_speed
+    );
+    println!("\nsegments (job @ machine: [start, end] at speed):");
+    let mut segs = schedule.segments().to_vec();
+    segs.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.machine.cmp(&b.machine)));
+    for s in segs {
+        println!(
+            "  {} @ m{}: [{:.3}, {:.3}] at {:.3}",
+            s.job, s.machine, s.start, s.end, s.speed
+        );
+    }
+}

@@ -1,0 +1,602 @@
+//! Implementation of the `speedscale` command-line tool.
+//!
+//! The binary (`src/main.rs`) is a thin wrapper around [`run`], so the whole
+//! CLI surface is unit-testable without spawning processes.
+//!
+//! ```text
+//! speedscale info <instance.ssp>
+//! speedscale generate <family> --n N --m M [--alpha A] [--seed S] [-o FILE]
+//! speedscale solve <instance.ssp> [--algo NAME] [--gantt] [--svg OUT.svg]
+//! speedscale budget <instance.ssp> --energy E [--gantt]
+//! speedscale compare <instance.ssp>
+//! speedscale analyze <instance.ssp> [--algo NAME]
+//! speedscale swf <trace.swf> [-o FILE]
+//! speedscale quantize <instance.ssp> --levels K
+//! ```
+//!
+//! Algorithms: `rr`, `classified`, `least-loaded`, `relax`, `greedy`,
+//! `local` (greedy + local search), `exact` (n ≤ 16), `bal` (migratory),
+//! `avr`, `oa` (online, migratory).
+
+use ssp_core::assignment::{assignment_schedule, Assignment};
+use ssp_core::classified::classified_assignment;
+use ssp_core::exact::exact_nonmigratory;
+use ssp_core::list::{least_loaded, marginal_energy_greedy};
+use ssp_core::online::{avr_m, oa_m};
+use ssp_core::relax::relax_round;
+use ssp_core::rr::rr_assignment;
+use ssp_migratory::bal::bal;
+use ssp_migratory::mbal::mbal;
+use ssp_model::render::{gantt, GanttOptions};
+use ssp_model::{io, Instance, Schedule};
+use ssp_workloads::families;
+use std::fmt::Write as _;
+
+/// CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code to use.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError { message: message.into(), code: 2 }
+    }
+    fn runtime(message: impl Into<String>) -> Self {
+        CliError { message: message.into(), code: 1 }
+    }
+}
+
+/// Entry point: interpret `args` (without the program name) and return the
+/// text to print on stdout.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut args = args.iter().map(String::as_str);
+    match args.next() {
+        Some("info") => info(&collect(args)?),
+        Some("generate") => generate(&collect(args)?),
+        Some("solve") => solve(&collect(args)?),
+        Some("budget") => budget(&collect(args)?),
+        Some("compare") => compare(&collect(args)?),
+        Some("analyze") => analyze(&collect(args)?),
+        Some("swf") => swf_import(&collect(args)?),
+        Some("quantize") => quantize_cmd(&collect(args)?),
+        Some("help") | Some("-h") | Some("--help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(CliError::usage(format!("unknown command '{other}'\n{USAGE}"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+speedscale — energy-minimal deadline scheduling on speed-scaled processors
+
+commands:
+  info <file>                         inspect an instance file
+  generate <family> --n N --m M       generate a workload
+           [--alpha A] [--seed S] [-o FILE]
+           families: unit-agreeable | unit-arbitrary | weighted-agreeable
+                     | general | bursty
+  solve <file> [--algo NAME] [--gantt] [--width W] [--svg OUT.svg]
+           algos: rr | classified | least-loaded | relax | greedy | local
+                  | exact | bal | avr | oa        (default: rr)
+  budget <file> --energy E [--gantt] [--non-migratory]
+                                      minimize makespan under an energy budget
+  compare <file>                      run every algorithm, print the scoreboard
+  analyze <file> [--algo NAME]        utilization, response times, power profile
+  swf <trace.swf> [--machines M] [--alpha A] [--laxity L] [--max-jobs K]
+      [--time-scale S] [-o FILE]      import an SWF trace into instance format
+  quantize <file> [--algo NAME] --levels K
+                                      schedule, then restrict speeds to a
+                                      K-level geometric DVFS grid; report the
+                                      energy overhead
+";
+
+/// Parsed positional + flag arguments.
+struct Parsed {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Parsed {
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == name)
+    }
+    fn flag_parse<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
+        match self.flag(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::usage(format!("bad value '{v}' for --{name}"))),
+        }
+    }
+}
+
+fn collect<'a>(args: impl Iterator<Item = &'a str>) -> Result<Parsed, CliError> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-').filter(|s| s.len() == 1)) {
+            // Boolean flags have no value; valued flags eat the next token.
+            let value = match args.peek() {
+                Some(v) if !v.starts_with('-') => Some(args.next().unwrap().to_string()),
+                _ => None,
+            };
+            flags.push((name.to_string(), value));
+        } else {
+            positional.push(a.to_string());
+        }
+    }
+    Ok(Parsed { positional, flags })
+}
+
+fn load(parsed: &Parsed) -> Result<Instance, CliError> {
+    let path = parsed
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("missing instance file argument"))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    io::parse(&text).map_err(|e| CliError::runtime(format!("cannot parse {path}: {e}")))
+}
+
+fn info(parsed: &Parsed) -> Result<String, CliError> {
+    let inst = load(parsed)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "jobs:      {}", inst.len());
+    let _ = writeln!(out, "machines:  {}", inst.machines());
+    let _ = writeln!(out, "alpha:     {}", inst.alpha());
+    if let Some((a, b)) = inst.horizon() {
+        let _ = writeln!(out, "horizon:   [{a}, {b}]");
+    }
+    let _ = writeln!(out, "total work: {:.4}", inst.total_work());
+    let _ = writeln!(out, "max density: {:.4}", inst.max_density());
+    let _ = writeln!(out, "agreeable: {}", inst.is_agreeable());
+    let _ = writeln!(out, "uniform work: {}", inst.is_uniform_work(Default::default()));
+    Ok(out)
+}
+
+fn generate(parsed: &Parsed) -> Result<String, CliError> {
+    let family = parsed
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("generate needs a family name"))?;
+    let n: usize = parsed
+        .flag_parse("n")?
+        .ok_or_else(|| CliError::usage("generate needs --n"))?;
+    let m: usize = parsed
+        .flag_parse("m")?
+        .ok_or_else(|| CliError::usage("generate needs --m"))?;
+    let alpha: f64 = parsed.flag_parse("alpha")?.unwrap_or(2.0);
+    let seed: u64 = parsed.flag_parse("seed")?.unwrap_or(0);
+    let spec = match family.as_str() {
+        "unit-agreeable" => families::unit_agreeable(n, m, alpha),
+        "unit-arbitrary" => families::unit_arbitrary(n, m, alpha),
+        "weighted-agreeable" => families::weighted_agreeable(n, m, alpha),
+        "general" => families::general(n, m, alpha),
+        "bursty" => families::bursty(n, m, alpha),
+        other => return Err(CliError::usage(format!("unknown family '{other}'"))),
+    };
+    let inst = spec.gen(seed);
+    let text = io::emit(&inst);
+    match parsed.flag("o") {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+            Ok(format!("wrote {} jobs to {path}\n", inst.len()))
+        }
+        None => Ok(text),
+    }
+}
+
+/// Resolve an algorithm name into a schedule + label. Migratory/online
+/// algorithms build their own schedules; assignment policies go through
+/// per-machine YDS.
+fn schedule_for(inst: &Instance, algo: &str) -> Result<(Schedule, &'static str), CliError> {
+    let assignment: Option<(Assignment, &'static str)> = match algo {
+        "rr" => Some((rr_assignment(inst), "round-robin + YDS (non-migratory)")),
+        "classified" => Some((classified_assignment(inst), "classified RR + YDS (non-migratory)")),
+        "least-loaded" => Some((least_loaded(inst), "least-loaded + YDS (non-migratory)")),
+        "relax" => Some((relax_round(inst), "relax-and-round + YDS (non-migratory)")),
+        "greedy" => Some((marginal_energy_greedy(inst), "marginal-energy greedy (non-migratory)")),
+        "exact" => {
+            if inst.len() > 16 {
+                return Err(CliError::runtime("exact solver limited to n <= 16"));
+            }
+            Some((exact_nonmigratory(inst).assignment, "exact optimum (non-migratory)"))
+        }
+        "local" => {
+            let seed = marginal_energy_greedy(inst);
+            let improved = ssp_core::local_search::improve(inst, &seed, Default::default());
+            Some((improved.assignment, "greedy + local search (non-migratory)"))
+        }
+        _ => None,
+    };
+    if let Some((a, label)) = assignment {
+        return Ok((assignment_schedule(inst, &a), label));
+    }
+    match algo {
+        "bal" => {
+            let sol = bal(inst);
+            Ok((sol.schedule(inst), "BAL optimum (migratory)"))
+        }
+        "avr" => Ok((avr_m(inst), "AVR-m (online, migratory)")),
+        "oa" => Ok((oa_m(inst), "OA-m (online, migratory)")),
+        other => Err(CliError::usage(format!("unknown algorithm '{other}'"))),
+    }
+}
+
+fn solve(parsed: &Parsed) -> Result<String, CliError> {
+    let inst = load(parsed)?;
+    let algo = parsed.flag("algo").unwrap_or("rr");
+    let (schedule, label) = schedule_for(&inst, algo)?;
+    let stats = schedule
+        .validate(&inst, Default::default())
+        .map_err(|e| CliError::runtime(format!("produced schedule failed validation: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{label}");
+    let _ = writeln!(
+        out,
+        "energy {:.6} | makespan {:.4} | preemptions {} | migrations {} | peak speed {:.4}",
+        stats.energy, stats.makespan, stats.preemptions, stats.migrations, stats.max_speed
+    );
+    if parsed.has("gantt") {
+        let width: usize = parsed.flag_parse("width")?.unwrap_or(72);
+        let _ = write!(out, "{}", gantt(&schedule, GanttOptions { width, show_speeds: true }));
+    }
+    if let Some(path) = parsed.flag("svg") {
+        let svg = ssp_model::svg::svg_gantt(&schedule, Default::default());
+        std::fs::write(path, svg)
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "SVG written to {path}");
+    }
+    Ok(out)
+}
+
+fn budget(parsed: &Parsed) -> Result<String, CliError> {
+    let inst = load(parsed)?;
+    let energy: f64 = parsed
+        .flag_parse("energy")?
+        .ok_or_else(|| CliError::usage("budget needs --energy"))?;
+    let (label, makespan, used, schedule) = if parsed.has("non-migratory") {
+        use ssp_core::budget::{makespan_under_budget, InnerSolver};
+        let solver = if inst.len() <= 16 { InnerSolver::Exact } else { InnerSolver::Greedy };
+        match makespan_under_budget(&inst, energy, solver) {
+            None => {
+                return Err(CliError::runtime(format!(
+                    "no schedule meets deadlines within energy budget {energy}"
+                )))
+            }
+            Some(sol) => (
+                if solver == InnerSolver::Exact { "non-migratory (exact)" } else { "non-migratory (greedy)" },
+                sol.makespan,
+                sol.energy,
+                sol.schedule(),
+            ),
+        }
+    } else {
+        match mbal(&inst, energy) {
+            None => {
+                return Err(CliError::runtime(format!(
+                    "no schedule meets deadlines within energy budget {energy}"
+                )))
+            }
+            Some(sol) => ("migratory (optimal)", sol.makespan, sol.energy, sol.schedule()),
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{label}: minimal makespan {makespan:.6} using energy {used:.6} of budget {energy}"
+    );
+    if parsed.has("gantt") {
+        let _ = write!(out, "{}", gantt(&schedule, GanttOptions { width: 72, show_speeds: true }));
+    }
+    Ok(out)
+}
+
+fn compare(parsed: &Parsed) -> Result<String, CliError> {
+    let inst = load(parsed)?;
+    let lb = bal(&inst).energy;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<42} {:>14} {:>8}", "algorithm", "energy", "vs LB");
+    let _ = writeln!(out, "{:<42} {:>14.6} {:>8}", "migratory optimum (lower bound)", lb, "1.000");
+    let mut algos = vec!["rr", "classified", "least-loaded", "relax", "greedy", "local"];
+    if inst.len() <= 12 {
+        algos.push("exact");
+    }
+    for algo in algos {
+        let (schedule, label) = schedule_for(&inst, algo)?;
+        let e = schedule.energy(inst.alpha());
+        let _ = writeln!(out, "{:<42} {:>14.6} {:>8.3}", label, e, e / lb);
+    }
+    Ok(out)
+}
+
+fn analyze(parsed: &Parsed) -> Result<String, CliError> {
+    use ssp_model::analysis;
+    use ssp_model::render::speed_sparkline;
+    let inst = load(parsed)?;
+    let algo = parsed.flag("algo").unwrap_or("bal");
+    let (schedule, label) = schedule_for(&inst, algo)?;
+    schedule
+        .validate(&inst, Default::default())
+        .map_err(|e| CliError::runtime(format!("schedule failed validation: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{label}");
+    let util = analysis::utilization(&schedule);
+    for (m, u) in util.iter().enumerate() {
+        let _ = writeln!(out, "machine {m}: utilization {:.1}%", u * 100.0);
+    }
+    let _ = writeln!(out, "peak power: {:.4}", analysis::peak_power(&schedule, inst.alpha()));
+    let rt = analysis::response_times(&schedule, &inst);
+    let mean_rt = rt.iter().map(|&(_, t)| t).sum::<f64>() / rt.len().max(1) as f64;
+    let max_rt = rt.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+    let _ = writeln!(out, "response time: mean {mean_rt:.4}, max {max_rt:.4}");
+    let slack = analysis::deadline_slacks(&schedule, &inst);
+    let min_slack = slack.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+    let _ = writeln!(out, "minimum deadline slack: {min_slack:.4}");
+    let _ = writeln!(out, "{}", speed_sparkline(&schedule, 64));
+    Ok(out)
+}
+
+fn swf_import(parsed: &Parsed) -> Result<String, CliError> {
+    use ssp_workloads::swf::{parse_swf, SwfOptions};
+    let path = parsed
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("swf needs a trace file"))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    let opts = SwfOptions {
+        machines: parsed.flag_parse("machines")?.unwrap_or(8),
+        alpha: parsed.flag_parse("alpha")?.unwrap_or(2.0),
+        laxity: parsed.flag_parse("laxity")?.unwrap_or(3.0),
+        max_jobs: parsed.flag_parse("max-jobs")?.unwrap_or(usize::MAX),
+        time_scale: parsed.flag_parse("time-scale")?.unwrap_or(1.0),
+    };
+    let (inst, report) = parse_swf(&text, opts)
+        .map_err(|e| CliError::runtime(format!("cannot parse {path}: {e}")))?;
+    let mut out = format!(
+        "imported {} jobs ({} invalid skipped, {} comments)\n",
+        report.imported, report.skipped_invalid, report.comments
+    );
+    match parsed.flag("o") {
+        Some(dest) => {
+            std::fs::write(dest, io::emit(&inst))
+                .map_err(|e| CliError::runtime(format!("cannot write {dest}: {e}")))?;
+            let _ = writeln!(out, "instance written to {dest}");
+        }
+        None => out.push_str(&io::emit(&inst)),
+    }
+    Ok(out)
+}
+
+fn quantize_cmd(parsed: &Parsed) -> Result<String, CliError> {
+    use ssp_model::quantize::{quantize_speeds, SpeedLevels};
+    let inst = load(parsed)?;
+    let algo = parsed.flag("algo").unwrap_or("bal");
+    let levels: usize = parsed
+        .flag_parse("levels")?
+        .ok_or_else(|| CliError::usage("quantize needs --levels"))?;
+    if levels < 2 {
+        return Err(CliError::usage("--levels must be at least 2"));
+    }
+    let (schedule, label) = schedule_for(&inst, algo)?;
+    let continuous = schedule.energy(inst.alpha());
+    let smin = schedule.segments().iter().map(|s| s.speed).fold(f64::INFINITY, f64::min);
+    let smax = schedule.segments().iter().map(|s| s.speed).fold(0.0f64, f64::max)
+        * (1.0 + 1e-9);
+    let grid = SpeedLevels::geometric(smin, smax, levels)
+        .map_err(|e| CliError::runtime(format!("cannot build level grid: {e}")))?;
+    let quantized = quantize_speeds(&schedule, &grid)
+        .map_err(|s| CliError::runtime(format!("speed {s} exceeds the grid")))?;
+    quantized
+        .validate(&inst, Default::default())
+        .map_err(|e| CliError::runtime(format!("quantized schedule invalid: {e}")))?;
+    let discrete = quantized.energy(inst.alpha());
+    Ok(format!(
+        "{label}\ncontinuous energy {continuous:.6}\n{levels}-level grid [{:.4}, {:.4}]: \
+         energy {discrete:.6} (overhead x{:.5})\n",
+        grid.min(),
+        grid.max(),
+        discrete / continuous
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp_instance() -> String {
+        let inst = families::general(8, 2, 2.0).gen(3);
+        let path = std::env::temp_dir().join(format!("ssp_cli_test_{}.ssp", std::process::id()));
+        std::fs::write(&path, io::emit(&inst)).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run(&args(&["help"])).unwrap().contains("speedscale"));
+        assert!(run(&[]).unwrap().contains("commands:"));
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn generate_info_solve_pipeline() {
+        let path = std::env::temp_dir().join(format!("ssp_cli_gen_{}.ssp", std::process::id()));
+        let p = path.to_string_lossy().into_owned();
+        let msg = run(&args(&[
+            "generate", "bursty", "--n", "10", "--m", "2", "--seed", "5", "-o", &p,
+        ]))
+        .unwrap();
+        assert!(msg.contains("wrote 10 jobs"));
+
+        let info = run(&args(&["info", &p])).unwrap();
+        assert!(info.contains("jobs:      10"));
+        assert!(info.contains("machines:  2"));
+
+        for algo in ["rr", "classified", "least-loaded", "relax", "greedy", "local", "bal", "avr", "oa", "exact"] {
+            let out = run(&args(&["solve", &p, "--algo", algo])).unwrap();
+            assert!(out.contains("energy"), "{algo}: {out}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn solve_with_gantt_renders_rows() {
+        let p = tmp_instance();
+        let out = run(&args(&["solve", &p, "--algo", "bal", "--gantt", "--width", "40"])).unwrap();
+        assert!(out.contains("m0 "));
+        assert!(out.contains("m1 "));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn compare_lists_all_policies() {
+        let p = tmp_instance();
+        let out = run(&args(&["compare", &p])).unwrap();
+        assert!(out.contains("round-robin"));
+        assert!(out.contains("exact optimum"));
+        assert!(out.contains("lower bound"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn budget_non_migratory_flag() {
+        // Deadline-free (clamp only tightens): rebuild with huge windows.
+        let base = families::general(6, 2, 2.0).gen(9);
+        let jobs: Vec<ssp_model::Job> = base
+            .jobs()
+            .iter()
+            .map(|j| ssp_model::Job::new(j.id.0, j.work, j.release, 1e7))
+            .collect();
+        let inst = Instance::new(jobs, 2, 2.0).unwrap();
+        let path = std::env::temp_dir().join(format!("ssp_cli_nmb_{}.ssp", std::process::id()));
+        std::fs::write(&path, io::emit(&inst)).unwrap();
+        let p = path.to_string_lossy().into_owned();
+        let mig = run(&args(&["budget", &p, "--energy", "50"])).unwrap();
+        let non = run(&args(&["budget", &p, "--energy", "50", "--non-migratory"])).unwrap();
+        assert!(mig.contains("migratory (optimal)"));
+        assert!(non.contains("non-migratory (exact)"));
+        // Parse makespans: migration can only help.
+        let parse_x = |s: &str| -> f64 {
+            s.split("minimal makespan ").nth(1).unwrap().split(' ').next().unwrap().parse().unwrap()
+        };
+        assert!(parse_x(&mig) <= parse_x(&non) * (1.0 + 1e-6));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn budget_command_works_and_rejects_tiny_budget() {
+        // Deadline-free instance: rebuild the general family with huge
+        // windows (clamp_deadlines only tightens).
+        let base = families::general(6, 2, 2.0).gen(9);
+        let jobs: Vec<ssp_model::Job> = base
+            .jobs()
+            .iter()
+            .map(|j| ssp_model::Job::new(j.id.0, j.work, j.release, 1e7))
+            .collect();
+        let inst = Instance::new(jobs, 2, 2.0).unwrap();
+        let path = std::env::temp_dir().join(format!("ssp_cli_budget_{}.ssp", std::process::id()));
+        std::fs::write(&path, io::emit(&inst)).unwrap();
+        let p = path.to_string_lossy().into_owned();
+        let out = run(&args(&["budget", &p, "--energy", "50"])).unwrap();
+        assert!(out.contains("minimal makespan"));
+        // A budget below the deadline-forced floor fails cleanly.
+        let tight = families::unit_arbitrary(6, 2, 2.0).gen(1);
+        std::fs::write(&path, io::emit(&tight)).unwrap();
+        let err = run(&args(&["budget", &p, "--energy", "0.000001"])).unwrap_err();
+        assert_eq!(err.code, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_and_bad_arguments() {
+        assert_eq!(run(&args(&["solve"])).unwrap_err().code, 2);
+        assert_eq!(run(&args(&["info", "/nonexistent/x.ssp"])).unwrap_err().code, 1);
+        assert_eq!(
+            run(&args(&["generate", "general", "--n", "banana", "--m", "2"])).unwrap_err().code,
+            2
+        );
+        assert_eq!(run(&args(&["generate", "nope", "--n", "4", "--m", "2"])).unwrap_err().code, 2);
+        let p = tmp_instance();
+        assert_eq!(run(&args(&["solve", &p, "--algo", "quantum"])).unwrap_err().code, 2);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn analyze_reports_metrics() {
+        let p = tmp_instance();
+        let out = run(&args(&["analyze", &p])).unwrap();
+        assert!(out.contains("utilization"));
+        assert!(out.contains("peak power"));
+        assert!(out.contains("response time"));
+        assert!(out.contains("deadline slack"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn swf_import_roundtrip() {
+        let trace = "; sample\n1 0 0 10 2 -1 -1 2 30 -1 1 1 1 1 1 1 -1 -1\n";
+        let dir = std::env::temp_dir();
+        let src = dir.join(format!("ssp_cli_swf_{}.swf", std::process::id()));
+        let dst = dir.join(format!("ssp_cli_swf_{}.ssp", std::process::id()));
+        std::fs::write(&src, trace).unwrap();
+        let out = run(&args(&[
+            "swf",
+            &src.to_string_lossy(),
+            "--machines",
+            "2",
+            "-o",
+            &dst.to_string_lossy(),
+        ]))
+        .unwrap();
+        assert!(out.contains("imported 1 jobs"));
+        let info = run(&args(&["info", &dst.to_string_lossy()])).unwrap();
+        assert!(info.contains("jobs:      1"));
+        std::fs::remove_file(&src).ok();
+        std::fs::remove_file(&dst).ok();
+    }
+
+    #[test]
+    fn quantize_reports_overhead() {
+        let p = tmp_instance();
+        let out = run(&args(&["quantize", &p, "--levels", "4"])).unwrap();
+        assert!(out.contains("overhead x"), "{out}");
+        // Overhead is >= 1 by convexity; parse it back out.
+        let x: f64 = out.split("overhead x").nth(1).unwrap().trim_end_matches([')', '\n'])
+            .parse().unwrap();
+        assert!(x >= 1.0 - 1e-9);
+        // Guardrails.
+        assert_eq!(run(&args(&["quantize", &p])).unwrap_err().code, 2);
+        assert_eq!(run(&args(&["quantize", &p, "--levels", "1"])).unwrap_err().code, 2);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn exact_guard_on_large_instances() {
+        let inst = families::general(20, 2, 2.0).gen(1);
+        let path = std::env::temp_dir().join(format!("ssp_cli_big_{}.ssp", std::process::id()));
+        std::fs::write(&path, io::emit(&inst)).unwrap();
+        let p = path.to_string_lossy().into_owned();
+        let err = run(&args(&["solve", &p, "--algo", "exact"])).unwrap_err();
+        assert!(err.message.contains("n <= 16"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,13 @@
+//! The `speedscale` command-line tool; all logic lives in
+//! [`speedscale::cli`] so it stays unit-testable.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match speedscale::cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("speedscale: {}", e.message);
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Integration tests for the MBAL extension and the online algorithms,
+//! exercised through the facade crate.
+
+use speedscale::core::online::{avr_m_energy, oa_m};
+use speedscale::migratory::bal::bal;
+use speedscale::migratory::mbal::mbal;
+use speedscale::model::{Instance, Job};
+use speedscale::workloads::{families, subseed, ArrivalDist, Spec, WindowDist, WorkDist};
+
+fn deadline_free(n: usize, m: usize, alpha: f64, seed: u64) -> Instance {
+    Spec::new(n, m, alpha)
+        .arrivals(ArrivalDist::Poisson { rate: 1.5 })
+        .work(WorkDist::Uniform { min: 0.5, max: 2.0 })
+        .window(WindowDist::Fixed(1e7))
+        .gen(seed)
+}
+
+/// MBAL inverts itself: solving for budget E yields makespan X; re-solving
+/// the X-clamped instance with BAL spends (essentially) E when the budget is
+/// binding.
+#[test]
+fn mbal_budget_is_tight_when_binding() {
+    let inst = deadline_free(10, 2, 2.5, 71);
+    // Small budget => the energy constraint binds and is met with equality.
+    let budget = inst.total_work() * 0.6;
+    let sol = mbal(&inst, budget).unwrap();
+    assert!(sol.energy <= budget * (1.0 + 1e-6));
+    assert!(
+        sol.energy >= budget * (1.0 - 1e-3),
+        "binding budget should be spent almost fully: {} of {budget}",
+        sol.energy
+    );
+    // And the schedule realizes it.
+    let stats = sol.schedule().validate(&sol.clamped, Default::default()).unwrap();
+    assert!(stats.makespan <= sol.makespan * (1.0 + 1e-9));
+}
+
+/// A very large budget drives the makespan to the release-bound floor:
+/// finishing takes at least as long as the last arrival (plus epsilon work).
+#[test]
+fn mbal_generous_budget_approaches_release_floor() {
+    let inst = deadline_free(8, 4, 2.0, 13);
+    let last_release =
+        inst.jobs().iter().map(|j| j.release).fold(f64::NEG_INFINITY, f64::max);
+    let generous = mbal(&inst, inst.total_work() * 1e4).unwrap();
+    assert!(generous.makespan > last_release);
+    let tight = mbal(&inst, inst.total_work() * 0.5).unwrap();
+    assert!(generous.makespan < tight.makespan);
+}
+
+/// MBAL respects pre-existing deadlines as side constraints.
+#[test]
+fn mbal_with_hard_deadlines() {
+    let jobs = vec![
+        Job::new(0, 1.0, 0.0, 1.0), // hard deadline forces speed >= 1
+        Job::new(1, 2.0, 0.0, 1e7),
+    ];
+    let inst = Instance::new(jobs, 1, 2.0).unwrap();
+    // Minimum possible energy: job 0 at speed 1 (E=1), job 1 arbitrarily slow.
+    assert!(mbal(&inst, 0.9).is_none(), "budget below the deadline-forced floor");
+    let sol = mbal(&inst, 2.0).unwrap();
+    assert!(sol.energy <= 2.0 * (1.0 + 1e-6));
+    // Job 0's deadline is respected in the clamped instance.
+    assert!(sol.clamped.job(0).deadline <= 1.0 + 1e-9);
+}
+
+/// OA-m ratio is bounded by alpha^alpha across a seed sweep (the strongest
+/// online guarantee we rely on in the experiments).
+#[test]
+fn oa_m_competitive_sweep() {
+    for seed in 0..6u64 {
+        for alpha in [1.5, 2.0, 3.0] {
+            let inst = families::bursty(24, 2, alpha).gen(subseed(0x0A, seed));
+            let opt = bal(&inst).energy;
+            let oa = oa_m(&inst).energy(alpha);
+            assert!(
+                oa <= alpha.powf(alpha) * opt * (1.0 + 1e-6),
+                "seed {seed} alpha {alpha}: OA {oa} vs bound {} * {opt}",
+                alpha.powf(alpha)
+            );
+            assert!(oa >= opt * (1.0 - 1e-6));
+        }
+    }
+}
+
+/// AVR-m energy matches between the closed-form accumulator and the
+/// materialized schedule, and respects its competitive bound.
+#[test]
+fn avr_m_energy_consistency_sweep() {
+    for seed in 0..6u64 {
+        let alpha = 2.0;
+        let inst = families::general(30, 3, alpha).gen(subseed(0xA7, seed));
+        let direct = avr_m_energy(&inst);
+        let sched = speedscale::core::online::avr_m(&inst);
+        let stats = sched.validate(&inst, Default::default()).unwrap();
+        assert!((stats.energy - direct).abs() <= 1e-6 * direct);
+        let opt = bal(&inst).energy;
+        let bound = alpha.powf(alpha) * 2.0f64.powf(alpha - 1.0);
+        assert!(direct >= opt * (1.0 - 1e-6));
+        assert!(
+            direct <= bound * opt * (1.0 + 1e-6) * 2.0,
+            "AVR-m far above its expected range: {direct} vs opt {opt}"
+        );
+    }
+}
+
+/// Degenerate inputs flow through the whole stack.
+#[test]
+fn degenerate_inputs() {
+    // Single job.
+    let one = Instance::new(vec![Job::new(0, 1.0, 0.0, 2.0)], 3, 2.0).unwrap();
+    assert!((bal(&one).energy - 0.5).abs() < 1e-9);
+    let s = oa_m(&one);
+    s.validate(&one, Default::default()).unwrap();
+
+    // Many machines, one interval, heavy contention.
+    let jobs: Vec<Job> = (0..12).map(|i| Job::new(i, 1.0, 0.0, 1.0)).collect();
+    let tight = Instance::new(jobs, 4, 2.0).unwrap();
+    let sol = bal(&tight);
+    // Uniform speed 12/4 = 3; energy 12 * 3 = 36 at alpha 2.
+    assert!((sol.energy - 36.0).abs() < 1e-6);
+    sol.schedule(&tight).validate(&tight, Default::default()).unwrap();
+}

@@ -1,0 +1,129 @@
+//! Exhaustive cross-validation over a small discrete universe of instances.
+//!
+//! Random testing can miss structured corner cases; here we enumerate *all*
+//! instances with windows drawn from a small grid and check the full
+//! invariant stack on every single one:
+//!
+//! * BAL's KKT certificate accepts (⇒ BAL is optimal);
+//! * migratory OPT ≤ exact non-migratory OPT ≤ every heuristic;
+//! * all schedules validate with matching energies;
+//! * RR equals the exact optimum whenever the instance is unit + agreeable.
+//!
+//! Universe: windows `[r, d]` with `r ∈ {0, 1, 2}`, `d ∈ {r+1, r+2, r+3}`
+//! (9 windows), works `∈ {1, 2}` ⇒ 18 distinct jobs; all multisets of size
+//! ≤ 3 over the 18 job types, on m ∈ {1, 2} — about 2.5k instances in total,
+//! every one checked.
+
+use speedscale::core::assignment::{assignment_energy, assignment_schedule};
+use speedscale::core::exact::exact_nonmigratory;
+use speedscale::core::relax::relax_round;
+use speedscale::core::rr::rr_assignment;
+use speedscale::migratory::bal::bal;
+use speedscale::migratory::kkt::certify;
+use speedscale::model::numeric::Tol;
+use speedscale::model::schedule::ValidationOptions;
+use speedscale::model::{Instance, Job};
+
+/// All 18 job shapes of the universe.
+fn job_types() -> Vec<(f64, f64, f64)> {
+    let mut types = Vec::new();
+    for r in 0..3 {
+        for len in 1..=3 {
+            for w in [1.0, 2.0] {
+                types.push((w, r as f64, (r + len) as f64));
+            }
+        }
+    }
+    types
+}
+
+/// Multisets of size `k` over `types` (combinations with repetition).
+fn multisets(k: usize, types: usize) -> Vec<Vec<usize>> {
+    fn rec(k: usize, start: usize, types: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k == 0 {
+            out.push(current.clone());
+            return;
+        }
+        for t in start..types {
+            current.push(t);
+            rec(k - 1, t, types, current, out);
+            current.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(k, 0, types, &mut Vec::new(), &mut out);
+    out
+}
+
+fn build(selection: &[usize], types: &[(f64, f64, f64)], m: usize) -> Instance {
+    let jobs: Vec<Job> = selection
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            let (w, r, d) = types[t];
+            Job::new(i as u32, w, r, d)
+        })
+        .collect();
+    Instance::new(jobs, m, 2.0).unwrap()
+}
+
+#[test]
+fn every_small_instance_passes_the_full_stack() {
+    let types = job_types();
+    let mut checked = 0usize;
+    let mut rr_optimal_cases = 0usize;
+    let mut unit_agreeable_cases = 0usize;
+    for k in 1..=3usize {
+        for selection in multisets(k, types.len()) {
+            for m in [1usize, 2] {
+                let inst = build(&selection, &types, m);
+
+                // 1. BAL + certificate.
+                let sol = bal(&inst);
+                certify(&inst, &sol, Tol::rel(1e-6)).unwrap_or_else(|v| {
+                    panic!("KKT failed on {selection:?} m={m}: {v}")
+                });
+                let mig = sol.energy;
+
+                // 2. Exact ordering.
+                let exact = exact_nonmigratory(&inst);
+                assert!(
+                    exact.energy >= mig * (1.0 - 1e-6),
+                    "{selection:?} m={m}: exact {} < migratory {mig}",
+                    exact.energy
+                );
+
+                // 3. Heuristics never beat exact; schedules validate.
+                for assign in [rr_assignment(&inst), relax_round(&inst)] {
+                    let e = assignment_energy(&inst, &assign);
+                    assert!(
+                        e >= exact.energy * (1.0 - 1e-9),
+                        "{selection:?} m={m}: heuristic {e} < exact {}",
+                        exact.energy
+                    );
+                    let s = assignment_schedule(&inst, &assign);
+                    let stats =
+                        s.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+                    assert!((stats.energy - e).abs() <= 1e-6 * e);
+                }
+
+                // 4. R1 on the unit+agreeable subset of the universe.
+                if inst.is_uniform_work(Tol::default()) && inst.is_agreeable() {
+                    unit_agreeable_cases += 1;
+                    let rr = assignment_energy(&inst, &rr_assignment(&inst));
+                    assert!(
+                        rr <= exact.energy * (1.0 + 1e-6),
+                        "{selection:?} m={m}: RR {rr} suboptimal vs {}",
+                        exact.energy
+                    );
+                    rr_optimal_cases += 1;
+                }
+                checked += 1;
+            }
+        }
+    }
+    // The universe really is exhaustive-sized, and the R1 regime nonempty.
+    assert!(checked > 2000, "only {checked} instances checked");
+    assert!(unit_agreeable_cases > 100, "only {unit_agreeable_cases} R1 cases");
+    assert_eq!(rr_optimal_cases, unit_agreeable_cases);
+}

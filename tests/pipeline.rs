@@ -1,0 +1,179 @@
+//! End-to-end integration tests: every public pipeline from instance to
+//! validated schedule, crossing all workspace crates.
+
+use speedscale::core::assignment::{assignment_energy, assignment_schedule};
+use speedscale::core::classified::classified_assignment;
+use speedscale::core::exact::exact_nonmigratory;
+use speedscale::core::list::{least_loaded, marginal_energy_greedy};
+use speedscale::core::online::{avr_m, oa_m};
+use speedscale::core::relax::relax_round;
+use speedscale::core::rr::rr_assignment;
+use speedscale::migratory::bal::bal;
+use speedscale::migratory::kkt::certify;
+use speedscale::model::numeric::Tol;
+use speedscale::model::schedule::ValidationOptions;
+use speedscale::workloads::{families, subseed};
+
+/// The fundamental ordering every run must respect:
+/// migratory OPT <= non-migratory OPT <= every non-migratory heuristic,
+/// and (on small instances) exact non-migratory <= all heuristics.
+#[test]
+fn energy_hierarchy_holds_across_families() {
+    for (fam, seed) in [
+        ("unit_agreeable", 1u64),
+        ("unit_arbitrary", 2),
+        ("weighted_agreeable", 3),
+        ("general", 4),
+    ] {
+        let spec = match fam {
+            "unit_agreeable" => families::unit_agreeable(9, 2, 2.0),
+            "unit_arbitrary" => families::unit_arbitrary(9, 2, 2.0),
+            "weighted_agreeable" => families::weighted_agreeable(9, 2, 2.0),
+            _ => families::general(9, 2, 2.0),
+        };
+        let inst = spec.gen(subseed(0xFEED, seed));
+        let mig = bal(&inst).energy;
+        let opt = exact_nonmigratory(&inst).energy;
+        assert!(opt >= mig * (1.0 - 1e-6), "{fam}: non-mig OPT {opt} below migratory {mig}");
+        for (name, assign) in [
+            ("rr", rr_assignment(&inst)),
+            ("classified", classified_assignment(&inst)),
+            ("least_loaded", least_loaded(&inst)),
+            ("relax_round", relax_round(&inst)),
+            ("greedy", marginal_energy_greedy(&inst)),
+        ] {
+            let e = assignment_energy(&inst, &assign);
+            assert!(
+                e >= opt * (1.0 - 1e-9),
+                "{fam}/{name}: heuristic {e} beat the exact optimum {opt}"
+            );
+        }
+    }
+}
+
+/// Every algorithm's schedule must pass the audited validator, and its
+/// energy must equal the assignment objective.
+#[test]
+fn all_schedules_validate_with_matching_energy() {
+    let inst = families::general(40, 3, 2.3).gen(99);
+    let lb = bal(&inst);
+
+    // Migratory schedule.
+    let mig_sched = lb.schedule(&inst);
+    let mig_stats = mig_sched.validate(&inst, Default::default()).unwrap();
+    assert!((mig_stats.energy - lb.energy).abs() <= 1e-6 * lb.energy);
+
+    // Non-migratory schedules.
+    for assign in [
+        rr_assignment(&inst),
+        classified_assignment(&inst),
+        least_loaded(&inst),
+        relax_round(&inst),
+        marginal_energy_greedy(&inst),
+    ] {
+        let e = assignment_energy(&inst, &assign);
+        let s = assignment_schedule(&inst, &assign);
+        let stats = s.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+        assert!((stats.energy - e).abs() <= 1e-6 * e);
+        assert!(e >= lb.energy * (1.0 - 1e-6));
+    }
+
+    // Online schedules (migration allowed).
+    for s in [avr_m(&inst), oa_m(&inst)] {
+        let stats = s.validate(&inst, Default::default()).unwrap();
+        assert!(stats.energy >= lb.energy * (1.0 - 1e-6));
+    }
+}
+
+/// The KKT certificate accepts BAL across a wide seed sweep — this is the
+/// workspace's strongest optimality evidence for the lower-bound oracle.
+#[test]
+fn kkt_certificates_over_seed_sweep() {
+    for seed in 0..12u64 {
+        let inst = families::general(20, 3, 2.0).gen(subseed(0xCE27, seed));
+        let sol = bal(&inst);
+        certify(&inst, &sol, Tol::rel(1e-6)).unwrap_or_else(|v| {
+            panic!("KKT certificate failed on seed {seed}: {v}");
+        });
+    }
+}
+
+/// Scale invariance end to end: scaling works by c scales *all* algorithm
+/// energies by c^alpha; stretching time scales them by c^(1-alpha).
+#[test]
+fn scale_laws_hold_end_to_end() {
+    let inst = families::general(12, 2, 2.0).gen(5);
+    let c = 3.0;
+    let alpha = 2.0;
+
+    let e0 = bal(&inst).energy;
+    let e0_rr = assignment_energy(&inst, &rr_assignment(&inst));
+
+    let scaled = inst.scale_works(c).unwrap();
+    assert!((bal(&scaled).energy - e0 * c.powf(alpha)).abs() <= 1e-6 * e0 * c.powf(alpha));
+    let rr_scaled = assignment_energy(&scaled, &rr_assignment(&scaled));
+    assert!((rr_scaled - e0_rr * c.powf(alpha)).abs() <= 1e-6 * rr_scaled);
+
+    let stretched = inst.scale_time(c).unwrap();
+    let expect = e0 * c.powf(1.0 - alpha);
+    assert!((bal(&stretched).energy - expect).abs() <= 1e-6 * expect);
+}
+
+/// Unit-work agreeable instances: RR equals the exact optimum on every seed
+/// (the paper's R1, end to end through the public API).
+#[test]
+fn r1_optimality_sweep() {
+    for seed in 0..8u64 {
+        let inst = families::unit_agreeable(9, 2, 2.5).gen(subseed(0x0521, seed));
+        let rr = assignment_energy(&inst, &rr_assignment(&inst));
+        let opt = exact_nonmigratory(&inst).energy;
+        assert!(
+            rr <= opt * (1.0 + 1e-6),
+            "seed {seed}: RR {rr} suboptimal vs {opt}"
+        );
+    }
+}
+
+/// Adding machines monotonically reduces (or keeps) optimal energy, for both
+/// the migratory optimum and the exact non-migratory optimum.
+#[test]
+fn machine_monotonicity() {
+    let base = families::general(8, 1, 2.0).gen(17);
+    let mut prev_mig = f64::INFINITY;
+    let mut prev_exact = f64::INFINITY;
+    for m in 1..=4 {
+        let inst = base.with_machines(m).unwrap();
+        let mig = bal(&inst).energy;
+        let exact = exact_nonmigratory(&inst).energy;
+        assert!(mig <= prev_mig * (1.0 + 1e-9));
+        assert!(exact <= prev_exact * (1.0 + 1e-9));
+        assert!(exact >= mig * (1.0 - 1e-6));
+        prev_mig = mig;
+        prev_exact = exact;
+    }
+}
+
+/// With m >= n, migration is useless: exact non-migratory == migratory
+/// (each job can have its own machine).
+#[test]
+fn enough_machines_close_the_migration_gap() {
+    let inst = families::general(6, 6, 2.0).gen(23);
+    let mig = bal(&inst).energy;
+    let exact = exact_nonmigratory(&inst).energy;
+    assert!(
+        (exact - mig).abs() <= 1e-6 * mig,
+        "gap should vanish with m >= n: {exact} vs {mig}"
+    );
+}
+
+/// io round-trip composes with solving: parse(emit(x)) produces identical
+/// algorithm results.
+#[test]
+fn io_roundtrip_preserves_solutions() {
+    use speedscale::model::io;
+    let inst = families::weighted_agreeable(15, 2, 2.0).gen(31);
+    let text = io::emit(&inst);
+    let back = io::parse(&text).unwrap();
+    assert_eq!(back, inst);
+    assert_eq!(bal(&back).energy, bal(&inst).energy);
+}

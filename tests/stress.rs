@@ -1,0 +1,52 @@
+//! Long-running stress tests, excluded from the default run.
+//! Execute with `cargo test --release -- --ignored`.
+
+use speedscale::core::assignment::assignment_energy;
+use speedscale::core::rr::rr_assignment;
+use speedscale::migratory::bal::bal;
+use speedscale::migratory::kkt::certify;
+use speedscale::model::numeric::Tol;
+use speedscale::workloads::{families, subseed};
+
+/// BAL on large instances: certificates and schedules must survive scale.
+#[test]
+#[ignore = "several seconds; run with --ignored"]
+fn bal_large_instances_certify() {
+    for (n, m) in [(400usize, 4usize), (800, 8)] {
+        let inst = families::general(n, m, 2.0).gen(subseed(0x57E5, n as u64));
+        let sol = bal(&inst);
+        certify(&inst, &sol, Tol::rel(1e-6)).unwrap_or_else(|v| {
+            panic!("certificate failed at n={n}: {v}");
+        });
+        let schedule = sol.schedule(&inst);
+        let stats = schedule.validate(&inst, Default::default()).unwrap();
+        assert!((stats.energy - sol.energy).abs() <= 1e-6 * sol.energy);
+    }
+}
+
+/// Wide randomized sweep: the energy hierarchy on 200 random instances.
+#[test]
+#[ignore = "several seconds; run with --ignored"]
+fn hierarchy_sweep_200_seeds() {
+    for seed in 0..200u64 {
+        let inst = families::general(25, 3, 2.0).gen(subseed(0x57E6, seed));
+        let lb = bal(&inst).energy;
+        let rr = assignment_energy(&inst, &rr_assignment(&inst));
+        assert!(rr >= lb * (1.0 - 1e-6), "seed {seed}: RR {rr} below LB {lb}");
+        assert!(rr <= 3.0 * lb, "seed {seed}: RR implausibly bad");
+    }
+}
+
+/// Online algorithms on long bursty traces.
+#[test]
+#[ignore = "several seconds; run with --ignored"]
+fn online_long_traces() {
+    use speedscale::core::online::{avr_m, oa_m};
+    let inst = families::bursty(300, 6, 2.0).gen(0xB16);
+    let opt = bal(&inst).energy;
+    for s in [avr_m(&inst), oa_m(&inst)] {
+        let stats = s.validate(&inst, Default::default()).unwrap();
+        assert!(stats.energy >= opt * (1.0 - 1e-6));
+        assert!(stats.energy <= 8.0 * opt);
+    }
+}
