@@ -2,8 +2,8 @@
 //! layered networks (the `f(n)` primitive in the paper's complexity bound),
 //! the single-processor YDS solver, and the interval decomposition.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ssp_bench::fixture;
+use ssp_bench::harness::{BenchmarkId, Criterion};
+use ssp_bench::{criterion_group, criterion_main, fixture};
 use ssp_maxflow::{FlowNetwork, PushRelabel};
 use ssp_migratory::wap::Wap;
 use ssp_model::IntervalSet;
@@ -114,5 +114,12 @@ fn engine_comparison(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(micro, wap_maxflow, dinic_dense, yds_sizes, interval_build, engine_comparison);
+criterion_group!(
+    micro,
+    wap_maxflow,
+    dinic_dense,
+    yds_sizes,
+    interval_build,
+    engine_comparison
+);
 criterion_main!(micro);

@@ -1,8 +1,8 @@
 //! Figure 3 — scaling of the two headline algorithms with instance size
 //! (wall-clock complement of the flow-count series in `ssp-exper exp6`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ssp_bench::fixture;
+use ssp_bench::harness::{BenchmarkId, Criterion, Throughput};
+use ssp_bench::{criterion_group, criterion_main, fixture};
 use ssp_core::assignment::assignment_energy;
 use ssp_core::rr::rr_assignment;
 use ssp_migratory::bal::bal;

@@ -1,21 +1,21 @@
 //! One benchmark per reproduced table/figure (see `EXPERIMENTS.md`): each
 //! target times the computational kernel that regenerates the artifact.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ssp_bench::fixture;
+use ssp_bench::harness::{BenchmarkId, Criterion};
+use ssp_bench::{criterion_group, criterion_main, fixture};
 use ssp_core::assignment::assignment_energy;
 use ssp_core::classified::classified_assignment;
+use ssp_core::classified::classified_assignment_with_base;
 use ssp_core::exact::exact_nonmigratory;
 use ssp_core::hardness::crossing;
 use ssp_core::online::{avr_m_energy, oa_m};
 use ssp_core::relax::relax_round;
-use ssp_core::rr::rr_assignment;
-use ssp_migratory::bal::bal;
-use ssp_migratory::kkt::certify;
-use ssp_core::classified::classified_assignment_with_base;
 use ssp_core::relax::{relax_round_with, RoundingOrder};
+use ssp_core::rr::rr_assignment;
 use ssp_core::throughput::max_throughput_greedy;
+use ssp_migratory::bal::bal;
 use ssp_migratory::bounded::min_peak_speed;
+use ssp_migratory::kkt::certify;
 use ssp_migratory::mbal::mbal;
 use ssp_model::numeric::Tol;
 use ssp_model::quantize::{quantize_speeds, SpeedLevels};
@@ -110,9 +110,13 @@ fn exp7_mbal(c: &mut Criterion) {
 fn exp8_online(c: &mut Criterion) {
     let mut g = c.benchmark_group("exp8_online");
     let inst = fixture("bursty", 48, 4, 2.0);
-    g.bench_function("avr_m_n48_m4", |b| b.iter(|| black_box(avr_m_energy(&inst))));
+    g.bench_function("avr_m_n48_m4", |b| {
+        b.iter(|| black_box(avr_m_energy(&inst)))
+    });
     g.sample_size(10);
-    g.bench_function("oa_m_n48_m4", |b| b.iter(|| black_box(oa_m(&inst).energy(2.0))));
+    g.bench_function("oa_m_n48_m4", |b| {
+        b.iter(|| black_box(oa_m(&inst).energy(2.0)))
+    });
     g.finish();
 }
 
@@ -182,7 +186,9 @@ fn exp12_throughput(c: &mut Criterion) {
 
 /// Figure 5 — the flow-time budget DP (including the lambda bisection).
 fn exp13_flowtime(c: &mut Criterion) {
-    let releases: Vec<f64> = (0..40).map(|k| k as f64 * 0.8 + (k % 3) as f64 * 0.1).collect();
+    let releases: Vec<f64> = (0..40)
+        .map(|k| k as f64 * 0.8 + (k % 3) as f64 * 0.1)
+        .collect();
     c.bench_function("exp13_flow_budget_n40", |b| {
         b.iter(|| black_box(min_flow_time_budget(&releases, 2.0, 60.0).total_flow))
     });

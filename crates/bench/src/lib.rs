@@ -1,7 +1,9 @@
 //! # ssp-bench
 //!
-//! Criterion benchmarks for the reproduction. Each bench target regenerates
-//! the computational kernel behind one `EXPERIMENTS.md` artifact:
+//! Benchmarks for the reproduction, built on the in-repo Criterion-style
+//! timing shim in [`harness`] (the workspace carries no external
+//! dependencies so it builds offline). Each bench target regenerates the
+//! computational kernel behind one `EXPERIMENTS.md` artifact:
 //!
 //! | bench target | artifact | kernel |
 //! |--------------|----------|--------|
@@ -20,6 +22,8 @@
 //! `benches/`.
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use ssp_model::Instance;
 use ssp_workloads::{families, subseed};
@@ -43,7 +47,10 @@ mod tests {
 
     #[test]
     fn fixtures_are_deterministic() {
-        assert_eq!(fixture("general", 20, 2, 2.0), fixture("general", 20, 2, 2.0));
+        assert_eq!(
+            fixture("general", 20, 2, 2.0),
+            fixture("general", 20, 2, 2.0)
+        );
         assert_eq!(fixture("bursty", 10, 4, 2.0).len(), 10);
     }
 }

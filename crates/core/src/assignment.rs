@@ -51,7 +51,10 @@ impl Assignment {
     pub fn groups(&self, machines: usize) -> Vec<Vec<usize>> {
         let mut groups = vec![Vec::new(); machines];
         for (i, &p) in self.machine_of.iter().enumerate() {
-            assert!(p < machines, "job {i} assigned to machine {p} of {machines}");
+            assert!(
+                p < machines,
+                "job {i} assigned to machine {p} of {machines}"
+            );
             groups[p].push(i);
         }
         groups
@@ -60,7 +63,11 @@ impl Assignment {
 
 /// Optimal energy of an assignment: sum of per-machine YDS energies.
 pub fn assignment_energy(instance: &Instance, assignment: &Assignment) -> f64 {
-    assert_eq!(assignment.len(), instance.len(), "assignment length mismatch");
+    assert_eq!(
+        assignment.len(),
+        instance.len(),
+        "assignment length mismatch"
+    );
     assignment
         .groups(instance.machines())
         .into_iter()
@@ -74,9 +81,17 @@ pub fn assignment_energy(instance: &Instance, assignment: &Assignment) -> f64 {
 /// Materialize the optimal schedule for an assignment: YDS + EDF on each
 /// machine, merged. Always succeeds (speeds are unbounded).
 pub fn assignment_schedule(instance: &Instance, assignment: &Assignment) -> Schedule {
-    assert_eq!(assignment.len(), instance.len(), "assignment length mismatch");
+    assert_eq!(
+        assignment.len(),
+        instance.len(),
+        "assignment length mismatch"
+    );
     let mut merged = Schedule::new(instance.machines());
-    for (machine, group) in assignment.groups(instance.machines()).into_iter().enumerate() {
+    for (machine, group) in assignment
+        .groups(instance.machines())
+        .into_iter()
+        .enumerate()
+    {
         if group.is_empty() {
             continue;
         }
@@ -127,7 +142,9 @@ mod tests {
         let instance = inst();
         let a = Assignment::new(vec![0, 1, 0]);
         let s = assignment_schedule(&instance, &a);
-        let stats = s.validate(&instance, ValidationOptions::non_migratory()).unwrap();
+        let stats = s
+            .validate(&instance, ValidationOptions::non_migratory())
+            .unwrap();
         assert!((stats.energy - assignment_energy(&instance, &a)).abs() < 1e-9);
         // Each job sits on its assigned machine.
         for seg in s.segments() {

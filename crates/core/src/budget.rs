@@ -58,7 +58,10 @@ pub fn makespan_under_budget(
     budget: f64,
     solver: InnerSolver,
 ) -> Option<BudgetSolution> {
-    assert!(budget > 0.0 && budget.is_finite(), "budget must be positive");
+    assert!(
+        budget > 0.0 && budget.is_finite(),
+        "budget must be positive"
+    );
     if instance.is_empty() {
         return Some(BudgetSolution {
             makespan: 0.0,
@@ -79,17 +82,19 @@ pub fn makespan_under_budget(
         };
         Some((assignment_energy(&clamped, &assignment), assignment))
     };
-    let feasible = |x: f64| -> bool {
-        energy_at(x).map_or(false, |(e, _)| e <= budget * (1.0 + 1e-9))
-    };
+    let feasible =
+        |x: f64| -> bool { energy_at(x).is_some_and(|(e, _)| e <= budget * (1.0 + 1e-9)) };
 
     // Bounds as in MBAL: serial execution after the last release always
     // works; perfect parallelism lower-bounds.
     let w = instance.total_work();
     let alpha = instance.alpha();
     let serial = (w.powf(alpha) / budget).powf(1.0 / (alpha - 1.0));
-    let max_release =
-        instance.jobs().iter().map(|j| j.release).fold(f64::NEG_INFINITY, f64::max);
+    let max_release = instance
+        .jobs()
+        .iter()
+        .map(|j| j.release)
+        .fold(f64::NEG_INFINITY, f64::max);
     let x_lb = (serial / instance.machines() as f64).max(1e-12);
     let mut x_ub = max_release + serial;
     let mut guard = 0;
@@ -109,9 +114,16 @@ pub fn makespan_under_budget(
     }
     let lo = x_lb.min(x_ub).max(max_release * (1.0 + 1e-15));
     let (_, x) = bisect_threshold(lo, x_ub, 1e-11, feasible);
-    let clamped = instance.clamp_deadlines(x).expect("feasible x clamps validly");
+    let clamped = instance
+        .clamp_deadlines(x)
+        .expect("feasible x clamps validly");
     let (energy, assignment) = energy_at(x).expect("feasible x evaluates");
-    Some(BudgetSolution { makespan: x, assignment, energy, clamped })
+    Some(BudgetSolution {
+        makespan: x,
+        assignment,
+        energy,
+        clamped,
+    })
 }
 
 #[cfg(test)]
@@ -135,8 +147,7 @@ mod tests {
         // and MBAL must agree.
         let inst = free(vec![(2.0, 0.0), (1.0, 0.5), (1.5, 1.2)], 1, 2.0);
         let budget = 6.0;
-        let nonmig =
-            makespan_under_budget(&inst, budget, InnerSolver::Exact).unwrap();
+        let nonmig = makespan_under_budget(&inst, budget, InnerSolver::Exact).unwrap();
         let mig = mbal(&inst, budget).unwrap();
         assert!(
             (nonmig.makespan - mig.makespan).abs() <= 1e-6 * mig.makespan,
@@ -151,12 +162,20 @@ mod tests {
         let inst = free(vec![(1.0, 0.0), (2.0, 0.2), (0.7, 0.8), (1.3, 1.0)], 2, 2.5);
         let budget = 8.0;
         let mig = mbal(&inst, budget).unwrap().makespan;
-        let exact =
-            makespan_under_budget(&inst, budget, InnerSolver::Exact).unwrap().makespan;
-        let greedy =
-            makespan_under_budget(&inst, budget, InnerSolver::Greedy).unwrap().makespan;
-        assert!(mig <= exact * (1.0 + 1e-6), "migration can only shorten: {mig} vs {exact}");
-        assert!(exact <= greedy * (1.0 + 1e-6), "exact beats greedy: {exact} vs {greedy}");
+        let exact = makespan_under_budget(&inst, budget, InnerSolver::Exact)
+            .unwrap()
+            .makespan;
+        let greedy = makespan_under_budget(&inst, budget, InnerSolver::Greedy)
+            .unwrap()
+            .makespan;
+        assert!(
+            mig <= exact * (1.0 + 1e-6),
+            "migration can only shorten: {mig} vs {exact}"
+        );
+        assert!(
+            exact <= greedy * (1.0 + 1e-6),
+            "exact beats greedy: {exact} vs {greedy}"
+        );
     }
 
     #[test]
@@ -171,7 +190,10 @@ mod tests {
             // The schedule is real and non-migratory.
             let stats = sol
                 .schedule()
-                .validate(&sol.clamped, ssp_model::schedule::ValidationOptions::non_migratory())
+                .validate(
+                    &sol.clamped,
+                    ssp_model::schedule::ValidationOptions::non_migratory(),
+                )
                 .unwrap();
             assert!(stats.makespan <= sol.makespan * (1.0 + 1e-9));
         }

@@ -30,12 +30,22 @@ pub fn classified_assignment_with_base(instance: &Instance, base: f64) -> Assign
     if n == 0 {
         return Assignment::new(machine_of);
     }
-    let w_min = instance.jobs().iter().map(|j| j.work).fold(f64::INFINITY, f64::min);
+    let w_min = instance
+        .jobs()
+        .iter()
+        .map(|j| j.work)
+        .fold(f64::INFINITY, f64::min);
     let class_of = |w: f64| -> usize {
         // floor(log_base(w / w_min)), robust at exact class boundaries.
         ((w / w_min).log2() / base.log2() + 1e-12).floor() as usize
     };
-    let num_classes = instance.jobs().iter().map(|j| class_of(j.work)).max().unwrap() + 1;
+    let num_classes = instance
+        .jobs()
+        .iter()
+        .map(|j| class_of(j.work))
+        .max()
+        .unwrap()
+        + 1;
     let m = instance.machines();
     // Per-class rotating cursor; offset classes by their index so different
     // classes do not all start hammering machine 0.
@@ -84,8 +94,18 @@ mod tests {
         // alternate machines.
         let mut jobs = Vec::new();
         for k in 0..4u32 {
-            jobs.push(Job::new(2 * k, 8.0, k as f64 * 10.0, k as f64 * 10.0 + 12.0));
-            jobs.push(Job::new(2 * k + 1, 1.0, k as f64 * 10.0, k as f64 * 10.0 + 12.0));
+            jobs.push(Job::new(
+                2 * k,
+                8.0,
+                k as f64 * 10.0,
+                k as f64 * 10.0 + 12.0,
+            ));
+            jobs.push(Job::new(
+                2 * k + 1,
+                1.0,
+                k as f64 * 10.0,
+                k as f64 * 10.0 + 12.0,
+            ));
         }
         let inst = Instance::new(jobs, 2, 2.0).unwrap();
         let a = classified_assignment(&inst);
@@ -128,7 +148,8 @@ mod tests {
     fn schedule_validates_non_migratory() {
         let inst = families::weighted_agreeable(30, 4, 2.0).gen(9);
         let s = classified_rr(&inst);
-        s.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+        s.validate(&inst, ValidationOptions::non_migratory())
+            .unwrap();
     }
 
     #[test]

@@ -26,9 +26,7 @@ pub fn decompose(instance: &Instance) -> Vec<Vec<usize>> {
         return Vec::new();
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        instance.job(a).release.total_cmp(&instance.job(b).release)
-    });
+    order.sort_by(|&a, &b| instance.job(a).release.total_cmp(&instance.job(b).release));
     let mut components: Vec<Vec<usize>> = Vec::new();
     let mut current: Vec<usize> = vec![order[0]];
     let mut frontier = instance.job(order[0]).deadline;
@@ -68,15 +66,19 @@ pub fn exact_decomposed(instance: &Instance) -> ExactSolution {
             machine_of[global] = sol.assignment.machine_of(local);
         }
     }
-    ExactSolution { assignment: Assignment::new(machine_of), energy, nodes }
+    ExactSolution {
+        assignment: Assignment::new(machine_of),
+        energy,
+        nodes,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::assignment::assignment_energy;
-    use proptest::prelude::*;
     use ssp_model::{Instance, Job};
+    use ssp_prng::{check, Rng};
     use ssp_workloads::{ArrivalDist, Spec, WindowDist, WorkDist};
 
     fn inst(jobs: Vec<Job>, m: usize) -> Instance {
@@ -121,7 +123,10 @@ mod tests {
 
     #[test]
     fn touching_endpoints_do_not_merge() {
-        let i = inst(vec![Job::new(0, 1.0, 0.0, 1.0), Job::new(1, 1.0, 1.0, 2.0)], 1);
+        let i = inst(
+            vec![Job::new(0, 1.0, 0.0, 1.0), Job::new(1, 1.0, 1.0, 2.0)],
+            1,
+        );
         assert_eq!(decompose(&i), vec![vec![0], vec![1]]);
     }
 
@@ -129,7 +134,10 @@ mod tests {
     fn decomposed_exact_matches_monolithic() {
         // Two 4-job bursts: 8 jobs total, solvable both ways.
         let spec = Spec::new(8, 2, 2.0)
-            .arrivals(ArrivalDist::Bursty { burst: 4, gap: 100.0 })
+            .arrivals(ArrivalDist::Bursty {
+                burst: 4,
+                gap: 100.0,
+            })
             .work(WorkDist::Uniform { min: 0.5, max: 2.0 })
             .window(WindowDist::LaxityFactor { min: 1.2, max: 2.0 });
         for seed in [1u64, 2, 3] {
@@ -155,12 +163,19 @@ mod tests {
         // 60 jobs in 12 well-separated bursts of 5: monolithic exact refuses,
         // decomposed sails through.
         let spec = Spec::new(60, 2, 2.0)
-            .arrivals(ArrivalDist::Bursty { burst: 5, gap: 1000.0 })
+            .arrivals(ArrivalDist::Bursty {
+                burst: 5,
+                gap: 1000.0,
+            })
             .work(WorkDist::Uniform { min: 0.5, max: 2.0 })
             .window(WindowDist::LaxityFactor { min: 1.1, max: 1.8 });
         let instance = spec.gen(7);
         let comps = decompose(&instance);
-        assert!(comps.len() >= 10, "expected many components, got {}", comps.len());
+        assert!(
+            comps.len() >= 10,
+            "expected many components, got {}",
+            comps.len()
+        );
         let sol = exact_decomposed(&instance);
         assert!(sol.energy.is_finite() && sol.energy > 0.0);
         // Sanity: still lower-bounded by the migratory optimum.
@@ -168,39 +183,47 @@ mod tests {
         assert!(sol.energy >= lb * (1.0 - 1e-6));
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        /// Components partition the job set, are internally time-connected,
-        /// and are pairwise time-disjoint.
-        #[test]
-        fn decomposition_is_a_time_partition(
-            seeds in proptest::collection::vec((0.0f64..20.0, 0.2f64..3.0), 1..20),
-        ) {
-            let jobs: Vec<Job> = seeds
-                .iter()
-                .enumerate()
-                .map(|(i, &(r, len))| Job::new(i as u32, 1.0, r, r + len))
-                .collect();
+    /// Components partition the job set, are internally time-connected,
+    /// and are pairwise time-disjoint.
+    #[test]
+    fn decomposition_is_a_time_partition() {
+        check::cases(32, 0xDEC0, |rng| {
+            let jobs: Vec<Job> = check::vec_of(rng, 1..20, |r| {
+                (r.gen_range(0.0f64..20.0), r.gen_range(0.2f64..3.0))
+            })
+            .into_iter()
+            .enumerate()
+            .map(|(i, (r, len))| Job::new(i as u32, 1.0, r, r + len))
+            .collect();
             let instance = Instance::new(jobs, 2, 2.0).unwrap();
             let comps = decompose(&instance);
             // Partition.
             let mut seen: Vec<usize> = comps.iter().flatten().copied().collect();
             seen.sort_unstable();
-            prop_assert_eq!(seen, (0..instance.len()).collect::<Vec<_>>());
+            assert_eq!(seen, (0..instance.len()).collect::<Vec<_>>());
             // Pairwise disjoint time ranges, in order.
             let ranges: Vec<(f64, f64)> = comps
                 .iter()
                 .map(|c| {
-                    let lo = c.iter().map(|&i| instance.job(i).release).fold(f64::INFINITY, f64::min);
-                    let hi = c.iter().map(|&i| instance.job(i).deadline).fold(f64::NEG_INFINITY, f64::max);
+                    let lo = c
+                        .iter()
+                        .map(|&i| instance.job(i).release)
+                        .fold(f64::INFINITY, f64::min);
+                    let hi = c
+                        .iter()
+                        .map(|&i| instance.job(i).deadline)
+                        .fold(f64::NEG_INFINITY, f64::max);
                     (lo, hi)
                 })
                 .collect();
             for w in ranges.windows(2) {
-                prop_assert!(w[0].1 <= w[1].0 + 1e-12,
-                    "components overlap in time: {:?} then {:?}", w[0], w[1]);
+                assert!(
+                    w[0].1 <= w[1].0 + 1e-12,
+                    "components overlap in time: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
             }
-        }
+        });
     }
 }

@@ -44,7 +44,10 @@ pub struct ExactSolution {
 /// ```
 pub fn exact_nonmigratory(instance: &Instance) -> ExactSolution {
     let n = instance.len();
-    assert!(n <= 16, "exact solver is for ground truth on small n (got {n})");
+    assert!(
+        n <= 16,
+        "exact solver is for ground truth on small n (got {n})"
+    );
     let m = instance.machines();
     if n == 0 {
         return ExactSolution {
@@ -61,8 +64,8 @@ pub fn exact_nonmigratory(instance: &Instance) -> ExactSolution {
         instance,
         order: &order,
         m,
-        current: vec![0usize; n],     // machine per *rank* in `order`
-        groups: vec![Vec::new(); m],  // jobs (instance indices) per machine
+        current: vec![0usize; n],    // machine per *rank* in `order`
+        groups: vec![Vec::new(); m], // jobs (instance indices) per machine
         machine_energy: vec![0.0; m],
         best_energy: f64::INFINITY,
         best: vec![0usize; n],
@@ -77,7 +80,11 @@ pub fn exact_nonmigratory(instance: &Instance) -> ExactSolution {
     }
     let assignment = Assignment::new(machine_of);
     let energy = assignment_energy(instance, &assignment);
-    ExactSolution { assignment, energy, nodes: state.nodes }
+    ExactSolution {
+        assignment,
+        energy,
+        nodes: state.nodes,
+    }
 }
 
 struct Search<'a> {
@@ -109,8 +116,10 @@ impl Search<'_> {
         for machine in 0..limit {
             let old_energy = self.machine_energy[machine];
             self.groups[machine].push(job_idx);
-            let jobs: Vec<Job> =
-                self.groups[machine].iter().map(|&i| *self.instance.job(i)).collect();
+            let jobs: Vec<Job> = self.groups[machine]
+                .iter()
+                .map(|&i| *self.instance.job(i))
+                .collect();
             let new_energy = yds(&jobs, self.instance.alpha()).energy;
             let new_total = total - old_energy + new_energy;
             if new_total < self.best_energy {
@@ -198,12 +207,15 @@ mod tests {
         let sol = exact_nonmigratory(&inst);
         let mut best = f64::INFINITY;
         for mask in 0..(1u32 << 4) {
-            let assign = Assignment::new(
-                (0..4).map(|i| ((mask >> i) & 1) as usize).collect(),
-            );
+            let assign = Assignment::new((0..4).map(|i| ((mask >> i) & 1) as usize).collect());
             best = best.min(assignment_energy(&inst, &assign));
         }
-        assert!((sol.energy - best).abs() < 1e-9, "{} vs {}", sol.energy, best);
+        assert!(
+            (sol.energy - best).abs() < 1e-9,
+            "{} vs {}",
+            sol.energy,
+            best
+        );
     }
 
     #[test]

@@ -94,7 +94,11 @@ pub fn crossing(n: usize, machines: usize, alpha: f64) -> Instance {
     let jobs: Vec<Job> = (0..n)
         .map(|i| {
             let r = i as f64 * step;
-            let d = if i % 2 == 1 { r + width * 0.5 } else { r + width };
+            let d = if i % 2 == 1 {
+                r + width * 0.5
+            } else {
+                r + width
+            };
             Job::new(i as u32, 1.0, r, d)
         })
         .collect();
@@ -166,7 +170,10 @@ mod tests {
         let inst = from_partition(&[2.0, 2.0, 3.0], 2.0);
         let mig = ssp_migratory::bal::bal(&inst).energy;
         let exact = exact_nonmigratory(&inst).energy;
-        assert!((mig - 24.5).abs() < 1e-6 * 24.5, "water-filled optimum: {mig}");
+        assert!(
+            (mig - 24.5).abs() < 1e-6 * 24.5,
+            "water-filled optimum: {mig}"
+        );
         assert!((exact - 25.0).abs() < 1e-9, "best split: {exact}");
         assert!(mig < exact * (1.0 - 1e-9));
     }
@@ -217,7 +224,9 @@ mod tests {
             crate::classified::classified_rr(&inst),
             crate::assignment::assignment_schedule(&inst, &crate::relax::relax_round(&inst)),
         ] {
-            schedule.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+            schedule
+                .validate(&inst, ValidationOptions::non_migratory())
+                .unwrap();
         }
     }
 }

@@ -15,11 +15,13 @@
 //! assignment (asserted).
 
 use crate::assignment::Assignment;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use ssp_model::resource::Budget;
 use ssp_model::{Instance, Job};
+use ssp_prng::rngs::StdRng;
+use ssp_prng::seq::SliceRandom;
+use ssp_prng::SeedableRng;
 use ssp_single::yds::yds;
+use std::time::Duration;
 
 /// Options for [`improve`].
 #[derive(Debug, Clone, Copy)]
@@ -28,14 +30,24 @@ pub struct LocalSearchOptions {
     /// hill-climbing to the first local optimum).
     pub max_stale_passes: usize,
     /// Upper bound on total moves examined (cost control for big instances).
+    /// Strict: the search never evaluates more candidates than this.
     pub max_evaluations: usize,
+    /// Wall-clock cap; `None` = unlimited. Like the evaluation cap this is
+    /// an early-exit, not an error: the best assignment found so far is
+    /// returned with [`LocalSearchResult::budget_exhausted`] set.
+    pub max_time: Option<Duration>,
     /// RNG seed for the move order.
     pub seed: u64,
 }
 
 impl Default for LocalSearchOptions {
     fn default() -> Self {
-        LocalSearchOptions { max_stale_passes: 1, max_evaluations: 2_000_000, seed: 0x5EA7 }
+        LocalSearchOptions {
+            max_stale_passes: 1,
+            max_evaluations: 2_000_000,
+            max_time: None,
+            seed: 0x5EA7,
+        }
     }
 }
 
@@ -52,6 +64,10 @@ pub struct LocalSearchResult {
     pub improvements: usize,
     /// Number of candidate moves evaluated.
     pub evaluations: usize,
+    /// Which budget stopped the search early (`"iterations"` for the
+    /// evaluation cap, `"time"` for the wall-clock cap), if any. The result
+    /// is still valid and no worse than the seed assignment.
+    pub budget_exhausted: Option<&'static str>,
 }
 
 /// Hill-climb from `seed_assignment` under move+swap neighborhoods.
@@ -82,21 +98,29 @@ pub fn improve(
     let mut improvements = 0usize;
     let mut evaluations = 0usize;
     let mut stale = 0usize;
+    let budget = Budget {
+        max_iterations: Some(opts.max_evaluations as u64),
+        max_time: opts.max_time,
+    };
+    let mut meter = budget.meter();
 
-    while stale < opts.max_stale_passes && evaluations < opts.max_evaluations && m > 1 {
+    while stale < opts.max_stale_passes && meter.exhausted().is_none() && m > 1 {
         let mut improved_this_pass = false;
 
         // Move neighborhood.
         let mut job_order: Vec<usize> = (0..n).collect();
         job_order.shuffle(&mut rng);
         for &i in &job_order {
-            if evaluations >= opts.max_evaluations {
+            if meter.exhausted().is_some() {
                 break;
             }
             let from = machine_of[i];
             let mut machine_order: Vec<usize> = (0..m).filter(|&p| p != from).collect();
             machine_order.shuffle(&mut rng);
             for &to in &machine_order {
+                if !meter.tick() {
+                    break;
+                }
                 evaluations += 1;
                 // Tentatively move i: from loses it, to gains it.
                 let from_group: Vec<usize> =
@@ -130,7 +154,7 @@ pub fn improve(
         }
         pairs.shuffle(&mut rng);
         for &(a, b) in pairs.iter().take(4 * n) {
-            if evaluations >= opts.max_evaluations {
+            if !meter.tick() {
                 break;
             }
             let (pa, pb) = (machine_of[a], machine_of[b]);
@@ -180,6 +204,7 @@ pub fn improve(
         initial_energy,
         improvements,
         evaluations,
+        budget_exhausted: meter.exhausted(),
     }
 }
 
@@ -208,7 +233,10 @@ mod tests {
         let inst = families::general(10, 4, 2.0).gen(7);
         let bad = Assignment::new(vec![0; 10]);
         let res = improve(&inst, &bad, Default::default());
-        assert!(res.improvements > 0, "no improving move found from a pileup?");
+        assert!(
+            res.improvements > 0,
+            "no improving move found from a pileup?"
+        );
         assert!(
             res.energy < res.initial_energy * 0.9,
             "expected a large repair: {} -> {}",
@@ -228,7 +256,10 @@ mod tests {
             let res = improve(
                 &inst,
                 &rr_assignment(&inst),
-                LocalSearchOptions { max_stale_passes: 2, ..Default::default() },
+                LocalSearchOptions {
+                    max_stale_passes: 2,
+                    ..Default::default()
+                },
             );
             let opt = exact_nonmigratory(&inst).energy;
             assert!(res.energy >= opt * (1.0 - 1e-9));
@@ -257,7 +288,10 @@ mod tests {
         let c = improve(
             &inst,
             &start,
-            LocalSearchOptions { seed: 999, ..Default::default() },
+            LocalSearchOptions {
+                seed: 999,
+                ..Default::default()
+            },
         );
         // Different seed may or may not differ, but must still be no worse.
         assert!(c.energy <= a.initial_energy * (1.0 + 1e-9));
@@ -278,8 +312,43 @@ mod tests {
         let res = improve(
             &inst,
             &Assignment::new(vec![0; 20]),
-            LocalSearchOptions { max_evaluations: 25, ..Default::default() },
+            LocalSearchOptions {
+                max_evaluations: 25,
+                ..Default::default()
+            },
         );
-        assert!(res.evaluations <= 25 + 1);
+        assert!(
+            res.evaluations <= 25,
+            "strict cap violated: {}",
+            res.evaluations
+        );
+        assert_eq!(res.budget_exhausted, Some("iterations"));
+        // Even a capped run must not be worse than its seed (asserted inside
+        // `improve` too, but make the contract visible here).
+        assert!(res.energy <= res.initial_energy * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn zero_time_budget_returns_the_seed_assignment() {
+        let inst = families::general(16, 4, 2.0).gen(9);
+        let start = rr_assignment(&inst);
+        let res = improve(
+            &inst,
+            &start,
+            LocalSearchOptions {
+                max_time: Some(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+        );
+        assert_eq!(res.budget_exhausted, Some("time"));
+        assert_eq!(res.evaluations, 0);
+        assert_eq!(res.assignment, start);
+    }
+
+    #[test]
+    fn uncapped_run_reports_no_exhaustion() {
+        let inst = families::general(10, 3, 2.0).gen(2);
+        let res = improve(&inst, &rr_assignment(&inst), Default::default());
+        assert_eq!(res.budget_exhausted, None);
     }
 }

@@ -97,8 +97,7 @@ pub fn oa_m(instance: &Instance) -> Schedule {
         // phantom slivers of work would survive past their deadlines.
         let avail: Vec<usize> = (0..instance.len())
             .filter(|&i| {
-                instance.job(i).release <= now + 1e-12
-                    && remaining[i] > 1e-7 * instance.job(i).work
+                instance.job(i).release <= now + 1e-12 && remaining[i] > 1e-7 * instance.job(i).work
             })
             .collect();
         if avail.is_empty() {
@@ -111,8 +110,8 @@ pub fn oa_m(instance: &Instance) -> Schedule {
                 Job::new(j.id.0, remaining[i], now, j.deadline)
             })
             .collect();
-        let snapshot = Instance::new(snapshot_jobs, m, instance.alpha())
-            .expect("snapshot inherits validity");
+        let snapshot =
+            Instance::new(snapshot_jobs, m, instance.alpha()).expect("snapshot inherits validity");
         let plan = bal(&snapshot).schedule(&snapshot);
         // Execute the plan until the next release.
         for seg in plan.segments() {
@@ -237,9 +236,13 @@ mod tests {
         assert!((s[0] - 10.0).abs() < 1e-12);
         let lambda = s[1];
         assert!((lambda - 3.0).abs() < 1e-12); // (1+1+1)/(2-1)
-        // Time check: 1 (pinned... no: 10/10=1 full) -- total time:
-        // den/s = 1.0 + 3*(1/3) = 2.0 = m. ✓
-        let t: f64 = [10.0f64, 1.0, 1.0, 1.0].iter().zip(&s).map(|(&d, &v)| d / v).sum();
+                                               // Time check: 1 (pinned... no: 10/10=1 full) -- total time:
+                                               // den/s = 1.0 + 3*(1/3) = 2.0 = m. ✓
+        let t: f64 = [10.0f64, 1.0, 1.0, 1.0]
+            .iter()
+            .zip(&s)
+            .map(|(&d, &v)| d / v)
+            .sum();
         assert!((t - 2.0).abs() < 1e-12);
     }
 
@@ -252,7 +255,10 @@ mod tests {
             let opt = bal(&inst).energy;
             let alpha = 2.0f64;
             let bound = alpha.powf(alpha) * 2.0f64.powf(alpha - 1.0);
-            assert!(stats.energy >= opt * (1.0 - 1e-6), "AVR-m beat OPT (seed {seed})");
+            assert!(
+                stats.energy >= opt * (1.0 - 1e-6),
+                "AVR-m beat OPT (seed {seed})"
+            );
             // The single-processor competitive bound is conjectured to carry
             // over; we allow slack 2x in this smoke test.
             assert!(
@@ -296,7 +302,9 @@ mod tests {
         for seed in [1u64, 2, 3] {
             let inst = families::bursty(24, 3, 2.0).gen(seed);
             let s = dispatch_oa_nonmigratory(&inst);
-            let stats = s.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+            let stats = s
+                .validate(&inst, ValidationOptions::non_migratory())
+                .unwrap();
             let opt = bal(&inst).energy;
             assert!(stats.energy >= opt * (1.0 - 1e-6));
             assert_eq!(stats.migrations, 0);

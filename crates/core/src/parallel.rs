@@ -27,7 +27,9 @@ struct AtomicBest {
 
 impl AtomicBest {
     fn new(v: f64) -> Self {
-        AtomicBest { bits: AtomicU64::new(v.to_bits()) }
+        AtomicBest {
+            bits: AtomicU64::new(v.to_bits()),
+        }
     }
     fn get(&self) -> f64 {
         f64::from_bits(self.bits.load(Ordering::Acquire))
@@ -70,15 +72,24 @@ struct Prefix {
 /// available cores. `nodes` aggregates across threads.
 pub fn exact_nonmigratory_parallel(instance: &Instance) -> ExactSolution {
     let n = instance.len();
-    assert!(n <= 16, "exact solver is for ground truth on small n (got {n})");
+    assert!(
+        n <= 16,
+        "exact solver is for ground truth on small n (got {n})"
+    );
     let m = instance.machines();
     if n == 0 {
-        return ExactSolution { assignment: Assignment::new(vec![]), energy: 0.0, nodes: 0 };
+        return ExactSolution {
+            assignment: Assignment::new(vec![]),
+            energy: 0.0,
+            nodes: 0,
+        };
     }
     let order = instance.release_order();
 
     // Breadth-first expansion to a frontier of subtree roots.
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let target_frontier = (threads * 16).max(32);
     let mut frontier = vec![Prefix {
         assigned: Vec::new(),
@@ -114,9 +125,8 @@ pub fn exact_nonmigratory_parallel(instance: &Instance) -> ExactSolution {
     // Shared incumbent, seeded by a cheap greedy so early pruning bites.
     let greedy = crate::list::least_loaded(instance);
     let best = AtomicBest::new(assignment_energy(instance, &greedy));
-    let best_assignment: Mutex<Vec<usize>> = Mutex::new(
-        order.iter().map(|&i| greedy.machine_of(i)).collect(),
-    );
+    let best_assignment: Mutex<Vec<usize>> =
+        Mutex::new(order.iter().map(|&i| greedy.machine_of(i)).collect());
     let nodes = AtomicUsize::new(0);
     let next_item = AtomicUsize::new(0);
 
@@ -163,7 +173,11 @@ pub fn exact_nonmigratory_parallel(instance: &Instance) -> ExactSolution {
     }
     let assignment = Assignment::new(machine_of);
     let energy = assignment_energy(instance, &assignment);
-    ExactSolution { assignment, energy, nodes: nodes.load(Ordering::Relaxed) }
+    ExactSolution {
+        assignment,
+        energy,
+        nodes: nodes.load(Ordering::Relaxed),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -66,7 +66,8 @@ pub fn relax_round_with(instance: &Instance, rounding: RoundingOrder) -> Assignm
                 .then(ja.id.cmp(&jb.id))
         }),
         RoundingOrder::LongestRelaxedTime => order.sort_by(|&a, &b| {
-            p[b].total_cmp(&p[a]).then(instance.job(a).id.cmp(&instance.job(b).id))
+            p[b].total_cmp(&p[a])
+                .then(instance.job(a).id.cmp(&instance.job(b).id))
         }),
     }
 
@@ -77,6 +78,7 @@ pub fn relax_round_with(instance: &Instance, rounding: RoundingOrder) -> Assignm
     for &i in &order {
         let job = instance.job(i);
         let mut best = (0usize, f64::INFINITY);
+        #[allow(clippy::needless_range_loop)]
         for machine in 0..m {
             // Load relevant to `i`: total relaxed processing time of placed
             // jobs whose windows overlap i's window.

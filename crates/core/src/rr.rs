@@ -78,7 +78,8 @@ mod tests {
     fn schedule_is_valid_and_non_migratory() {
         let inst = families::unit_agreeable(24, 3, 2.0).gen(7);
         let s = rr_yds(&inst);
-        s.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+        s.validate(&inst, ValidationOptions::non_migratory())
+            .unwrap();
     }
 
     #[test]

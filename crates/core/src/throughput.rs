@@ -120,7 +120,10 @@ pub fn max_throughput_exact(instance: &Instance, s_max: f64) -> ThroughputSoluti
     dfs(instance, s_max, &order, 0, &mut current, &mut best);
     best.sort_unstable();
     let rejected: Vec<usize> = (0..n).filter(|i| !best.contains(i)).collect();
-    ThroughputSolution { admitted: best, rejected }
+    ThroughputSolution {
+        admitted: best,
+        rejected,
+    }
 }
 
 #[cfg(test)]

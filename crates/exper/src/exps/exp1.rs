@@ -19,7 +19,15 @@ use ssp_workloads::{families, subseed};
 pub fn run(cfg: &RunCfg) -> Vec<Table> {
     let mut t_exact = Table::new(
         "Table 1a — RR vs exact optimum (unit works, agreeable deadlines)",
-        &["m", "alpha", "n", "seeds", "mean RR/OPT", "max RR/OPT", "optimal in"],
+        &[
+            "m",
+            "alpha",
+            "n",
+            "seeds",
+            "mean RR/OPT",
+            "max RR/OPT",
+            "optimal in",
+        ],
     );
     let seeds = cfg.pick(20usize, 3);
     let sizes: Vec<usize> = cfg.pick(vec![8, 10], vec![6]);

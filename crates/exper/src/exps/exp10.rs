@@ -29,14 +29,19 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
         &["order", "mean ratio", "max ratio"],
     );
     for (name, order) in [
-        ("earliest-deadline (default)", RoundingOrder::EarliestDeadline),
+        (
+            "earliest-deadline (default)",
+            RoundingOrder::EarliestDeadline,
+        ),
         ("release order", RoundingOrder::Release),
-        ("longest-relaxed-time first", RoundingOrder::LongestRelaxedTime),
+        (
+            "longest-relaxed-time first",
+            RoundingOrder::LongestRelaxedTime,
+        ),
     ] {
         let items: Vec<u64> = (0..seeds as u64).collect();
         let ratios = par_map(items, |&s| {
-            let inst =
-                families::unit_arbitrary(n, m, alpha).gen(subseed(cfg.seed ^ 0x10A, s));
+            let inst = families::unit_arbitrary(n, m, alpha).gen(subseed(cfg.seed ^ 0x10A, s));
             let lb = bal(&inst).energy;
             super::ratio_of(&inst, &relax_round_with(&inst, order), lb)
         });
@@ -57,8 +62,7 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
     ] {
         let items: Vec<u64> = (0..seeds as u64).collect();
         let ratios = par_map(items, |&s| {
-            let inst =
-                families::weighted_agreeable(n, m, alpha).gen(subseed(cfg.seed ^ 0x10B, s));
+            let inst = families::weighted_agreeable(n, m, alpha).gen(subseed(cfg.seed ^ 0x10B, s));
             let lb = bal(&inst).energy;
             super::ratio_of(&inst, &classified_assignment_with_base(&inst, base), lb)
         });

@@ -45,10 +45,8 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
             // sizing a DVFS table for this workload would pick).
             let smin = sol.speeds.min_speed();
             let smax = sol.speeds.max_speed() * (1.0 + 1e-9);
-            let levels = SpeedLevels::geometric(smin, smax, count.max(2))
-                .expect("valid grid");
-            let q = quantize_speeds(&schedule, &levels)
-                .expect("grid covers the optimum's speeds");
+            let levels = SpeedLevels::geometric(smin, smax, count.max(2)).expect("valid grid");
+            let q = quantize_speeds(&schedule, &levels).expect("grid covers the optimum's speeds");
             let ratio = q.energy(alpha) / sol.energy;
             // Worst bracket of this grid (constant ratio grid => it's the
             // same chord bound everywhere; compute on the first bracket).
@@ -59,7 +57,10 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
         // Each seed sizes its own grid, so each row has its own chord bound;
         // compare per row, report the largest in the table.
         let chord = rows.iter().map(|r| r.1).fold(1.0f64, f64::max);
-        assert!(ratios.iter().all(|&r| r >= 1.0 - 1e-9), "quantization reduced energy");
+        assert!(
+            ratios.iter().all(|&r| r >= 1.0 - 1e-9),
+            "quantization reduced energy"
+        );
         for (ratio, bound) in &rows {
             assert!(
                 *ratio <= bound + 1e-9,

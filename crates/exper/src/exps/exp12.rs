@@ -45,8 +45,10 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
         });
         let greedy: Vec<f64> = rows.iter().map(|r| r.0).collect();
         let exact: Vec<f64> = rows.iter().map(|r| r.1).collect();
-        let ratio: Vec<f64> =
-            rows.iter().map(|r| if r.1 > 0.0 { r.0 / r.1 } else { 1.0 }).collect();
+        let ratio: Vec<f64> = rows
+            .iter()
+            .map(|r| if r.1 > 0.0 { r.0 / r.1 } else { 1.0 })
+            .collect();
         let optimal = rows.iter().filter(|r| r.0 == r.1).count();
         if (factor - 1.0).abs() < 1e-12 {
             assert!(

@@ -66,7 +66,10 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
             "budget far from binding: {} of {budget}",
             sol.energy
         );
-        assert!(sol.total_flow < prev_flow, "frontier must strictly decrease");
+        assert!(
+            sol.total_flow < prev_flow,
+            "frontier must strictly decrease"
+        );
         prev_flow = sol.total_flow;
         // Fixed-speed baseline with identical energy.
         let s = (budget / n as f64).powf(1.0 / (alpha - 1.0));

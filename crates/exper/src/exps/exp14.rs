@@ -33,7 +33,10 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
         let avr = avr_m_energy(&inst) / opt;
         let oa = oa_m(&inst).energy(alpha) / opt;
         assert!(avr >= 1.0 - 1e-6 && oa >= 1.0 - 1e-6);
-        assert!(avr <= bound * (1.0 + 1e-6), "AVR above its competitive bound");
+        assert!(
+            avr <= bound * (1.0 + 1e-6),
+            "AVR above its competitive bound"
+        );
         assert!(
             avr >= prev_ratio - 1e-6,
             "cascade should monotonically stress AVR: {avr} after {prev_ratio}"

@@ -18,7 +18,12 @@ use ssp_workloads::{families, subseed};
 pub fn run(cfg: &RunCfg) -> Vec<Table> {
     let mut t = Table::new(
         "Table 12 — maintenance windows: energy premium vs drain fraction",
-        &["m", "drain frac of horizon", "mean premium %", "max premium %"],
+        &[
+            "m",
+            "drain frac of horizon",
+            "mean premium %",
+            "max premium %",
+        ],
     );
     let n = cfg.pick(24usize, 10);
     let seeds = cfg.pick(10usize, 2);
@@ -43,7 +48,10 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
                 assert!(!violates_downtime(&schedule, &[d]));
                 (sol.energy / plain - 1.0) * 100.0
             });
-            assert!(premiums.iter().all(|&p| p >= -1e-6), "downtime reduced energy?!");
+            assert!(
+                premiums.iter().all(|&p| p >= -1e-6),
+                "downtime reduced energy?!"
+            );
             let mp = mean(&premiums);
             assert!(
                 mp >= prev_mean - 1e-6,

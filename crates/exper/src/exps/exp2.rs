@@ -17,7 +17,14 @@ use ssp_core::rr::rr_assignment;
 pub fn run(cfg: &RunCfg) -> Vec<Table> {
     let mut t = Table::new(
         "Table 2 — gadget families: exact-search growth and heuristic gaps",
-        &["family", "n", "exact nodes", "OPT energy", "RR/OPT", "RelaxRound/OPT"],
+        &[
+            "family",
+            "n",
+            "exact nodes",
+            "OPT energy",
+            "RR/OPT",
+            "RelaxRound/OPT",
+        ],
     );
     let inter_ks: Vec<usize> = cfg.pick(vec![1, 2, 3, 4], vec![1, 2]);
     for k in inter_ks {

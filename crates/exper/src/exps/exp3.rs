@@ -41,8 +41,10 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
         for &alpha in &alphas {
             let items: Vec<u64> = (0..seeds as u64).collect();
             let rows = par_map(items, |&s| {
-                let inst = families::unit_arbitrary(n, m, alpha)
-                    .gen(subseed(cfg.seed ^ 0x31, s * 31 + m as u64 * 7 + (alpha * 10.0) as u64));
+                let inst = families::unit_arbitrary(n, m, alpha).gen(subseed(
+                    cfg.seed ^ 0x31,
+                    s * 31 + m as u64 * 7 + (alpha * 10.0) as u64,
+                ));
                 let lb = bal(&inst).energy;
                 (
                     super::ratio_of(&inst, &relax_round(&inst), lb),

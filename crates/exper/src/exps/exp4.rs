@@ -38,8 +38,10 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
         for &alpha in &alphas {
             let items: Vec<u64> = (0..seeds as u64).collect();
             let rows = par_map(items, |&s| {
-                let inst = families::weighted_agreeable(n, m, alpha)
-                    .gen(subseed(cfg.seed ^ 0x44, s * 131 + m as u64 * 11 + (alpha * 10.0) as u64));
+                let inst = families::weighted_agreeable(n, m, alpha).gen(subseed(
+                    cfg.seed ^ 0x44,
+                    s * 131 + m as u64 * 11 + (alpha * 10.0) as u64,
+                ));
                 let lb = bal(&inst).energy;
                 (
                     super::ratio_of(&inst, &classified_assignment(&inst), lb),

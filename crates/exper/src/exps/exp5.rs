@@ -22,8 +22,11 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
     );
     let n = cfg.pick(9usize, 6);
     let seeds = cfg.pick(16usize, 3);
-    let tiers: &[(&str, f64, f64)] =
-        &[("tight 1.05-1.5x", 1.05, 1.5), ("medium 1.5-4x", 1.5, 4.0), ("loose 4-10x", 4.0, 10.0)];
+    let tiers: &[(&str, f64, f64)] = &[
+        ("tight 1.05-1.5x", 1.05, 1.5),
+        ("medium 1.5-4x", 1.5, 4.0),
+        ("loose 4-10x", 4.0, 10.0),
+    ];
     let ms: Vec<usize> = cfg.pick(vec![2, 3, 4], vec![2, 3]);
     for &m in &ms {
         for &(tier, lo, hi) in tiers {

@@ -26,12 +26,21 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
 
     let mut t = Table::new(
         "Figure 4 (series) — MBAL energy-budget vs minimal makespan",
-        &["budget E", "makespan X", "energy used", "X_LB (no releases)", "X / X_LB"],
+        &[
+            "budget E",
+            "makespan X",
+            "energy used",
+            "X_LB (no releases)",
+            "X / X_LB",
+        ],
     );
     let w: f64 = inst.total_work();
     let base = w; // a natural energy scale
     let budgets: Vec<f64> = cfg
-        .pick(vec![0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0], vec![0.5, 2.0, 8.0])
+        .pick(
+            vec![0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
+            vec![0.5, 2.0, 8.0],
+        )
         .into_iter()
         .map(|f| base * f)
         .collect();

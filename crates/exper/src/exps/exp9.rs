@@ -63,7 +63,11 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
     });
     let passed_kkt = results.iter().filter(|&&ok| ok).count();
     assert_eq!(passed_kkt, total_kkt, "a KKT certificate failed");
-    t.push(vec!["KKT + schedule validation".into(), total_kkt.into(), passed_kkt.into()]);
+    t.push(vec![
+        "KKT + schedule validation".into(),
+        total_kkt.into(),
+        passed_kkt.into(),
+    ]);
 
     // 2. m = 1 reduction to YDS.
     let m1_cases: Vec<u64> = (0..seeds as u64).collect();
@@ -76,7 +80,11 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
     });
     let passed_m1 = m1.iter().filter(|&&ok| ok).count();
     assert_eq!(passed_m1, seeds, "BAL != YDS at m = 1");
-    t.push(vec!["m=1 reduction (BAL == YDS)".into(), seeds.into(), passed_m1.into()]);
+    t.push(vec![
+        "m=1 reduction (BAL == YDS)".into(),
+        seeds.into(),
+        passed_m1.into(),
+    ]);
 
     // 3. Closed forms: k equal jobs, common window, m machines.
     let mut closed = 0usize;
@@ -88,7 +96,9 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
         (8, 3, 0.5, 1.0, 1.8),
     ] {
         closed_total += 1;
-        let jobs: Vec<Job> = (0..k).map(|i| Job::new(i as u32, w, 0.0, horizon)).collect();
+        let jobs: Vec<Job> = (0..k)
+            .map(|i| Job::new(i as u32, w, 0.0, horizon))
+            .collect();
         let inst = Instance::new(jobs, m, alpha).unwrap();
         let sol = bal(&inst);
         let speed = (w / horizon).max(k as f64 * w / (m as f64 * horizon));
@@ -98,7 +108,11 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
         }
     }
     assert_eq!(closed, closed_total, "a closed-form check failed");
-    t.push(vec!["closed forms (common window)".into(), closed_total.into(), closed.into()]);
+    t.push(vec![
+        "closed forms (common window)".into(),
+        closed_total.into(),
+        closed.into(),
+    ]);
 
     vec![t]
 }

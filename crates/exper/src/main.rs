@@ -66,7 +66,13 @@ fn main() {
             eprintln!("unknown experiment '{id}' (try 'list')");
             std::process::exit(2);
         });
-        eprintln!("== {}: {} (seed {}, {}) ==", exp.id, exp.title, cfg.seed, if cfg.quick { "quick" } else { "full" });
+        eprintln!(
+            "== {}: {} (seed {}, {}) ==",
+            exp.id,
+            exp.title,
+            cfg.seed,
+            if cfg.quick { "quick" } else { "full" }
+        );
         let t0 = std::time::Instant::now();
         let tables = (exp.run)(&cfg);
         for (k, table) in tables.iter().enumerate() {
@@ -78,7 +84,11 @@ fn main() {
                 eprintln!("wrote {path}");
             }
         }
-        eprintln!("== {} done in {:.1}s ==\n", exp.id, t0.elapsed().as_secs_f64());
+        eprintln!(
+            "== {} done in {:.1}s ==\n",
+            exp.id,
+            t0.elapsed().as_secs_f64()
+        );
     }
 }
 

@@ -21,9 +21,12 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
     if threads == 1 {
-        return items.iter().map(|t| f(t)).collect();
+        return items.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -41,7 +44,11 @@ where
     });
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("worker filled every claimed slot"))
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker filled every claimed slot")
+        })
         .collect()
 }
 

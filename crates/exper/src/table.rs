@@ -73,22 +73,34 @@ impl Table {
     /// Append a row; panics on arity mismatch (a programming error in the
     /// experiment runner, not a data condition).
     pub fn push(&mut self, row: Vec<Cell>) {
-        assert_eq!(row.len(), self.columns.len(), "row arity mismatch in '{}'", self.title);
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity mismatch in '{}'",
+            self.title
+        );
         self.rows.push(row);
     }
 
     /// Render as GitHub-flavored Markdown (title as an `###` header).
     pub fn to_markdown(&self) -> String {
         let mut rendered: Vec<Vec<String>> = vec![self.columns.clone()];
-        rendered.extend(self.rows.iter().map(|r| r.iter().map(Cell::render).collect()));
+        rendered.extend(
+            self.rows
+                .iter()
+                .map(|r| r.iter().map(Cell::render).collect()),
+        );
         let widths: Vec<usize> = (0..self.columns.len())
             .map(|c| rendered.iter().map(|r| r[c].len()).max().unwrap_or(1))
             .collect();
         let mut out = String::new();
         let _ = writeln!(out, "### {}\n", self.title);
         for (k, row) in rendered.iter().enumerate() {
-            let cells: Vec<String> =
-                row.iter().zip(&widths).map(|(v, w)| format!("{v:>w$}")).collect();
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(v, w)| format!("{v:>w$}"))
+                .collect();
             let _ = writeln!(out, "| {} |", cells.join(" | "));
             if k == 0 {
                 let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
@@ -108,7 +120,15 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
             let line: Vec<String> = row.iter().map(|c| escape(&c.render())).collect();
             let _ = writeln!(out, "{}", line.join(","));
@@ -152,7 +172,11 @@ mod tests {
     fn sample() -> Table {
         let mut t = Table::new("Demo", &["name", "n", "ratio"]);
         t.push(vec!["alpha=2".into(), 10usize.into(), 1.2345678.into()]);
-        t.push(vec![Cell::Text("a,b".into()), Cell::Int(-3), Cell::Num(0.5, 2)]);
+        t.push(vec![
+            Cell::Text("a,b".into()),
+            Cell::Int(-3),
+            Cell::Num(0.5, 2),
+        ]);
         t
     }
 

@@ -1,0 +1,124 @@
+//! The panic boundary: run a solver closure and convert any panic into a
+//! typed [`SolveError::InternalPanic`].
+//!
+//! `catch_unwind` alone still lets the default panic hook print a
+//! `thread panicked at ...` banner (plus backtrace) to stderr, which is
+//! noise once panics are data. We install a process-wide hook exactly once
+//! that delegates to the previous hook *unless* the panicking thread is
+//! currently inside a harness boundary (tracked by a thread-local flag), so
+//! panics elsewhere in the process keep their normal diagnostics.
+
+use ssp_model::SolveError;
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+thread_local! {
+    static IN_BOUNDARY: Cell<bool> = const { Cell::new(false) };
+}
+
+static INSTALL_HOOK: Once = Once::new();
+
+fn install_quiet_hook() {
+    INSTALL_HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !IN_BOUNDARY.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Guard restoring the thread-local flag even if the closure panics through
+/// `catch_unwind`'s landing pad bookkeeping.
+struct BoundaryGuard {
+    was: bool,
+}
+
+impl BoundaryGuard {
+    fn enter() -> Self {
+        let was = IN_BOUNDARY.with(Cell::get);
+        IN_BOUNDARY.with(|f| f.set(true));
+        BoundaryGuard { was }
+    }
+}
+
+impl Drop for BoundaryGuard {
+    fn drop(&mut self) {
+        IN_BOUNDARY.with(|f| f.set(self.was));
+    }
+}
+
+/// Run `f`, converting a panic into [`SolveError::InternalPanic`] with the
+/// panic payload as the message (when it was a string).
+pub fn catch<T>(f: impl FnOnce() -> Result<T, SolveError>) -> Result<T, SolveError> {
+    install_quiet_hook();
+    let guard = BoundaryGuard::enter();
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    drop(guard);
+    match result {
+        Ok(inner) => inner,
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(SolveError::InternalPanic { message })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_values_and_errors_through() {
+        assert_eq!(catch(|| Ok(7)), Ok(7));
+        let e = catch::<u32>(|| {
+            Err(SolveError::Numeric {
+                message: "x".into(),
+            })
+        });
+        assert_eq!(
+            e,
+            Err(SolveError::Numeric {
+                message: "x".into()
+            })
+        );
+    }
+
+    #[test]
+    fn converts_panics_to_internal_panic() {
+        let r = catch::<()>(|| panic!("deliberate test panic: {}", 42));
+        match r {
+            Err(SolveError::InternalPanic { message }) => {
+                assert!(message.contains("deliberate test panic: 42"));
+            }
+            other => panic!("expected InternalPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boundary_flag_is_restored_after_a_panic() {
+        let _ = catch::<()>(|| panic!("first"));
+        // A second catch still works and the flag did not leak.
+        assert_eq!(catch(|| Ok(1)), Ok(1));
+        assert!(!IN_BOUNDARY.with(Cell::get));
+    }
+
+    #[test]
+    fn non_string_payloads_are_reported() {
+        let r = catch::<()>(|| std::panic::panic_any(17u32));
+        match r {
+            Err(SolveError::InternalPanic { message }) => {
+                assert!(message.contains("non-string"));
+            }
+            other => panic!("expected InternalPanic, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Deterministic fault injection: seeded corrupted and adversarial
+//! instances for exercising the solve harness.
+//!
+//! A [`FaultPlan`] expands a seed into a stream of [`FaultCase`]s. Each case
+//! starts from a random *valid* instance and applies one fault from a fixed
+//! menu — NaN/infinite fields, inverted or empty deadline windows, duplicate
+//! job ids, zero machines, bad `alpha`, overflow-scale and denormal works,
+//! tolerance-boundary windows, corrupted serialized text. The menu is cycled
+//! by case index, so any `count >= FAULT_KINDS` covers every kind; all
+//! randomness is derived from the plan seed, so a failing case reproduces
+//! from its index alone.
+//!
+//! Faults split into two classes:
+//!
+//! * **construction faults** — rejected by [`Instance::new`]; the case
+//!   carries the typed [`ModelError`] and the harness never sees an
+//!   instance. These assert the model layer's first line of defense.
+//! * **adversarial instances** — pass construction but stress numerics
+//!   (huge/denormal values, degenerate windows). Every registered algorithm
+//!   must process them without panicking: a valid schedule or a typed
+//!   [`ssp_model::SolveError`].
+
+use ssp_model::{io, Instance, Job, ModelError};
+use ssp_prng::rngs::StdRng;
+use ssp_prng::seq::SliceRandom;
+use ssp_prng::{subseed, Rng, SeedableRng};
+
+/// Number of distinct fault kinds in the menu (cycled by case index).
+pub const FAULT_KINDS: usize = 20;
+
+/// A seeded generator of corrupted/adversarial instances.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    seed: u64,
+}
+
+/// One corrupted instance: its serialized text, the outcome of trying to
+/// construct it, and a human-readable fault tag.
+#[derive(Debug, Clone)]
+pub struct FaultCase {
+    /// Index within the plan (reproduces the case given the plan seed).
+    pub index: usize,
+    /// Which fault was injected (stable kebab-case tag).
+    pub fault: &'static str,
+    /// The case in the `.ssp` text format (faults included verbatim;
+    /// `{:?}` float formatting keeps `NaN`/`inf` readable by the parser).
+    pub text: String,
+    /// Result of building the instance — `Err` for construction faults,
+    /// `Ok` for adversarial-but-valid instances.
+    pub instance: Result<Instance, ModelError>,
+}
+
+impl FaultPlan {
+    /// A plan deriving every case from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed }
+    }
+
+    /// Generate the first `count` cases of the plan.
+    pub fn cases(&self, count: usize) -> Vec<FaultCase> {
+        (0..count).map(|index| self.case(index)).collect()
+    }
+
+    /// Generate one case by index.
+    pub fn case(&self, index: usize) -> FaultCase {
+        let mut rng = StdRng::seed_from_u64(subseed(self.seed, index as u64));
+        let n = rng.gen_range(2usize..9);
+        let mut machines = rng.gen_range(1usize..4);
+        let mut alpha = rng.gen_range(1.3f64..3.0);
+        let mut fields: Vec<(u32, f64, f64, f64)> = (0..n)
+            .map(|i| {
+                let work = rng.gen_range(0.1f64..4.0);
+                let release = rng.gen_range(0.0f64..6.0);
+                let deadline = release + rng.gen_range(0.2f64..4.0);
+                (i as u32, work, release, deadline)
+            })
+            .collect();
+        let victim = rng.gen_range(0usize..n);
+        let mut corrupt_text: Option<String> = None;
+
+        let fault = match index % FAULT_KINDS {
+            0 => {
+                fields[victim].1 = f64::NAN;
+                "nan-work"
+            }
+            1 => {
+                fields[victim].1 = f64::INFINITY;
+                "infinite-work"
+            }
+            2 => {
+                fields[victim].1 = -rng.gen_range(0.1f64..2.0);
+                "negative-work"
+            }
+            3 => {
+                fields[victim].2 = f64::NAN;
+                "nan-release"
+            }
+            4 => {
+                fields[victim].3 = f64::INFINITY;
+                "infinite-deadline"
+            }
+            5 => {
+                // Deadline strictly before release.
+                fields[victim].3 = fields[victim].2 - rng.gen_range(0.1f64..1.0);
+                "inverted-window"
+            }
+            6 => {
+                // Deadline exactly at release: an empty window.
+                fields[victim].3 = fields[victim].2;
+                "empty-window"
+            }
+            7 => {
+                let other = (victim + 1) % n;
+                fields[other].0 = fields[victim].0;
+                "duplicate-job-id"
+            }
+            8 => {
+                machines = 0;
+                "zero-machines"
+            }
+            9 => {
+                alpha = *[1.0, 0.5, -2.0, f64::NAN]
+                    .choose(&mut rng)
+                    .expect("non-empty alpha menu");
+                "bad-alpha"
+            }
+            10 => {
+                fields.clear();
+                "no-jobs"
+            }
+            11 => {
+                fields[victim].1 = 1e307;
+                "overflow-scale-work"
+            }
+            12 => {
+                fields[victim].1 = 1e-320;
+                "denormal-work"
+            }
+            13 => {
+                // Tolerance-boundary window: far below REL_EPS of the span.
+                fields[victim].3 = fields[victim].2 + 1e-13;
+                "tolerance-boundary-window"
+            }
+            14 => {
+                // All jobs share one window; works differ by sub-tolerance
+                // amounts, so peeling rounds tie within 1e-12.
+                let base = rng.gen_range(0.5f64..2.0);
+                for (k, f) in fields.iter_mut().enumerate() {
+                    f.1 = base + k as f64 * 1e-12;
+                    f.2 = 0.0;
+                    f.3 = 1.0;
+                }
+                "tolerance-boundary-ties"
+            }
+            15 => {
+                fields[victim].2 = 1e9;
+                fields[victim].3 = 1e9 + 1e-6;
+                "far-future-sliver"
+            }
+            16 => {
+                machines = 64;
+                "many-machines"
+            }
+            17 => {
+                // Work spanning ~14 orders of magnitude in one instance.
+                for (k, f) in fields.iter_mut().enumerate() {
+                    f.1 = 10f64.powi(k as i32 * 2 - 7);
+                }
+                "extreme-work-spread"
+            }
+            18 => "control-valid",
+            _ => {
+                // Corrupt the serialized form, not the fields: truncate at a
+                // random byte and splice garbage tokens.
+                let valid = render_text(machines, alpha, &fields);
+                let cut = rng.gen_range(0usize..valid.len().max(1));
+                let mut t: String = valid.chars().take(cut).collect();
+                t.push_str(
+                    [
+                        "\njob",
+                        "\nmachines -3",
+                        "\u{1F4A5}",
+                        "\nalpha",
+                        " 1e",
+                        "\njob 0 x y z",
+                    ]
+                    .choose(&mut rng)
+                    .expect("non-empty garbage menu"),
+                );
+                corrupt_text = Some(t);
+                "corrupted-text"
+            }
+        };
+
+        let text = corrupt_text.unwrap_or_else(|| render_text(machines, alpha, &fields));
+        // Construction goes through the parser for text faults (that *is*
+        // the fault surface) and through `Instance::new` otherwise.
+        let instance = match fault {
+            "corrupted-text" => io::parse(&text),
+            _ => Instance::new(
+                fields
+                    .iter()
+                    .map(|&(id, w, r, d)| Job::new(id, w, r, d))
+                    .collect(),
+                machines,
+                alpha,
+            ),
+        };
+        FaultCase {
+            index,
+            fault,
+            text,
+            instance,
+        }
+    }
+}
+
+fn render_text(machines: usize, alpha: f64, fields: &[(u32, f64, f64, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("machines {machines}\n"));
+    out.push_str(&format!("alpha {alpha:?}\n"));
+    for &(id, w, r, d) in fields {
+        out.push_str(&format!("job {id} {w:?} {r:?} {d:?}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let a = FaultPlan::new(42).cases(40);
+        let b = FaultPlan::new(42).cases(40);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.fault, y.fault);
+            assert_eq!(x.text, y.text);
+        }
+    }
+
+    #[test]
+    fn menu_is_fully_covered() {
+        let cases = FaultPlan::new(7).cases(FAULT_KINDS);
+        let kinds: std::collections::BTreeSet<&str> = cases.iter().map(|c| c.fault).collect();
+        assert_eq!(kinds.len(), FAULT_KINDS, "kinds seen: {kinds:?}");
+    }
+
+    #[test]
+    fn construction_faults_are_rejected_with_typed_errors() {
+        for case in FaultPlan::new(3).cases(60) {
+            match case.fault {
+                "nan-work" | "infinite-work" | "nan-release" | "infinite-deadline" => {
+                    assert!(
+                        matches!(case.instance, Err(ModelError::NotFinite { .. })),
+                        "case {} ({}) should be NotFinite: {:?}",
+                        case.index,
+                        case.fault,
+                        case.instance
+                    );
+                }
+                "negative-work" => {
+                    assert!(matches!(
+                        case.instance,
+                        Err(ModelError::NonPositiveWork { .. })
+                    ));
+                }
+                "inverted-window" | "empty-window" => {
+                    assert!(matches!(case.instance, Err(ModelError::EmptyWindow { .. })));
+                }
+                "duplicate-job-id" => {
+                    assert!(matches!(
+                        case.instance,
+                        Err(ModelError::DuplicateJobId { .. })
+                    ));
+                }
+                "zero-machines" => {
+                    assert!(matches!(case.instance, Err(ModelError::NoMachines)));
+                }
+                "bad-alpha" => {
+                    assert!(matches!(case.instance, Err(ModelError::BadAlpha { .. })));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_cases_construct() {
+        for case in FaultPlan::new(11).cases(60) {
+            if matches!(
+                case.fault,
+                "overflow-scale-work"
+                    | "denormal-work"
+                    | "tolerance-boundary-window"
+                    | "tolerance-boundary-ties"
+                    | "far-future-sliver"
+                    | "many-machines"
+                    | "extreme-work-spread"
+                    | "control-valid"
+            ) {
+                assert!(
+                    case.instance.is_ok(),
+                    "case {} ({}) should construct: {:?}",
+                    case.index,
+                    case.fault,
+                    case.instance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn text_matches_instance_for_construction_faults() {
+        // Parsing the rendered text must reject exactly when construction
+        // rejects (the parser funnels into `Instance::new`).
+        for case in FaultPlan::new(5).cases(40) {
+            if case.fault == "corrupted-text" {
+                continue; // the fault *is* the text for these
+            }
+            let parsed = io::parse(&case.text);
+            assert_eq!(
+                parsed.is_ok(),
+                case.instance.is_ok(),
+                "case {} ({}): parse {:?} vs construct {:?}",
+                case.index,
+                case.fault,
+                parsed.err(),
+                case.instance.as_ref().err()
+            );
+        }
+    }
+}

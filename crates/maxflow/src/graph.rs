@@ -79,14 +79,30 @@ impl FlowNetwork {
 
     /// Add a directed edge `u → v` with capacity `cap >= 0`.
     pub fn add_edge(&mut self, u: usize, v: usize, cap: f64) -> EdgeId {
-        assert!(u < self.adj.len() && v < self.adj.len(), "edge endpoint out of range");
-        assert!(cap >= 0.0 && cap.is_finite(), "capacity must be finite and >= 0, got {cap}");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "edge endpoint out of range"
+        );
+        assert!(
+            cap >= 0.0 && cap.is_finite(),
+            "capacity must be finite and >= 0, got {cap}"
+        );
         let id = self.edges.len();
         let eps = cap * EDGE_EPS_REL;
         self.adj[u].push(id);
-        self.edges.push(Edge { to: v, cap, orig: cap, eps });
+        self.edges.push(Edge {
+            to: v,
+            cap,
+            orig: cap,
+            eps,
+        });
         self.adj[v].push(id + 1);
-        self.edges.push(Edge { to: u, cap: 0.0, orig: 0.0, eps });
+        self.edges.push(Edge {
+            to: u,
+            cap: 0.0,
+            orig: 0.0,
+            eps,
+        });
         EdgeId(id)
     }
 
@@ -109,7 +125,10 @@ impl FlowNetwork {
     /// Compute a maximum `s → t` flow (Dinic) and return its value. Resets
     /// any previous flow first, so the call is idempotent.
     pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
-        assert!(s < self.adj.len() && t < self.adj.len(), "terminal out of range");
+        assert!(
+            s < self.adj.len() && t < self.adj.len(),
+            "terminal out of range"
+        );
         assert_ne!(s, t, "source and sink must differ");
         for e in &mut self.edges {
             e.cap = e.orig;

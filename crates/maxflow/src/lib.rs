@@ -33,7 +33,7 @@ pub use push_relabel::PushRelabel;
 mod cross_tests {
     use crate::graph::FlowNetwork;
     use crate::reference::IntFlowNetwork;
-    use proptest::prelude::*;
+    use ssp_prng::{check, Rng, StdRng};
 
     /// Build the same random graph in both engines and compare values.
     fn roundtrip(n: usize, edges: &[(usize, usize, u32)]) -> (f64, u64) {
@@ -48,47 +48,56 @@ mod cross_tests {
         (f_real, f_exact)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    /// Draw a random graph shape shared by the two properties below.
+    fn random_graph(rng: &mut StdRng) -> (usize, Vec<(usize, usize, u32)>) {
+        let n = rng.gen_range(2usize..9);
+        let edges = check::vec_of(rng, 0..40, |r| {
+            (
+                r.gen_range(0usize..8),
+                r.gen_range(0usize..8),
+                r.gen_range(0u32..64),
+            )
+        })
+        .into_iter()
+        .filter(|&(u, v, _)| u < n && v < n && u != v)
+        .collect();
+        (n, edges)
+    }
 
-        /// Dinic over f64 must agree exactly with integer Ford–Fulkerson on
-        /// integer capacities (values below 2^32 are exact in f64).
-        #[test]
-        fn dinic_matches_integer_reference(
-            n in 2usize..9,
-            raw_edges in proptest::collection::vec((0usize..8, 0usize..8, 0u32..64), 0..40),
-        ) {
-            let edges: Vec<(usize, usize, u32)> = raw_edges
-                .into_iter()
-                .filter(|&(u, v, _)| u < n && v < n && u != v)
-                .collect();
+    /// Dinic over f64 must agree exactly with integer Ford–Fulkerson on
+    /// integer capacities (values below 2^32 are exact in f64).
+    #[test]
+    fn dinic_matches_integer_reference() {
+        check::cases(64, 0xD1_41C, |rng| {
+            let (n, edges) = random_graph(rng);
             let (f_real, f_exact) = roundtrip(n, &edges);
-            prop_assert!((f_real - f_exact as f64).abs() < 1e-6,
-                "dinic {} vs exact {}", f_real, f_exact);
-        }
+            assert!(
+                (f_real - f_exact as f64).abs() < 1e-6,
+                "dinic {f_real} vs exact {f_exact}"
+            );
+        });
+    }
 
-        /// Min-cut capacity equals max-flow value (strong duality), and the
-        /// source side returned by `residual_reachable_from_source` is a
-        /// valid cut certificate. Also checks flow conservation at inner
-        /// nodes.
-        #[test]
-        fn min_cut_certifies_max_flow(
-            n in 2usize..9,
-            raw_edges in proptest::collection::vec((0usize..8, 0usize..8, 0u32..64), 0..40),
-        ) {
-            let edges: Vec<(usize, usize, u32)> = raw_edges
-                .into_iter()
-                .filter(|&(u, v, _)| u < n && v < n && u != v)
-                .collect();
+    /// Min-cut capacity equals max-flow value (strong duality), and the
+    /// source side returned by `residual_reachable_from_source` is a
+    /// valid cut certificate. Also checks flow conservation at inner
+    /// nodes.
+    #[test]
+    fn min_cut_certifies_max_flow() {
+        check::cases(64, 0xC07, |rng| {
+            let (n, edges) = random_graph(rng);
             let mut net = FlowNetwork::new(n);
-            let ids: Vec<_> = edges.iter().map(|&(u, v, c)| net.add_edge(u, v, c as f64)).collect();
+            let ids: Vec<_> = edges
+                .iter()
+                .map(|&(u, v, c)| net.add_edge(u, v, c as f64))
+                .collect();
             let value = net.max_flow(0, n - 1);
             let source_side = net.residual_reachable_from_source();
-            prop_assert!(source_side[0]);
+            assert!(source_side[0]);
             if value > 0.0 || edges.iter().any(|&(u, _, c)| u == 0 && c > 0) {
                 // The sink is separated whenever a max flow exists (it always
                 // does; value may be 0 when no s-t path has capacity).
-                prop_assert!(!source_side[n - 1]);
+                assert!(!source_side[n - 1]);
             }
             // Capacity of the cut = sum of caps of edges from X to Y.
             let cut_cap: f64 = edges
@@ -96,17 +105,24 @@ mod cross_tests {
                 .filter(|&&(u, v, _)| source_side[u] && !source_side[v])
                 .map(|&(_, _, c)| c as f64)
                 .sum();
-            prop_assert!((cut_cap - value).abs() < 1e-6, "cut {} vs flow {}", cut_cap, value);
+            assert!(
+                (cut_cap - value).abs() < 1e-6,
+                "cut {cut_cap} vs flow {value}"
+            );
             // Flow conservation at inner nodes.
             for node in 1..n - 1 {
                 let mut balance = 0.0;
                 for (&(u, v, _), &id) in edges.iter().zip(&ids) {
                     let f = net.flow(id);
-                    if v == node { balance += f; }
-                    if u == node { balance -= f; }
+                    if v == node {
+                        balance += f;
+                    }
+                    if u == node {
+                        balance -= f;
+                    }
                 }
-                prop_assert!(balance.abs() < 1e-6, "node {} imbalance {}", node, balance);
+                assert!(balance.abs() < 1e-6, "node {node} imbalance {balance}");
             }
-        }
+        });
     }
 }

@@ -36,7 +36,10 @@ pub struct PushRelabel {
 impl PushRelabel {
     /// An empty network with `n` nodes.
     pub fn new(n: usize) -> Self {
-        PushRelabel { adj: vec![Vec::new(); n], edges: Vec::new() }
+        PushRelabel {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -46,14 +49,30 @@ impl PushRelabel {
 
     /// Add a directed edge `u → v` with capacity `cap >= 0`.
     pub fn add_edge(&mut self, u: usize, v: usize, cap: f64) -> PrEdgeId {
-        assert!(u < self.adj.len() && v < self.adj.len(), "edge endpoint out of range");
-        assert!(cap >= 0.0 && cap.is_finite(), "capacity must be finite and >= 0");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "edge endpoint out of range"
+        );
+        assert!(
+            cap >= 0.0 && cap.is_finite(),
+            "capacity must be finite and >= 0"
+        );
         let id = self.edges.len();
         let eps = cap * 1e-12;
         self.adj[u].push(id);
-        self.edges.push(Edge { to: v, cap, orig: cap, eps });
+        self.edges.push(Edge {
+            to: v,
+            cap,
+            orig: cap,
+            eps,
+        });
         self.adj[v].push(id + 1);
-        self.edges.push(Edge { to: u, cap: 0.0, orig: 0.0, eps });
+        self.edges.push(Edge {
+            to: u,
+            cap: 0.0,
+            orig: 0.0,
+            eps,
+        });
         PrEdgeId(id)
     }
 
@@ -197,7 +216,7 @@ impl PushRelabel {
 mod tests {
     use super::*;
     use crate::FlowNetwork;
-    use proptest::prelude::*;
+    use ssp_prng::{check, Rng};
 
     #[test]
     fn clrs_value() {
@@ -254,20 +273,22 @@ mod tests {
         assert!((fa - fb).abs() < 1e-7, "push-relabel {fa} vs dinic {fb}");
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(96))]
-
-        /// The two engines agree on arbitrary random graphs with integer
-        /// capacities (exact in f64).
-        #[test]
-        fn agrees_with_dinic_on_random_graphs(
-            n in 2usize..10,
-            raw_edges in proptest::collection::vec((0usize..9, 0usize..9, 0u32..50), 0..50),
-        ) {
-            let edges: Vec<(usize, usize, u32)> = raw_edges
-                .into_iter()
-                .filter(|&(u, v, _)| u < n && v < n && u != v)
-                .collect();
+    /// The two engines agree on arbitrary random graphs with integer
+    /// capacities (exact in f64).
+    #[test]
+    fn agrees_with_dinic_on_random_graphs() {
+        check::cases(96, 0x9B5AE1, |rng| {
+            let n = rng.gen_range(2usize..10);
+            let edges: Vec<(usize, usize, u32)> = check::vec_of(rng, 0..50, |r| {
+                (
+                    r.gen_range(0usize..9),
+                    r.gen_range(0usize..9),
+                    r.gen_range(0u32..50),
+                )
+            })
+            .into_iter()
+            .filter(|&(u, v, _)| u < n && v < n && u != v)
+            .collect();
             let mut a = PushRelabel::new(n);
             let mut b = FlowNetwork::new(n);
             for &(u, v, c) in &edges {
@@ -275,7 +296,7 @@ mod tests {
                 b.add_edge(u, v, c as f64);
             }
             let (fa, fb) = (a.max_flow(0, n - 1), b.max_flow(0, n - 1));
-            prop_assert!((fa - fb).abs() < 1e-6, "push-relabel {} vs dinic {}", fa, fb);
-        }
+            assert!((fa - fb).abs() < 1e-6, "push-relabel {fa} vs dinic {fb}");
+        });
     }
 }

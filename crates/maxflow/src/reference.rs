@@ -15,7 +15,10 @@ pub struct IntFlowNetwork {
 impl IntFlowNetwork {
     /// An empty network with `n` nodes.
     pub fn new(n: usize) -> Self {
-        IntFlowNetwork { n, cap: vec![vec![0; n]; n] }
+        IntFlowNetwork {
+            n,
+            cap: vec![vec![0; n]; n],
+        }
     }
 
     /// Add (or widen) the edge `u → v`.

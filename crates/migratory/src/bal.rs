@@ -29,8 +29,9 @@
 use crate::mcnaughton::mcnaughton;
 use crate::wap::Wap;
 use ssp_maxflow::FlowNetwork;
-use ssp_model::numeric::BINARY_SEARCH_REL_WIDTH;
-use ssp_model::{Instance, IntervalSet, Schedule, SpeedAssignment};
+use ssp_model::numeric::{bisect_threshold_budgeted, BINARY_SEARCH_REL_WIDTH};
+use ssp_model::resource::Budget;
+use ssp_model::{Instance, IntervalSet, Schedule, SolveError, SpeedAssignment};
 
 /// One peeling round: the critical speed and the jobs fixed at it.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +61,11 @@ pub struct BalSolution {
     pub intervals: IntervalSet,
     /// Total number of max-flow computations performed (complexity probe).
     pub flow_computations: usize,
+    /// Set when a [`Budget`] ran out mid-peeling (`"iterations"` or
+    /// `"time"`). The solution is then still *valid* — the jobs not yet
+    /// peeled were fixed at the last known-feasible uniform speed — but its
+    /// energy is an upper bound on the optimum rather than the optimum.
+    pub budget_exhausted: Option<&'static str>,
 }
 
 impl BalSolution {
@@ -78,7 +84,12 @@ impl BalSolution {
         let mut schedule = Schedule::new(instance.machines());
         for (j, pieces) in per_interval.iter().enumerate() {
             if !pieces.is_empty() {
-                mcnaughton(self.intervals.bounds(j), instance.machines(), pieces, &mut schedule);
+                mcnaughton(
+                    self.intervals.bounds(j),
+                    instance.machines(),
+                    pieces,
+                    &mut schedule,
+                );
             }
         }
         schedule
@@ -87,18 +98,41 @@ impl BalSolution {
 
 /// Compute the optimal migratory solution. See the module docs for the
 /// algorithm. Panics only on internal invariant violations (the problem is
-/// always feasible: speeds are unbounded).
+/// always feasible: speeds are unbounded); use [`try_bal`] for the fallible,
+/// budget-aware entry point.
 pub fn bal(instance: &Instance) -> BalSolution {
     let (wap, intervals) = Wap::from_instance(instance);
     bal_with_wap(instance, wap, intervals)
+}
+
+/// Fallible BAL: every invariant violation becomes a [`SolveError`] instead
+/// of a panic, and `budget` caps the number of max-flow feasibility probes /
+/// wall-clock time. On budget exhaustion the not-yet-peeled jobs are fixed
+/// at the last known-feasible uniform speed, so the returned solution is
+/// always valid (check [`BalSolution::budget_exhausted`] for optimality).
+pub fn try_bal(instance: &Instance, budget: Budget) -> Result<BalSolution, SolveError> {
+    let (wap, intervals) = Wap::from_instance(instance);
+    try_bal_with_wap(instance, wap, intervals, budget)
 }
 
 /// BAL over a caller-built WAP (custom per-interval capacities — e.g.
 /// machine downtime, see [`crate::downtime`]). The WAP's intervals must be
 /// (a refinement of) the instance's canonical decomposition and every job
 /// must have positive open time, or the peeling loop panics on its
-/// invariants.
+/// invariants. Use [`try_bal_with_wap`] for the fallible variant.
 pub fn bal_with_wap(instance: &Instance, wap: Wap, intervals: IntervalSet) -> BalSolution {
+    try_bal_with_wap(instance, wap, intervals, Budget::unlimited())
+        .expect("BAL failed on what should be a feasible instance")
+}
+
+/// Fallible, budget-aware form of [`bal_with_wap`]; see [`try_bal`].
+pub fn try_bal_with_wap(
+    instance: &Instance,
+    wap: Wap,
+    intervals: IntervalSet,
+    budget: Budget,
+) -> Result<BalSolution, SolveError> {
+    let mut meter = budget.meter();
     let n = instance.len();
     let mut wap = wap;
     let mut speeds = vec![0.0f64; n];
@@ -107,14 +141,15 @@ pub fn bal_with_wap(instance: &Instance, wap: Wap, intervals: IntervalSet) -> Ba
     let mut flow_computations = 0usize;
 
     if n == 0 {
-        return BalSolution {
+        return Ok(BalSolution {
             speeds: SpeedAssignment::new(speeds),
             energy: 0.0,
             rounds,
             allotments,
             intervals,
             flow_computations,
-        };
+            budget_exhausted: None,
+        });
     }
 
     let mut remaining: Vec<usize> = (0..n).collect();
@@ -125,11 +160,14 @@ pub fn bal_with_wap(instance: &Instance, wap: Wap, intervals: IntervalSet) -> Ba
     // v >= |I_j| · Σ_{alive, open} (w_i/open_i) / c_j (capacity caps).
     let mut hi = {
         let open: Vec<f64> = (0..n).map(|i| wap.open_time_of(i)).collect();
+        if let Some(i) = (0..n).find(|&i| open[i] <= 0.0 || open[i].is_nan()) {
+            return Err(SolveError::Precondition {
+                algorithm: "bal",
+                message: format!("job {} has no open capacity at all", instance.job(i).id),
+            });
+        }
         let mut v = (0..n)
-            .map(|i| {
-                assert!(open[i] > 0.0, "job {} has no open capacity at all", instance.job(i).id);
-                instance.job(i).work / open[i]
-            })
+            .map(|i| instance.job(i).work / open[i])
             .fold(0.0f64, f64::max);
         for j in 0..intervals.len() {
             if wap.capacity(j) <= 0.0 {
@@ -144,17 +182,26 @@ pub fn bal_with_wap(instance: &Instance, wap: Wap, intervals: IntervalSet) -> Ba
         }
         v * (1.0 + 1e-12)
     };
+    if !hi.is_finite() {
+        return Err(SolveError::Numeric {
+            message: format!("initial speed upper bound is not finite ({hi})"),
+        });
+    }
+    let mut budget_exhausted = None;
 
     while !remaining.is_empty() {
         // Effective densities: job work over its still-open time.
         let mut lo: f64 = 0.0;
         for &i in &remaining {
             let open = wap.open_time_of(i);
-            assert!(
-                open > 0.0,
-                "job {} has no open intervals left — BAL invariant broken",
-                instance.job(i).id
-            );
+            if open <= 0.0 || open.is_nan() {
+                return Err(SolveError::Numeric {
+                    message: format!(
+                        "job {} has no open intervals left — BAL invariant broken",
+                        instance.job(i).id
+                    ),
+                });
+            }
             lo = lo.max(instance.job(i).work / open);
         }
 
@@ -172,24 +219,72 @@ pub fn bal_with_wap(instance: &Instance, wap: Wap, intervals: IntervalSet) -> Ba
 
         // The previous round's speed should be feasible; tolerate boundary
         // noise by nudging upward a few times before growing aggressively.
+        // Budget exhaustion cannot abort this loop — without a feasible
+        // upper bound there is no best-so-far answer to salvage — but the
+        // loop is bounded by the guard either way.
         let mut guard = 0;
-        while !feasible(hi) {
+        while {
+            meter.tick();
+            !feasible(hi)
+        } {
             hi *= if guard < 4 { 1.0 + 1e-9 } else { 2.0 };
             guard += 1;
-            assert!(guard < 80, "could not re-establish a feasible upper bound");
+            if guard >= 80 {
+                return Err(SolveError::Numeric {
+                    message: format!(
+                        "could not re-establish a feasible upper bound (reached {hi})"
+                    ),
+                });
+            }
         }
         if lo > hi {
             lo = hi; // effective density can slightly exceed hi by tolerance
         }
 
+        // Out of budget: fix everything still open at the known-feasible
+        // uniform speed `hi` and stop peeling.
+        if meter.exhausted().is_some() {
+            fix_remaining_at(
+                instance,
+                &wap,
+                hi,
+                &remaining,
+                &mut speeds,
+                &mut allotments,
+                &mut flow_computations,
+            )?;
+            rounds.push(BalRound {
+                speed: hi,
+                jobs: remaining.clone(),
+                saturated: Vec::new(),
+            });
+            budget_exhausted = meter.exhausted();
+            break;
+        }
+
         // Binary search the critical speed.
-        let (_, v_hi) = ssp_model::numeric::bisect_threshold(
-            lo,
-            hi,
-            BINARY_SEARCH_REL_WIDTH,
-            &mut feasible,
-        );
+        let (_, v_hi) =
+            bisect_threshold_budgeted(lo, hi, BINARY_SEARCH_REL_WIDTH, &mut meter, &mut feasible)?;
         let v_crit = v_hi;
+        if meter.exhausted().is_some() {
+            // Truncated search: `v_hi` is the feasible end of the bracket.
+            fix_remaining_at(
+                instance,
+                &wap,
+                v_hi,
+                &remaining,
+                &mut speeds,
+                &mut allotments,
+                &mut flow_computations,
+            )?;
+            rounds.push(BalRound {
+                speed: v_hi,
+                jobs: remaining.clone(),
+                saturated: Vec::new(),
+            });
+            budget_exhausted = meter.exhausted();
+            break;
+        }
         // Probe strictly below the critical speed for the cut structure. The
         // offset must (a) stay above the *next* critical speed — guaranteed
         // because the bisection bracketed v* within 1e-12 relative — and
@@ -202,8 +297,7 @@ pub fn bal_with_wap(instance: &Instance, wap: Wap, intervals: IntervalSet) -> Ba
         let job_side = infeasible_flow.jobs_reachable();
         let ival_side = infeasible_flow.intervals_reachable();
 
-        let mut critical: Vec<usize> =
-            remaining.iter().copied().filter(|&i| job_side[i]).collect();
+        let mut critical: Vec<usize> = remaining.iter().copied().filter(|&i| job_side[i]).collect();
         if critical.is_empty() {
             // Numerical fallback: the effective-density argmax is certainly
             // critical when the cut degenerates. Keeps progress guaranteed.
@@ -248,8 +342,10 @@ pub fn bal_with_wap(instance: &Instance, wap: Wap, intervals: IntervalSet) -> Ba
             // (threshold = 10x the probe offset).
             residues.push(if need <= 1e-8 * demand { 0.0 } else { need });
         }
-        let demand_scale: f64 =
-            critical.iter().map(|&i| instance.job(i).work / v_crit).sum();
+        let demand_scale: f64 = critical
+            .iter()
+            .map(|&i| instance.job(i).work / v_crit)
+            .sum();
         route_residues(
             &critical,
             &residues,
@@ -260,7 +356,7 @@ pub fn bal_with_wap(instance: &Instance, wap: Wap, intervals: IntervalSet) -> Ba
             demand_scale,
             &mut allotments,
             &mut flow_computations,
-        );
+        )?;
         // The probe's 1e-9 offset makes the cut classification exact only up
         // to that scale; over many jobs the routed totals can fall short of
         // the demands by ~1e-7 relative. Normalize each critical job's
@@ -269,11 +365,16 @@ pub fn bal_with_wap(instance: &Instance, wap: Wap, intervals: IntervalSet) -> Ba
         for &i in &critical {
             let need = instance.job(i).work / v_crit;
             let got: f64 = allotments[i].iter().map(|&(_, t)| t).sum();
-            assert!(
-                (got - need).abs() <= 1e-5 * need,
-                "allotment of job {} off by more than tolerance: {got} vs {need}",
-                instance.job(i).id
-            );
+            // NaN discrepancies must fail, so the comparison stays affirmative.
+            let within_tolerance = (got - need).abs() <= 1e-5 * need;
+            if !within_tolerance {
+                return Err(SolveError::Numeric {
+                    message: format!(
+                        "allotment of job {} off by more than tolerance: {got} vs {need}",
+                        instance.job(i).id
+                    ),
+                });
+            }
             if got > 0.0 && got != need {
                 let factor = need / got;
                 for entry in &mut allotments[i] {
@@ -312,26 +413,72 @@ pub fn bal_with_wap(instance: &Instance, wap: Wap, intervals: IntervalSet) -> Ba
             speeds[i] = v_crit;
         }
         remaining.retain(|i| !critical.contains(i));
-        rounds.push(BalRound { speed: v_crit, jobs: critical, saturated });
+        rounds.push(BalRound {
+            speed: v_crit,
+            jobs: critical,
+            saturated,
+        });
         hi = v_crit;
     }
 
     let assignment = SpeedAssignment::new(speeds);
     let energy = assignment.energy(instance);
-    BalSolution {
+    Ok(BalSolution {
         speeds: assignment,
         energy,
         rounds,
         allotments,
         intervals,
         flow_computations,
+        budget_exhausted,
+    })
+}
+
+/// Budget-exhaustion fallback: fix every job in `remaining` at the
+/// known-feasible uniform speed `v`, reading the per-interval allotments
+/// back from one last feasibility flow. The result is a valid schedule for
+/// those jobs (merely suboptimal).
+fn fix_remaining_at(
+    instance: &Instance,
+    wap: &Wap,
+    v: f64,
+    remaining: &[usize],
+    speeds: &mut [f64],
+    allotments: &mut [Vec<(usize, f64)>],
+    flow_computations: &mut usize,
+) -> Result<(), SolveError> {
+    let mut p = vec![0.0; instance.len()];
+    for &i in remaining {
+        p[i] = instance.job(i).work / v;
     }
+    *flow_computations += 1;
+    let flow = wap.solve(&p);
+    if !flow.feasible() {
+        return Err(SolveError::Numeric {
+            message: format!("budget fallback speed {v} unexpectedly infeasible"),
+        });
+    }
+    for &i in remaining {
+        speeds[i] = v;
+        let mut entries = flow.allotment(i);
+        // Normalize engine-epsilon shortfalls to the exact demand.
+        let got: f64 = entries.iter().map(|&(_, t)| t).sum();
+        if got > 0.0 && got != p[i] {
+            let factor = p[i] / got;
+            for e in &mut entries {
+                e.1 *= factor;
+            }
+        }
+        allotments[i] = entries;
+    }
+    Ok(())
 }
 
 /// Route the critical jobs' residual demands into the saturated intervals
 /// (a bipartite max-flow). Feasible by the structure theorem up to the
-/// probe-offset noise; shortfalls are asserted against the jobs' *total*
-/// demand scale (the per-job normalization in `bal` repairs them).
+/// probe-offset noise; shortfalls beyond the jobs' *total* demand scale are
+/// a numeric failure (smaller ones are repaired by the per-job
+/// normalization in `bal`).
 #[allow(clippy::too_many_arguments)]
 fn route_residues(
     critical: &[usize],
@@ -343,17 +490,20 @@ fn route_residues(
     demand_scale: f64,
     allotments: &mut [Vec<(usize, f64)>],
     flow_computations: &mut usize,
-) {
+) -> Result<(), SolveError> {
     let total_residue: f64 = residues.iter().sum();
     if total_residue <= 0.0 {
-        return;
+        return Ok(());
     }
     let k = critical.len();
     let l = saturated.len();
     // Node layout: 0 source, 1..=k criticals, k+1..=k+l intervals, k+l+1 sink.
     let mut net = FlowNetwork::new(k + l + 2);
-    let ival_pos: std::collections::HashMap<usize, usize> =
-        saturated.iter().enumerate().map(|(pos, &j)| (j, pos)).collect();
+    let ival_pos: std::collections::HashMap<usize, usize> = saturated
+        .iter()
+        .enumerate()
+        .map(|(pos, &j)| (j, pos))
+        .collect();
     let mut edge_of: Vec<Vec<(usize, ssp_maxflow::EdgeId)>> = vec![Vec::new(); k];
     for (c, (&i, &res)) in critical.iter().zip(residues).enumerate() {
         net.add_edge(0, 1 + c, res);
@@ -372,10 +522,14 @@ fn route_residues(
     // Scale the shortfall tolerance by the critical jobs' total demand: the
     // residues themselves can be arbitrarily small, but the probe-offset
     // noise they inherit is proportional to the demands.
-    assert!(
-        routed >= total_residue - 1e-5 * demand_scale - 1e-12,
-        "residue routing incomplete: {routed} of {total_residue} at speed {v_crit}"
-    );
+    let routed_enough = routed >= total_residue - 1e-5 * demand_scale - 1e-12;
+    if !routed_enough {
+        return Err(SolveError::Numeric {
+            message: format!(
+                "residue routing incomplete: {routed} of {total_residue} at speed {v_crit}"
+            ),
+        });
+    }
     for (c, &i) in critical.iter().enumerate() {
         for &(j, e) in &edge_of[c] {
             let t = net.flow(e);
@@ -384,6 +538,7 @@ fn route_residues(
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -437,7 +592,11 @@ mod tests {
     fn common_window_closed_form() {
         // n equal jobs (w, window [0,T]) on m machines:
         // uniform speed max(w/T, n*w/(m*T)).
-        for (n, m, w, t) in [(3usize, 2usize, 2.0, 4.0), (5, 2, 1.0, 2.0), (2, 4, 3.0, 3.0)] {
+        for (n, m, w, t) in [
+            (3usize, 2usize, 2.0, 4.0),
+            (5, 2, 1.0, 2.0),
+            (2, 4, 3.0, 3.0),
+        ] {
             let jobs: Vec<Job> = (0..n).map(|i| Job::new(i as u32, w, 0.0, t)).collect();
             let alpha = 2.5;
             let sol = bal(&inst(jobs, m, alpha));
@@ -526,5 +685,58 @@ mod tests {
         let jobs = vec![Job::new(0, 1.0, 0.0, 1.0), Job::new(1, 1.0, 0.0, 4.0)];
         let sol = bal(&inst(jobs, 1, 2.0));
         assert!(sol.flow_computations > 0);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_bal() {
+        let jobs = vec![
+            Job::new(0, 3.0, 0.0, 2.0),
+            Job::new(1, 2.0, 0.0, 3.0),
+            Job::new(2, 2.0, 1.0, 4.0),
+            Job::new(3, 1.0, 2.0, 5.0),
+        ];
+        let instance = inst(jobs, 2, 2.0);
+        let plain = bal(&instance);
+        let budgeted = try_bal(&instance, Budget::unlimited()).unwrap();
+        assert_eq!(budgeted.budget_exhausted, None);
+        assert!((budgeted.energy - plain.energy).abs() <= 1e-9 * plain.energy);
+    }
+
+    #[test]
+    fn exhausted_budget_still_yields_a_valid_schedule() {
+        // Spread windows force several peeling rounds; a tiny iteration
+        // budget cannot finish them.
+        let jobs: Vec<Job> = (0..8)
+            .map(|i| {
+                Job::new(
+                    i,
+                    1.0 + i as f64 * 0.5,
+                    i as f64 * 0.3,
+                    i as f64 * 0.3 + 1.0 + i as f64,
+                )
+            })
+            .collect();
+        let instance = inst(jobs, 2, 2.0);
+        let optimal = bal(&instance).energy;
+        let sol = try_bal(&instance, Budget::iterations(3)).unwrap();
+        assert_eq!(sol.budget_exhausted, Some("iterations"));
+        // Valid: the explicit schedule passes the full validator.
+        let schedule = sol.schedule(&instance);
+        let stats = schedule.validate(&instance, Default::default()).unwrap();
+        assert!((stats.energy - sol.energy).abs() <= 1e-6 * sol.energy);
+        // Suboptimal but bounded below by the optimum.
+        assert!(
+            sol.energy >= optimal * (1.0 - 1e-9),
+            "capped run beat the optimum"
+        );
+    }
+
+    #[test]
+    fn generous_iteration_budget_reaches_the_optimum() {
+        let jobs = vec![Job::new(0, 4.0, 0.0, 1.0), Job::new(1, 1.0, 0.0, 10.0)];
+        let instance = inst(jobs, 2, 2.0);
+        let sol = try_bal(&instance, Budget::iterations(100_000)).unwrap();
+        assert_eq!(sol.budget_exhausted, None);
+        assert!((sol.energy - bal(&instance).energy).abs() <= 1e-9);
     }
 }

@@ -34,8 +34,11 @@ pub fn min_peak_speed(instance: &Instance) -> f64 {
     let mut hi = {
         let mut v = lo;
         for j in 0..intervals.len() {
-            let dens: f64 =
-                intervals.alive(j).iter().map(|&i| instance.job(i).density()).sum();
+            let dens: f64 = intervals
+                .alive(j)
+                .iter()
+                .map(|&i| instance.job(i).density())
+                .sum();
             v = v.max(dens / instance.machines() as f64);
         }
         v * (1.0 + 1e-12)

@@ -82,8 +82,9 @@ pub fn bal_with_downtime(
         .zip(&lengths)
         .map(|(up, &len)| up.len() as f64 * len)
         .collect();
-    let alive: Vec<Vec<usize>> =
-        (0..instance.len()).map(|i| intervals.intervals_of(i).to_vec()).collect();
+    let alive: Vec<Vec<usize>> = (0..instance.len())
+        .map(|i| intervals.intervals_of(i).to_vec())
+        .collect();
     let wap = Wap::new(alive, lengths, capacity.clone());
 
     // Feasibility: every job needs some open capacity.
@@ -114,7 +115,10 @@ pub fn bal_with_downtime(
         let mut scratch = Schedule::new(up.len());
         mcnaughton(sol.intervals.bounds(j), up.len(), pieces, &mut scratch);
         for seg in scratch.segments() {
-            schedule.push(Segment { machine: up[seg.machine], ..*seg });
+            schedule.push(Segment {
+                machine: up[seg.machine],
+                ..*seg
+            });
         }
     }
     Some((sol, schedule))
@@ -158,7 +162,11 @@ mod tests {
         let plain = bal(&instance).energy;
         let mut prev = plain;
         for frac in [0.1, 0.3, 0.6] {
-            let d = Downtime { machine: 0, start: mid, end: mid + frac * (hi - mid) };
+            let d = Downtime {
+                machine: 0,
+                start: mid,
+                end: mid + frac * (hi - mid),
+            };
             let (sol, schedule) = bal_with_downtime(&instance, &[d]).unwrap();
             assert!(
                 sol.energy >= prev * (1.0 - 1e-9),
@@ -168,7 +176,10 @@ mod tests {
             prev = sol.energy;
             let stats = schedule.validate(&instance, Default::default()).unwrap();
             assert!((stats.energy - sol.energy).abs() <= 1e-6 * sol.energy);
-            assert!(!violates_downtime(&schedule, &[d]), "ran during maintenance");
+            assert!(
+                !violates_downtime(&schedule, &[d]),
+                "ran during maintenance"
+            );
         }
         assert!(prev >= plain * (1.0 - 1e-9));
     }
@@ -178,7 +189,11 @@ mod tests {
         // One machine, job [0,2] w=2; machine down [1,2]: all work must fit
         // in [0,1] at speed 2 instead of speed 1.
         let instance = inst(vec![Job::new(0, 2.0, 0.0, 2.0)], 1);
-        let d = Downtime { machine: 0, start: 1.0, end: 2.0 };
+        let d = Downtime {
+            machine: 0,
+            start: 1.0,
+            end: 2.0,
+        };
         let (sol, schedule) = bal_with_downtime(&instance, &[d]).unwrap();
         assert!((sol.speeds.get(0) - 2.0).abs() < 1e-8);
         assert!((sol.energy - 4.0).abs() < 1e-6); // E = w*s^(a-1) = 2*2
@@ -189,7 +204,11 @@ mod tests {
     #[test]
     fn total_blackout_is_infeasible() {
         let instance = inst(vec![Job::new(0, 1.0, 0.0, 1.0)], 1);
-        let d = Downtime { machine: 0, start: 0.0, end: 1.0 };
+        let d = Downtime {
+            machine: 0,
+            start: 0.0,
+            end: 1.0,
+        };
         assert!(bal_with_downtime(&instance, &[d]).is_none());
     }
 
@@ -199,7 +218,11 @@ mod tests {
         // behaves exactly like m = 1.
         let jobs = vec![Job::new(0, 1.0, 0.0, 1.0), Job::new(1, 1.0, 0.0, 1.0)];
         let two = inst(jobs.clone(), 2);
-        let d = Downtime { machine: 1, start: 0.0, end: 1.0 };
+        let d = Downtime {
+            machine: 1,
+            start: 0.0,
+            end: 1.0,
+        };
         let (sol, schedule) = bal_with_downtime(&two, &[d]).unwrap();
         let one = bal(&inst(jobs, 1)).energy;
         assert!((sol.energy - one).abs() <= 1e-6 * one);
@@ -212,8 +235,16 @@ mod tests {
         let (lo, hi) = instance.horizon().unwrap();
         let span = hi - lo;
         let ds = vec![
-            Downtime { machine: 0, start: lo + 0.2 * span, end: lo + 0.5 * span },
-            Downtime { machine: 1, start: lo + 0.4 * span, end: lo + 0.7 * span },
+            Downtime {
+                machine: 0,
+                start: lo + 0.2 * span,
+                end: lo + 0.5 * span,
+            },
+            Downtime {
+                machine: 1,
+                start: lo + 0.4 * span,
+                end: lo + 0.7 * span,
+            },
         ];
         let (sol, schedule) = bal_with_downtime(&instance, &ds).unwrap();
         assert!(sol.energy >= bal(&instance).energy * (1.0 - 1e-9));
@@ -225,11 +256,23 @@ mod tests {
     fn violates_downtime_detects_real_violations() {
         let mut s = Schedule::new(2);
         s.run(ssp_model::JobId(0), 0, 0.0, 1.0, 1.0);
-        let d = Downtime { machine: 0, start: 0.5, end: 0.8 };
+        let d = Downtime {
+            machine: 0,
+            start: 0.5,
+            end: 0.8,
+        };
         assert!(violates_downtime(&s, &[d]));
-        let clear = Downtime { machine: 1, start: 0.5, end: 0.8 };
+        let clear = Downtime {
+            machine: 1,
+            start: 0.5,
+            end: 0.8,
+        };
         assert!(!violates_downtime(&s, &[clear]));
-        let adjacent = Downtime { machine: 0, start: 1.0, end: 2.0 };
+        let adjacent = Downtime {
+            machine: 0,
+            start: 1.0,
+            end: 2.0,
+        };
         assert!(!violates_downtime(&s, &[adjacent]));
     }
 }

@@ -29,19 +29,50 @@ pub enum KktViolation {
     /// Allotment outside the job's alive intervals.
     AllotmentOutsideSpan { job: usize, interval: usize },
     /// Negative or over-long allotment.
-    AllotmentOutOfRange { job: usize, interval: usize, time: f64, length: f64 },
+    AllotmentOutOfRange {
+        job: usize,
+        interval: usize,
+        time: f64,
+        length: f64,
+    },
     /// `Σ_j t_ij ≠ w_i / s_i`.
-    WorkNotConserved { job: usize, allotted: f64, required: f64 },
+    WorkNotConserved {
+        job: usize,
+        allotted: f64,
+        required: f64,
+    },
     /// `Σ_i t_ij > m |I_j|`.
-    CapacityExceeded { interval: usize, used: f64, capacity: f64 },
+    CapacityExceeded {
+        interval: usize,
+        used: f64,
+        capacity: f64,
+    },
     /// Property 2 violated.
-    IdleWhileSlowerRuns { job: usize, other: usize, interval: usize },
+    IdleWhileSlowerRuns {
+        job: usize,
+        other: usize,
+        interval: usize,
+    },
     /// Property 3 violated.
-    FullButSlower { job: usize, other: usize, interval: usize },
+    FullButSlower {
+        job: usize,
+        other: usize,
+        interval: usize,
+    },
     /// Property 4 violated.
-    PartialSpeedsDiffer { job: usize, other: usize, interval: usize, s_a: f64, s_b: f64 },
+    PartialSpeedsDiffer {
+        job: usize,
+        other: usize,
+        interval: usize,
+        s_a: f64,
+        s_b: f64,
+    },
     /// Property 5 violated.
-    UnderloadedIntervalNotFull { job: usize, interval: usize, alive: usize },
+    UnderloadedIntervalNotFull {
+        job: usize,
+        interval: usize,
+        alive: usize,
+    },
 }
 
 impl std::fmt::Display for KktViolation {
@@ -86,6 +117,8 @@ impl std::error::Error for KktViolation {}
 /// allotments as zero / partial / full and compares speeds; the workspace
 /// default for certificates is `Tol::rel(1e-6)` — far looser than the
 /// binary-search width, far tighter than any real violation.
+// Index loops throughout: `t[i][j]` mirrors the paper's allotment matrix.
+#[allow(clippy::needless_range_loop)]
 pub fn certify(instance: &Instance, sol: &BalSolution, tol: Tol) -> Result<(), KktViolation> {
     let n = instance.len();
     let ivals = &sol.intervals;
@@ -96,7 +129,10 @@ pub fn certify(instance: &Instance, sol: &BalSolution, tol: Tol) -> Result<(), K
     for (i, allot) in sol.allotments.iter().enumerate() {
         for &(j, time) in allot {
             if !ivals.intervals_of(i).contains(&j) {
-                return Err(KktViolation::AllotmentOutsideSpan { job: i, interval: j });
+                return Err(KktViolation::AllotmentOutsideSpan {
+                    job: i,
+                    interval: j,
+                });
             }
             t[i][j] += time;
         }
@@ -116,14 +152,22 @@ pub fn certify(instance: &Instance, sol: &BalSolution, tol: Tol) -> Result<(), K
         let allotted: f64 = t[i].iter().sum();
         let required = instance.job(i).work / sol.speeds.get(i);
         if !tol.eq(allotted, required) {
-            return Err(KktViolation::WorkNotConserved { job: i, allotted, required });
+            return Err(KktViolation::WorkNotConserved {
+                job: i,
+                allotted,
+                required,
+            });
         }
     }
     for j in 0..ivals.len() {
         let used: f64 = (0..n).map(|i| t[i][j]).sum();
         let capacity = m * ivals.length(j);
         if !tol.le(used, capacity) {
-            return Err(KktViolation::CapacityExceeded { interval: j, used, capacity });
+            return Err(KktViolation::CapacityExceeded {
+                interval: j,
+                used,
+                capacity,
+            });
         }
     }
 
@@ -156,11 +200,19 @@ pub fn certify(instance: &Instance, sol: &BalSolution, tol: Tol) -> Result<(), K
                 let s_k = sol.speeds.get(k);
                 // P2: idle job never faster than a runner.
                 if is_zero(i) && !is_zero(k) && tol.gt(s_i, s_k) {
-                    return Err(KktViolation::IdleWhileSlowerRuns { job: i, other: k, interval: j });
+                    return Err(KktViolation::IdleWhileSlowerRuns {
+                        job: i,
+                        other: k,
+                        interval: j,
+                    });
                 }
                 // P3: a full job is at least as fast as any non-full one.
                 if is_full(i) && !is_full(k) && tol.lt(s_i, s_k) {
-                    return Err(KktViolation::FullButSlower { job: i, other: k, interval: j });
+                    return Err(KktViolation::FullButSlower {
+                        job: i,
+                        other: k,
+                        interval: j,
+                    });
                 }
                 // P4: partial runners share one speed.
                 let partial_i = !is_zero(i) && !is_full(i);
@@ -194,7 +246,10 @@ mod tests {
     fn bal_solutions_certify_on_varied_instances() {
         let cases: Vec<(Vec<Job>, usize)> = vec![
             (vec![Job::new(0, 2.0, 0.0, 2.0)], 1),
-            (vec![Job::new(0, 4.0, 0.0, 1.0), Job::new(1, 1.0, 0.0, 10.0)], 2),
+            (
+                vec![Job::new(0, 4.0, 0.0, 1.0), Job::new(1, 1.0, 0.0, 10.0)],
+                2,
+            ),
             (
                 vec![
                     Job::new(0, 3.0, 0.0, 2.0),
@@ -219,9 +274,8 @@ mod tests {
             for alpha in [1.5, 2.0, 3.0] {
                 let inst = Instance::new(jobs.clone(), m, alpha).unwrap();
                 let sol = bal(&inst);
-                certify(&inst, &sol, cert_tol()).unwrap_or_else(|v| {
-                    panic!("certificate failed (m={m}, alpha={alpha}): {v}")
-                });
+                certify(&inst, &sol, cert_tol())
+                    .unwrap_or_else(|v| panic!("certificate failed (m={m}, alpha={alpha}): {v}"));
             }
         }
     }

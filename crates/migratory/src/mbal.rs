@@ -53,7 +53,10 @@ impl MbalSolution {
 /// assert!((sol.makespan - 2.0 / s).abs() < 1e-6);
 /// ```
 pub fn mbal(instance: &Instance, budget: f64) -> Option<MbalSolution> {
-    assert!(budget > 0.0 && budget.is_finite(), "budget must be positive");
+    assert!(
+        budget > 0.0 && budget.is_finite(),
+        "budget must be positive"
+    );
     if instance.is_empty() {
         let sol = bal(instance);
         return Some(MbalSolution {
@@ -67,7 +70,11 @@ pub fn mbal(instance: &Instance, budget: f64) -> Option<MbalSolution> {
     let alpha = instance.alpha();
     let m = instance.machines() as f64;
     let serial = (w.powf(alpha) / budget).powf(1.0 / (alpha - 1.0));
-    let max_release = instance.jobs().iter().map(|j| j.release).fold(f64::NEG_INFINITY, f64::max);
+    let max_release = instance
+        .jobs()
+        .iter()
+        .map(|j| j.release)
+        .fold(f64::NEG_INFINITY, f64::max);
     let x_lb = serial / m;
     let mut x_ub = max_release + serial;
     // Existing deadlines may *cap* the usable makespan: clamping beyond the
@@ -92,14 +99,24 @@ pub fn mbal(instance: &Instance, budget: f64) -> Option<MbalSolution> {
     while !feasible(x_ub) {
         x_ub = max_release + (x_ub - max_release) * 2.0;
         guard += 1;
-        assert!(guard < 64, "could not establish a feasible makespan upper bound");
+        assert!(
+            guard < 64,
+            "could not establish a feasible makespan upper bound"
+        );
     }
     let lo = x_lb.min(x_ub).max(max_release * (1.0 + 1e-15));
     let (_, x) = bisect_threshold(lo, x_ub, BINARY_SEARCH_REL_WIDTH.max(1e-11), feasible);
-    let clamped = instance.clamp_deadlines(x).expect("feasible x clamps validly");
+    let clamped = instance
+        .clamp_deadlines(x)
+        .expect("feasible x clamps validly");
     let solution = bal(&clamped);
     let energy = solution.energy;
-    Some(MbalSolution { makespan: x, solution, energy, clamped })
+    Some(MbalSolution {
+        makespan: x,
+        solution,
+        energy,
+        clamped,
+    })
 }
 
 #[cfg(test)]
@@ -194,8 +211,7 @@ mod tests {
     #[test]
     fn impossible_budget_under_hard_deadlines() {
         // A hard deadline forces at least E = w^α / d^(α-1).
-        let inst =
-            Instance::new(vec![Job::new(0, 2.0, 0.0, 1.0)], 1, 2.0).unwrap();
+        let inst = Instance::new(vec![Job::new(0, 2.0, 0.0, 1.0)], 1, 2.0).unwrap();
         // Minimum energy = 2^2/1 = 4; budget below that is impossible.
         assert!(mbal(&inst, 3.9).is_none());
         assert!(mbal(&inst, 4.1).is_some());

@@ -44,14 +44,19 @@ pub fn mcnaughton(
     } else {
         1.0
     };
-    let pieces_owned: Vec<(JobId, f64, f64)> =
-        pieces.iter().map(|&(job, t, s)| (job, t * squeeze, s)).collect();
+    let pieces_owned: Vec<(JobId, f64, f64)> = pieces
+        .iter()
+        .map(|&(job, t, s)| (job, t * squeeze, s))
+        .collect();
     let pieces = &pieces_owned[..];
 
     let mut machine = 0usize;
     let mut cursor = a;
     for &(job, t, speed) in pieces {
-        assert!(tol.le(t, len), "piece {t} of {job} exceeds interval length {len}");
+        assert!(
+            tol.le(t, len),
+            "piece {t} of {job} exceeds interval length {len}"
+        );
         assert!(t >= 0.0, "negative piece for {job}");
         let t = t.min(len); // clamp tolerated overshoot
         let mut rem = t;
@@ -84,7 +89,10 @@ mod tests {
     use ssp_model::{Instance, Job};
 
     fn pieces(ts: &[f64]) -> Vec<(JobId, f64, f64)> {
-        ts.iter().enumerate().map(|(i, &t)| (JobId(i as u32), t, 1.0)).collect()
+        ts.iter()
+            .enumerate()
+            .map(|(i, &t)| (JobId(i as u32), t, 1.0))
+            .collect()
     }
 
     /// Validate the wrap-around output directly: machine-overlap-free and
@@ -114,8 +122,7 @@ mod tests {
     fn classic_three_jobs_two_machines_wrap() {
         // 3 × (4/3) on 2 machines over [0,2]: the middle job wraps.
         let s = check((0.0, 2.0), 2, &[4.0 / 3.0, 4.0 / 3.0, 4.0 / 3.0]);
-        let wrapped: Vec<_> =
-            s.segments().iter().filter(|g| g.job == JobId(1)).collect();
+        let wrapped: Vec<_> = s.segments().iter().filter(|g| g.job == JobId(1)).collect();
         assert_eq!(wrapped.len(), 2, "middle job must be split by the wrap");
         assert_ne!(wrapped[0].machine, wrapped[1].machine);
     }

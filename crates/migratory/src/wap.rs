@@ -43,7 +43,11 @@ impl Wap {
                 assert!(j < lengths.len(), "alive interval out of range");
             }
         }
-        Wap { alive, lengths, capacity }
+        Wap {
+            alive,
+            lengths,
+            capacity,
+        }
     }
 
     /// Build from an instance: intervals are the canonical elementary
@@ -51,11 +55,21 @@ impl Wap {
     pub fn from_instance(instance: &Instance) -> (Self, IntervalSet) {
         let ivals = IntervalSet::from_jobs(instance.jobs());
         let lengths: Vec<f64> = (0..ivals.len()).map(|j| ivals.length(j)).collect();
-        let capacity: Vec<f64> =
-            lengths.iter().map(|l| l * instance.machines() as f64).collect();
-        let alive: Vec<Vec<usize>> =
-            (0..instance.len()).map(|i| ivals.intervals_of(i).to_vec()).collect();
-        (Wap { alive, lengths, capacity }, ivals)
+        let capacity: Vec<f64> = lengths
+            .iter()
+            .map(|l| l * instance.machines() as f64)
+            .collect();
+        let alive: Vec<Vec<usize>> = (0..instance.len())
+            .map(|i| ivals.intervals_of(i).to_vec())
+            .collect();
+        (
+            Wap {
+                alive,
+                lengths,
+                capacity,
+            },
+            ivals,
+        )
     }
 
     /// Number of jobs.
@@ -95,7 +109,10 @@ impl Wap {
 
     /// Intervals of job `i` that still have positive capacity.
     pub fn open_intervals_of(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
-        self.alive[i].iter().copied().filter(|&j| self.capacity[j] > 0.0)
+        self.alive[i]
+            .iter()
+            .copied()
+            .filter(|&j| self.capacity[j] > 0.0)
     }
 
     /// Total open (positive-capacity ∩ alive) time of job `i` — the maximum
@@ -119,7 +136,10 @@ impl Wap {
         let mut source_edges = Vec::with_capacity(n);
         let mut job_edges: Vec<Vec<(usize, EdgeId)>> = vec![Vec::new(); n];
         for (i, &demand) in p.iter().enumerate() {
-            assert!(demand >= 0.0 && demand.is_finite(), "demand must be finite/nonnegative");
+            assert!(
+                demand >= 0.0 && demand.is_finite(),
+                "demand must be finite/nonnegative"
+            );
             source_edges.push(net.add_edge(source, 1 + i, demand));
         }
         for (i, ivals) in self.alive.iter().enumerate() {
@@ -200,7 +220,9 @@ impl WapFlow {
     /// (their `(y_j, sink)` edge lies in the canonical minimum cut).
     pub fn intervals_reachable(&self) -> Vec<bool> {
         let side = self.net.residual_reachable_from_source();
-        (0..self.num_intervals).map(|j| side[1 + self.num_jobs + j]).collect()
+        (0..self.num_intervals)
+            .map(|j| side[1 + self.num_jobs + j])
+            .collect()
     }
 
     /// Flow into the sink from interval `j` (total time handed out there).
@@ -219,8 +241,12 @@ pub fn schedule_with_processing_times(instance: &Instance, p: &[f64]) -> Option<
     if !flow.feasible() {
         return None;
     }
-    let speeds: Vec<f64> =
-        instance.jobs().iter().zip(p).map(|(job, &pi)| job.work / pi).collect();
+    let speeds: Vec<f64> = instance
+        .jobs()
+        .iter()
+        .zip(p)
+        .map(|(job, &pi)| job.work / pi)
+        .collect();
     let mut per_interval: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ivals.len()];
     for i in 0..instance.len() {
         for (j, t) in flow.allotment(i) {
@@ -310,6 +336,7 @@ mod tests {
         let p = [1.5, 1.5, 2.0];
         let flow = wap.solve(&p);
         assert!(flow.feasible());
+        #[allow(clippy::needless_range_loop)]
         for i in 0..3 {
             let total: f64 = flow.allotment(i).iter().map(|&(_, t)| t).sum();
             assert!((total - p[i]).abs() < 1e-9, "job {i}: {total} vs {}", p[i]);
@@ -345,7 +372,10 @@ mod tests {
         let p = vec![4.0 / 3.0; 3];
         let s = schedule_with_processing_times(&instance, &p).unwrap();
         let stats = s.validate(&instance, Default::default()).unwrap();
-        assert!(stats.migrations >= 1, "splitting across machines is necessary here");
+        assert!(
+            stats.migrations >= 1,
+            "splitting across machines is necessary here"
+        );
     }
 
     #[test]
@@ -366,7 +396,10 @@ mod tests {
         let flow = wap.solve(&[1.05, 1.0]);
         assert!(!flow.feasible());
         let jr = flow.jobs_reachable();
-        assert!(jr[0], "the overloaded job must sit on the source side of the cut");
+        assert!(
+            jr[0],
+            "the overloaded job must sit on the source side of the cut"
+        );
         assert!(!jr[1], "the slack job routes fully and is cut away");
     }
 }

@@ -15,9 +15,17 @@ pub fn utilization(schedule: &Schedule) -> Vec<f64> {
     if schedule.is_empty() {
         return vec![0.0; m];
     }
-    let t0 = schedule.segments().iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+    let t0 = schedule
+        .segments()
+        .iter()
+        .map(|s| s.start)
+        .fold(f64::INFINITY, f64::min);
     let span = (schedule.makespan() - t0).max(1e-300);
-    schedule.busy_times().into_iter().map(|b| b / span).collect()
+    schedule
+        .busy_times()
+        .into_iter()
+        .map(|b| b / span)
+        .collect()
 }
 
 /// Completion time of every job appearing in the schedule (its latest
@@ -88,13 +96,19 @@ pub fn power_profile(schedule: &Schedule, alpha: f64) -> Vec<(f64, f64, f64)> {
 
 /// Peak aggregate power over time.
 pub fn peak_power(schedule: &Schedule, alpha: f64) -> f64 {
-    power_profile(schedule, alpha).into_iter().map(|(_, _, p)| p).fold(0.0, f64::max)
+    power_profile(schedule, alpha)
+        .into_iter()
+        .map(|(_, _, p)| p)
+        .fold(0.0, f64::max)
 }
 
 /// Integral of the power profile — must equal `schedule.energy(alpha)`
 /// (used as a self-check in tests and exposed for completeness).
 pub fn profile_energy(schedule: &Schedule, alpha: f64) -> f64 {
-    power_profile(schedule, alpha).into_iter().map(|(a, b, p)| (b - a) * p).sum()
+    power_profile(schedule, alpha)
+        .into_iter()
+        .map(|(a, b, p)| (b - a) * p)
+        .sum()
 }
 
 #[cfg(test)]

@@ -10,9 +10,17 @@ pub enum ModelError {
     /// A job's work was not strictly positive.
     NonPositiveWork { job: u32, work: f64 },
     /// A job's deadline was not strictly after its release date.
-    EmptyWindow { job: u32, release: f64, deadline: f64 },
+    EmptyWindow {
+        job: u32,
+        release: f64,
+        deadline: f64,
+    },
     /// A time/work field was NaN or infinite.
-    NotFinite { job: u32, field: &'static str, value: f64 },
+    NotFinite {
+        job: u32,
+        field: &'static str,
+        value: f64,
+    },
     /// Two jobs share an id.
     DuplicateJobId { job: u32 },
     /// The machine count was zero.
@@ -31,8 +39,15 @@ impl fmt::Display for ModelError {
             ModelError::NonPositiveWork { job, work } => {
                 write!(f, "job {job}: work must be > 0, got {work}")
             }
-            ModelError::EmptyWindow { job, release, deadline } => {
-                write!(f, "job {job}: deadline {deadline} must exceed release {release}")
+            ModelError::EmptyWindow {
+                job,
+                release,
+                deadline,
+            } => {
+                write!(
+                    f,
+                    "job {job}: deadline {deadline} must exceed release {release}"
+                )
             }
             ModelError::NotFinite { job, field, value } => {
                 write!(f, "job {job}: {field} must be finite, got {value}")
@@ -67,24 +82,48 @@ pub enum ValidationError {
     /// A segment has nonpositive or non-finite speed.
     BadSpeed { job: u32, speed: f64 },
     /// A segment runs outside the job's `[release, deadline]` window.
-    OutsideWindow { job: u32, start: f64, end: f64, release: f64, deadline: f64 },
+    OutsideWindow {
+        job: u32,
+        start: f64,
+        end: f64,
+        release: f64,
+        deadline: f64,
+    },
     /// Two segments overlap on the same machine.
-    MachineOverlap { machine: usize, job_a: u32, job_b: u32, at: f64 },
+    MachineOverlap {
+        machine: usize,
+        job_a: u32,
+        job_b: u32,
+        at: f64,
+    },
     /// Two segments of the same job overlap in time (parallel self-execution),
     /// possibly on different machines.
     SelfOverlap { job: u32, at: f64 },
     /// Total processed work of a job differs from its required work.
-    WorkMismatch { job: u32, scheduled: f64, required: f64 },
+    WorkMismatch {
+        job: u32,
+        scheduled: f64,
+        required: f64,
+    },
     /// A job declared non-migratory constraints runs on several machines.
-    Migrated { job: u32, machine_a: usize, machine_b: usize },
+    Migrated {
+        job: u32,
+        machine_a: usize,
+        machine_b: usize,
+    },
 }
 
 impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ValidationError::UnknownJob { job } => write!(f, "segment references unknown job {job}"),
+            ValidationError::UnknownJob { job } => {
+                write!(f, "segment references unknown job {job}")
+            }
             ValidationError::BadMachine { machine, machines } => {
-                write!(f, "segment on machine {machine} but instance has {machines}")
+                write!(
+                    f,
+                    "segment on machine {machine} but instance has {machines}"
+                )
             }
             ValidationError::EmptySegment { job, start, end } => {
                 write!(f, "job {job}: empty segment [{start}, {end}]")
@@ -92,22 +131,44 @@ impl fmt::Display for ValidationError {
             ValidationError::BadSpeed { job, speed } => {
                 write!(f, "job {job}: bad speed {speed}")
             }
-            ValidationError::OutsideWindow { job, start, end, release, deadline } => write!(
+            ValidationError::OutsideWindow {
+                job,
+                start,
+                end,
+                release,
+                deadline,
+            } => write!(
                 f,
                 "job {job}: segment [{start}, {end}] outside window [{release}, {deadline}]"
             ),
-            ValidationError::MachineOverlap { machine, job_a, job_b, at } => write!(
+            ValidationError::MachineOverlap {
+                machine,
+                job_a,
+                job_b,
+                at,
+            } => write!(
                 f,
                 "machine {machine}: jobs {job_a} and {job_b} overlap at time {at}"
             ),
             ValidationError::SelfOverlap { job, at } => {
-                write!(f, "job {job} runs on two machines simultaneously at time {at}")
+                write!(
+                    f,
+                    "job {job} runs on two machines simultaneously at time {at}"
+                )
             }
-            ValidationError::WorkMismatch { job, scheduled, required } => write!(
+            ValidationError::WorkMismatch {
+                job,
+                scheduled,
+                required,
+            } => write!(
                 f,
                 "job {job}: scheduled work {scheduled} != required {required}"
             ),
-            ValidationError::Migrated { job, machine_a, machine_b } => write!(
+            ValidationError::Migrated {
+                job,
+                machine_a,
+                machine_b,
+            } => write!(
                 f,
                 "job {job} migrates between machines {machine_a} and {machine_b}"
             ),
@@ -117,17 +178,140 @@ impl fmt::Display for ValidationError {
 
 impl std::error::Error for ValidationError {}
 
+/// The total error type of a solve attempt: every way any algorithm in the
+/// workspace can fail to deliver a valid schedule, as data instead of a
+/// panic. Produced by the fallible solver entry points and by the solve
+/// harness; a solver that cannot finish returns one of these rather than
+/// aborting the process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The instance admits no feasible schedule under the given constraints
+    /// (e.g. an energy budget below the minimum energy).
+    Infeasible {
+        /// What constraint cannot be met.
+        message: String,
+    },
+    /// The instance violates a precondition of the requested algorithm
+    /// (e.g. RR requires unit works and agreeable deadlines).
+    Precondition {
+        /// The algorithm whose precondition failed.
+        algorithm: &'static str,
+        /// Which precondition failed.
+        message: String,
+    },
+    /// A numeric procedure lost its invariants (empty bisection bracket,
+    /// non-finite intermediate value, flow shortfall beyond tolerance).
+    Numeric {
+        /// What went numerically wrong.
+        message: String,
+    },
+    /// A resource budget ran out before convergence. The solver may still
+    /// have produced a valid (suboptimal) best-so-far result; whoever
+    /// raised this says so in `message`.
+    BudgetExhausted {
+        /// Which budget ran out (`"iterations"` or `"time"`).
+        resource: &'static str,
+        /// Where the budget ran out and what, if anything, was salvaged.
+        message: String,
+    },
+    /// The algorithm panicked and the panic was caught at the harness
+    /// boundary. Always a bug in the solver, but reported, not fatal.
+    InternalPanic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The instance itself is malformed ([`ModelError`]).
+    Model(ModelError),
+    /// The solver returned a schedule that failed post-validation
+    /// ([`ValidationError`]).
+    InvalidSchedule(ValidationError),
+    /// The requested algorithm name is not registered.
+    UnknownAlgorithm {
+        /// The unrecognized name.
+        name: String,
+    },
+}
+
+impl SolveError {
+    /// Short stable machine-readable tag for reports and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SolveError::Infeasible { .. } => "infeasible",
+            SolveError::Precondition { .. } => "precondition",
+            SolveError::Numeric { .. } => "numeric",
+            SolveError::BudgetExhausted { .. } => "budget-exhausted",
+            SolveError::InternalPanic { .. } => "internal-panic",
+            SolveError::Model(_) => "model",
+            SolveError::InvalidSchedule(_) => "invalid-schedule",
+            SolveError::UnknownAlgorithm { .. } => "unknown-algorithm",
+        }
+    }
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible { message } => write!(f, "infeasible: {message}"),
+            SolveError::Precondition { algorithm, message } => {
+                write!(f, "{algorithm} precondition violated: {message}")
+            }
+            SolveError::Numeric { message } => write!(f, "numeric failure: {message}"),
+            SolveError::BudgetExhausted { resource, message } => {
+                write!(f, "{resource} budget exhausted: {message}")
+            }
+            SolveError::InternalPanic { message } => {
+                write!(f, "solver panicked: {message}")
+            }
+            SolveError::Model(e) => write!(f, "invalid instance: {e}"),
+            SolveError::InvalidSchedule(e) => {
+                write!(f, "solver produced an invalid schedule: {e}")
+            }
+            SolveError::UnknownAlgorithm { name } => write!(f, "unknown algorithm '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::Model(e) => Some(e),
+            SolveError::InvalidSchedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SolveError {
+    fn from(e: ModelError) -> Self {
+        SolveError::Model(e)
+    }
+}
+
+impl From<ValidationError> for SolveError {
+    fn from(e: ValidationError) -> Self {
+        SolveError::InvalidSchedule(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn display_is_informative() {
-        let e = ModelError::EmptyWindow { job: 7, release: 3.0, deadline: 2.0 };
+        let e = ModelError::EmptyWindow {
+            job: 7,
+            release: 3.0,
+            deadline: 2.0,
+        };
         let s = e.to_string();
         assert!(s.contains("job 7") && s.contains('3') && s.contains('2'));
 
-        let v = ValidationError::WorkMismatch { job: 1, scheduled: 0.5, required: 1.0 };
+        let v = ValidationError::WorkMismatch {
+            job: 1,
+            scheduled: 0.5,
+            required: 1.0,
+        };
         assert!(v.to_string().contains("0.5"));
     }
 
@@ -138,5 +322,25 @@ mod tests {
             ValidationError::UnknownJob { job: 1 },
             ValidationError::UnknownJob { job: 2 }
         );
+    }
+
+    #[test]
+    fn solve_error_kinds_and_sources() {
+        let e = SolveError::from(ModelError::NoMachines);
+        assert_eq!(e.kind(), "model");
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("at least one machine"));
+
+        let v = SolveError::from(ValidationError::UnknownJob { job: 3 });
+        assert_eq!(v.kind(), "invalid-schedule");
+        assert!(v.to_string().contains("job 3"));
+
+        let b = SolveError::BudgetExhausted {
+            resource: "iterations",
+            message: "bal stopped after 10".into(),
+        };
+        assert_eq!(b.kind(), "budget-exhausted");
+        assert!(b.to_string().contains("iterations"));
+        assert!(std::error::Error::source(&b).is_none());
     }
 }

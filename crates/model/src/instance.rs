@@ -28,7 +28,9 @@ impl Instance {
         if machines == 0 {
             return Err(ModelError::NoMachines);
         }
-        if !(alpha > 1.0) || !alpha.is_finite() {
+        // NaN alpha must land here too, hence the conjunctive form.
+        let alpha_ok = alpha > 1.0 && alpha.is_finite();
+        if !alpha_ok {
             return Err(ModelError::BadAlpha { alpha });
         }
         let mut by_id = HashMap::with_capacity(jobs.len());
@@ -39,11 +41,18 @@ impl Instance {
                 ("deadline", job.deadline),
             ] {
                 if !v.is_finite() {
-                    return Err(ModelError::NotFinite { job: job.id.0, field: name, value: v });
+                    return Err(ModelError::NotFinite {
+                        job: job.id.0,
+                        field: name,
+                        value: v,
+                    });
                 }
             }
             if job.work <= 0.0 {
-                return Err(ModelError::NonPositiveWork { job: job.id.0, work: job.work });
+                return Err(ModelError::NonPositiveWork {
+                    job: job.id.0,
+                    work: job.work,
+                });
             }
             if job.deadline <= job.release {
                 return Err(ModelError::EmptyWindow {
@@ -56,7 +65,12 @@ impl Instance {
                 return Err(ModelError::DuplicateJobId { job: job.id.0 });
             }
         }
-        Ok(Instance { jobs, machines, alpha, by_id })
+        Ok(Instance {
+            jobs,
+            machines,
+            alpha,
+            by_id,
+        })
     }
 
     /// The jobs, in construction order.
@@ -122,8 +136,16 @@ impl Instance {
         if self.jobs.is_empty() {
             return None;
         }
-        let lo = self.jobs.iter().map(|j| j.release).fold(f64::INFINITY, f64::min);
-        let hi = self.jobs.iter().map(|j| j.deadline).fold(f64::NEG_INFINITY, f64::max);
+        let lo = self
+            .jobs
+            .iter()
+            .map(|j| j.release)
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .jobs
+            .iter()
+            .map(|j| j.deadline)
+            .fold(f64::NEG_INFINITY, f64::max);
         Some((lo, hi))
     }
 
@@ -181,8 +203,7 @@ impl Instance {
     /// indices (used by divide-and-conquer and per-machine re-optimization).
     pub fn subset(&self, indices: &[usize]) -> Self {
         let jobs: Vec<Job> = indices.iter().map(|&i| self.jobs[i]).collect();
-        Instance::new(jobs, self.machines, self.alpha)
-            .expect("subset of a valid instance is valid")
+        Instance::new(jobs, self.machines, self.alpha).expect("subset of a valid instance is valid")
     }
 
     /// A copy where every deadline is clamped to `min(d_i, x)` — the
@@ -192,7 +213,10 @@ impl Instance {
         let jobs: Vec<Job> = self
             .jobs
             .iter()
-            .map(|j| Job { deadline: j.deadline.min(x), ..*j })
+            .map(|j| Job {
+                deadline: j.deadline.min(x),
+                ..*j
+            })
             .collect();
         Instance::new(jobs, self.machines, self.alpha)
     }
@@ -200,7 +224,14 @@ impl Instance {
     /// A copy with all works multiplied by `c > 0`. Optimal energy scales by
     /// `c^alpha` (speeds scale by `c`); used by scale-invariance tests.
     pub fn scale_works(&self, c: f64) -> Result<Self, ModelError> {
-        let jobs: Vec<Job> = self.jobs.iter().map(|j| Job { work: j.work * c, ..*j }).collect();
+        let jobs: Vec<Job> = self
+            .jobs
+            .iter()
+            .map(|j| Job {
+                work: j.work * c,
+                ..*j
+            })
+            .collect();
         Instance::new(jobs, self.machines, self.alpha)
     }
 
@@ -210,7 +241,11 @@ impl Instance {
         let jobs: Vec<Job> = self
             .jobs
             .iter()
-            .map(|j| Job { release: j.release * c, deadline: j.deadline * c, ..*j })
+            .map(|j| Job {
+                release: j.release * c,
+                deadline: j.deadline * c,
+                ..*j
+            })
             .collect();
         Instance::new(jobs, self.machines, self.alpha)
     }
@@ -232,10 +267,17 @@ mod tests {
         );
         assert_eq!(
             Instance::new(vec![j(0, 1.0, 1.0, 1.0)], 1, 2.0),
-            Err(ModelError::EmptyWindow { job: 0, release: 1.0, deadline: 1.0 })
+            Err(ModelError::EmptyWindow {
+                job: 0,
+                release: 1.0,
+                deadline: 1.0
+            })
         );
         assert_eq!(Instance::new(vec![], 0, 2.0), Err(ModelError::NoMachines));
-        assert_eq!(Instance::new(vec![], 1, 1.0), Err(ModelError::BadAlpha { alpha: 1.0 }));
+        assert_eq!(
+            Instance::new(vec![], 1, 1.0),
+            Err(ModelError::BadAlpha { alpha: 1.0 })
+        );
         assert_eq!(
             Instance::new(vec![j(0, 1.0, 0.0, 1.0), j(0, 1.0, 0.0, 2.0)], 1, 2.0),
             Err(ModelError::DuplicateJobId { job: 0 })
@@ -258,8 +300,7 @@ mod tests {
 
     #[test]
     fn lookup_and_aggregates() {
-        let inst =
-            Instance::new(vec![j(5, 1.0, 0.0, 2.0), j(9, 3.0, 1.0, 2.0)], 3, 2.5).unwrap();
+        let inst = Instance::new(vec![j(5, 1.0, 0.0, 2.0), j(9, 3.0, 1.0, 2.0)], 3, 2.5).unwrap();
         assert_eq!(inst.index_of(JobId(9)), Some(1));
         assert_eq!(inst.job_by_id(JobId(5)).unwrap().work, 1.0);
         assert_eq!(inst.job_by_id(JobId(7)), None);
@@ -272,7 +313,11 @@ mod tests {
     fn agreeable_detection() {
         // Agreeable: releases and deadlines sorted together.
         let a = Instance::new(
-            vec![j(0, 1.0, 0.0, 2.0), j(1, 1.0, 1.0, 3.0), j(2, 1.0, 1.0, 2.5)],
+            vec![
+                j(0, 1.0, 0.0, 2.0),
+                j(1, 1.0, 1.0, 3.0),
+                j(2, 1.0, 1.0, 2.5),
+            ],
             1,
             2.0,
         )
@@ -280,12 +325,7 @@ mod tests {
         assert!(a.is_agreeable());
 
         // Not agreeable: later release, earlier deadline (nested windows).
-        let b = Instance::new(
-            vec![j(0, 1.0, 0.0, 10.0), j(1, 1.0, 2.0, 3.0)],
-            1,
-            2.0,
-        )
-        .unwrap();
+        let b = Instance::new(vec![j(0, 1.0, 0.0, 10.0), j(1, 1.0, 2.0, 3.0)], 1, 2.0).unwrap();
         assert!(!b.is_agreeable());
     }
 
@@ -300,7 +340,11 @@ mod tests {
     #[test]
     fn release_order_breaks_ties_deterministically() {
         let inst = Instance::new(
-            vec![j(2, 1.0, 0.0, 3.0), j(1, 1.0, 0.0, 2.0), j(0, 1.0, 0.0, 2.0)],
+            vec![
+                j(2, 1.0, 0.0, 3.0),
+                j(1, 1.0, 0.0, 2.0),
+                j(0, 1.0, 0.0, 2.0),
+            ],
             1,
             2.0,
         )
@@ -332,7 +376,11 @@ mod tests {
     #[test]
     fn subset_keeps_selected_jobs() {
         let inst = Instance::new(
-            vec![j(0, 1.0, 0.0, 1.0), j(1, 2.0, 0.0, 2.0), j(2, 3.0, 0.0, 3.0)],
+            vec![
+                j(0, 1.0, 0.0, 1.0),
+                j(1, 2.0, 0.0, 2.0),
+                j(2, 3.0, 0.0, 3.0),
+            ],
             2,
             2.0,
         )

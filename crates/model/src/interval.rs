@@ -101,12 +101,19 @@ impl IntervalSet {
                 Ok(k) => k,
                 Err(_) => unreachable!("deadline is a breakpoint by construction"),
             };
+            // Index loop on purpose: `j` feeds two parallel tables.
+            #[allow(clippy::needless_range_loop)]
             for j in first..last {
                 alive[j].push(i);
                 intervals_of[i].push(j);
             }
         }
-        IntervalSet { starts, ends, alive, intervals_of }
+        IntervalSet {
+            starts,
+            ends,
+            alive,
+            intervals_of,
+        }
     }
 
     /// Number of elementary intervals `L`.

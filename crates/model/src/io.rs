@@ -46,8 +46,15 @@ pub fn parse(text: &str) -> Result<Instance, ModelError> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let head = parts.next().unwrap();
-        let err = |message: String| ModelError::Parse { line: lineno + 1, message };
+        let err = |message: String| ModelError::Parse {
+            line: lineno + 1,
+            message,
+        };
+        // `line` is non-empty after trimming, so a first token must exist;
+        // report a parse error rather than relying on that reasoning.
+        let head = parts
+            .next()
+            .ok_or_else(|| err("empty directive line".into()))?;
         match head {
             "machines" => {
                 let v = parts
@@ -58,7 +65,9 @@ pub fn parse(text: &str) -> Result<Instance, ModelError> {
                     .map_err(|_| err(format!("bad machine count '{v}'")))?;
             }
             "alpha" => {
-                let v = parts.next().ok_or_else(|| err("alpha needs a value".into()))?;
+                let v = parts
+                    .next()
+                    .ok_or_else(|| err("alpha needs a value".into()))?;
                 alpha = v.parse().map_err(|_| err(format!("bad alpha '{v}'")))?;
             }
             "job" => {
@@ -69,8 +78,9 @@ pub fn parse(text: &str) -> Result<Instance, ModelError> {
                         fields.len()
                     )));
                 }
-                let id: u32 =
-                    fields[0].parse().map_err(|_| err(format!("bad job id '{}'", fields[0])))?;
+                let id: u32 = fields[0]
+                    .parse()
+                    .map_err(|_| err(format!("bad job id '{}'", fields[0])))?;
                 let nums: Result<Vec<f64>, _> =
                     fields[1..].iter().map(|f| f.parse::<f64>()).collect();
                 let nums = nums.map_err(|_| err("bad numeric field in job line".into()))?;
@@ -117,11 +127,26 @@ mod tests {
 
     #[test]
     fn rejects_malformed_lines() {
-        assert!(matches!(parse("machines"), Err(ModelError::Parse { line: 1, .. })));
-        assert!(matches!(parse("job 0 1.0 0.0"), Err(ModelError::Parse { .. })));
-        assert!(matches!(parse("job x 1.0 0.0 2.0"), Err(ModelError::Parse { .. })));
-        assert!(matches!(parse("frobnicate 3"), Err(ModelError::Parse { .. })));
-        assert!(matches!(parse("alpha banana"), Err(ModelError::Parse { .. })));
+        assert!(matches!(
+            parse("machines"),
+            Err(ModelError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("job 0 1.0 0.0"),
+            Err(ModelError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse("job x 1.0 0.0 2.0"),
+            Err(ModelError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse("frobnicate 3"),
+            Err(ModelError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse("alpha banana"),
+            Err(ModelError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -139,5 +164,75 @@ mod tests {
         let inst = parse(text).unwrap();
         assert_eq!(inst.machines(), 3);
         assert_eq!(inst.alpha(), 1.5);
+    }
+
+    /// Byte soup: `parse` must return `Ok` or `Err`, never panic. Each case
+    /// feeds a random mix of raw bytes (lossily decoded), format keywords,
+    /// numbers (including `nan`/`inf`), comments and newlines.
+    #[test]
+    fn parse_never_panics_on_arbitrary_input() {
+        use ssp_prng::seq::SliceRandom;
+        use ssp_prng::{check, Rng};
+        const TOKENS: &[&str] = &[
+            "machines",
+            "alpha",
+            "job",
+            "#",
+            "\n",
+            " ",
+            "\t",
+            "-1",
+            "0",
+            "1e308",
+            "nan",
+            "inf",
+            "-inf",
+            "1.5",
+            "0.0",
+            "4294967296",
+            "x",
+            "💥",
+            "job job",
+            "1e-320",
+        ];
+        check::cases(300, 0x10_50, |rng| {
+            let text: String = if rng.gen_bool(0.5) {
+                // Raw byte soup.
+                let bytes = check::vec_of(rng, 0..200, |r| r.gen_range(0u32..256) as u8);
+                String::from_utf8_lossy(&bytes).into_owned()
+            } else {
+                // Structured-ish soup out of format fragments.
+                check::vec_of(rng, 0..40, |r| {
+                    *TOKENS.choose(r).expect("token list is non-empty")
+                })
+                .join(if rng.gen_bool(0.5) { " " } else { "\n" })
+            };
+            let _ = parse(&text); // must not panic
+        });
+    }
+
+    /// Emit → parse is the identity on random valid instances (bit-exact,
+    /// thanks to `{:?}` float formatting).
+    #[test]
+    fn emit_parse_roundtrip_on_random_instances() {
+        use ssp_prng::{check, Rng};
+        check::cases(120, 0x10_AB, |rng| {
+            let jobs: Vec<Job> = check::vec_of(rng, 1..20, |r| {
+                (
+                    r.gen_range(1e-6f64..1e6),
+                    r.gen_range(0.0f64..1e4),
+                    r.gen_range(1e-6f64..1e4),
+                )
+            })
+            .into_iter()
+            .enumerate()
+            .map(|(i, (w, rel, len))| Job::new(i as u32, w, rel, rel + len))
+            .collect();
+            let m = rng.gen_range(1usize..16);
+            let alpha = rng.gen_range(1.0f64..4.0) + 1e-9;
+            let inst = Instance::new(jobs, m, alpha).expect("constructed jobs are valid");
+            let back = parse(&emit(&inst)).expect("emitted text must reparse");
+            assert_eq!(back, inst, "round-trip changed the instance");
+        });
     }
 }

@@ -39,7 +39,12 @@ impl Job {
     /// when the job enters an [`crate::Instance`] — so tests can build
     /// deliberately broken jobs.
     pub fn new(id: u32, work: f64, release: Time, deadline: Time) -> Self {
-        Job { id: JobId(id), work, release, deadline }
+        Job {
+            id: JobId(id),
+            work,
+            release,
+            deadline,
+        }
     }
 
     /// Length of the feasible window `d - r`.

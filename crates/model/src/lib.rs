@@ -14,6 +14,9 @@
 //!   first (a constant speed per job; in every optimal schedule each job runs
 //!   at one constant speed, by convexity of `s^alpha`).
 //! * [`numeric`] — the single place where floating-point tolerances live.
+//! * [`resource`] — iteration/time budgets ([`Budget`]/[`Meter`]) so the
+//!   iterative solvers stay total, and [`SolveError`] in [`error`] as the
+//!   workspace-wide typed failure for any solve attempt.
 //! * [`io`] — a small line-oriented text format for instances so that
 //!   examples/CLI can save and load workloads without extra dependencies.
 //!
@@ -33,14 +36,16 @@ pub mod job;
 pub mod numeric;
 pub mod quantize;
 pub mod render;
+pub mod resource;
 pub mod schedule;
 pub mod speed;
 pub mod svg;
 
-pub use error::{ModelError, ValidationError};
+pub use error::{ModelError, SolveError, ValidationError};
 pub use instance::Instance;
 pub use interval::{IntervalSet, Timeline};
 pub use job::{Job, JobId};
+pub use resource::{Budget, Meter};
 pub use schedule::{Schedule, ScheduleStats, Segment};
 pub use speed::SpeedAssignment;
 

@@ -10,6 +10,9 @@
 //! [`BINARY_SEARCH_REL_WIDTH`] so that downstream tolerant checks (validators,
 //! KKT certificates) have headroom over the search error.
 
+use crate::error::SolveError;
+use crate::resource::Meter;
+
 /// Default relative tolerance for "are these two model quantities equal".
 pub const REL_EPS: f64 = 1e-9;
 
@@ -33,7 +36,10 @@ pub struct Tol {
 
 impl Default for Tol {
     fn default() -> Self {
-        Tol { rel: REL_EPS, abs: ABS_EPS }
+        Tol {
+            rel: REL_EPS,
+            abs: ABS_EPS,
+        }
     }
 }
 
@@ -47,7 +53,10 @@ impl Tol {
     /// A loose tolerance for end-to-end assertions on accumulated quantities
     /// (total energy, total work): `1e-6` relative.
     pub fn loose() -> Self {
-        Tol { rel: 1e-6, abs: 1e-9 }
+        Tol {
+            rel: 1e-6,
+            abs: 1e-9,
+        }
     }
 
     /// The margin this tolerance allows at magnitude `scale`.
@@ -146,7 +155,10 @@ pub fn bisect_threshold(
     mut feasible: impl FnMut(f64) -> bool,
 ) -> (f64, f64) {
     assert!(lo <= hi, "bisect_threshold: lo {lo} > hi {hi}");
-    assert!(feasible(hi), "bisect_threshold: upper bound must be feasible");
+    assert!(
+        feasible(hi),
+        "bisect_threshold: upper bound must be feasible"
+    );
     if feasible(lo) {
         return (lo, lo);
     }
@@ -163,6 +175,56 @@ pub fn bisect_threshold(
         }
     }
     (lo, hi)
+}
+
+/// Fallible, budget-aware variant of [`bisect_threshold`].
+///
+/// Differences from the asserting version:
+///
+/// * a bad bracket (`lo > hi`, non-finite bounds, infeasible `hi`) is a
+///   [`SolveError::Numeric`] instead of a panic;
+/// * every feasibility probe charges one iteration on `meter`; when the
+///   budget runs out the *current* bracket is returned (its `hi` end is
+///   feasible, so it is a usable best-so-far answer) and the caller can see
+///   the exhaustion via [`Meter::exhausted`].
+pub fn bisect_threshold_budgeted(
+    mut lo: f64,
+    mut hi: f64,
+    rel_width: f64,
+    meter: &mut Meter,
+    mut feasible: impl FnMut(f64) -> bool,
+) -> Result<(f64, f64), SolveError> {
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+        return Err(SolveError::Numeric {
+            message: format!("bisection bracket [{lo}, {hi}] is not a finite interval"),
+        });
+    }
+    meter.tick();
+    if !feasible(hi) {
+        return Err(SolveError::Numeric {
+            message: format!("bisection upper bound {hi} is not feasible"),
+        });
+    }
+    meter.tick();
+    if feasible(lo) {
+        return Ok((lo, lo));
+    }
+    // Invariant: !feasible(lo) && feasible(hi).
+    while hi - lo > rel_width * hi.abs().max(1e-300) {
+        let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break; // f64 exhausted
+        }
+        if !meter.tick() {
+            break; // budget exhausted: return the best bracket so far
+        }
+        if feasible(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok((lo, hi))
 }
 
 #[cfg(test)]
@@ -241,6 +303,45 @@ mod tests {
     #[should_panic(expected = "upper bound must be feasible")]
     fn bisect_rejects_infeasible_upper_bound() {
         bisect_threshold(0.0, 1.0, 1e-12, |x| x >= 2.0);
+    }
+
+    #[test]
+    fn budgeted_bisect_matches_plain_when_unlimited() {
+        let threshold = 0.333_333;
+        let mut meter = crate::resource::Budget::unlimited().meter();
+        let (lo, hi) =
+            bisect_threshold_budgeted(0.0, 1.0, 1e-12, &mut meter, |x| x >= threshold).unwrap();
+        assert!(lo <= threshold && threshold <= hi + 1e-12);
+        assert!(hi - lo <= 1e-12);
+        assert_eq!(meter.exhausted(), None);
+    }
+
+    #[test]
+    fn budgeted_bisect_returns_feasible_bracket_on_exhaustion() {
+        let threshold = 0.6;
+        let mut meter = crate::resource::Budget::iterations(6).meter();
+        let (lo, hi) =
+            bisect_threshold_budgeted(0.0, 1.0, 1e-12, &mut meter, |x| x >= threshold).unwrap();
+        assert_eq!(meter.exhausted(), Some("iterations"));
+        // The bracket is wide (we stopped early) but still valid: hi feasible,
+        // lo infeasible.
+        assert!(
+            hi >= threshold,
+            "upper end of a truncated bracket must stay feasible"
+        );
+        assert!(lo < threshold);
+        assert!(hi - lo > 1e-12, "six probes cannot reach full precision");
+    }
+
+    #[test]
+    fn budgeted_bisect_reports_bad_brackets_as_errors() {
+        let mut meter = crate::resource::Budget::unlimited().meter();
+        let infeasible_hi = bisect_threshold_budgeted(0.0, 1.0, 1e-12, &mut meter, |x| x >= 2.0);
+        assert!(matches!(infeasible_hi, Err(SolveError::Numeric { .. })));
+        let inverted = bisect_threshold_budgeted(1.0, 0.0, 1e-12, &mut meter, |_| true);
+        assert!(matches!(inverted, Err(SolveError::Numeric { .. })));
+        let nan = bisect_threshold_budgeted(f64::NAN, 1.0, 1e-12, &mut meter, |_| true);
+        assert!(matches!(nan, Err(SolveError::Numeric { .. })));
     }
 
     #[test]

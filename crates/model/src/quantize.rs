@@ -29,10 +29,14 @@ impl SpeedLevels {
     /// Validate and sort a level set: all levels finite and positive.
     pub fn new(mut levels: Vec<f64>) -> Result<Self, ModelError> {
         if levels.is_empty() {
-            return Err(ModelError::Parse { line: 0, message: "no speed levels".into() });
+            return Err(ModelError::Parse {
+                line: 0,
+                message: "no speed levels".into(),
+            });
         }
         for &l in &levels {
-            if !(l > 0.0) || !l.is_finite() {
+            let level_ok = l > 0.0 && l.is_finite();
+            if !level_ok {
                 return Err(ModelError::Parse {
                     line: 0,
                     message: format!("bad speed level {l}"),
@@ -113,9 +117,17 @@ pub fn quantize_speeds(schedule: &Schedule, levels: &SpeedLevels) -> Result<Sche
         // Time at the upper level so that l·t_l + u·t_u = s·T, t_l + t_u = T.
         let t_u = duration * (seg.speed - l) / (u - l);
         let split = seg.start + t_u;
-        out.push(Segment { end: split, speed: u, ..*seg });
+        out.push(Segment {
+            end: split,
+            speed: u,
+            ..*seg
+        });
         if l > 0.0 {
-            out.push(Segment { start: split, speed: l, ..*seg });
+            out.push(Segment {
+                start: split,
+                speed: l,
+                ..*seg
+            });
         }
         // l == 0: the remainder of the span is idle (pulsing the lowest
         // level); nothing to emit.
@@ -149,20 +161,23 @@ mod tests {
     use super::*;
     use crate::schedule::ValidationOptions;
     use crate::{Instance, Job, JobId};
-    use proptest::prelude::*;
+    use ssp_prng::{check, Rng};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// Quantization onto a covering grid preserves each segment's work
-        /// and time span and never reduces energy, for random schedules and
-        /// random geometric grids.
-        #[test]
-        fn quantize_preserves_work_and_grows_energy(
-            segs in proptest::collection::vec((0.1f64..4.0, 0.0f64..10.0, 0.1f64..3.0), 1..12),
-            count in 2usize..9,
-            alpha in 1.3f64..3.0,
-        ) {
+    /// Quantization onto a covering grid preserves each segment's work
+    /// and time span and never reduces energy, for random schedules and
+    /// random geometric grids.
+    #[test]
+    fn quantize_preserves_work_and_grows_energy() {
+        check::cases(48, 0x9_0A17, |rng| {
+            let segs: Vec<(f64, f64, f64)> = check::vec_of(rng, 1..12, |r| {
+                (
+                    r.gen_range(0.1f64..4.0),
+                    r.gen_range(0.0f64..10.0),
+                    r.gen_range(0.1f64..3.0),
+                )
+            });
+            let count = rng.gen_range(2usize..9);
+            let alpha = rng.gen_range(1.3f64..3.0);
             let mut schedule = crate::Schedule::new(1);
             let mut t = 0.0;
             for (i, &(speed, gap, len)) in segs.iter().enumerate() {
@@ -171,23 +186,32 @@ mod tests {
                 t += len;
             }
             let smax = segs.iter().map(|&(s, _, _)| s).fold(0.0f64, f64::max);
-            let smin = segs.iter().map(|&(s, _, _)| s).fold(f64::INFINITY, f64::min);
+            let smin = segs
+                .iter()
+                .map(|&(s, _, _)| s)
+                .fold(f64::INFINITY, f64::min);
             let grid = SpeedLevels::geometric(smin * 0.9, smax * 1.1, count).unwrap();
             let q = quantize_speeds(&schedule, &grid).unwrap();
             // Per-job work conserved.
             for (i, &(speed, _, len)) in segs.iter().enumerate() {
                 let w = q.work_of(JobId(i as u32));
-                prop_assert!((w - speed * len).abs() <= 1e-9 * (speed * len),
-                    "job {} work {} vs {}", i, w, speed * len);
+                assert!(
+                    (w - speed * len).abs() <= 1e-9 * (speed * len),
+                    "job {i} work {w} vs {}",
+                    speed * len
+                );
             }
             // Energy grows (convexity), speeds all on-grid.
-            prop_assert!(q.energy(alpha) >= schedule.energy(alpha) * (1.0 - 1e-9));
+            assert!(q.energy(alpha) >= schedule.energy(alpha) * (1.0 - 1e-9));
             for seg in q.segments() {
-                prop_assert!(grid.levels().iter().any(|&l| (l - seg.speed).abs() < 1e-9 * l));
+                assert!(grid
+                    .levels()
+                    .iter()
+                    .any(|&l| (l - seg.speed).abs() < 1e-9 * l));
             }
             // Time spans never exceed the originals.
-            prop_assert!(q.makespan() <= schedule.makespan() + 1e-9);
-        }
+            assert!(q.makespan() <= schedule.makespan() + 1e-9);
+        });
     }
 
     fn levels() -> SpeedLevels {
@@ -240,11 +264,16 @@ mod tests {
         s.run(JobId(1), 1, 0.5, 2.5, 0.5); // below the lowest level
         let q = quantize_speeds(&s, &levels()).unwrap();
         // Same validator, same work conservation.
-        let stats = q.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+        let stats = q
+            .validate(&inst, ValidationOptions::non_migratory())
+            .unwrap();
         // Every speed is an available level.
         for seg in q.segments() {
             assert!(
-                levels().levels().iter().any(|&l| (l - seg.speed).abs() < 1e-12),
+                levels()
+                    .levels()
+                    .iter()
+                    .any(|&l| (l - seg.speed).abs() < 1e-12),
                 "speed {} not a level",
                 seg.speed
             );
@@ -252,7 +281,10 @@ mod tests {
         // Energy increased (convexity) but by a bounded factor.
         let (e0, e1) = (s.energy(2.0), stats.energy);
         assert!(e1 >= e0 - 1e-9, "quantization cannot reduce energy");
-        assert!(e1 <= e0 * two_level_overhead(1.0, 2.0, 2.0).max(two_level_overhead(0.0, 1.0, 2.0)) + 1e-9);
+        assert!(
+            e1 <= e0 * two_level_overhead(1.0, 2.0, 2.0).max(two_level_overhead(0.0, 1.0, 2.0))
+                + 1e-9
+        );
     }
 
     #[test]
@@ -292,6 +324,9 @@ mod tests {
         let narrow = two_level_overhead(1.0, 1.25, 2.0);
         let wide = two_level_overhead(1.0, 4.0, 2.0);
         assert!(narrow > 1.0 && wide > narrow);
-        assert!(wide < 2.0, "mixing overhead at alpha=2 stays below 2: {wide}");
+        assert!(
+            wide < 2.0,
+            "mixing overhead at alpha=2 stays below 2: {wide}"
+        );
     }
 }

@@ -21,7 +21,10 @@ pub struct GanttOptions {
 
 impl Default for GanttOptions {
     fn default() -> Self {
-        GanttOptions { width: 72, show_speeds: false }
+        GanttOptions {
+            width: 72,
+            show_speeds: false,
+        }
     }
 }
 
@@ -33,23 +36,38 @@ pub fn gantt(schedule: &Schedule, opts: GanttOptions) -> String {
     if schedule.is_empty() {
         return "(empty schedule)\n".to_string();
     }
-    let t0 = schedule.segments().iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+    let t0 = schedule
+        .segments()
+        .iter()
+        .map(|s| s.start)
+        .fold(f64::INFINITY, f64::min);
     let t1 = schedule.makespan();
     let span = (t1 - t0).max(1e-300);
     let width = opts.width.max(8);
     let cell = |t: Time| -> usize {
-        (((t - t0) / span) * width as f64).floor().min(width as f64 - 1.0).max(0.0) as usize
+        (((t - t0) / span) * width as f64)
+            .floor()
+            .min(width as f64 - 1.0)
+            .max(0.0) as usize
     };
 
-    let _ = writeln!(out, "time [{t0:.3}, {t1:.3}] ({width} cells, {:.4}/cell)", span / width as f64);
+    let _ = writeln!(
+        out,
+        "time [{t0:.3}, {t1:.3}] ({width} cells, {:.4}/cell)",
+        span / width as f64
+    );
     for machine in 0..schedule.machines() {
         let mut row = vec!['.'; width];
         let mut speeds = vec![0.0f64; width];
         for s in schedule.segments().iter().filter(|s| s.machine == machine) {
             let (a, b) = (cell(s.start), cell(s.end - 1e-12 * span));
-            let glyph = char::from_digit((s.job.0 % 16) as u32, 16).unwrap_or('?');
+            let glyph = char::from_digit(s.job.0 % 16, 16).unwrap_or('?');
             for (k, slot) in row.iter_mut().enumerate().take(b + 1).skip(a) {
-                *slot = if *slot == '.' || *slot == glyph { glyph } else { '#' };
+                *slot = if *slot == '.' || *slot == glyph {
+                    glyph
+                } else {
+                    '#'
+                };
                 speeds[k] = speeds[k].max(s.speed);
             }
         }
@@ -63,8 +81,10 @@ pub fn gantt(schedule: &Schedule, opts: GanttOptions) -> String {
                         ' '
                     } else {
                         // 8-level block ramp.
-                        const RAMP: [char; 8] =
-                            ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+                        const RAMP: [char; 8] = [
+                            '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}',
+                            '\u{2587}', '\u{2588}',
+                        ];
                         RAMP[((v / peak) * 7.0).round() as usize]
                     }
                 })
@@ -81,7 +101,11 @@ pub fn speed_sparkline(schedule: &Schedule, width: usize) -> String {
     if schedule.is_empty() {
         return "(empty schedule)".to_string();
     }
-    let t0 = schedule.segments().iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+    let t0 = schedule
+        .segments()
+        .iter()
+        .map(|s| s.start)
+        .fold(f64::INFINITY, f64::min);
     let t1 = schedule.makespan();
     let span = (t1 - t0).max(1e-300);
     let width = width.max(4);
@@ -94,11 +118,19 @@ pub fn speed_sparkline(schedule: &Schedule, width: usize) -> String {
         }
     }
     let peak = total.iter().copied().fold(0.0, f64::max).max(1e-300);
-    const RAMP: [char; 8] =
-        ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const RAMP: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     let line: String = total
         .iter()
-        .map(|&v| if v == 0.0 { ' ' } else { RAMP[((v / peak) * 7.0).round() as usize] })
+        .map(|&v| {
+            if v == 0.0 {
+                ' '
+            } else {
+                RAMP[((v / peak) * 7.0).round() as usize]
+            }
+        })
         .collect();
     format!("|{line}| total speed, peak {peak:.3}")
 }
@@ -137,7 +169,13 @@ mod tests {
 
     #[test]
     fn width_is_respected() {
-        let out = gantt(&sample(), GanttOptions { width: 40, show_speeds: false });
+        let out = gantt(
+            &sample(),
+            GanttOptions {
+                width: 40,
+                show_speeds: false,
+            },
+        );
         for line in out.lines().skip(1) {
             // "mX |....|" → 40 cells between the pipes.
             let inner = line.split('|').nth(1).unwrap();
@@ -147,7 +185,13 @@ mod tests {
 
     #[test]
     fn speed_track_appears_on_request() {
-        let out = gantt(&sample(), GanttOptions { width: 32, show_speeds: true });
+        let out = gantt(
+            &sample(),
+            GanttOptions {
+                width: 32,
+                show_speeds: true,
+            },
+        );
         assert!(out.contains("speed (peak"));
     }
 
@@ -165,7 +209,13 @@ mod tests {
         let mut s = Schedule::new(1);
         s.run(JobId(1), 0, 0.0, 0.001, 1.0);
         s.run(JobId(2), 0, 0.001, 1000.0, 1.0);
-        let out = gantt(&s, GanttOptions { width: 10, show_speeds: false });
+        let out = gantt(
+            &s,
+            GanttOptions {
+                width: 10,
+                show_speeds: false,
+            },
+        );
         assert!(out.contains('#') || out.contains('2'));
     }
 }

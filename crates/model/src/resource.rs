@@ -1,0 +1,168 @@
+//! Resource budgets for iterative solvers.
+//!
+//! The expensive loops in the workspace — BAL's critical-speed peeling, the
+//! bisections in [`crate::numeric`], the assignment local search — must stay
+//! total even on adversarial inputs. A [`Budget`] caps how much work such a
+//! loop may do (iteration count, wall-clock time, or both); a [`Meter`] is
+//! the running counter a loop charges as it goes. Exhaustion is *not* an
+//! error by itself: loops are expected to stop charging, keep their best
+//! feasible answer so far, and report the exhaustion upward (typically as a
+//! [`crate::error::SolveError::BudgetExhausted`] marker or a flag on the
+//! result), so a capped run still yields a valid, merely suboptimal result.
+
+use std::time::{Duration, Instant};
+
+/// Caps on the work an iterative solver may perform. `None` means
+/// unlimited in that dimension.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Maximum number of charged iterations.
+    pub max_iterations: Option<u64>,
+    /// Maximum wall-clock time from the first charge.
+    pub max_time: Option<Duration>,
+}
+
+impl Budget {
+    /// No caps: meters never exhaust.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Cap iterations only.
+    pub fn iterations(n: u64) -> Self {
+        Budget {
+            max_iterations: Some(n),
+            max_time: None,
+        }
+    }
+
+    /// Cap wall-clock time only.
+    pub fn time(d: Duration) -> Self {
+        Budget {
+            max_iterations: None,
+            max_time: Some(d),
+        }
+    }
+
+    /// Add/replace a wall-clock cap on an existing budget.
+    pub fn with_time(self, d: Duration) -> Self {
+        Budget {
+            max_time: Some(d),
+            ..self
+        }
+    }
+
+    /// Start metering against this budget.
+    pub fn meter(&self) -> Meter {
+        Meter {
+            budget: *self,
+            start: Instant::now(),
+            used: 0,
+            exhausted: None,
+        }
+    }
+}
+
+/// Running consumption against a [`Budget`]. Cheap to charge: the clock is
+/// only consulted when a time cap is set.
+#[derive(Debug, Clone)]
+pub struct Meter {
+    budget: Budget,
+    start: Instant,
+    used: u64,
+    exhausted: Option<&'static str>,
+}
+
+impl Meter {
+    /// Charge one iteration. Returns `true` while budget remains; once it
+    /// returns `false` it keeps returning `false` (exhaustion latches).
+    pub fn tick(&mut self) -> bool {
+        self.charge(1)
+    }
+
+    /// Charge `n` iterations at once.
+    pub fn charge(&mut self, n: u64) -> bool {
+        if self.exhausted.is_some() {
+            return false;
+        }
+        self.used = self.used.saturating_add(n);
+        if let Some(cap) = self.budget.max_iterations {
+            if self.used > cap {
+                self.exhausted = Some("iterations");
+                return false;
+            }
+        }
+        if let Some(cap) = self.budget.max_time {
+            if self.start.elapsed() > cap {
+                self.exhausted = Some("time");
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Which budget ran out, if any (`"iterations"` or `"time"`).
+    pub fn exhausted(&self) -> Option<&'static str> {
+        self.exhausted
+    }
+
+    /// Iterations charged so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Convert an exhausted meter into the standard error marker;
+    /// `context` says where the budget ran out and what was salvaged.
+    pub fn exhaustion_error(&self, context: &str) -> Option<crate::error::SolveError> {
+        self.exhausted
+            .map(|resource| crate::error::SolveError::BudgetExhausted {
+                resource,
+                message: format!("{context} (after {} iterations)", self.used),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let mut m = Budget::unlimited().meter();
+        for _ in 0..10_000 {
+            assert!(m.tick());
+        }
+        assert_eq!(m.exhausted(), None);
+        assert_eq!(m.used(), 10_000);
+    }
+
+    #[test]
+    fn iteration_cap_latches() {
+        let mut m = Budget::iterations(3).meter();
+        assert!(m.tick());
+        assert!(m.tick());
+        assert!(m.tick());
+        assert!(!m.tick(), "fourth tick must exceed a cap of 3");
+        assert!(!m.tick(), "exhaustion must latch");
+        assert_eq!(m.exhausted(), Some("iterations"));
+        let err = m.exhaustion_error("probe").unwrap();
+        assert_eq!(err.kind(), "budget-exhausted");
+        assert!(err.to_string().contains("probe"));
+    }
+
+    #[test]
+    fn time_cap_trips() {
+        let mut m = Budget::time(Duration::ZERO).meter();
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(!m.tick());
+        assert_eq!(m.exhausted(), Some("time"));
+    }
+
+    #[test]
+    fn bulk_charge_counts() {
+        let mut m = Budget::iterations(10).meter();
+        assert!(m.charge(10));
+        assert!(!m.charge(1));
+        assert_eq!(m.used(), 11);
+    }
+}

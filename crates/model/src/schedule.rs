@@ -74,7 +74,10 @@ impl Default for ValidationOptions {
 impl ValidationOptions {
     /// Default options plus the non-migratory requirement.
     pub fn non_migratory() -> Self {
-        ValidationOptions { require_non_migratory: true, ..Default::default() }
+        ValidationOptions {
+            require_non_migratory: true,
+            ..Default::default()
+        }
     }
 }
 
@@ -105,7 +108,10 @@ pub struct Schedule {
 impl Schedule {
     /// An empty schedule on `machines` machines.
     pub fn new(machines: usize) -> Self {
-        Schedule { machines, segments: Vec::new() }
+        Schedule {
+            machines,
+            segments: Vec::new(),
+        }
     }
 
     /// Build from pre-existing segments.
@@ -123,7 +129,13 @@ impl Schedule {
 
     /// Convenience for `push(Segment { .. })`.
     pub fn run(&mut self, job: JobId, machine: usize, start: Time, end: Time, speed: f64) {
-        self.push(Segment { job, machine, start, end, speed });
+        self.push(Segment {
+            job,
+            machine,
+            start,
+            end,
+            speed,
+        });
     }
 
     /// The machine count this schedule believes it uses.
@@ -157,7 +169,11 @@ impl Schedule {
 
     /// Total work scheduled for one job.
     pub fn work_of(&self, job: JobId) -> f64 {
-        self.segments.iter().filter(|s| s.job == job).map(|s| s.work()).sum()
+        self.segments
+            .iter()
+            .filter(|s| s.job == job)
+            .map(|s| s.work())
+            .sum()
     }
 
     /// Latest end instant (0 when empty).
@@ -218,15 +234,21 @@ impl Schedule {
                     machines: instance.machines(),
                 });
             }
-            if !(s.end > s.start) {
+            // NaN endpoints fail this check (the comparison is false for them).
+            let increasing = s.end > s.start;
+            if !increasing {
                 return Err(ValidationError::EmptySegment {
                     job: s.job.0,
                     start: s.start,
                     end: s.end,
                 });
             }
-            if !(s.speed > 0.0) || !s.speed.is_finite() {
-                return Err(ValidationError::BadSpeed { job: s.job.0, speed: s.speed });
+            let speed_ok = s.speed > 0.0 && s.speed.is_finite();
+            if !speed_ok {
+                return Err(ValidationError::BadSpeed {
+                    job: s.job.0,
+                    speed: s.speed,
+                });
             }
             let scale = job.deadline.abs().max(job.release.abs()).max(1.0);
             let margin = tol.margin(scale);
@@ -274,7 +296,10 @@ impl Schedule {
             for w in segs.windows(2) {
                 let margin = tol.margin(w[0].end.abs().max(1.0));
                 if w[1].start < w[0].end - margin {
-                    return Err(ValidationError::SelfOverlap { job: job.0, at: w[1].start });
+                    return Err(ValidationError::SelfOverlap {
+                        job: job.0,
+                        at: w[1].start,
+                    });
                 }
                 let moved = w[0].machine != w[1].machine;
                 if moved {
@@ -336,7 +361,9 @@ mod tests {
         let mut s = Schedule::new(2);
         s.run(JobId(0), 0, 0.0, 2.0, 0.5);
         s.run(JobId(1), 1, 0.0, 2.0, 1.0);
-        let stats = s.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+        let stats = s
+            .validate(&inst, ValidationOptions::non_migratory())
+            .unwrap();
         // E = 2*0.25 + 2*1 = 2.5 at alpha=2.
         assert!((stats.energy - 2.5).abs() < 1e-12);
         assert_eq!(stats.makespan, 2.0);
@@ -360,7 +387,10 @@ mod tests {
         s.run(JobId(0), 5, 0.0, 1.0, 1.0);
         assert!(matches!(
             s.validate(&inst, Default::default()),
-            Err(ValidationError::BadMachine { machine: 5, machines: 2 })
+            Err(ValidationError::BadMachine {
+                machine: 5,
+                machines: 2
+            })
         ));
     }
 

@@ -54,7 +54,11 @@ impl SpeedAssignment {
 
     /// Total energy `Σ w_i · s_i^(alpha-1)` — the convex-program objective.
     pub fn energy(&self, instance: &Instance) -> f64 {
-        assert_eq!(self.speeds.len(), instance.len(), "assignment/instance length mismatch");
+        assert_eq!(
+            self.speeds.len(),
+            instance.len(),
+            "assignment/instance length mismatch"
+        );
         instance
             .jobs()
             .iter()
@@ -65,8 +69,17 @@ impl SpeedAssignment {
 
     /// Processing time of each job at its assigned speed: `w_i / s_i`.
     pub fn processing_times(&self, instance: &Instance) -> Vec<f64> {
-        assert_eq!(self.speeds.len(), instance.len(), "assignment/instance length mismatch");
-        instance.jobs().iter().zip(&self.speeds).map(|(j, &s)| j.work / s).collect()
+        assert_eq!(
+            self.speeds.len(),
+            instance.len(),
+            "assignment/instance length mismatch"
+        );
+        instance
+            .jobs()
+            .iter()
+            .zip(&self.speeds)
+            .map(|(j, &s)| j.work / s)
+            .collect()
     }
 
     /// Fastest assigned speed (0 when empty).
@@ -83,7 +96,11 @@ impl SpeedAssignment {
     /// (otherwise the job cannot fit in its own window). Tolerant check used
     /// as a cheap sanity screen before expensive feasibility tests.
     pub fn respects_densities(&self, instance: &Instance, tol: Tol) -> bool {
-        assert_eq!(self.speeds.len(), instance.len(), "assignment/instance length mismatch");
+        assert_eq!(
+            self.speeds.len(),
+            instance.len(),
+            "assignment/instance length mismatch"
+        );
         instance
             .jobs()
             .iter()

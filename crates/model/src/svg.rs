@@ -23,7 +23,11 @@ pub struct SvgOptions {
 
 impl Default for SvgOptions {
     fn default() -> Self {
-        SvgOptions { width: 960, lane_height: 36, color_by_job: true }
+        SvgOptions {
+            width: 960,
+            lane_height: 36,
+            color_by_job: true,
+        }
     }
 }
 
@@ -51,12 +55,21 @@ pub fn svg_gantt(schedule: &Schedule, opts: SvgOptions) -> String {
         return out;
     }
 
-    let t0 = schedule.segments().iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+    let t0 = schedule
+        .segments()
+        .iter()
+        .map(|s| s.start)
+        .fold(f64::INFINITY, f64::min);
     let t1 = schedule.makespan();
     let span = (t1 - t0).max(1e-300);
     let plot_w = width - 2.0 * margin;
     let x_of = |t: f64| margin + (t - t0) / span * plot_w;
-    let peak_speed = schedule.segments().iter().map(|s| s.speed).fold(0.0, f64::max).max(1e-300);
+    let peak_speed = schedule
+        .segments()
+        .iter()
+        .map(|s| s.speed)
+        .fold(0.0, f64::max)
+        .max(1e-300);
 
     // Lanes.
     for m in 0..machines {
@@ -77,16 +90,20 @@ pub fn svg_gantt(schedule: &Schedule, opts: SvgOptions) -> String {
         let y = 8.0 + seg.machine as f64 * (lane_h + 8.0);
         let x = x_of(seg.start);
         let w = (x_of(seg.end) - x).max(0.5);
-        let hue = if opts.color_by_job { (seg.job.0 as u64 * 47) % 360 } else { 210 };
+        let hue = if opts.color_by_job {
+            (seg.job.0 as u64 * 47) % 360
+        } else {
+            210
+        };
         // Faster => darker (lower lightness), floor at 30%.
         let lightness = 80.0 - 50.0 * (seg.speed / peak_speed);
+        let title = format!(
+            "{} on m{}: [{:.4}, {:.4}] at speed {:.4}",
+            seg.job, seg.machine, seg.start, seg.end, seg.speed
+        );
         let _ = writeln!(
             out,
             r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{lane_h}" fill="hsl({hue},70%,{lightness:.0}%)" stroke="white" stroke-width="0.5"><title>{title}</title></rect>"#,
-            title = format!(
-                "{} on m{}: [{:.4}, {:.4}] at speed {:.4}",
-                seg.job, seg.machine, seg.start, seg.end, seg.speed
-            ),
         );
     }
 
@@ -152,7 +169,13 @@ mod tests {
 
     #[test]
     fn monochrome_mode() {
-        let svg = svg_gantt(&sample(), SvgOptions { color_by_job: false, ..Default::default() });
+        let svg = svg_gantt(
+            &sample(),
+            SvgOptions {
+                color_by_job: false,
+                ..Default::default()
+            },
+        );
         assert!(svg.contains("hsl(210,"));
     }
 

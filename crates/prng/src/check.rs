@@ -1,0 +1,78 @@
+//! A minimal seeded property-check runner (the workspace's offline stand-in
+//! for `proptest`).
+//!
+//! [`cases`] runs a closure over `n` independently seeded generators derived
+//! from one base seed, so a failing case is reproducible from the printed
+//! case seed alone. There is no shrinking: generators here are simple enough
+//! that the raw failing draw is directly debuggable, and determinism means
+//! the failure replays exactly.
+//!
+//! ```rust
+//! use ssp_prng::{check, Rng};
+//!
+//! check::cases(64, 0xC0FFEE, |rng| {
+//!     let x = rng.gen_range(0.0f64..10.0);
+//!     assert!(x * 2.0 >= x);
+//! });
+//! ```
+
+use crate::{subseed, Rng, SeedableRng, StdRng};
+
+/// Run `f` against `n` independently seeded generators. On panic, the failing
+/// case index and derived seed are printed before the panic propagates.
+pub fn cases(n: usize, base_seed: u64, mut f: impl FnMut(&mut StdRng)) {
+    for case in 0..n {
+        let seed = subseed(base_seed, case as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "property case {case}/{n} failed (base seed {base_seed:#x}, case seed {seed:#x})"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Draw a vector whose length is uniform in `len` and whose elements come
+/// from `draw` (the `proptest::collection::vec` analogue).
+pub fn vec_of<T>(
+    rng: &mut StdRng,
+    len: std::ops::Range<usize>,
+    mut draw: impl FnMut(&mut StdRng) -> T,
+) -> Vec<T> {
+    let k = rng.gen_range(len);
+    (0..k).map(|_| draw(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_cases() {
+        let mut count = 0;
+        cases(17, 9, |_| count += 1);
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn vec_of_respects_length_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = vec_of(&mut rng, 1..8, |r| r.gen_range(0.0f64..1.0));
+            assert!((1..8).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn failures_propagate() {
+        let res = std::panic::catch_unwind(|| {
+            cases(4, 2, |rng| {
+                let _ = rng.next_u64();
+                panic!("boom");
+            })
+        });
+        assert!(res.is_err());
+    }
+}

@@ -93,7 +93,9 @@ mod tests {
         let alpha = 2.2;
         let s = avr_schedule(&jobs, 0);
         let inst = Instance::new(jobs, 1, alpha).unwrap();
-        let stats = s.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+        let stats = s
+            .validate(&inst, ValidationOptions::non_migratory())
+            .unwrap();
         assert!((stats.energy - avr_energy(inst.jobs(), alpha)).abs() < 1e-9);
     }
 

@@ -23,7 +23,11 @@ pub fn edf_schedule(jobs: &[Job], p: &[f64], machine: usize) -> Option<Schedule>
         return Some(schedule);
     }
     for (j, &pt) in jobs.iter().zip(p) {
-        assert!(pt > 0.0 && pt.is_finite(), "processing time of {} must be > 0", j.id);
+        assert!(
+            pt > 0.0 && pt.is_finite(),
+            "processing time of {} must be > 0",
+            j.id
+        );
         // Quick reject: job longer than its own window (beyond tolerance).
         if pt > j.span() + tol.margin(j.span()) {
             return None;
@@ -142,7 +146,8 @@ mod tests {
         assert_eq!(j0.len(), 2);
         // Validate against the instance (speeds 1.0 each).
         let inst = Instance::new(jobs, 1, 2.0).unwrap();
-        s.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+        s.validate(&inst, ValidationOptions::non_migratory())
+            .unwrap();
     }
 
     #[test]

@@ -60,7 +60,13 @@ impl FlowtimeSolution {
         let mut s = Schedule::new(machine + 1);
         for i in 0..self.releases.len() {
             let start = self.completions[i] - 1.0 / self.speeds[i];
-            s.run(JobId(i as u32), machine, start, self.completions[i], self.speeds[i]);
+            s.run(
+                JobId(i as u32),
+                machine,
+                start,
+                self.completions[i],
+                self.speeds[i],
+            );
         }
         s
     }
@@ -162,6 +168,8 @@ fn eval_chain(
     // Walk the chain: interior starts must not precede releases.
     let mut t = start;
     let mut cost = 0.0;
+    // Index loop on purpose: `offset` addresses both `suffix_w` and jobs.
+    #[allow(clippy::needless_range_loop)]
     for offset in 0..count {
         let i = a + offset;
         if t < rel[i] - 1e-12 * rel[i].abs().max(1.0) {
@@ -213,7 +221,10 @@ pub fn weighted_flow_plus_energy(
     lambda: f64,
 ) -> FlowtimeSolution {
     assert!(alpha > 1.0, "alpha must exceed 1");
-    assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive");
+    assert!(
+        lambda > 0.0 && lambda.is_finite(),
+        "lambda must be positive"
+    );
     assert_eq!(releases.len(), weights.len(), "weights length mismatch");
     assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
     let mut order: Vec<usize> = (0..releases.len()).collect();
@@ -262,8 +273,7 @@ pub fn weighted_flow_plus_energy(
         }
         let mut t = rel[a];
         for offset in 0..count {
-            let s =
-                ((suffix_w[offset] + eval.mu) / (lambda * (alpha - 1.0))).powf(1.0 / alpha);
+            let s = ((suffix_w[offset] + eval.mu) / (lambda * (alpha - 1.0))).powf(1.0 / alpha);
             t += 1.0 / s;
             speeds[a + offset] = s;
             completions[a + offset] = t;
@@ -291,7 +301,14 @@ pub fn weighted_flow_plus_energy(
         .map(|((c, r), w)| w * (c - r))
         .sum();
     let energy = speeds.iter().map(|s| s.powf(alpha - 1.0)).sum();
-    FlowtimeSolution { releases: rel, speeds, completions, total_flow, energy, lambda }
+    FlowtimeSolution {
+        releases: rel,
+        speeds,
+        completions,
+        total_flow,
+        energy,
+        lambda,
+    }
 }
 
 /// Minimize total flow time subject to `energy ≤ budget` (unit jobs, one
@@ -508,7 +525,10 @@ mod tests {
         let schedule = sol.schedule(0);
         let inst = sol.as_instance(1, 2.0);
         let stats = schedule
-            .validate(&inst, ssp_model::schedule::ValidationOptions::non_migratory())
+            .validate(
+                &inst,
+                ssp_model::schedule::ValidationOptions::non_migratory(),
+            )
             .unwrap();
         assert!((stats.energy - sol.energy).abs() <= 1e-6 * sol.energy);
     }
@@ -550,8 +570,7 @@ mod tests {
                     let c1 = c0.max(releases[1]) + 1.0 / s1;
                     let c2 = c1.max(releases[2]) + 1.0 / s2;
                     let flow = c0 + (c1 - releases[1]) + (c2 - releases[2]);
-                    let energy =
-                        s0.powf(alpha - 1.0) + s1.powf(alpha - 1.0) + s2.powf(alpha - 1.0);
+                    let energy = s0.powf(alpha - 1.0) + s1.powf(alpha - 1.0) + s2.powf(alpha - 1.0);
                     best = best.min(flow + lambda * energy);
                 }
             }
@@ -630,9 +649,8 @@ mod tests {
                         let c1 = c0.max(releases[1]) + 1.0 / s1;
                         let c2 = c1.max(releases[2]) + 1.0 / s2;
                         let flow = c0 + (c1 - releases[1]) + (c2 - releases[2]);
-                        let energy = s0.powf(alpha - 1.0)
-                            + s1.powf(alpha - 1.0)
-                            + s2.powf(alpha - 1.0);
+                        let energy =
+                            s0.powf(alpha - 1.0) + s1.powf(alpha - 1.0) + s2.powf(alpha - 1.0);
                         best = best.min(flow + lambda * energy);
                     }
                 }

@@ -29,8 +29,10 @@ pub mod oa;
 pub mod yds;
 
 pub use avr::{avr_energy, avr_schedule};
-pub use flowtime::{flow_plus_energy, min_flow_time_budget, weighted_flow_plus_energy, FlowtimeSolution};
 pub use edf::{edf_feasible, edf_schedule};
+pub use flowtime::{
+    flow_plus_energy, min_flow_time_budget, weighted_flow_plus_energy, FlowtimeSolution,
+};
 pub use oa::oa_schedule;
 pub use yds::{yds, yds_schedule, YdsSolution};
 
@@ -38,10 +40,11 @@ pub use yds::{yds, yds_schedule, YdsSolution};
 mod ordering_tests {
     //! Online-vs-offline sanity: OA and AVR are incomparable with each other,
     //! but both are lower-bounded by YDS and upper-bounded by their
-    //! competitive factors. Checked by proptest on random workloads.
+    //! competitive factors. Checked by seeded property cases on random
+    //! workloads.
     use crate::{avr_energy, oa_schedule, yds};
-    use proptest::prelude::*;
     use ssp_model::Job;
+    use ssp_prng::{check, Rng};
 
     fn random_jobs(seeds: &[(f64, f64, f64)]) -> Vec<Job> {
         seeds
@@ -51,29 +54,38 @@ mod ordering_tests {
             .collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// OPT <= OA-energy <= alpha^alpha * OPT and
-        /// OPT <= AVR-energy <= alpha^alpha 2^(alpha-1) * OPT.
-        #[test]
-        fn online_algorithms_within_competitive_bounds(
-            seeds in proptest::collection::vec(
-                (0.0f64..4.0, 0.0f64..10.0, 0.0f64..5.0), 1..10),
-            alpha in 1.3f64..3.0,
-        ) {
+    /// OPT <= OA-energy <= alpha^alpha * OPT and
+    /// OPT <= AVR-energy <= alpha^alpha 2^(alpha-1) * OPT.
+    #[test]
+    fn online_algorithms_within_competitive_bounds() {
+        check::cases(48, 0x0A_41, |rng| {
+            let seeds: Vec<(f64, f64, f64)> = check::vec_of(rng, 1..10, |r| {
+                (
+                    r.gen_range(0.0f64..4.0),
+                    r.gen_range(0.0f64..10.0),
+                    r.gen_range(0.0f64..5.0),
+                )
+            });
+            let alpha = rng.gen_range(1.3f64..3.0);
             let jobs = random_jobs(&seeds);
             let opt = yds(&jobs, alpha).energy;
             let oa = oa_schedule(&jobs, alpha, 0).energy(alpha);
             let avr = avr_energy(&jobs, alpha);
-            prop_assert!(opt <= oa * (1.0 + 1e-6) + 1e-9, "OA {} below OPT {}", oa, opt);
-            prop_assert!(opt <= avr * (1.0 + 1e-6) + 1e-9, "AVR {} below OPT {}", avr, opt);
+            assert!(opt <= oa * (1.0 + 1e-6) + 1e-9, "OA {oa} below OPT {opt}");
+            assert!(
+                opt <= avr * (1.0 + 1e-6) + 1e-9,
+                "AVR {avr} below OPT {opt}"
+            );
             let oa_bound = alpha.powf(alpha);
             let avr_bound = alpha.powf(alpha) * 2.0f64.powf(alpha - 1.0);
-            prop_assert!(oa <= oa_bound * opt * (1.0 + 1e-6) + 1e-9,
-                "OA {} exceeds {} * OPT {}", oa, oa_bound, opt);
-            prop_assert!(avr <= avr_bound * opt * (1.0 + 1e-6) + 1e-9,
-                "AVR {} exceeds {} * OPT {}", avr, avr_bound, opt);
-        }
+            assert!(
+                oa <= oa_bound * opt * (1.0 + 1e-6) + 1e-9,
+                "OA {oa} exceeds {oa_bound} * OPT {opt}"
+            );
+            assert!(
+                avr <= avr_bound * opt * (1.0 + 1e-6) + 1e-9,
+                "AVR {avr} exceeds {avr_bound} * OPT {opt}"
+            );
+        });
     }
 }

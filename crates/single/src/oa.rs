@@ -59,10 +59,13 @@ pub fn oa_schedule(jobs: &[Job], alpha: f64, machine: usize) -> Schedule {
         }
         debug_assert!(speed > 0.0, "available nonempty ⇒ positive OA speed");
         let current = available[0]; // earliest deadline
-        // Run until completion or the next release.
+                                    // Run until completion or the next release.
         let completion = now + remaining[current] / speed;
-        let horizon =
-            if next < order.len() { jobs[order[next]].release } else { f64::INFINITY };
+        let horizon = if next < order.len() {
+            jobs[order[next]].release
+        } else {
+            f64::INFINITY
+        };
         let until = completion.min(horizon);
         if until > now {
             schedule.run(jobs[current].id, machine, now, until, speed);
@@ -122,7 +125,10 @@ mod tests {
         let e_oa = oa_schedule(&jobs, alpha, 0).energy(alpha);
         let e_opt = yds(&jobs, alpha).energy;
         assert!(e_oa > e_opt + 1e-9, "OA {e_oa} should exceed OPT {e_opt}");
-        assert!(e_oa <= alpha.powf(alpha) * e_opt + 1e-9, "competitive bound violated");
+        assert!(
+            e_oa <= alpha.powf(alpha) * e_opt + 1e-9,
+            "competitive bound violated"
+        );
     }
 
     #[test]
@@ -136,7 +142,8 @@ mod tests {
         let alpha = 2.7;
         let s = oa_schedule(&jobs, alpha, 0);
         let inst = Instance::new(jobs, 1, alpha).unwrap();
-        s.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+        s.validate(&inst, ValidationOptions::non_migratory())
+            .unwrap();
     }
 
     #[test]

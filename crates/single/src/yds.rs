@@ -65,7 +65,12 @@ pub fn yds(jobs: &[Job], alpha: f64) -> YdsSolution {
     let mut active: Vec<Active> = jobs
         .iter()
         .enumerate()
-        .map(|(i, j)| Active { orig: i, work: j.work, release: j.release, deadline: j.deadline })
+        .map(|(i, j)| Active {
+            orig: i,
+            work: j.work,
+            release: j.release,
+            deadline: j.deadline,
+        })
         .collect();
 
     while !active.is_empty() {
@@ -96,7 +101,11 @@ pub fn yds(jobs: &[Job], alpha: f64) -> YdsSolution {
         .zip(&speeds)
         .map(|(j, &s)| energy_of(j.work, s, alpha))
         .sum();
-    YdsSolution { speeds, energy, peels }
+    YdsSolution {
+        speeds,
+        energy,
+        peels,
+    }
 }
 
 /// Map a time coordinate after excising `[a, b]`.
@@ -150,18 +159,22 @@ fn critical_interval(active: &[Active]) -> (f64, f64, f64) {
 /// input condition).
 pub fn yds_schedule(jobs: &[Job], alpha: f64, machine: usize) -> (YdsSolution, Schedule) {
     let sol = yds(jobs, alpha);
-    let p: Vec<f64> = jobs.iter().zip(&sol.speeds).map(|(j, &s)| j.work / s).collect();
-    let schedule = edf_schedule(jobs, &p, machine)
-        .expect("YDS speeds are always EDF-feasible on one machine");
+    let p: Vec<f64> = jobs
+        .iter()
+        .zip(&sol.speeds)
+        .map(|(j, &s)| j.work / s)
+        .collect();
+    let schedule =
+        edf_schedule(jobs, &p, machine).expect("YDS speeds are always EDF-feasible on one machine");
     (sol, schedule)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use ssp_model::schedule::ValidationOptions;
     use ssp_model::Instance;
+    use ssp_prng::{check, Rng, StdRng};
 
     #[test]
     fn empty_input() {
@@ -220,7 +233,9 @@ mod tests {
         let alpha = 2.5;
         let (sol, schedule) = yds_schedule(&jobs, alpha, 0);
         let inst = Instance::new(jobs, 1, alpha).unwrap();
-        let stats = schedule.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+        let stats = schedule
+            .validate(&inst, ValidationOptions::non_migratory())
+            .unwrap();
         assert!((stats.energy - sol.energy).abs() < 1e-6 * sol.energy);
     }
 
@@ -240,7 +255,9 @@ mod tests {
     #[test]
     fn agreeable_chain_with_uniform_load_is_flat() {
         // Unit jobs, windows [i, i+1]: constant speed 1 everywhere.
-        let jobs: Vec<Job> = (0..5).map(|i| Job::new(i, 1.0, i as f64, i as f64 + 1.0)).collect();
+        let jobs: Vec<Job> = (0..5)
+            .map(|i| Job::new(i, 1.0, i as f64, i as f64 + 1.0))
+            .collect();
         let sol = yds(&jobs, 2.0);
         for &s in &sol.speeds {
             assert!((s - 1.0).abs() < 1e-12);
@@ -280,69 +297,87 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(40))]
+    /// Draw `len`-many random jobs with the standard (work, release, span)
+    /// envelope shared by the seeded properties below.
+    fn random_jobs(rng: &mut StdRng, len: std::ops::Range<usize>) -> Vec<Job> {
+        check::vec_of(rng, len, |r| {
+            (
+                r.gen_range(0.1f64..3.0),
+                r.gen_range(0.0f64..8.0),
+                r.gen_range(0.2f64..4.0),
+            )
+        })
+        .into_iter()
+        .enumerate()
+        .map(|(i, (w, r, len))| Job::new(i as u32, w, r, r + len))
+        .collect()
+    }
 
-        /// Scale laws: multiplying works by c multiplies OPT by c^alpha;
-        /// stretching time by c multiplies OPT by c^(1-alpha).
-        #[test]
-        fn yds_respects_scale_laws(
-            seeds in proptest::collection::vec((0.1f64..3.0, 0.0f64..8.0, 0.2f64..4.0), 1..8),
-            alpha in 1.4f64..3.0,
-            c in 0.3f64..3.0,
-        ) {
-            let jobs: Vec<Job> = seeds
-                .iter()
-                .enumerate()
-                .map(|(i, &(w, r, len))| Job::new(i as u32, w, r, r + len))
-                .collect();
+    /// Scale laws: multiplying works by c multiplies OPT by c^alpha;
+    /// stretching time by c multiplies OPT by c^(1-alpha).
+    #[test]
+    fn yds_respects_scale_laws() {
+        check::cases(40, 0x5CA1E, |rng| {
+            let jobs = random_jobs(rng, 1..8);
+            let alpha = rng.gen_range(1.4f64..3.0);
+            let c = rng.gen_range(0.3f64..3.0);
             let base = yds(&jobs, alpha).energy;
 
-            let scaled_w: Vec<Job> = jobs.iter().map(|j| Job { work: j.work * c, ..*j }).collect();
+            let scaled_w: Vec<Job> = jobs
+                .iter()
+                .map(|j| Job {
+                    work: j.work * c,
+                    ..*j
+                })
+                .collect();
             let ew = yds(&scaled_w, alpha).energy;
-            prop_assert!((ew - base * c.powf(alpha)).abs() <= 1e-6 * ew.max(base),
-                "work scale law: {} vs {}", ew, base * c.powf(alpha));
+            assert!(
+                (ew - base * c.powf(alpha)).abs() <= 1e-6 * ew.max(base),
+                "work scale law: {ew} vs {}",
+                base * c.powf(alpha)
+            );
 
             let scaled_t: Vec<Job> = jobs
                 .iter()
-                .map(|j| Job { release: j.release * c, deadline: j.deadline * c, ..*j })
+                .map(|j| Job {
+                    release: j.release * c,
+                    deadline: j.deadline * c,
+                    ..*j
+                })
                 .collect();
             let et = yds(&scaled_t, alpha).energy;
-            prop_assert!((et - base * c.powf(1.0 - alpha)).abs() <= 1e-6 * et.max(base),
-                "time scale law: {} vs {}", et, base * c.powf(1.0 - alpha));
-        }
+            assert!(
+                (et - base * c.powf(1.0 - alpha)).abs() <= 1e-6 * et.max(base),
+                "time scale law: {et} vs {}",
+                base * c.powf(1.0 - alpha)
+            );
+        });
+    }
 
-        /// The YDS speed profile is always EDF-feasible and the explicit
-        /// schedule validates with matching energy.
-        #[test]
-        fn yds_schedule_always_validates(
-            seeds in proptest::collection::vec((0.1f64..3.0, 0.0f64..8.0, 0.2f64..4.0), 1..10),
-            alpha in 1.4f64..3.0,
-        ) {
-            let jobs: Vec<Job> = seeds
-                .iter()
-                .enumerate()
-                .map(|(i, &(w, r, len))| Job::new(i as u32, w, r, r + len))
-                .collect();
+    /// The YDS speed profile is always EDF-feasible and the explicit
+    /// schedule validates with matching energy.
+    #[test]
+    fn yds_schedule_always_validates() {
+        check::cases(40, 0x5C_ED, |rng| {
+            let jobs = random_jobs(rng, 1..10);
+            let alpha = rng.gen_range(1.4f64..3.0);
             let (sol, schedule) = yds_schedule(&jobs, alpha, 0);
             let inst = Instance::new(jobs, 1, alpha).unwrap();
-            let stats = schedule.validate(&inst, ValidationOptions::non_migratory()).unwrap();
-            prop_assert!((stats.energy - sol.energy).abs() <= 1e-6 * sol.energy.max(1e-12));
-        }
+            let stats = schedule
+                .validate(&inst, ValidationOptions::non_migratory())
+                .unwrap();
+            assert!((stats.energy - sol.energy).abs() <= 1e-6 * sol.energy.max(1e-12));
+        });
+    }
 
-        /// Removing a job never increases optimal energy (monotonicity).
-        #[test]
-        fn yds_is_monotone_in_job_set(
-            seeds in proptest::collection::vec((0.1f64..3.0, 0.0f64..8.0, 0.2f64..4.0), 2..8),
-        ) {
-            let jobs: Vec<Job> = seeds
-                .iter()
-                .enumerate()
-                .map(|(i, &(w, r, len))| Job::new(i as u32, w, r, r + len))
-                .collect();
+    /// Removing a job never increases optimal energy (monotonicity).
+    #[test]
+    fn yds_is_monotone_in_job_set() {
+        check::cases(40, 0x3007, |rng| {
+            let jobs = random_jobs(rng, 2..8);
             let full = yds(&jobs, 2.0).energy;
             let fewer = yds(&jobs[1..], 2.0).energy;
-            prop_assert!(fewer <= full + 1e-9 * full.max(1.0));
-        }
+            assert!(fewer <= full + 1e-9 * full.max(1.0));
+        });
     }
 }

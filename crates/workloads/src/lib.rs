@@ -9,7 +9,7 @@
 //! family (arrival process, work distribution, window policy, agreeable
 //! post-processing). `Spec::gen(seed)` produces a valid
 //! [`ssp_model::Instance`], identical for identical seeds across runs and
-//! platforms (`StdRng` is seedable and portable).
+//! platforms (`ssp_prng::StdRng` is seedable and portable).
 
 #![warn(missing_docs)]
 
@@ -19,9 +19,9 @@ pub mod swf;
 pub use spec::{ArrivalDist, Spec, WindowDist, WorkDist};
 pub use swf::{parse_swf, SwfOptions, SwfReport};
 
-use rand::rngs::StdRng;
-use rand::Rng;
 use ssp_model::{Instance, Job};
+use ssp_prng::rngs::StdRng;
+use ssp_prng::Rng;
 
 /// Convenience: the four canonical families used throughout the experiments.
 pub mod families {
@@ -46,7 +46,10 @@ pub mod families {
     /// Heterogeneous works, agreeable deadlines — the R3 regime.
     pub fn weighted_agreeable(n: usize, machines: usize, alpha: f64) -> Spec {
         Spec::new(n, machines, alpha)
-            .work(WorkDist::LogNormal { mu: 0.0, sigma: 1.0 })
+            .work(WorkDist::LogNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            })
             .window(WindowDist::LaxityFactor { min: 1.5, max: 6.0 })
             .agreeable(true)
     }
@@ -54,8 +57,14 @@ pub mod families {
     /// Fully general instances (heterogeneous works, nested windows).
     pub fn general(n: usize, machines: usize, alpha: f64) -> Spec {
         Spec::new(n, machines, alpha)
-            .work(WorkDist::LogNormal { mu: 0.0, sigma: 0.8 })
-            .window(WindowDist::LaxityFactor { min: 1.2, max: 10.0 })
+            .work(WorkDist::LogNormal {
+                mu: 0.0,
+                sigma: 0.8,
+            })
+            .window(WindowDist::LaxityFactor {
+                min: 1.2,
+                max: 10.0,
+            })
             .agreeable(false)
     }
 
@@ -86,8 +95,8 @@ pub mod families {
     }
 }
 
-/// A standard normal sample via Box–Muller (the `rand` core crate ships no
-/// normal distribution; this avoids a `rand_distr` dependency).
+/// A standard normal sample via Box–Muller (`ssp-prng` ships only uniform
+/// draws; this keeps the workspace free of a normal-distribution dependency).
 pub(crate) fn standard_normal(rng: &mut StdRng) -> f64 {
     loop {
         let u1: f64 = rng.gen::<f64>();
@@ -101,16 +110,13 @@ pub(crate) fn standard_normal(rng: &mut StdRng) -> f64 {
 /// Deterministic sub-seed derivation so one experiment seed can fan out into
 /// many independent instance seeds (SplitMix64 finalizer).
 pub fn subseed(seed: u64, index: u64) -> u64 {
-    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    ssp_prng::subseed(seed, index)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use ssp_prng::SeedableRng;
 
     #[test]
     fn subseed_is_deterministic_and_spreads() {
@@ -137,7 +143,10 @@ mod tests {
         for (name, spec) in [
             ("unit_agreeable", families::unit_agreeable(40, 4, 2.0)),
             ("unit_arbitrary", families::unit_arbitrary(40, 4, 2.0)),
-            ("weighted_agreeable", families::weighted_agreeable(40, 4, 2.0)),
+            (
+                "weighted_agreeable",
+                families::weighted_agreeable(40, 4, 2.0),
+            ),
             ("general", families::general(40, 4, 2.0)),
             ("bursty", families::bursty(40, 4, 2.0)),
         ] {

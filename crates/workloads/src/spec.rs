@@ -1,9 +1,9 @@
 //! Declarative workload specifications.
 
 use crate::{standard_normal, subseed};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use ssp_model::{Instance, Job};
+use ssp_prng::rngs::StdRng;
+use ssp_prng::{Rng, SeedableRng};
 
 /// Arrival (release-date) process over the horizon.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,14 +155,16 @@ impl Spec {
 
     /// Generate `count` independent instances derived from one master seed.
     pub fn gen_batch(&self, master_seed: u64, count: usize) -> Vec<Instance> {
-        (0..count).map(|i| self.gen(subseed(master_seed, i as u64))).collect()
+        (0..count)
+            .map(|i| self.gen(subseed(master_seed, i as u64)))
+            .collect()
     }
 
     fn draw_releases(&self, rng: &mut StdRng) -> Vec<f64> {
         match self.arrivals {
-            ArrivalDist::Uniform => {
-                (0..self.n).map(|_| rng.gen::<f64>() * self.horizon).collect()
-            }
+            ArrivalDist::Uniform => (0..self.n)
+                .map(|_| rng.gen::<f64>() * self.horizon)
+                .collect(),
             ArrivalDist::Poisson { rate } => {
                 assert!(rate > 0.0, "Poisson rate must be positive");
                 let mut t = 0.0;
@@ -199,9 +201,7 @@ impl Spec {
     fn draw_window(&self, rng: &mut StdRng, work: f64) -> f64 {
         let len = match self.window {
             WindowDist::Uniform { min, max } => min + rng.gen::<f64>() * (max - min),
-            WindowDist::LaxityFactor { min, max } => {
-                work * (min + rng.gen::<f64>() * (max - min))
-            }
+            WindowDist::LaxityFactor { min, max } => work * (min + rng.gen::<f64>() * (max - min)),
             WindowDist::Fixed(l) => l,
         };
         assert!(len > 0.0, "window policy produced a nonpositive length");
@@ -216,7 +216,10 @@ mod tests {
     #[test]
     fn same_seed_same_instance() {
         let spec = Spec::new(30, 3, 2.0)
-            .work(WorkDist::LogNormal { mu: 0.0, sigma: 1.0 })
+            .work(WorkDist::LogNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            })
             .arrivals(ArrivalDist::Poisson { rate: 2.0 });
         assert_eq!(spec.gen(5), spec.gen(5));
         assert_ne!(spec.gen(5), spec.gen(6));
@@ -252,21 +255,24 @@ mod tests {
             .gen(17);
         for j in inst.jobs() {
             let laxity = j.span() / j.work;
-            assert!(laxity >= 2.0 - 1e-12 && laxity <= 4.0 + 1e-12);
+            assert!((2.0 - 1e-12..=4.0 + 1e-12).contains(&laxity));
         }
     }
 
     #[test]
     fn poisson_releases_are_increasing() {
-        let inst = Spec::new(40, 1, 2.0).arrivals(ArrivalDist::Poisson { rate: 3.0 }).gen(1);
+        let inst = Spec::new(40, 1, 2.0)
+            .arrivals(ArrivalDist::Poisson { rate: 3.0 })
+            .gen(1);
         let rel: Vec<f64> = inst.jobs().iter().map(|j| j.release).collect();
         assert!(rel.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]
     fn bursts_share_release_instants() {
-        let inst =
-            Spec::new(12, 1, 2.0).arrivals(ArrivalDist::Bursty { burst: 4, gap: 5.0 }).gen(2);
+        let inst = Spec::new(12, 1, 2.0)
+            .arrivals(ArrivalDist::Bursty { burst: 4, gap: 5.0 })
+            .gen(2);
         let rel: Vec<f64> = inst.jobs().iter().map(|j| j.release).collect();
         // 12 jobs in bursts of 4 => exactly 3 distinct release instants.
         let mut distinct = rel.clone();
@@ -287,13 +293,21 @@ mod tests {
     fn fixed_and_uniform_windows() {
         let f = Spec::new(10, 1, 2.0).window(WindowDist::Fixed(3.0)).gen(0);
         assert!(f.jobs().iter().all(|j| (j.span() - 3.0).abs() < 1e-12));
-        let u = Spec::new(50, 1, 2.0).window(WindowDist::Uniform { min: 1.0, max: 2.0 }).gen(0);
-        assert!(u.jobs().iter().all(|j| j.span() >= 1.0 - 1e-12 && j.span() <= 2.0 + 1e-12));
+        let u = Spec::new(50, 1, 2.0)
+            .window(WindowDist::Uniform { min: 1.0, max: 2.0 })
+            .gen(0);
+        assert!(u
+            .jobs()
+            .iter()
+            .all(|j| j.span() >= 1.0 - 1e-12 && j.span() <= 2.0 + 1e-12));
     }
 
     #[test]
     fn horizon_bounds_uniform_releases() {
         let inst = Spec::new(50, 1, 2.0).horizon(7.0).gen(4);
-        assert!(inst.jobs().iter().all(|j| j.release >= 0.0 && j.release <= 7.0));
+        assert!(inst
+            .jobs()
+            .iter()
+            .all(|j| j.release >= 0.0 && j.release <= 7.0));
     }
 }

@@ -34,7 +34,13 @@ pub struct SwfOptions {
 
 impl Default for SwfOptions {
     fn default() -> Self {
-        SwfOptions { machines: 8, alpha: 2.0, laxity: 3.0, max_jobs: usize::MAX, time_scale: 1.0 }
+        SwfOptions {
+            machines: 8,
+            alpha: 2.0,
+            laxity: 3.0,
+            max_jobs: usize::MAX,
+            time_scale: 1.0,
+        }
     }
 }
 
@@ -52,7 +58,11 @@ pub struct SwfReport {
 /// Parse SWF text into an instance plus an import report.
 pub fn parse_swf(text: &str, opts: SwfOptions) -> Result<(Instance, SwfReport), ModelError> {
     let mut jobs = Vec::new();
-    let mut report = SwfReport { imported: 0, skipped_invalid: 0, comments: 0 };
+    let mut report = SwfReport {
+        imported: 0,
+        skipped_invalid: 0,
+        comments: 0,
+    };
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with(';') {
@@ -87,7 +97,11 @@ pub fn parse_swf(text: &str, opts: SwfOptions) -> Result<(Instance, SwfReport), 
             continue;
         }
         let requested = num(8)? / opts.time_scale;
-        let window = if requested > runtime { requested } else { opts.laxity * runtime };
+        let window = if requested > runtime {
+            requested
+        } else {
+            opts.laxity * runtime
+        };
         jobs.push(Job::new(id, runtime * procs, submit, submit + window));
         report.imported += 1;
     }
@@ -135,7 +149,10 @@ mod tests {
 
     #[test]
     fn time_scale_divides_times() {
-        let opts = SwfOptions { time_scale: 10.0, ..Default::default() };
+        let opts = SwfOptions {
+            time_scale: 10.0,
+            ..Default::default()
+        };
         let (inst, _) = parse_swf(SAMPLE, opts).unwrap();
         let j1 = inst.job_by_id(ssp_model::JobId(1)).unwrap();
         assert_eq!(j1.release, 0.0);
@@ -145,7 +162,10 @@ mod tests {
 
     #[test]
     fn max_jobs_truncates() {
-        let opts = SwfOptions { max_jobs: 1, ..Default::default() };
+        let opts = SwfOptions {
+            max_jobs: 1,
+            ..Default::default()
+        };
         let (inst, report) = parse_swf(SAMPLE, opts).unwrap();
         assert_eq!(inst.len(), 1);
         assert_eq!(report.imported, 1);
@@ -164,6 +184,8 @@ mod tests {
         let (inst, _) = parse_swf(SAMPLE, SwfOptions::default()).unwrap();
         let sol = ssp_migratory::bal::bal(&inst);
         assert!(sol.energy > 0.0);
-        sol.schedule(&inst).validate(&inst, Default::default()).unwrap();
+        sol.schedule(&inst)
+            .validate(&inst, Default::default())
+            .unwrap();
     }
 }

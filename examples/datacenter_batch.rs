@@ -28,7 +28,10 @@ fn main() {
     // Works in "normalized core-hours", SLAs 1.3-6x the work at unit speed.
     let spec = Spec::new(120, 8, 2.5)
         .arrivals(ArrivalDist::Bursty { burst: 6, gap: 1.2 })
-        .work(WorkDist::LogNormal { mu: 0.0, sigma: 0.7 })
+        .work(WorkDist::LogNormal {
+            mu: 0.0,
+            sigma: 0.7,
+        })
         .window(WindowDist::LaxityFactor { min: 1.3, max: 6.0 });
     let inst = spec.gen(2024);
     println!(
@@ -42,12 +45,19 @@ fn main() {
     // Save the trace for replay / regression.
     let path = std::env::temp_dir().join("datacenter_trace.ssp");
     std::fs::write(&path, io::emit(&inst)).expect("write trace");
-    println!("trace saved to {} ({} bytes)\n", path.display(), io::emit(&inst).len());
+    println!(
+        "trace saved to {} ({} bytes)\n",
+        path.display(),
+        io::emit(&inst).len()
+    );
 
     // Lower bound: migratory optimum (as if containers could move freely).
     let lb = bal(&inst).energy;
     println!("{:<28} {:>12} {:>9}", "policy", "energy", "vs LB");
-    println!("{:<28} {:>12.3} {:>9}", "migratory optimum (LB)", lb, "1.000");
+    println!(
+        "{:<28} {:>12.3} {:>9}",
+        "migratory optimum (LB)", lb, "1.000"
+    );
 
     let policies: Vec<(&str, Assignment)> = vec![
         ("round-robin + YDS", rr_assignment(&inst)),
@@ -60,7 +70,7 @@ fn main() {
     for (name, assignment) in &policies {
         let e = assignment_energy(&inst, assignment);
         println!("{:<28} {:>12.3} {:>9.3}", name, e, e / lb);
-        if best.map_or(true, |(_, b)| e < b) {
+        if best.is_none_or(|(_, b)| e < b) {
             best = Some((name, e));
         }
     }

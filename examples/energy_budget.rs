@@ -37,7 +37,10 @@ fn main() {
         total_work
     );
 
-    println!("{:>10} {:>12} {:>12} {:>14}", "budget", "makespan", "energy used", "mean speed");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14}",
+        "budget", "makespan", "energy used", "mean speed"
+    );
     let mut previous = f64::INFINITY;
     for factor in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
         let budget = total_work * factor;

@@ -43,7 +43,12 @@ fn main() {
         Ok(path) => std::fs::read_to_string(&path).expect("read SWF_PATH file"),
         Err(_) => EMBEDDED.to_string(),
     };
-    let opts = SwfOptions { machines: 4, alpha: 2.0, max_jobs: 64, ..Default::default() };
+    let opts = SwfOptions {
+        machines: 4,
+        alpha: 2.0,
+        max_jobs: 64,
+        ..Default::default()
+    };
     let (inst, report) = parse_swf(&text, opts).expect("parse SWF");
     println!(
         "imported {} jobs ({} invalid skipped, {} comment lines) on {} machines",
@@ -73,11 +78,16 @@ fn main() {
         exact.energy,
         exact.energy / lb
     );
-    println!("marginal-energy greedy: {e_greedy:.1}  (x{:.4})", e_greedy / lb);
+    println!(
+        "marginal-energy greedy: {e_greedy:.1}  (x{:.4})",
+        e_greedy / lb
+    );
 
     // Export the exact schedule as SVG.
     let schedule = assignment_schedule(&inst, &exact.assignment);
-    schedule.validate(&inst, Default::default()).expect("exact schedule valid");
+    schedule
+        .validate(&inst, Default::default())
+        .expect("exact schedule valid");
     let svg = svg_gantt(&schedule, SvgOptions::default());
     let path = std::env::temp_dir().join("hpc_trace_schedule.svg");
     std::fs::write(&path, svg).expect("write svg");

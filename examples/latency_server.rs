@@ -27,14 +27,21 @@ fn main() {
             .map(|i| {
                 let u = (subseed(7_2024, i as u64) >> 11) as f64 / (1u64 << 53) as f64;
                 // Every 10th request opens a burst (three arrivals close by).
-                t += if i % 10 < 3 { 0.05 } else { -(1.0 - u).ln() * 1.1 };
+                t += if i % 10 < 3 {
+                    0.05
+                } else {
+                    -(1.0 - u).ln() * 1.1
+                };
                 t
             })
             .collect()
     };
     let alpha = 2.5;
 
-    println!("{n} unit requests over {:.1}s, alpha = {alpha}\n", releases.last().unwrap());
+    println!(
+        "{n} unit requests over {:.1}s, alpha = {alpha}\n",
+        releases.last().unwrap()
+    );
     println!(
         "{:>10} {:>14} {:>14} {:>14} {:>10}",
         "budget", "mean latency", "energy used", "fixed-clock", "saving"
@@ -82,7 +89,13 @@ fn main() {
     let schedule = sol.schedule(0);
     let inst = sol.as_instance(1, alpha);
     schedule
-        .validate(&inst, speedscale::model::schedule::ValidationOptions::non_migratory())
+        .validate(
+            &inst,
+            speedscale::model::schedule::ValidationOptions::non_migratory(),
+        )
         .expect("flow-time schedule is valid");
-    println!("\nschedule validated: {} segments, zero idle-time violations", schedule.len());
+    println!(
+        "\nschedule validated: {} segments, zero idle-time violations",
+        schedule.len()
+    );
 }

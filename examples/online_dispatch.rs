@@ -19,9 +19,7 @@ use speedscale::workloads::{families, subseed};
 
 fn main() {
     let (n, cores, alpha) = (60usize, 4usize, 2.0f64);
-    println!(
-        "bursty request trace: n = {n}, cores = {cores}, alpha = {alpha}\n"
-    );
+    println!("bursty request trace: n = {n}, cores = {cores}, alpha = {alpha}\n");
     println!(
         "{:>6} {:>12} {:>10} {:>10} {:>12} {:>12}",
         "seed", "OPT energy", "AVR-m/OPT", "OA-m/OPT", "AVR preempts", "OA preempts"
@@ -34,9 +32,13 @@ fn main() {
         let opt = bal(&inst).energy;
 
         let avr_schedule = avr_m(&inst);
-        let avr_stats = avr_schedule.validate(&inst, Default::default()).expect("AVR-m valid");
+        let avr_stats = avr_schedule
+            .validate(&inst, Default::default())
+            .expect("AVR-m valid");
         let oa_schedule = oa_m(&inst);
-        let oa_stats = oa_schedule.validate(&inst, Default::default()).expect("OA-m valid");
+        let oa_stats = oa_schedule
+            .validate(&inst, Default::default())
+            .expect("OA-m valid");
 
         let (ra, ro) = (avr_stats.energy / opt, oa_stats.energy / opt);
         println!(

@@ -29,7 +29,12 @@ fn main() {
     )
     .expect("valid instance");
 
-    println!("n = {}, m = {}, alpha = {}", inst.len(), inst.machines(), inst.alpha());
+    println!(
+        "n = {}, m = {}, alpha = {}",
+        inst.len(),
+        inst.machines(),
+        inst.alpha()
+    );
     println!("agreeable deadlines: {}\n", inst.is_agreeable());
 
     // 1. The migratory optimum — certified lower bound for everything else.
@@ -39,16 +44,27 @@ fn main() {
     // 2. Sorted round-robin + YDS per machine (the paper's algorithm).
     let rr = rr_assignment(&inst);
     let e_rr = assignment_energy(&inst, &rr);
-    println!("round-robin + YDS:               {:.4}  (x{:.3} of LB)", e_rr, e_rr / lower_bound.energy);
+    println!(
+        "round-robin + YDS:               {:.4}  (x{:.3} of LB)",
+        e_rr,
+        e_rr / lower_bound.energy
+    );
 
     // 3. Relax-and-round (migratory relaxation, list rounding, YDS).
     let rrnd = relax_round(&inst);
     let e_rrnd = assignment_energy(&inst, &rrnd);
-    println!("relax-and-round + YDS:           {:.4}  (x{:.3} of LB)", e_rrnd, e_rrnd / lower_bound.energy);
+    println!(
+        "relax-and-round + YDS:           {:.4}  (x{:.3} of LB)",
+        e_rrnd,
+        e_rrnd / lower_bound.energy
+    );
 
     // Materialize and validate the best non-migratory schedule.
-    let (best_name, best) =
-        if e_rr <= e_rrnd { ("round-robin", rr) } else { ("relax-and-round", rrnd) };
+    let (best_name, best) = if e_rr <= e_rrnd {
+        ("round-robin", rr)
+    } else {
+        ("relax-and-round", rrnd)
+    };
     let schedule = assignment_schedule(&inst, &best);
     let stats = schedule
         .validate(&inst, ValidationOptions::non_migratory())

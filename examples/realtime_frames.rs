@@ -77,7 +77,11 @@ fn main() {
     // Per-core utilization + frequency profile summary.
     println!("\nper-core busy time / segments / fastest speed:");
     for core in 0..cores {
-        let segs: Vec<_> = schedule.segments().iter().filter(|s| s.machine == core).collect();
+        let segs: Vec<_> = schedule
+            .segments()
+            .iter()
+            .filter(|s| s.machine == core)
+            .collect();
         let busy: f64 = segs.iter().map(|s| s.end - s.start).sum();
         let peak = segs.iter().map(|s| s.speed).fold(0.0, f64::max);
         println!(
@@ -97,7 +101,10 @@ fn main() {
         .iter()
         .map(|j| j.work * j.density().powf(alpha - 1.0))
         .sum();
-    assert!(stats.energy <= naive * (1.0 + 1e-9), "optimum cannot lose to a feasible policy");
+    assert!(
+        stats.energy <= naive * (1.0 + 1e-9),
+        "optimum cannot lose to a feasible policy"
+    );
     println!(
         "\nnaive per-frame DVFS (one core per frame, no smoothing): {:.3} — \
          savings on a flat pipeline: {:.1}% (nothing to smooth)",

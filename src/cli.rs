@@ -43,10 +43,16 @@ pub struct CliError {
 
 impl CliError {
     fn usage(message: impl Into<String>) -> Self {
-        CliError { message: message.into(), code: 2 }
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
     }
     fn runtime(message: impl Into<String>) -> Self {
-        CliError { message: message.into(), code: 1 }
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
     }
 }
 
@@ -64,7 +70,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("swf") => swf_import(&collect(args)?),
         Some("quantize") => quantize_cmd(&collect(args)?),
         Some("help") | Some("-h") | Some("--help") | None => Ok(USAGE.to_string()),
-        Some(other) => Err(CliError::usage(format!("unknown command '{other}'\n{USAGE}"))),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown command '{other}'\n{USAGE}"
+        ))),
     }
 }
 
@@ -78,9 +86,12 @@ commands:
            [--alpha A] [--seed S] [-o FILE]
            families: unit-agreeable | unit-arbitrary | weighted-agreeable
                      | general | bursty
-  solve <file> [--algo NAME] [--gantt] [--width W] [--svg OUT.svg]
+  solve <file> [--algo NAME] [--no-fallback] [--gantt] [--width W]
+        [--svg OUT.svg]
            algos: rr | classified | least-loaded | relax | greedy | local
                   | exact | bal | avr | oa        (default: rr)
+           failures degrade through local → greedy → least-loaded → rr
+           unless --no-fallback is given
   budget <file> --energy E [--gantt] [--non-migratory]
                                       minimize makespan under an energy budget
   compare <file>                      run every algorithm, print the scoreboard
@@ -126,7 +137,10 @@ fn collect<'a>(args: impl Iterator<Item = &'a str>) -> Result<Parsed, CliError> 
     let mut flags = Vec::new();
     let mut args = args.peekable();
     while let Some(a) = args.next() {
-        if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-').filter(|s| s.len() == 1)) {
+        if let Some(name) = a
+            .strip_prefix("--")
+            .or_else(|| a.strip_prefix('-').filter(|s| s.len() == 1))
+        {
             // Boolean flags have no value; valued flags eat the next token.
             let value = match args.peek() {
                 Some(v) if !v.starts_with('-') => Some(args.next().unwrap().to_string()),
@@ -162,7 +176,11 @@ fn info(parsed: &Parsed) -> Result<String, CliError> {
     let _ = writeln!(out, "total work: {:.4}", inst.total_work());
     let _ = writeln!(out, "max density: {:.4}", inst.max_density());
     let _ = writeln!(out, "agreeable: {}", inst.is_agreeable());
-    let _ = writeln!(out, "uniform work: {}", inst.is_uniform_work(Default::default()));
+    let _ = writeln!(
+        out,
+        "uniform work: {}",
+        inst.is_uniform_work(Default::default())
+    );
     Ok(out)
 }
 
@@ -205,15 +223,24 @@ fn generate(parsed: &Parsed) -> Result<String, CliError> {
 fn schedule_for(inst: &Instance, algo: &str) -> Result<(Schedule, &'static str), CliError> {
     let assignment: Option<(Assignment, &'static str)> = match algo {
         "rr" => Some((rr_assignment(inst), "round-robin + YDS (non-migratory)")),
-        "classified" => Some((classified_assignment(inst), "classified RR + YDS (non-migratory)")),
+        "classified" => Some((
+            classified_assignment(inst),
+            "classified RR + YDS (non-migratory)",
+        )),
         "least-loaded" => Some((least_loaded(inst), "least-loaded + YDS (non-migratory)")),
         "relax" => Some((relax_round(inst), "relax-and-round + YDS (non-migratory)")),
-        "greedy" => Some((marginal_energy_greedy(inst), "marginal-energy greedy (non-migratory)")),
+        "greedy" => Some((
+            marginal_energy_greedy(inst),
+            "marginal-energy greedy (non-migratory)",
+        )),
         "exact" => {
             if inst.len() > 16 {
                 return Err(CliError::runtime("exact solver limited to n <= 16"));
             }
-            Some((exact_nonmigratory(inst).assignment, "exact optimum (non-migratory)"))
+            Some((
+                exact_nonmigratory(inst).assignment,
+                "exact optimum (non-migratory)",
+            ))
         }
         "local" => {
             let seed = marginal_energy_greedy(inst);
@@ -236,26 +263,74 @@ fn schedule_for(inst: &Instance, algo: &str) -> Result<(Schedule, &'static str),
     }
 }
 
+/// `solve` goes through the harness: panic-free, post-validated, with a
+/// degradation chain (`--no-fallback` restricts to the requested algorithm)
+/// and an energy check against the certified BAL/KKT lower bound.
 fn solve(parsed: &Parsed) -> Result<String, CliError> {
+    use ssp_harness::{Algo, SolveOptions};
     let inst = load(parsed)?;
-    let algo = parsed.flag("algo").unwrap_or("rr");
-    let (schedule, label) = schedule_for(&inst, algo)?;
-    let stats = schedule
-        .validate(&inst, Default::default())
-        .map_err(|e| CliError::runtime(format!("produced schedule failed validation: {e}")))?;
+    let name = parsed.flag("algo").unwrap_or("rr");
+    let algo = Algo::from_name(name)
+        .map_err(|_| CliError::usage(format!("unknown algorithm '{name}'")))?;
+    let opts = SolveOptions {
+        degrade: !parsed.has("no-fallback"),
+        ..Default::default()
+    };
+    let report = ssp_harness::solve(&inst, algo, &opts);
+    let outcome = match report.outcome {
+        Some(ref o) => o,
+        None => {
+            return Err(CliError::runtime(format!(
+                "no algorithm produced a valid schedule:\n{}",
+                report.summary().trim_end()
+            )))
+        }
+    };
     let mut out = String::new();
-    let _ = writeln!(out, "{label}");
+    let _ = writeln!(out, "{}", outcome.algorithm.label());
+    if report.degraded() {
+        let _ = writeln!(
+            out,
+            "note: '{}' failed; fell back to '{}'",
+            report.requested, outcome.algorithm
+        );
+        for a in &report.attempts {
+            if let Some(e) = &a.error {
+                let _ = writeln!(out, "  {}: {} ({})", a.algo, e, e.kind());
+            }
+        }
+    }
+    if let Some(resource) = outcome.budget_exhausted {
+        let _ = writeln!(
+            out,
+            "note: {resource} budget exhausted; result is best-so-far"
+        );
+    }
+    let stats = &outcome.stats;
     let _ = writeln!(
         out,
         "energy {:.6} | makespan {:.4} | preemptions {} | migrations {} | peak speed {:.4}",
         stats.energy, stats.makespan, stats.preemptions, stats.migrations, stats.max_speed
     );
+    if let (Some(lb), Some(ratio)) = (report.lower_bound, outcome.lb_ratio) {
+        let _ = writeln!(out, "certified lower bound {lb:.6} | ratio {ratio:.6}");
+    }
     if parsed.has("gantt") {
         let width: usize = parsed.flag_parse("width")?.unwrap_or(72);
-        let _ = write!(out, "{}", gantt(&schedule, GanttOptions { width, show_speeds: true }));
+        let _ = write!(
+            out,
+            "{}",
+            gantt(
+                &outcome.schedule,
+                GanttOptions {
+                    width,
+                    show_speeds: true
+                }
+            )
+        );
     }
     if let Some(path) = parsed.flag("svg") {
-        let svg = ssp_model::svg::svg_gantt(&schedule, Default::default());
+        let svg = ssp_model::svg::svg_gantt(&outcome.schedule, Default::default());
         std::fs::write(path, svg)
             .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
         let _ = writeln!(out, "SVG written to {path}");
@@ -270,7 +345,11 @@ fn budget(parsed: &Parsed) -> Result<String, CliError> {
         .ok_or_else(|| CliError::usage("budget needs --energy"))?;
     let (label, makespan, used, schedule) = if parsed.has("non-migratory") {
         use ssp_core::budget::{makespan_under_budget, InnerSolver};
-        let solver = if inst.len() <= 16 { InnerSolver::Exact } else { InnerSolver::Greedy };
+        let solver = if inst.len() <= 16 {
+            InnerSolver::Exact
+        } else {
+            InnerSolver::Greedy
+        };
         match makespan_under_budget(&inst, energy, solver) {
             None => {
                 return Err(CliError::runtime(format!(
@@ -278,7 +357,11 @@ fn budget(parsed: &Parsed) -> Result<String, CliError> {
                 )))
             }
             Some(sol) => (
-                if solver == InnerSolver::Exact { "non-migratory (exact)" } else { "non-migratory (greedy)" },
+                if solver == InnerSolver::Exact {
+                    "non-migratory (exact)"
+                } else {
+                    "non-migratory (greedy)"
+                },
                 sol.makespan,
                 sol.energy,
                 sol.schedule(),
@@ -291,7 +374,12 @@ fn budget(parsed: &Parsed) -> Result<String, CliError> {
                     "no schedule meets deadlines within energy budget {energy}"
                 )))
             }
-            Some(sol) => ("migratory (optimal)", sol.makespan, sol.energy, sol.schedule()),
+            Some(sol) => (
+                "migratory (optimal)",
+                sol.makespan,
+                sol.energy,
+                sol.schedule(),
+            ),
         }
     };
     let mut out = String::new();
@@ -300,7 +388,17 @@ fn budget(parsed: &Parsed) -> Result<String, CliError> {
         "{label}: minimal makespan {makespan:.6} using energy {used:.6} of budget {energy}"
     );
     if parsed.has("gantt") {
-        let _ = write!(out, "{}", gantt(&schedule, GanttOptions { width: 72, show_speeds: true }));
+        let _ = write!(
+            out,
+            "{}",
+            gantt(
+                &schedule,
+                GanttOptions {
+                    width: 72,
+                    show_speeds: true
+                }
+            )
+        );
     }
     Ok(out)
 }
@@ -310,8 +408,19 @@ fn compare(parsed: &Parsed) -> Result<String, CliError> {
     let lb = bal(&inst).energy;
     let mut out = String::new();
     let _ = writeln!(out, "{:<42} {:>14} {:>8}", "algorithm", "energy", "vs LB");
-    let _ = writeln!(out, "{:<42} {:>14.6} {:>8}", "migratory optimum (lower bound)", lb, "1.000");
-    let mut algos = vec!["rr", "classified", "least-loaded", "relax", "greedy", "local"];
+    let _ = writeln!(
+        out,
+        "{:<42} {:>14.6} {:>8}",
+        "migratory optimum (lower bound)", lb, "1.000"
+    );
+    let mut algos = vec![
+        "rr",
+        "classified",
+        "least-loaded",
+        "relax",
+        "greedy",
+        "local",
+    ];
     if inst.len() <= 12 {
         algos.push("exact");
     }
@@ -338,7 +447,11 @@ fn analyze(parsed: &Parsed) -> Result<String, CliError> {
     for (m, u) in util.iter().enumerate() {
         let _ = writeln!(out, "machine {m}: utilization {:.1}%", u * 100.0);
     }
-    let _ = writeln!(out, "peak power: {:.4}", analysis::peak_power(&schedule, inst.alpha()));
+    let _ = writeln!(
+        out,
+        "peak power: {:.4}",
+        analysis::peak_power(&schedule, inst.alpha())
+    );
     let rt = analysis::response_times(&schedule, &inst);
     let mean_rt = rt.iter().map(|&(_, t)| t).sum::<f64>() / rt.len().max(1) as f64;
     let max_rt = rt.iter().map(|&(_, t)| t).fold(0.0, f64::max);
@@ -394,8 +507,16 @@ fn quantize_cmd(parsed: &Parsed) -> Result<String, CliError> {
     }
     let (schedule, label) = schedule_for(&inst, algo)?;
     let continuous = schedule.energy(inst.alpha());
-    let smin = schedule.segments().iter().map(|s| s.speed).fold(f64::INFINITY, f64::min);
-    let smax = schedule.segments().iter().map(|s| s.speed).fold(0.0f64, f64::max)
+    let smin = schedule
+        .segments()
+        .iter()
+        .map(|s| s.speed)
+        .fold(f64::INFINITY, f64::min);
+    let smax = schedule
+        .segments()
+        .iter()
+        .map(|s| s.speed)
+        .fold(0.0f64, f64::max)
         * (1.0 + 1e-9);
     let grid = SpeedLevels::geometric(smin, smax, levels)
         .map_err(|e| CliError::runtime(format!("cannot build level grid: {e}")))?;
@@ -451,7 +572,18 @@ mod tests {
         assert!(info.contains("jobs:      10"));
         assert!(info.contains("machines:  2"));
 
-        for algo in ["rr", "classified", "least-loaded", "relax", "greedy", "local", "bal", "avr", "oa", "exact"] {
+        for algo in [
+            "rr",
+            "classified",
+            "least-loaded",
+            "relax",
+            "greedy",
+            "local",
+            "bal",
+            "avr",
+            "oa",
+            "exact",
+        ] {
             let out = run(&args(&["solve", &p, "--algo", algo])).unwrap();
             assert!(out.contains("energy"), "{algo}: {out}");
         }
@@ -461,7 +593,10 @@ mod tests {
     #[test]
     fn solve_with_gantt_renders_rows() {
         let p = tmp_instance();
-        let out = run(&args(&["solve", &p, "--algo", "bal", "--gantt", "--width", "40"])).unwrap();
+        let out = run(&args(&[
+            "solve", &p, "--algo", "bal", "--gantt", "--width", "40",
+        ]))
+        .unwrap();
         assert!(out.contains("m0 "));
         assert!(out.contains("m1 "));
         std::fs::remove_file(&p).ok();
@@ -496,7 +631,14 @@ mod tests {
         assert!(non.contains("non-migratory (exact)"));
         // Parse makespans: migration can only help.
         let parse_x = |s: &str| -> f64 {
-            s.split("minimal makespan ").nth(1).unwrap().split(' ').next().unwrap().parse().unwrap()
+            s.split("minimal makespan ")
+                .nth(1)
+                .unwrap()
+                .split(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
         };
         assert!(parse_x(&mig) <= parse_x(&non) * (1.0 + 1e-6));
         std::fs::remove_file(&path).ok();
@@ -529,14 +671,31 @@ mod tests {
     #[test]
     fn missing_and_bad_arguments() {
         assert_eq!(run(&args(&["solve"])).unwrap_err().code, 2);
-        assert_eq!(run(&args(&["info", "/nonexistent/x.ssp"])).unwrap_err().code, 1);
         assert_eq!(
-            run(&args(&["generate", "general", "--n", "banana", "--m", "2"])).unwrap_err().code,
+            run(&args(&["info", "/nonexistent/x.ssp"]))
+                .unwrap_err()
+                .code,
+            1
+        );
+        assert_eq!(
+            run(&args(&["generate", "general", "--n", "banana", "--m", "2"]))
+                .unwrap_err()
+                .code,
             2
         );
-        assert_eq!(run(&args(&["generate", "nope", "--n", "4", "--m", "2"])).unwrap_err().code, 2);
+        assert_eq!(
+            run(&args(&["generate", "nope", "--n", "4", "--m", "2"]))
+                .unwrap_err()
+                .code,
+            2
+        );
         let p = tmp_instance();
-        assert_eq!(run(&args(&["solve", &p, "--algo", "quantum"])).unwrap_err().code, 2);
+        assert_eq!(
+            run(&args(&["solve", &p, "--algo", "quantum"]))
+                .unwrap_err()
+                .code,
+            2
+        );
         std::fs::remove_file(&p).ok();
     }
 
@@ -580,12 +739,22 @@ mod tests {
         let out = run(&args(&["quantize", &p, "--levels", "4"])).unwrap();
         assert!(out.contains("overhead x"), "{out}");
         // Overhead is >= 1 by convexity; parse it back out.
-        let x: f64 = out.split("overhead x").nth(1).unwrap().trim_end_matches([')', '\n'])
-            .parse().unwrap();
+        let x: f64 = out
+            .split("overhead x")
+            .nth(1)
+            .unwrap()
+            .trim_end_matches([')', '\n'])
+            .parse()
+            .unwrap();
         assert!(x >= 1.0 - 1e-9);
         // Guardrails.
         assert_eq!(run(&args(&["quantize", &p])).unwrap_err().code, 2);
-        assert_eq!(run(&args(&["quantize", &p, "--levels", "1"])).unwrap_err().code, 2);
+        assert_eq!(
+            run(&args(&["quantize", &p, "--levels", "1"]))
+                .unwrap_err()
+                .code,
+            2
+        );
         std::fs::remove_file(&p).ok();
     }
 
@@ -595,8 +764,48 @@ mod tests {
         let path = std::env::temp_dir().join(format!("ssp_cli_big_{}.ssp", std::process::id()));
         std::fs::write(&path, io::emit(&inst)).unwrap();
         let p = path.to_string_lossy().into_owned();
-        let err = run(&args(&["solve", &p, "--algo", "exact"])).unwrap_err();
-        assert!(err.message.contains("n <= 16"));
+        // With the harness chain, the precondition failure degrades to a
+        // fallback and the output narrates why.
+        let out = run(&args(&["solve", &p, "--algo", "exact"])).unwrap();
+        assert!(out.contains("fell back to"), "{out}");
+        assert!(out.contains("n <= 16"), "{out}");
+        // --no-fallback restores the hard failure as a typed runtime error.
+        let err = run(&args(&["solve", &p, "--algo", "exact", "--no-fallback"])).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("precondition"), "{}", err.message);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn solve_reports_certified_bound() {
+        let p = tmp_instance();
+        let out = run(&args(&["solve", &p, "--algo", "bal"])).unwrap();
+        assert!(out.contains("certified lower bound"), "{out}");
+        assert!(out.contains("ratio 1.0000"), "{out}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn corrupted_file_is_a_typed_runtime_error() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ssp_cli_corrupt_{}.ssp", std::process::id()));
+        let p = path.to_string_lossy().into_owned();
+        for (text, want) in [
+            ("machines 2\njob 0 1.0 0.0", "job needs 4 fields"),
+            ("machines", "machines needs a value"),
+            ("job 0 nan 0.0 2.0", "must be finite"),
+            ("frobnicate 3", "unknown directive"),
+        ] {
+            std::fs::write(&path, text).unwrap();
+            let err = run(&args(&["solve", &p])).unwrap_err();
+            assert_eq!(err.code, 1, "{text}");
+            assert!(err.message.contains("cannot parse"), "{}", err.message);
+            assert!(
+                err.message.contains(want),
+                "expected '{want}' in: {}",
+                err.message
+            );
+        }
         std::fs::remove_file(&path).ok();
     }
 }

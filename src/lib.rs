@@ -18,6 +18,10 @@
 //! * [`workloads`] — seeded workload generators.
 //! * [`exper`] — the experiment harness regenerating every table/figure of
 //!   `EXPERIMENTS.md`.
+//! * [`prng`] — dependency-free seeded randomness (the workspace's `rand`
+//!   replacement, so everything builds offline).
+//! * [`harness`] — the panic-free solve harness: typed [`harness::SolveError`]s,
+//!   the degradation chain, fault injection, and certified lower bounds.
 //!
 //! ## Quickstart
 //!
@@ -51,8 +55,10 @@ pub mod cli;
 
 pub use ssp_core as core;
 pub use ssp_exper as exper;
+pub use ssp_harness as harness;
 pub use ssp_maxflow as maxflow;
 pub use ssp_migratory as migratory;
 pub use ssp_model as model;
+pub use ssp_prng as prng;
 pub use ssp_single as single;
 pub use ssp_workloads as workloads;

@@ -31,7 +31,10 @@ fn mbal_budget_is_tight_when_binding() {
         sol.energy
     );
     // And the schedule realizes it.
-    let stats = sol.schedule().validate(&sol.clamped, Default::default()).unwrap();
+    let stats = sol
+        .schedule()
+        .validate(&sol.clamped, Default::default())
+        .unwrap();
     assert!(stats.makespan <= sol.makespan * (1.0 + 1e-9));
 }
 
@@ -40,8 +43,11 @@ fn mbal_budget_is_tight_when_binding() {
 #[test]
 fn mbal_generous_budget_approaches_release_floor() {
     let inst = deadline_free(8, 4, 2.0, 13);
-    let last_release =
-        inst.jobs().iter().map(|j| j.release).fold(f64::NEG_INFINITY, f64::max);
+    let last_release = inst
+        .jobs()
+        .iter()
+        .map(|j| j.release)
+        .fold(f64::NEG_INFINITY, f64::max);
     let generous = mbal(&inst, inst.total_work() * 1e4).unwrap();
     assert!(generous.makespan > last_release);
     let tight = mbal(&inst, inst.total_work() * 0.5).unwrap();
@@ -57,7 +63,10 @@ fn mbal_with_hard_deadlines() {
     ];
     let inst = Instance::new(jobs, 1, 2.0).unwrap();
     // Minimum possible energy: job 0 at speed 1 (E=1), job 1 arbitrarily slow.
-    assert!(mbal(&inst, 0.9).is_none(), "budget below the deadline-forced floor");
+    assert!(
+        mbal(&inst, 0.9).is_none(),
+        "budget below the deadline-forced floor"
+    );
     let sol = mbal(&inst, 2.0).unwrap();
     assert!(sol.energy <= 2.0 * (1.0 + 1e-6));
     // Job 0's deadline is respected in the clamped instance.
@@ -119,5 +128,7 @@ fn degenerate_inputs() {
     let sol = bal(&tight);
     // Uniform speed 12/4 = 3; energy 12 * 3 = 36 at alpha 2.
     assert!((sol.energy - 36.0).abs() < 1e-6);
-    sol.schedule(&tight).validate(&tight, Default::default()).unwrap();
+    sol.schedule(&tight)
+        .validate(&tight, Default::default())
+        .unwrap();
 }

@@ -39,7 +39,13 @@ fn job_types() -> Vec<(f64, f64, f64)> {
 
 /// Multisets of size `k` over `types` (combinations with repetition).
 fn multisets(k: usize, types: usize) -> Vec<Vec<usize>> {
-    fn rec(k: usize, start: usize, types: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        k: usize,
+        start: usize,
+        types: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if k == 0 {
             out.push(current.clone());
             return;
@@ -80,9 +86,8 @@ fn every_small_instance_passes_the_full_stack() {
 
                 // 1. BAL + certificate.
                 let sol = bal(&inst);
-                certify(&inst, &sol, Tol::rel(1e-6)).unwrap_or_else(|v| {
-                    panic!("KKT failed on {selection:?} m={m}: {v}")
-                });
+                certify(&inst, &sol, Tol::rel(1e-6))
+                    .unwrap_or_else(|v| panic!("KKT failed on {selection:?} m={m}: {v}"));
                 let mig = sol.energy;
 
                 // 2. Exact ordering.
@@ -102,8 +107,9 @@ fn every_small_instance_passes_the_full_stack() {
                         exact.energy
                     );
                     let s = assignment_schedule(&inst, &assign);
-                    let stats =
-                        s.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+                    let stats = s
+                        .validate(&inst, ValidationOptions::non_migratory())
+                        .unwrap();
                     assert!((stats.energy - e).abs() <= 1e-6 * e);
                 }
 
@@ -124,6 +130,9 @@ fn every_small_instance_passes_the_full_stack() {
     }
     // The universe really is exhaustive-sized, and the R1 regime nonempty.
     assert!(checked > 2000, "only {checked} instances checked");
-    assert!(unit_agreeable_cases > 100, "only {unit_agreeable_cases} R1 cases");
+    assert!(
+        unit_agreeable_cases > 100,
+        "only {unit_agreeable_cases} R1 cases"
+    );
     assert_eq!(rr_optimal_cases, unit_agreeable_cases);
 }

@@ -24,9 +24,17 @@ fn quantization_composes_with_all_schedulers() {
         bal(&inst).schedule(&inst),
         assignment_schedule(&inst, &rr_assignment(&inst)),
     ] {
-        let smin = schedule.segments().iter().map(|s| s.speed).fold(f64::INFINITY, f64::min);
-        let smax =
-            schedule.segments().iter().map(|s| s.speed).fold(0.0f64, f64::max) * (1.0 + 1e-9);
+        let smin = schedule
+            .segments()
+            .iter()
+            .map(|s| s.speed)
+            .fold(f64::INFINITY, f64::min);
+        let smax = schedule
+            .segments()
+            .iter()
+            .map(|s| s.speed)
+            .fold(0.0f64, f64::max)
+            * (1.0 + 1e-9);
         let mut prev = f64::INFINITY;
         for levels in [2usize, 4, 16] {
             let grid = SpeedLevels::geometric(smin, smax, levels).unwrap();
@@ -34,7 +42,10 @@ fn quantization_composes_with_all_schedulers() {
             let stats = q.validate(&inst, Default::default()).unwrap();
             let overhead = stats.energy / schedule.energy(inst.alpha());
             assert!(overhead >= 1.0 - 1e-9);
-            assert!(overhead <= prev + 1e-9, "overhead must shrink with finer grids");
+            assert!(
+                overhead <= prev + 1e-9,
+                "overhead must shrink with finer grids"
+            );
             prev = overhead;
         }
     }
@@ -61,7 +72,10 @@ fn bounded_speed_story_is_consistent() {
     // The admitted subset is genuinely schedulable under the cap.
     let sub = inst.subset(&e.admitted);
     let capped = bal_bounded(&sub, below * (1.0 + 1e-9));
-    assert!(capped.is_some(), "exact throughput subset must fit under the cap");
+    assert!(
+        capped.is_some(),
+        "exact throughput subset must fit under the cap"
+    );
 }
 
 /// Decomposed exact, monolithic exact and the parallel exact solver agree.
@@ -69,7 +83,10 @@ fn bounded_speed_story_is_consistent() {
 fn three_exact_solvers_agree() {
     use speedscale::workloads::{ArrivalDist, Spec, WindowDist, WorkDist};
     let spec = Spec::new(10, 2, 2.0)
-        .arrivals(ArrivalDist::Bursty { burst: 5, gap: 50.0 })
+        .arrivals(ArrivalDist::Bursty {
+            burst: 5,
+            gap: 50.0,
+        })
         .work(WorkDist::Uniform { min: 0.5, max: 2.0 })
         .window(WindowDist::LaxityFactor { min: 1.2, max: 2.5 });
     for seed in [1u64, 2] {
@@ -96,7 +113,10 @@ fn local_search_composes_with_policies() {
     assert!(res.energy <= seed_energy * (1.0 + 1e-9));
     let schedule = assignment_schedule(&inst, &res.assignment);
     schedule
-        .validate(&inst, speedscale::model::schedule::ValidationOptions::non_migratory())
+        .validate(
+            &inst,
+            speedscale::model::schedule::ValidationOptions::non_migratory(),
+        )
         .unwrap();
 }
 
@@ -104,13 +124,18 @@ fn local_search_composes_with_policies() {
 #[test]
 fn flowtime_schedules_validate() {
     use speedscale::single::flowtime::{flow_plus_energy, min_flow_time_budget};
-    let releases: Vec<f64> = (0..20).map(|k| k as f64 * 0.4 + (k % 4) as f64 * 0.05).collect();
+    let releases: Vec<f64> = (0..20)
+        .map(|k| k as f64 * 0.4 + (k % 4) as f64 * 0.05)
+        .collect();
     for alpha in [1.5, 2.0, 3.0] {
         let a = flow_plus_energy(&releases, alpha, 1.0);
         let s = a.schedule(0);
         let inst = a.as_instance(1, alpha);
-        s.validate(&inst, speedscale::model::schedule::ValidationOptions::non_migratory())
-            .unwrap();
+        s.validate(
+            &inst,
+            speedscale::model::schedule::ValidationOptions::non_migratory(),
+        )
+        .unwrap();
         let b = min_flow_time_budget(&releases, alpha, a.energy);
         // Re-solving with a's energy as the budget cannot do worse than a.
         assert!(b.total_flow <= a.total_flow * (1.0 + 1e-6));
@@ -157,8 +182,14 @@ fn swf_chain_to_solvers() {
 3 500 0 40 2 -1 -1 2 100 -1 1 1 1 1 1 1 -1 -1
 4 510 0 20 1 -1 -1 1  -1 -1 1 1 1 1 1 1 -1 -1
 ";
-    let (inst, report) = parse_swf(trace, SwfOptions { machines: 2, ..Default::default() })
-        .unwrap();
+    let (inst, report) = parse_swf(
+        trace,
+        SwfOptions {
+            machines: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_eq!(report.imported, 4);
     let lb = bal(&inst).energy;
     let exact = exact_decomposed(&inst).energy;

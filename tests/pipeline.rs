@@ -34,7 +34,10 @@ fn energy_hierarchy_holds_across_families() {
         let inst = spec.gen(subseed(0xFEED, seed));
         let mig = bal(&inst).energy;
         let opt = exact_nonmigratory(&inst).energy;
-        assert!(opt >= mig * (1.0 - 1e-6), "{fam}: non-mig OPT {opt} below migratory {mig}");
+        assert!(
+            opt >= mig * (1.0 - 1e-6),
+            "{fam}: non-mig OPT {opt} below migratory {mig}"
+        );
         for (name, assign) in [
             ("rr", rr_assignment(&inst)),
             ("classified", classified_assignment(&inst)),
@@ -73,7 +76,9 @@ fn all_schedules_validate_with_matching_energy() {
     ] {
         let e = assignment_energy(&inst, &assign);
         let s = assignment_schedule(&inst, &assign);
-        let stats = s.validate(&inst, ValidationOptions::non_migratory()).unwrap();
+        let stats = s
+            .validate(&inst, ValidationOptions::non_migratory())
+            .unwrap();
         assert!((stats.energy - e).abs() <= 1e-6 * e);
         assert!(e >= lb.energy * (1.0 - 1e-6));
     }

@@ -32,7 +32,10 @@ fn hierarchy_sweep_200_seeds() {
         let inst = families::general(25, 3, 2.0).gen(subseed(0x57E6, seed));
         let lb = bal(&inst).energy;
         let rr = assignment_energy(&inst, &rr_assignment(&inst));
-        assert!(rr >= lb * (1.0 - 1e-6), "seed {seed}: RR {rr} below LB {lb}");
+        assert!(
+            rr >= lb * (1.0 - 1e-6),
+            "seed {seed}: RR {rr} below LB {lb}"
+        );
         assert!(rr <= 3.0 * lb, "seed {seed}: RR implausibly bad");
     }
 }
