@@ -14,6 +14,14 @@
 //! * `cargo test` (and any invocation without `--bench`) runs each
 //!   benchmark body exactly once as a smoke test, so the kernels stay
 //!   covered by the tier-1 gate without paying measurement time.
+//!
+//! Passing `--probe` (or setting `SSP_BENCH_PROBE=1`) additionally runs one
+//! extra *untimed* invocation of each benchmark inside an `ssp-probe`
+//! session and prints the per-iteration solver counters (max-flow runs,
+//! bisection steps, …) under the timing line — so a regression in time can
+//! immediately be attributed to a regression in work. The traced run stays
+//! outside the timed samples, so probing never perturbs the numbers. See
+//! `docs/OBSERVABILITY.md`.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -21,15 +29,23 @@ use std::time::{Duration, Instant};
 /// Measurement configuration plus run-wide counters.
 pub struct Criterion {
     measure: bool,
+    probe: bool,
     ran: usize,
 }
 
 impl Criterion {
     /// Build from the process arguments (`--bench` selects measurement
-    /// mode, anything else the single-pass smoke mode).
+    /// mode, anything else the single-pass smoke mode; `--probe` or the
+    /// `SSP_BENCH_PROBE` env var adds per-iteration counter reporting).
     pub fn from_args() -> Self {
         let measure = std::env::args().any(|a| a == "--bench");
-        Criterion { measure, ran: 0 }
+        let probe = std::env::args().any(|a| a == "--probe")
+            || std::env::var_os("SSP_BENCH_PROBE").is_some();
+        Criterion {
+            measure,
+            probe,
+            ran: 0,
+        }
     }
 
     /// Open a named group of related benchmarks.
@@ -154,11 +170,21 @@ pub enum Throughput {
 /// Passed to every benchmark body; [`Bencher::iter`] does the timing.
 pub struct Bencher {
     measure: bool,
+    probe: bool,
     sample_size: usize,
     /// Total time spent inside `iter` closures.
     elapsed: Duration,
     /// Number of closure invocations that `elapsed` covers.
     iters: u64,
+    /// Trace of one untimed invocation, captured in probe mode.
+    trace: Option<ssp_probe::Trace>,
+}
+
+/// One untimed, traced invocation; `None` if the probe is busy elsewhere.
+fn trace_once<O>(routine: &mut impl FnMut() -> O) -> Option<ssp_probe::Trace> {
+    let session = ssp_probe::Session::begin()?;
+    std::hint::black_box(routine());
+    Some(session.end())
 }
 
 impl Bencher {
@@ -166,9 +192,19 @@ impl Bencher {
     /// in smoke mode.
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
         if !self.measure {
-            std::hint::black_box(routine());
+            if self.probe {
+                self.trace = trace_once(&mut routine);
+            }
+            if self.trace.is_none() {
+                std::hint::black_box(routine());
+            }
             self.iters += 1;
             return;
+        }
+        if self.probe {
+            // Trace before the timed samples so counter registration and
+            // buffer growth never land inside a measurement.
+            self.trace = trace_once(&mut routine);
         }
         // Warmup + calibration: aim each timed sample at ~2ms of work.
         let start = Instant::now();
@@ -202,14 +238,17 @@ fn run_one(
 ) {
     let mut b = Bencher {
         measure: criterion.measure,
+        probe: criterion.probe,
         sample_size,
         elapsed: Duration::ZERO,
         iters: 0,
+        trace: None,
     };
     f(&mut b);
     criterion.ran += 1;
     if !criterion.measure {
         println!("smoke {label}: ok ({} call(s))", b.iters.max(1));
+        print_trace_counters(label, &b.trace);
         return;
     }
     if b.iters == 0 {
@@ -229,6 +268,17 @@ fn run_one(
         }
     }
     println!("{line}");
+    print_trace_counters(label, &b.trace);
+}
+
+/// In probe mode, report the solver counters of one traced iteration under
+/// the timing line (deltas per iteration, since the session spans exactly
+/// one invocation).
+fn print_trace_counters(label: &str, trace: &Option<ssp_probe::Trace>) {
+    let Some(trace) = trace else { return };
+    for (name, value) in &trace.counters {
+        println!("  probe {label}: {name} = {value}/iter");
+    }
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -287,6 +337,7 @@ mod tests {
     fn smoke_mode_runs_body_once() {
         let mut c = Criterion {
             measure: false,
+            probe: false,
             ran: 0,
         };
         let mut calls = 0u32;
@@ -299,6 +350,7 @@ mod tests {
     fn measure_mode_records_iterations() {
         let mut c = Criterion {
             measure: true,
+            probe: false,
             ran: 0,
         };
         let mut g = c.benchmark_group("grp");
@@ -312,6 +364,31 @@ mod tests {
             calls >= 3,
             "expected multiple timed iterations, got {calls}"
         );
+    }
+
+    #[test]
+    fn probe_mode_traces_one_untimed_iteration() {
+        // Process-global probe: this is the only session user in this test
+        // binary, so no lock is needed.
+        let mut calls = 0u32;
+        let trace = trace_once(&mut || {
+            ssp_probe::counter!("bench.harness.test_events", 3u64);
+            calls += 1;
+        })
+        .expect("probe idle in the bench test binary");
+        assert_eq!(calls, 1, "trace_once runs the routine exactly once");
+        assert_eq!(trace.counter("bench.harness.test_events"), 3);
+
+        // Smoke mode with probing on: the traced call doubles as the smoke
+        // call, so the body still runs exactly once.
+        let mut c = Criterion {
+            measure: false,
+            probe: true,
+            ran: 0,
+        };
+        let mut smoke_calls = 0u32;
+        c.bench_function("probe_smoke", |b| b.iter(|| smoke_calls += 1));
+        assert_eq!(smoke_calls, 1);
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //!
 //! This library crate only hosts shared fixtures; the targets live under
 //! `benches/`.
+//!
+//! Passing `--probe` after `--bench` (or setting `SSP_BENCH_PROBE=1`)
+//! attaches `ssp-probe` counter deltas to each benchmark: one extra
+//! untimed iteration runs inside a probe session and its solver counters
+//! (max-flow runs, pushes/relabels, bisection steps, …) print under the
+//! timing line, so a slower number can be split into "more work" vs
+//! "slower work" without re-running anything. See `docs/OBSERVABILITY.md`
+//! at the repository root.
 
 #![warn(missing_docs)]
 

@@ -81,6 +81,7 @@ pub fn assignment_energy(instance: &Instance, assignment: &Assignment) -> f64 {
 /// Materialize the optimal schedule for an assignment: YDS + EDF on each
 /// machine, merged. Always succeeds (speeds are unbounded).
 pub fn assignment_schedule(instance: &Instance, assignment: &Assignment) -> Schedule {
+    let _span = ssp_probe::span("assign.schedule");
     assert_eq!(
         assignment.len(),
         instance.len(),

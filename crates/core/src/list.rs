@@ -15,6 +15,8 @@ use ssp_single::yds::yds;
 
 /// Least-total-work list assignment in release order.
 pub fn least_loaded(instance: &Instance) -> Assignment {
+    let _span = ssp_probe::span("assign.least_loaded");
+    ssp_probe::counter!("assign.least_loaded_passes");
     let mut machine_of = vec![0usize; instance.len()];
     let mut load = vec![0.0f64; instance.machines()];
     for &i in &instance.release_order() {
@@ -28,6 +30,8 @@ pub fn least_loaded(instance: &Instance) -> Assignment {
 /// Greedy marginal-energy assignment in release order: place each job on the
 /// machine where the per-machine YDS energy grows the least.
 pub fn marginal_energy_greedy(instance: &Instance) -> Assignment {
+    let _span = ssp_probe::span("assign.greedy");
+    ssp_probe::counter!("assign.greedy_passes");
     let m = instance.machines();
     let mut machine_of = vec![0usize; instance.len()];
     let mut groups: Vec<Vec<Job>> = vec![Vec::new(); m];

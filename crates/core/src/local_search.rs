@@ -76,6 +76,7 @@ pub fn improve(
     seed_assignment: &Assignment,
     opts: LocalSearchOptions,
 ) -> LocalSearchResult {
+    let _span = ssp_probe::span("local_search");
     let n = instance.len();
     let m = instance.machines();
     let mut machine_of: Vec<usize> = seed_assignment.as_slice().to_vec();
@@ -105,6 +106,7 @@ pub fn improve(
     let mut meter = budget.meter();
 
     while stale < opts.max_stale_passes && meter.exhausted().is_none() && m > 1 {
+        ssp_probe::counter!("local_search.passes");
         let mut improved_this_pass = false;
 
         // Move neighborhood.
@@ -192,6 +194,13 @@ pub fn improve(
         }
     }
 
+    ssp_probe::counter!("local_search.evaluations", evaluations as u64);
+    ssp_probe::counter!("local_search.moves_accepted", improvements as u64);
+    ssp_probe::counter!(
+        "local_search.moves_rejected",
+        (evaluations - improvements) as u64
+    );
+    ssp_probe::counter!("local_search.budget_used", meter.used());
     let assignment = Assignment::new(machine_of);
     let energy_final = crate::assignment::assignment_energy(instance, &assignment);
     assert!(

@@ -17,6 +17,8 @@ use ssp_model::{Instance, Schedule};
 
 /// The sorted round-robin assignment.
 pub fn rr_assignment(instance: &Instance) -> Assignment {
+    let _span = ssp_probe::span("assign.rr");
+    ssp_probe::counter!("assign.rr_passes");
     let order = instance.release_order();
     let m = instance.machines();
     let mut machine_of = vec![0usize; instance.len()];

@@ -27,6 +27,8 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
             "BAL flows",
             "BAL rounds",
             "flows per round",
+            "bisect steps",
+            "dinic phases",
             "RR-YDS ms",
         ],
     );
@@ -38,10 +40,19 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
         let mut bal_ms = Vec::new();
         let mut flows = 0usize;
         let mut rounds = 0usize;
+        // Probe-counter deltas per run (zero when no session is active,
+        // e.g. in the quick-mode smoke test; the ssp-exper binary installs
+        // a session per experiment, so CSV regeneration records them).
+        let mut bisect_steps = 0u64;
+        let mut dinic_phases = 0u64;
         for _ in 0..reps {
+            let b0 = ssp_probe::counter_value("bal.bisect_steps");
+            let p0 = ssp_probe::counter_value("maxflow.dinic.phases");
             let t0 = Instant::now();
             let sol = bal(&inst);
             bal_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            bisect_steps = ssp_probe::counter_value("bal.bisect_steps") - b0;
+            dinic_phases = ssp_probe::counter_value("maxflow.dinic.phases") - p0;
             flows = sol.flow_computations;
             rounds = sol.rounds.len();
         }
@@ -65,6 +76,8 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
             flows.into(),
             rounds.into(),
             crate::table::Cell::Num(flows as f64 / rounds as f64, 1),
+            (bisect_steps as usize).into(),
+            (dinic_phases as usize).into(),
             crate::table::Cell::Num(rr_med, 2),
         ]);
     }

@@ -6,8 +6,14 @@
 //! ssp-exper exp3 exp4 [--seed 7] # run selected experiments
 //! ssp-exper all --csv results/   # additionally write one CSV per table
 //! ```
+//!
+//! Every experiment runs inside a probe session; the final `telemetry`
+//! table (and `timings.csv` under `--csv`) attributes each experiment's
+//! wall time to solver work — max-flow runs, BAL bisection steps,
+//! local-search evaluations. See `docs/OBSERVABILITY.md`.
 
-use ssp_exper::{registry, RunCfg};
+use ssp_exper::table::Cell;
+use ssp_exper::{registry, RunCfg, Table};
 use std::io::Write as _;
 
 fn main() {
@@ -61,6 +67,18 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create csv dir");
     }
     let reg = registry();
+    let mut timings = Table::new(
+        "telemetry: per-experiment wall time and solver counters",
+        &[
+            "exp",
+            "wall s",
+            "flow runs",
+            "bal rounds",
+            "bisect steps",
+            "ls evals",
+            "validations",
+        ],
+    );
     for id in selected {
         let exp = reg.iter().find(|e| e.id == id).unwrap_or_else(|| {
             eprintln!("unknown experiment '{id}' (try 'list')");
@@ -74,7 +92,17 @@ fn main() {
             if cfg.quick { "quick" } else { "full" }
         );
         let t0 = std::time::Instant::now();
+        // One probe session per experiment: counters in the timings table
+        // are per-experiment totals (across all its worker threads). exp17
+        // measures enabled-vs-disabled itself, so it needs the probe idle.
+        let session = if exp.id == "exp17" {
+            None
+        } else {
+            ssp_probe::Session::begin()
+        };
         let tables = (exp.run)(&cfg);
+        let trace = session.map(|s| s.end());
+        let wall = t0.elapsed().as_secs_f64();
         for (k, table) in tables.iter().enumerate() {
             println!("{}", table.to_markdown());
             if let Some(dir) = &csv_dir {
@@ -84,11 +112,29 @@ fn main() {
                 eprintln!("wrote {path}");
             }
         }
-        eprintln!(
-            "== {} done in {:.1}s ==\n",
-            exp.id,
-            t0.elapsed().as_secs_f64()
-        );
+        if let Some(trace) = &trace {
+            timings.push(vec![
+                Cell::Text(exp.id.to_string()),
+                Cell::Num(wall, 3),
+                Cell::Int(
+                    (trace.counter("maxflow.dinic.runs") + trace.counter("maxflow.pr.runs")) as i64,
+                ),
+                Cell::Int(trace.counter("bal.rounds") as i64),
+                Cell::Int(trace.counter("bal.bisect_steps") as i64),
+                Cell::Int(trace.counter("local_search.evaluations") as i64),
+                Cell::Int(trace.counter("validate.calls") as i64),
+            ]);
+        }
+        eprintln!("== {} done in {wall:.1}s ==\n", exp.id);
+    }
+    if !timings.rows.is_empty() {
+        println!("{}", timings.to_markdown());
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/timings.csv");
+            let mut f = std::fs::File::create(&path).expect("create csv file");
+            f.write_all(timings.to_csv().as_bytes()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
     }
 }
 

@@ -31,15 +31,30 @@ where
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                *slots[i].lock().unwrap() = Some(r);
-            });
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    *slots[i].lock().unwrap() = Some(r);
+                })
+            })
+            .collect();
+        // Join manually: `scope` alone would replace a worker's panic
+        // payload with a generic "a scoped thread panicked". Re-raising the
+        // first payload makes `f`'s panic observable to the caller exactly
+        // as in the sequential path (and no slot is silently left `None`).
+        let mut first_panic = None;
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
         }
     });
     slots
@@ -76,6 +91,29 @@ mod tests {
             CALLS.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(CALLS.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_its_payload() {
+        let result = std::panic::catch_unwind(|| {
+            par_map((0..64).collect::<Vec<i32>>(), |&x| {
+                if x == 13 {
+                    panic!("boom at 13");
+                }
+                x * 2
+            })
+        });
+        let payload = result.expect_err("panic in `f` must propagate to the caller");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            message.contains("boom at 13"),
+            "original payload must survive, got: {message:?}"
+        );
     }
 
     #[test]

@@ -26,6 +26,14 @@
 //! solver; exhaustion yields the best valid solution found so far, marked in
 //! the report rather than silently returned.
 //!
+//! Every solve is also *observable*: the solver stack carries [`ssp_probe`]
+//! spans and counters, and [`solve_traced`] wraps a solve in a probe session
+//! so [`SolveReport::telemetry`] holds the complete span tree — lower bound,
+//! every chain attempt by algorithm name, validation — plus counter totals
+//! (max-flow work, BAL bisection steps, local-search moves). When no session
+//! is active the probes cost a relaxed atomic load; see
+//! `docs/OBSERVABILITY.md` for the trace schema and how to read one.
+//!
 //! [`fault::FaultPlan`] generates the seeded corrupted-instance stream used
 //! by the fault-injection suite (`tests/fault_injection.rs`) to enforce the
 //! no-panic guarantee over every registered algorithm.
@@ -319,6 +327,9 @@ pub struct SolveReport {
     pub attempts: Vec<Attempt>,
     /// The accepted result.
     pub outcome: Option<SolveOutcome>,
+    /// Captured probe trace ([`solve_traced`] only): the span tree and
+    /// counter totals for the whole chain, including every fallback step.
+    pub telemetry: Option<ssp_probe::Trace>,
 }
 
 impl SolveReport {
@@ -384,7 +395,9 @@ pub fn degradation_chain(requested: Algo) -> Vec<Algo> {
 /// degrading through [`degradation_chain`] on failure. Total: always
 /// returns a report, never panics.
 pub fn solve(instance: &Instance, requested: Algo, opts: &SolveOptions) -> SolveReport {
+    let _solve_span = ssp_probe::span("solve");
     let lower_bound = if opts.lower_bound {
+        let _lb_span = ssp_probe::span("lower_bound");
         certified_lower_bound(instance, opts.budget)
     } else {
         None
@@ -400,7 +413,12 @@ pub fn solve(instance: &Instance, requested: Algo, opts: &SolveOptions) -> Solve
     let mut fallback_reason: Option<String> = None;
     for algo in chain {
         let start = Instant::now();
-        let result = attempt(instance, algo, opts, lower_bound);
+        let result = {
+            // Span named after the algorithm, so every fallback step shows
+            // up as its own phase under `solve`.
+            let _attempt_span = ssp_probe::span(algo.name());
+            attempt(instance, algo, opts, lower_bound)
+        };
         let wall = start.elapsed();
         match result {
             Ok((schedule, stats, budget_exhausted)) => {
@@ -442,6 +460,22 @@ pub fn solve(instance: &Instance, requested: Algo, opts: &SolveOptions) -> Solve
         lower_bound,
         attempts,
         outcome,
+        telemetry: None,
+    }
+}
+
+/// Like [`solve`], but wrapped in a probe session: the returned report
+/// carries the captured [`ssp_probe::Trace`] in [`SolveReport::telemetry`].
+/// When another session already holds the probes the solve still runs and
+/// the report's telemetry is simply `None` — tracing never blocks a solve.
+pub fn solve_traced(instance: &Instance, requested: Algo, opts: &SolveOptions) -> SolveReport {
+    match ssp_probe::Session::begin() {
+        Some(session) => {
+            let mut report = solve(instance, requested, opts);
+            report.telemetry = Some(session.end());
+            report
+        }
+        None => solve(instance, requested, opts),
     }
 }
 

@@ -136,16 +136,23 @@ impl FlowNetwork {
         self.last_source = Some(s);
         self.last_sink = Some(t);
         let mut total = 0.0;
+        // Probe counts accumulate locally, flushed once on return.
+        let (mut phases, mut augmentations) = (0u64, 0u64);
         while self.build_levels(s, t) {
+            phases += 1;
             self.iter.iter_mut().for_each(|i| *i = 0);
             loop {
                 let pushed = self.blocking_dfs(s, t, f64::INFINITY);
                 if pushed <= 0.0 {
                     break;
                 }
+                augmentations += 1;
                 total += pushed;
             }
         }
+        ssp_probe::counter!("maxflow.dinic.runs");
+        ssp_probe::counter!("maxflow.dinic.phases", phases);
+        ssp_probe::counter!("maxflow.dinic.augmentations", augmentations);
         total
     }
 

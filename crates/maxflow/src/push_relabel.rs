@@ -86,6 +86,9 @@ impl PushRelabel {
     pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
         let n = self.adj.len();
         assert!(s < n && t < n && s != t);
+        // Probe counts accumulate locally and flush once on return, so the
+        // hot loop only pays plain register increments.
+        let (mut pushes, mut relabels, mut gap_firings) = (0u64, 0u64, 0u64);
         for e in &mut self.edges {
             e.cap = e.orig;
         }
@@ -151,6 +154,7 @@ impl PushRelabel {
                     }
                     if height[u] == height[to] + 1 {
                         // Push.
+                        pushes += 1;
                         let delta = excess[u].min(cap);
                         self.edges[ei].cap -= delta;
                         self.edges[ei ^ 1].cap += delta;
@@ -175,10 +179,12 @@ impl PushRelabel {
                 if lowest_neighbor == usize::MAX {
                     break; // no admissible or relabelable edge: stuck excess stays
                 }
+                relabels += 1;
                 let old = height[u];
                 if old < n {
                     height_count[old] -= 1;
                     if height_count[old] == 0 {
+                        gap_firings += 1;
                         // Gap: lift every node above `old` (below n) past n.
                         for v in 0..n {
                             if v != s && height[v] > old && height[v] < n {
@@ -208,6 +214,10 @@ impl PushRelabel {
                 continue;
             }
         }
+        ssp_probe::counter!("maxflow.pr.runs");
+        ssp_probe::counter!("maxflow.pr.pushes", pushes);
+        ssp_probe::counter!("maxflow.pr.relabels", relabels);
+        ssp_probe::counter!("maxflow.pr.gap_firings", gap_firings);
         excess[t]
     }
 }

@@ -132,6 +132,7 @@ pub fn try_bal_with_wap(
     intervals: IntervalSet,
     budget: Budget,
 ) -> Result<BalSolution, SolveError> {
+    let _bal_span = ssp_probe::span("bal");
     let mut meter = budget.meter();
     let n = instance.len();
     let mut wap = wap;
@@ -190,6 +191,8 @@ pub fn try_bal_with_wap(
     let mut budget_exhausted = None;
 
     while !remaining.is_empty() {
+        let _round_span = ssp_probe::span("bal.round");
+        ssp_probe::counter!("bal.rounds");
         // Effective densities: job work over its still-open time.
         let mut lo: f64 = 0.0;
         for &i in &remaining {
@@ -262,9 +265,15 @@ pub fn try_bal_with_wap(
             break;
         }
 
-        // Binary search the critical speed.
-        let (_, v_hi) =
-            bisect_threshold_budgeted(lo, hi, BINARY_SEARCH_REL_WIDTH, &mut meter, &mut feasible)?;
+        // Binary search the critical speed. The bisection ticks the meter
+        // once per feasibility probe, so the meter delta is the step count.
+        let meter_before = meter.used();
+        let bisected = {
+            let _bisect_span = ssp_probe::span("bal.bisect");
+            bisect_threshold_budgeted(lo, hi, BINARY_SEARCH_REL_WIDTH, &mut meter, &mut feasible)
+        };
+        ssp_probe::counter!("bal.bisect_steps", meter.used() - meter_before);
+        let (_, v_hi) = bisected?;
         let v_crit = v_hi;
         if meter.exhausted().is_some() {
             // Truncated search: `v_hi` is the feasible end of the bracket.
@@ -412,6 +421,8 @@ pub fn try_bal_with_wap(
         for &i in &critical {
             speeds[i] = v_crit;
         }
+        ssp_probe::counter!("bal.critical_jobs", critical.len() as u64);
+        ssp_probe::counter!("bal.saturated_intervals", saturated.len() as u64);
         remaining.retain(|i| !critical.contains(i));
         rounds.push(BalRound {
             speed: v_crit,
@@ -421,6 +432,10 @@ pub fn try_bal_with_wap(
         hi = v_crit;
     }
 
+    ssp_probe::counter!("bal.flow_calls", flow_computations as u64);
+    if budget_exhausted.is_some() {
+        ssp_probe::counter!("bal.budget_exhausted");
+    }
     let assignment = SpeedAssignment::new(speeds);
     let energy = assignment.energy(instance);
     Ok(BalSolution {

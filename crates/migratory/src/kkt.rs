@@ -120,6 +120,8 @@ impl std::error::Error for KktViolation {}
 // Index loops throughout: `t[i][j]` mirrors the paper's allotment matrix.
 #[allow(clippy::needless_range_loop)]
 pub fn certify(instance: &Instance, sol: &BalSolution, tol: Tol) -> Result<(), KktViolation> {
+    let _span = ssp_probe::span("kkt.certify");
+    ssp_probe::counter!("kkt.certifications");
     let n = instance.len();
     let ivals = &sol.intervals;
     let m = instance.machines() as f64;

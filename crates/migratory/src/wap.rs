@@ -126,6 +126,8 @@ impl Wap {
     /// annotated flow for feasibility tests / allotment readback /
     /// residual-reachability queries.
     pub fn solve(&self, p: &[f64]) -> WapFlow {
+        let _span = ssp_probe::span("wap.solve");
+        ssp_probe::counter!("wap.flow_calls");
         assert_eq!(p.len(), self.alive.len(), "demand vector length mismatch");
         let n = self.alive.len();
         let l = self.lengths.len();

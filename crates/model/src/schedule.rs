@@ -222,6 +222,8 @@ impl Schedule {
         instance: &Instance,
         opts: ValidationOptions,
     ) -> Result<ScheduleStats, ValidationError> {
+        let _span = ssp_probe::span("validate");
+        ssp_probe::counter!("validate.calls");
         let tol = opts.tol;
         // Per-segment checks.
         for s in &self.segments {

@@ -1,0 +1,453 @@
+//! # ssp-probe — zero-dependency solver observability
+//!
+//! The solver stack (max-flow engines, BAL peeling, assignment local search)
+//! is instrumented with two kinds of probes:
+//!
+//! * **Spans** — hierarchical phase timers. [`span("bal")`](span) returns a
+//!   guard; the time between creation and drop is recorded together with the
+//!   enclosing span (tracked per thread), so a solve yields a tree of phases.
+//! * **Counters** — named monotonic `u64`s declared at the probe site with
+//!   the [`counter!`] macro. Hot loops accumulate into a local variable and
+//!   flush once per call, so the per-event cost is an ordinary register
+//!   increment.
+//!
+//! Both are **near-zero overhead when disabled**: every probe site first
+//! performs a relaxed load of one global [`AtomicBool`] and returns
+//! immediately when no telemetry session is active. This is the shipping
+//! default; EXP-17 measures the residual cost on the BAL and push-relabel
+//! kernels at well under the 2% acceptance threshold.
+//!
+//! ## Sessions
+//!
+//! Recording is scoped by a [`Session`]: [`Session::begin`] claims the
+//! (process-global) probe state, zeroes all counters, and enables the
+//! probes; [`Session::end`] disables them and returns the captured
+//! [`Trace`]. Only one session can be active at a time — `begin` returns
+//! `None` if another session holds the probes, so library code can degrade
+//! gracefully instead of blocking.
+//!
+//! ```
+//! let session = ssp_probe::Session::begin().expect("no other session");
+//! {
+//!     let _solve = ssp_probe::span("solve");
+//!     let _inner = ssp_probe::span("inner");
+//!     ssp_probe::counter!("demo.events", 3);
+//! }
+//! let trace = session.end();
+//! assert_eq!(trace.counter("demo.events"), 3);
+//! assert!(trace.to_jsonl().contains("\"name\":\"inner\""));
+//! ```
+//!
+//! The captured [`Trace`] serializes to JSONL ([`Trace::to_jsonl`]), parses
+//! back ([`Trace::parse`]), renders a human-readable phase table
+//! ([`Trace::phase_table`]) and self-checks its structure
+//! ([`Trace::validate`]). See `docs/OBSERVABILITY.md` for the schema and an
+//! annotated example.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+mod trace;
+
+pub use trace::{SpanRec, Trace};
+
+/// Fast-path gate. Relaxed loads of this flag are the only cost probes pay
+/// when no session is active.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Exclusive claim on the probe state; distinct from `ENABLED` so that
+/// `Session::begin` can reset buffers *before* events start flowing.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Bumped on every session begin/end; span guards remember the generation
+/// they were created under and drop their record silently if the session
+/// changed underneath them (e.g. a guard held across `Session::end`).
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// Span ids are unique within a session; 0 means "no parent".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Small dense thread labels for the trace (1, 2, 3, … in first-probe order).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Innermost open span on this thread (0 = none): the parent for new spans.
+    static CURRENT_PARENT: Cell<u64> = const { Cell::new(0) };
+    /// Cached dense label for this thread (0 = not yet assigned).
+    static THREAD_LABEL: Cell<u64> = const { Cell::new(0) };
+}
+
+struct RawSpan {
+    id: u64,
+    parent: u64,
+    thread: u64,
+    name: &'static str,
+    start: Instant,
+    end: Instant,
+}
+
+struct Global {
+    spans: Mutex<Vec<RawSpan>>,
+    counters: Mutex<Vec<&'static CounterCell>>,
+    epoch: Mutex<Option<Instant>>,
+}
+
+fn global() -> &'static Global {
+    static G: OnceLock<Global> = OnceLock::new();
+    G.get_or_init(|| Global {
+        spans: Mutex::new(Vec::new()),
+        counters: Mutex::new(Vec::new()),
+        epoch: Mutex::new(None),
+    })
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Probe state is plain data; a panic while holding the lock cannot leave
+    // it logically corrupt, so poisoning is not meaningful here.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn thread_label() -> u64 {
+    THREAD_LABEL.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+/// Are probes currently recording? Exposed so callers can skip building
+/// expensive probe-only arguments.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Current in-session total of counter `name`, summed across macro sites.
+/// Returns 0 when no session is active (or the counter has not fired yet).
+/// Lets callers measure counter *deltas* around a region without ending the
+/// session — e.g. per-repetition solver work inside a larger experiment.
+pub fn counter_value(name: &str) -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    lock(&global().counters)
+        .iter()
+        .filter(|c| c.name == name)
+        .map(|c| c.value.load(Ordering::Relaxed))
+        .sum()
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// Storage behind one [`counter!`] site: a `static` cell created by the
+/// macro, registered with the session registry on first use so that
+/// [`Session::begin`] can zero it and [`Session::end`] can snapshot it.
+pub struct CounterCell {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl CounterCell {
+    /// Create a cell. Intended for use by the [`counter!`] macro; the cell
+    /// must be a `static` so registration by reference is sound.
+    pub const fn new(name: &'static str) -> Self {
+        CounterCell {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Add `n` to the counter if a session is recording; a relaxed load and
+    /// a branch otherwise.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        self.record(n);
+    }
+
+    #[cold]
+    fn register(&'static self) {
+        let mut list = lock(&global().counters);
+        // Double-check under the lock: another thread may have registered
+        // this cell between our relaxed check and acquiring the lock.
+        if !self.registered.load(Ordering::Relaxed) {
+            list.push(self);
+            self.registered.store(true, Ordering::Release);
+        }
+    }
+
+    fn record(&'static self, n: u64) {
+        if !self.registered.load(Ordering::Acquire) {
+            self.register();
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Bump a named monotonic counter: `counter!("bal.flow_calls")` adds 1,
+/// `counter!("maxflow.pr.pushes", pushes)` adds an accumulated total. The
+/// name must be a string literal (it keys the counter in the trace). When no
+/// session is active this compiles to a relaxed atomic load and a branch.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::counter!($name, 1u64)
+    };
+    ($name:expr, $n:expr) => {{
+        static CELL: $crate::CounterCell = $crate::CounterCell::new($name);
+        CELL.add($n as u64);
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// RAII timer for one phase. Created by [`span`]; the phase ends when the
+/// guard drops. Guards nest: spans opened while this guard is alive (on the
+/// same thread) become its children in the trace.
+#[must_use = "the span ends when the guard drops; bind it with `let _g = ...`"]
+pub struct SpanGuard {
+    /// `None` when probes were disabled at creation (the common case).
+    rec: Option<(u64, u64, &'static str, Instant, u64)>, // id, parent, name, start, generation
+}
+
+/// Open a phase span named `name`. Near-free when no session is active.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return SpanGuard { rec: None };
+    }
+    let generation = GENERATION.load(Ordering::Relaxed);
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = CURRENT_PARENT.with(|c| {
+        let p = c.get();
+        c.set(id);
+        p
+    });
+    SpanGuard {
+        rec: Some((id, parent, name, Instant::now(), generation)),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((id, parent, name, start, generation)) = self.rec.take() else {
+            return;
+        };
+        CURRENT_PARENT.with(|c| c.set(parent));
+        // Discard the record if the session ended (or a new one began)
+        // while the guard was open — its epoch no longer matches.
+        if ENABLED.load(Ordering::Relaxed) && GENERATION.load(Ordering::Relaxed) == generation {
+            let end = Instant::now();
+            lock(&global().spans).push(RawSpan {
+                id,
+                parent,
+                thread: thread_label(),
+                name,
+                start,
+                end,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------------
+
+/// Exclusive recording session. See the crate docs for the lifecycle.
+pub struct Session {
+    finished: bool,
+}
+
+impl Session {
+    /// Claim the probes and start recording. Returns `None` if another
+    /// session is already active (callers should degrade to an untraced
+    /// run, not block).
+    pub fn begin() -> Option<Session> {
+        if ACTIVE
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return None;
+        }
+        let g = global();
+        lock(&g.spans).clear();
+        for cell in lock(&g.counters).iter() {
+            cell.value.store(0, Ordering::Relaxed);
+        }
+        *lock(&g.epoch) = Some(Instant::now());
+        NEXT_SPAN_ID.store(1, Ordering::Relaxed);
+        GENERATION.fetch_add(1, Ordering::Relaxed);
+        ENABLED.store(true, Ordering::Release);
+        Some(Session { finished: false })
+    }
+
+    /// Stop recording and return the captured trace. Spans still open on
+    /// any thread are dropped silently (their guards notice the generation
+    /// change); counters keep their totals up to this instant.
+    pub fn end(mut self) -> Trace {
+        self.finished = true;
+        finish_session()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = finish_session();
+        }
+    }
+}
+
+fn finish_session() -> Trace {
+    ENABLED.store(false, Ordering::Release);
+    GENERATION.fetch_add(1, Ordering::Relaxed);
+    let g = global();
+    let epoch = lock(&g.epoch).take().unwrap_or_else(Instant::now);
+    let mut raw = std::mem::take(&mut *lock(&g.spans));
+    raw.sort_by_key(|s| (s.start, s.id));
+    let spans = raw
+        .into_iter()
+        .map(|s| SpanRec {
+            id: s.id,
+            parent: s.parent,
+            thread: s.thread,
+            name: s.name.to_string(),
+            start_ns: s.start.saturating_duration_since(epoch).as_nanos() as u64,
+            end_ns: s.end.saturating_duration_since(epoch).as_nanos() as u64,
+        })
+        .collect();
+    // Distinct macro sites may share a counter name; merge them.
+    let mut totals: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for c in lock(&g.counters).iter() {
+        let v = c.value.load(Ordering::Relaxed);
+        if v > 0 {
+            *totals.entry(c.name).or_insert(0) += v;
+        }
+    }
+    let counters: Vec<(String, u64)> = totals
+        .into_iter()
+        .map(|(name, v)| (name.to_string(), v))
+        .collect();
+    ACTIVE.store(false, Ordering::Release);
+    Trace { spans, counters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sessions are process-global; tests that open one must serialize.
+    pub(crate) fn session_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_probes_are_noops() {
+        let _l = session_lock();
+        counter!("test.noop", 5);
+        let _g = span("test.noop.span");
+        drop(_g);
+        let session = Session::begin().unwrap();
+        let trace = session.end();
+        assert_eq!(trace.counter("test.noop"), 0);
+        assert!(!trace.spans.iter().any(|s| s.name == "test.noop.span"));
+    }
+
+    #[test]
+    fn session_is_exclusive() {
+        let _l = session_lock();
+        let first = Session::begin().unwrap();
+        assert!(Session::begin().is_none(), "second session must be refused");
+        drop(first); // abandoned without end(): Drop must release the claim
+        let second = Session::begin().unwrap();
+        second.end();
+    }
+
+    #[test]
+    fn spans_nest_and_counters_total() {
+        let _l = session_lock();
+        let session = Session::begin().unwrap();
+        {
+            let _outer = span("outer");
+            counter!("test.nest.events", 2);
+            {
+                let _inner = span("inner");
+                counter!("test.nest.events", 3);
+            }
+            let _sibling = span("sibling");
+        }
+        let trace = session.end();
+        trace.validate().expect("trace must be well-formed");
+        assert_eq!(trace.counter("test.nest.events"), 5);
+        let outer = trace.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = trace.spans.iter().find(|s| s.name == "inner").unwrap();
+        let sibling = trace.spans.iter().find(|s| s.name == "sibling").unwrap();
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(sibling.parent, outer.id);
+        assert!(inner.start_ns >= outer.start_ns && inner.end_ns <= outer.end_ns);
+    }
+
+    #[test]
+    fn counters_reset_between_sessions() {
+        let _l = session_lock();
+        let s1 = Session::begin().unwrap();
+        counter!("test.reset", 7);
+        assert_eq!(s1.end().counter("test.reset"), 7);
+        let s2 = Session::begin().unwrap();
+        counter!("test.reset", 1);
+        assert_eq!(s2.end().counter("test.reset"), 1);
+    }
+
+    #[test]
+    fn cross_thread_spans_record() {
+        let _l = session_lock();
+        let session = Session::begin().unwrap();
+        {
+            let _main = span("main_phase");
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(|| {
+                        let _w = span("worker");
+                        counter!("test.threads.work", 1);
+                    });
+                }
+            });
+        }
+        let trace = session.end();
+        trace.validate().expect("well-formed");
+        let workers: Vec<_> = trace.spans.iter().filter(|s| s.name == "worker").collect();
+        assert_eq!(workers.len(), 2);
+        // Worker spans start on fresh threads: they are roots, not children
+        // of `main_phase` (parent tracking is per-thread).
+        assert!(workers.iter().all(|w| w.parent == 0));
+        assert_eq!(trace.counter("test.threads.work"), 2);
+    }
+
+    #[test]
+    fn guard_held_across_end_is_dropped_silently() {
+        let _l = session_lock();
+        let session = Session::begin().unwrap();
+        let straggler = span("straggler");
+        let trace = session.end();
+        drop(straggler); // must not record into a dead (or future) session
+        assert!(trace.spans.iter().all(|s| s.name != "straggler"));
+        let next = Session::begin().unwrap();
+        let trace2 = next.end();
+        assert!(trace2.spans.is_empty());
+    }
+}

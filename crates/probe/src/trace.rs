@@ -1,0 +1,531 @@
+//! Captured telemetry: the [`Trace`] type, its JSONL wire format, and the
+//! human-readable phase table.
+//!
+//! The wire format is JSON Lines with flat objects only — one `meta` line,
+//! one line per span, one line per counter — so it round-trips through a
+//! hand-rolled parser and stays greppable:
+//!
+//! ```text
+//! {"type":"meta","version":1,"spans":3,"counters":1}
+//! {"type":"span","id":1,"parent":0,"thread":1,"name":"solve","start_ns":0,"end_ns":91042}
+//! {"type":"counter","name":"bal.flow_calls","value":17}
+//! ```
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Format version emitted in the `meta` line; bump on breaking changes.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// One closed span. `parent == 0` marks a root; times are nanoseconds since
+/// the session epoch, so `end_ns - start_ns` is the phase duration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Session-unique id (never 0).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, or 0 for a root.
+    pub parent: u64,
+    /// Dense label of the recording thread (1, 2, … in first-probe order).
+    pub thread: u64,
+    /// Phase name as passed to [`crate::span`].
+    pub name: String,
+    /// Start, nanoseconds since the session epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since the session epoch.
+    pub end_ns: u64,
+}
+
+impl SpanRec {
+    /// Phase duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// A complete captured session: spans sorted by start time plus final
+/// counter totals (zero-valued counters are omitted).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// All closed spans, sorted by `(start_ns, id)`.
+    pub spans: Vec<SpanRec>,
+    /// `(name, total)` pairs, sorted by name; only counters that fired.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl Trace {
+    /// Final total of counter `name` (0 if it never fired).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Number of spans named `name`.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// Summed duration of all spans named `name`, in nanoseconds.
+    pub fn span_total_ns(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(SpanRec::duration_ns)
+            .sum()
+    }
+
+    /// Root spans (no parent), in start order.
+    pub fn roots(&self) -> Vec<&SpanRec> {
+        self.spans.iter().filter(|s| s.parent == 0).collect()
+    }
+
+    /// Direct children of span `id`, in start order.
+    pub fn children(&self, id: u64) -> Vec<&SpanRec> {
+        self.spans.iter().filter(|s| s.parent == id).collect()
+    }
+
+    /// Structural well-formedness: span ids unique and non-zero, parents
+    /// resolvable, children contained in their parent's interval, counters
+    /// unique and sorted. Returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut by_id: HashMap<u64, &SpanRec> = HashMap::with_capacity(self.spans.len());
+        for s in &self.spans {
+            if s.id == 0 {
+                return Err(format!("span '{}' has reserved id 0", s.name));
+            }
+            if s.end_ns < s.start_ns {
+                return Err(format!("span '{}' ends before it starts", s.name));
+            }
+            if by_id.insert(s.id, s).is_some() {
+                return Err(format!("duplicate span id {}", s.id));
+            }
+        }
+        for s in &self.spans {
+            if s.parent == 0 {
+                continue;
+            }
+            let Some(p) = by_id.get(&s.parent) else {
+                return Err(format!(
+                    "span '{}' (id {}) references missing parent {}",
+                    s.name, s.id, s.parent
+                ));
+            };
+            if s.start_ns < p.start_ns || s.end_ns > p.end_ns {
+                return Err(format!(
+                    "span '{}' (id {}) not contained in parent '{}' (id {})",
+                    s.name, s.id, p.name, p.id
+                ));
+            }
+        }
+        let mut seen = HashSet::new();
+        for window in self.counters.windows(2) {
+            if window[0].0 > window[1].0 {
+                return Err("counters not sorted by name".to_string());
+            }
+        }
+        for (name, _) in &self.counters {
+            if !seen.insert(name) {
+                return Err(format!("duplicate counter '{name}'"));
+            }
+        }
+        Ok(())
+    }
+
+    // -- JSONL ------------------------------------------------------------
+
+    /// Serialize to JSON Lines (see module docs for the schema).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"meta\",\"version\":{},\"spans\":{},\"counters\":{}}}",
+            FORMAT_VERSION,
+            self.spans.len(),
+            self.counters.len()
+        );
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"thread\":{},\"name\":{},\"start_ns\":{},\"end_ns\":{}}}",
+                s.id,
+                s.parent,
+                s.thread,
+                json_string(&s.name),
+                s.start_ns,
+                s.end_ns
+            );
+        }
+        for (name, value) in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}",
+                json_string(name),
+                value
+            );
+        }
+        out
+    }
+
+    /// Parse a trace previously produced by [`Trace::to_jsonl`]. Unknown
+    /// line types are ignored (forward compatibility); malformed lines and
+    /// meta/count mismatches are errors.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let mut trace = Trace::default();
+        let mut meta: Option<(u64, u64, u64)> = None;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields =
+                parse_flat_object(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let get = |key: &str| -> Option<&JsonValue> {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            };
+            let num = |key: &str| -> Result<u64, String> {
+                match get(key) {
+                    Some(JsonValue::Num(n)) => Ok(*n),
+                    _ => Err(format!("line {}: missing number field '{key}'", lineno + 1)),
+                }
+            };
+            let string = |key: &str| -> Result<String, String> {
+                match get(key) {
+                    Some(JsonValue::Str(s)) => Ok(s.clone()),
+                    _ => Err(format!("line {}: missing string field '{key}'", lineno + 1)),
+                }
+            };
+            match get("type") {
+                Some(JsonValue::Str(t)) if t == "meta" => {
+                    meta = Some((num("version")?, num("spans")?, num("counters")?));
+                }
+                Some(JsonValue::Str(t)) if t == "span" => {
+                    trace.spans.push(SpanRec {
+                        id: num("id")?,
+                        parent: num("parent")?,
+                        thread: num("thread")?,
+                        name: string("name")?,
+                        start_ns: num("start_ns")?,
+                        end_ns: num("end_ns")?,
+                    });
+                }
+                Some(JsonValue::Str(t)) if t == "counter" => {
+                    trace.counters.push((string("name")?, num("value")?));
+                }
+                Some(JsonValue::Str(_)) => {} // future line types: skip
+                _ => return Err(format!("line {}: missing 'type' field", lineno + 1)),
+            }
+        }
+        if let Some((version, spans, counters)) = meta {
+            if version > FORMAT_VERSION {
+                return Err(format!("unsupported trace version {version}"));
+            }
+            if spans != trace.spans.len() as u64 {
+                return Err(format!(
+                    "meta declares {spans} spans, found {}",
+                    trace.spans.len()
+                ));
+            }
+            if counters != trace.counters.len() as u64 {
+                return Err(format!(
+                    "meta declares {counters} counters, found {}",
+                    trace.counters.len()
+                ));
+            }
+        } else if !trace.spans.is_empty() || !trace.counters.is_empty() {
+            return Err("trace has records but no meta line".to_string());
+        }
+        Ok(trace)
+    }
+
+    // -- Phase table ------------------------------------------------------
+
+    /// Render a human-readable phase table: the span tree with sibling
+    /// spans of the same name aggregated (call count + total time), then
+    /// the counter totals. This is what `solve --timings` prints.
+    pub fn phase_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<44} {:>12} {:>8}", "phase", "total", "calls");
+        self.render_level(&mut out, &[0], 0);
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<42} {value:>12}");
+            }
+        }
+        out
+    }
+
+    fn render_level(&self, out: &mut String, parent_ids: &[u64], depth: usize) {
+        // Aggregate spans with the same name across all instances of the
+        // (aggregated) parent group, preserving first-seen order.
+        let parents: HashSet<u64> = parent_ids.iter().copied().collect();
+        let mut order: Vec<&str> = Vec::new();
+        let mut groups: BTreeMap<&str, (u64, usize, Vec<u64>)> = BTreeMap::new();
+        for s in &self.spans {
+            if !parents.contains(&s.parent) {
+                continue;
+            }
+            let entry = groups.entry(&s.name).or_insert_with(|| {
+                order.push(&s.name);
+                (0, 0, Vec::new())
+            });
+            entry.0 += s.duration_ns();
+            entry.1 += 1;
+            entry.2.push(s.id);
+        }
+        for name in order {
+            let (total_ns, calls, ids) = &groups[name];
+            let label = format!("{:indent$}{name}", "", indent = depth * 2);
+            let _ = writeln!(out, "{label:<44} {:>12} {calls:>8}", format_ns(*total_ns));
+            self.render_level(out, ids, depth + 1);
+        }
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal flat-JSON support (no external dependencies)
+// ---------------------------------------------------------------------------
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+enum JsonValue {
+    Str(String),
+    Num(u64),
+}
+
+/// Parse one flat JSON object (`{"k":v,...}` with string or unsigned
+/// integer values) into key/value pairs. Deliberately minimal: the trace
+/// format never nests.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = line.chars().peekable();
+    let mut fields = Vec::new();
+    skip_ws(&mut chars);
+    expect(&mut chars, '{')?;
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        expect(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => JsonValue::Str(parse_string(&mut chars)?),
+            Some(c) if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(c) = chars.peek().copied() {
+                    if let Some(d) = c.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(d as u64))
+                            .ok_or_else(|| "number overflows u64".to_string())?;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                JsonValue::Num(n)
+            }
+            other => return Err(format!("unexpected value start: {other:?}")),
+        };
+        fields.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some(c) = chars.next() {
+        return Err(format!("trailing content starting at {c:?}"));
+    }
+    Ok(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(' ' | '\t')) {
+        chars.next();
+    }
+}
+
+fn expect(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, want: char) -> Result<(), String> {
+    match chars.next() {
+        Some(c) if c == want => Ok(()),
+        other => Err(format!("expected {want:?}, got {other:?}")),
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    expect(chars, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let d = chars
+                            .next()
+                            .and_then(|c| c.to_digit(16))
+                            .ok_or_else(|| "bad \\u escape".to_string())?;
+                        code = code * 16 + d;
+                    }
+                    out.push(char::from_u32(code).ok_or_else(|| "bad \\u codepoint".to_string())?);
+                }
+                other => return Err(format!("bad escape: {other:?}")),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            spans: vec![
+                SpanRec {
+                    id: 1,
+                    parent: 0,
+                    thread: 1,
+                    name: "solve".into(),
+                    start_ns: 0,
+                    end_ns: 1_000_000,
+                },
+                SpanRec {
+                    id: 2,
+                    parent: 1,
+                    thread: 1,
+                    name: "lower_bound".into(),
+                    start_ns: 10,
+                    end_ns: 600_000,
+                },
+                SpanRec {
+                    id: 3,
+                    parent: 1,
+                    thread: 1,
+                    name: "rr".into(),
+                    start_ns: 600_100,
+                    end_ns: 999_000,
+                },
+            ],
+            counters: vec![
+                ("bal.flow_calls".into(), 17),
+                ("maxflow.dinic.runs".into(), 18),
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_everything() {
+        let trace = sample();
+        let text = trace.to_jsonl();
+        let parsed = Trace::parse(&text).expect("parse back");
+        assert_eq!(parsed, trace);
+        parsed.validate().expect("well-formed");
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let mut trace = sample();
+        trace.spans[0].name = "weird \"name\"\\with\n\tescapes".into();
+        let parsed = Trace::parse(&trace.to_jsonl()).unwrap();
+        assert_eq!(parsed.spans[0].name, trace.spans[0].name);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Trace::parse("not json").is_err());
+        assert!(
+            Trace::parse("{\"type\":\"span\",\"id\":1}").is_err(),
+            "missing fields"
+        );
+        assert!(
+            Trace::parse("{\"type\":\"span\"").is_err(),
+            "unterminated object"
+        );
+        let trace = sample();
+        let mut text = trace.to_jsonl();
+        text.push_str("{\"type\":\"span\",\"id\":9,\"parent\":0,\"thread\":1,\"name\":\"x\",\"start_ns\":0,\"end_ns\":1}\n");
+        assert!(Trace::parse(&text).is_err(), "meta span count mismatch");
+    }
+
+    #[test]
+    fn parse_ignores_unknown_line_types() {
+        let trace = sample();
+        let mut text = trace.to_jsonl();
+        text.push_str("{\"type\":\"future_thing\",\"x\":1}\n");
+        assert_eq!(Trace::parse(&text).unwrap(), trace);
+    }
+
+    #[test]
+    fn validate_catches_structural_problems() {
+        let mut bad = sample();
+        bad.spans[1].parent = 99;
+        assert!(bad.validate().is_err(), "missing parent");
+
+        let mut bad = sample();
+        bad.spans[2].id = 1;
+        assert!(bad.validate().is_err(), "duplicate id");
+
+        let mut bad = sample();
+        bad.spans[1].end_ns = 2_000_000; // escapes parent interval
+        assert!(bad.validate().is_err(), "containment");
+
+        sample().validate().expect("sample is valid");
+    }
+
+    #[test]
+    fn phase_table_lists_phases_and_counters() {
+        let table = sample().phase_table();
+        assert!(table.contains("solve"));
+        assert!(table.contains("  lower_bound"), "children indented");
+        assert!(table.contains("bal.flow_calls"));
+        assert!(table.contains("1.00 ms"));
+    }
+}

@@ -87,11 +87,13 @@ commands:
            families: unit-agreeable | unit-arbitrary | weighted-agreeable
                      | general | bursty
   solve <file> [--algo NAME] [--no-fallback] [--gantt] [--width W]
-        [--svg OUT.svg]
+        [--svg OUT.svg] [--telemetry OUT.jsonl] [--timings]
            algos: rr | classified | least-loaded | relax | greedy | local
                   | exact | bal | avr | oa        (default: rr)
            failures degrade through local → greedy → least-loaded → rr
            unless --no-fallback is given
+           --telemetry writes the probe trace (spans + counters) as JSONL;
+           --timings prints the phase table (see docs/OBSERVABILITY.md)
   budget <file> --energy E [--gantt] [--non-migratory]
                                       minimize makespan under an energy budget
   compare <file>                      run every algorithm, print the scoreboard
@@ -276,7 +278,12 @@ fn solve(parsed: &Parsed) -> Result<String, CliError> {
         degrade: !parsed.has("no-fallback"),
         ..Default::default()
     };
-    let report = ssp_harness::solve(&inst, algo, &opts);
+    let want_trace = parsed.has("telemetry") || parsed.has("timings");
+    let report = if want_trace {
+        ssp_harness::solve_traced(&inst, algo, &opts)
+    } else {
+        ssp_harness::solve(&inst, algo, &opts)
+    };
     let outcome = match report.outcome {
         Some(ref o) => o,
         None => {
@@ -334,6 +341,24 @@ fn solve(parsed: &Parsed) -> Result<String, CliError> {
         std::fs::write(path, svg)
             .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
         let _ = writeln!(out, "SVG written to {path}");
+    }
+    if want_trace {
+        let trace = report.telemetry.as_ref().ok_or_else(|| {
+            CliError::runtime("probe session unavailable (another trace in progress?)")
+        })?;
+        if parsed.has("timings") {
+            let _ = write!(out, "{}", trace.phase_table());
+        }
+        if let Some(path) = parsed.flag("telemetry") {
+            std::fs::write(path, trace.to_jsonl())
+                .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+            let _ = writeln!(
+                out,
+                "telemetry written to {path} ({} spans, {} counters)",
+                trace.spans.len(),
+                trace.counters.len()
+            );
+        }
     }
     Ok(out)
 }
@@ -774,6 +799,76 @@ mod tests {
         assert_eq!(err.code, 1);
         assert!(err.message.contains("precondition"), "{}", err.message);
         std::fs::remove_file(&path).ok();
+    }
+
+    /// The observability acceptance path: `solve --telemetry --timings` on a
+    /// local-search solve must produce a parseable, well-formed trace whose
+    /// span tree covers the assignment, BAL lower-bound and validation
+    /// phases, with max-flow / BAL / local-search counters all non-zero.
+    /// One test drives both flags: probe sessions are process-global, so
+    /// concurrent traced solves would contend for the session.
+    #[test]
+    fn solve_telemetry_trace_covers_the_pipeline() {
+        use ssp_probe::Trace;
+        let inst = families::general(12, 3, 2.0).gen(17);
+        let dir = std::env::temp_dir();
+        let p_inst = dir.join(format!("ssp_cli_tel_{}.ssp", std::process::id()));
+        let p_trace = dir.join(format!("ssp_cli_tel_{}.jsonl", std::process::id()));
+        std::fs::write(&p_inst, io::emit(&inst)).unwrap();
+        let out = run(&args(&[
+            "solve",
+            &p_inst.to_string_lossy(),
+            "--algo",
+            "local",
+            "--telemetry",
+            &p_trace.to_string_lossy(),
+            "--timings",
+        ]))
+        .unwrap();
+        assert!(out.contains("telemetry written to"), "{out}");
+        // --timings prints the phase table inline.
+        assert!(out.contains("phase"), "{out}");
+        assert!(out.contains("counters:"), "{out}");
+
+        let text = std::fs::read_to_string(&p_trace).unwrap();
+        let trace = Trace::parse(&text).expect("trace must parse back");
+        trace.validate().expect("trace must be well-formed");
+
+        // Span tree: solve at the root, with the lower bound (BAL), the
+        // attempt (named after the algorithm), assignment materialization
+        // and validation all present and correctly nested.
+        let roots = trace.roots();
+        assert_eq!(roots.len(), 1, "one root span");
+        assert_eq!(roots[0].name, "solve");
+        let solve_id = roots[0].id;
+        let top: Vec<&str> = trace
+            .children(solve_id)
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert!(top.contains(&"lower_bound"), "top-level: {top:?}");
+        assert!(top.contains(&"local"), "top-level: {top:?}");
+        for phase in ["bal", "bal.round", "wap.solve", "kkt.certify"] {
+            assert!(trace.span_count(phase) > 0, "missing phase '{phase}'");
+        }
+        for phase in ["local_search", "assign.schedule", "validate"] {
+            assert!(trace.span_count(phase) > 0, "missing phase '{phase}'");
+        }
+
+        // Counters: max-flow, BAL and local-search work all recorded.
+        for counter in [
+            "maxflow.dinic.runs",
+            "maxflow.dinic.phases",
+            "bal.flow_calls",
+            "bal.bisect_steps",
+            "bal.rounds",
+            "local_search.evaluations",
+            "validate.calls",
+        ] {
+            assert!(trace.counter(counter) > 0, "counter '{counter}' is zero");
+        }
+        std::fs::remove_file(&p_inst).ok();
+        std::fs::remove_file(&p_trace).ok();
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //!   `EXPERIMENTS.md`.
 //! * [`prng`] — dependency-free seeded randomness (the workspace's `rand`
 //!   replacement, so everything builds offline).
-//! * [`harness`] — the panic-free solve harness: typed [`harness::SolveError`]s,
+//! * [`probe`] — zero-dependency observability: phase spans, counters and
+//!   JSONL telemetry traces (see `docs/OBSERVABILITY.md`).
+//! * [`harness`] — the panic-free solve harness: typed [`model::SolveError`]s,
 //!   the degradation chain, fault injection, and certified lower bounds.
 //!
 //! ## Quickstart
@@ -60,5 +62,6 @@ pub use ssp_maxflow as maxflow;
 pub use ssp_migratory as migratory;
 pub use ssp_model as model;
 pub use ssp_prng as prng;
+pub use ssp_probe as probe;
 pub use ssp_single as single;
 pub use ssp_workloads as workloads;
