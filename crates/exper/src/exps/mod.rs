@@ -8,6 +8,7 @@ pub mod exp13;
 pub mod exp14;
 pub mod exp15;
 pub mod exp17;
+pub mod exp18;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4;

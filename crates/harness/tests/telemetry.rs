@@ -120,5 +120,14 @@ fn counters_match_solver_accounting() {
         "trace and BalSolution must agree on flow-call count"
     );
     assert_eq!(trace.counter("bal.rounds"), sol.rounds.len() as u64);
-    assert!(trace.counter("maxflow.dinic.runs") >= sol.flow_computations as u64);
+    // Every flow computation is either a cold Dinic run or a warm restart
+    // of a previous one (the parametric bisection path).
+    assert!(
+        trace.counter("maxflow.rebuild") + trace.counter("maxflow.warm_reuse")
+            >= sol.flow_computations as u64
+    );
+    assert!(
+        trace.counter("maxflow.warm_reuse") > 0,
+        "the BAL bisection must warm-start its probes"
+    );
 }

@@ -1,5 +1,10 @@
 //! Dinic's max-flow over `f64` capacities, with residual-reachability
-//! queries and per-edge flow readback.
+//! queries, per-edge flow readback, and **parametric warm restarts**:
+//! [`FlowNetwork::set_capacity`] re-parameterizes an edge while keeping the
+//! stored flow valid, and [`FlowNetwork::max_flow_incremental`] repairs the
+//! previous maximum flow instead of recomputing it from scratch — the
+//! primitive behind the warm-started BAL bisection (see
+//! `DESIGN.md` §"Parametric max-flow").
 
 /// Handle to a *forward* edge added with [`FlowNetwork::add_edge`]. Used to
 /// read back the flow it carries after [`FlowNetwork::max_flow`].
@@ -41,9 +46,21 @@ pub struct FlowNetwork {
     last_source: Option<usize>,
     /// Sink of the last `max_flow` call.
     last_sink: Option<usize>,
+    /// Value of the flow currently stored on the edges.
+    flow_value: f64,
+    /// Set when a drain could not fully repair the stored flow (see
+    /// [`FlowNetwork::set_capacity`]); forces the next incremental solve to
+    /// fall back to a cold rebuild.
+    needs_rebuild: bool,
     // Scratch buffers reused across blocking-flow phases.
     level: Vec<i32>,
     iter: Vec<usize>,
+    /// Per-node conservation imbalance (inflow − outflow) accumulated by
+    /// draining [`FlowNetwork::set_capacity`] calls, repaired lazily by the
+    /// next [`FlowNetwork::max_flow_incremental`]. Positive = surplus.
+    imbalance: Vec<f64>,
+    /// Nodes with a recorded imbalance (sparse index into `imbalance`).
+    dirty: Vec<usize>,
 }
 
 impl FlowNetwork {
@@ -54,8 +71,12 @@ impl FlowNetwork {
             edges: Vec::new(),
             last_source: None,
             last_sink: None,
+            flow_value: 0.0,
+            needs_rebuild: false,
             level: vec![-1; n],
             iter: vec![0; n],
+            imbalance: vec![0.0; n],
+            dirty: Vec::new(),
         }
     }
 
@@ -74,6 +95,7 @@ impl FlowNetwork {
         self.adj.push(Vec::new());
         self.level.push(-1);
         self.iter.push(0);
+        self.imbalance.push(0.0);
         self.adj.len() - 1
     }
 
@@ -133,10 +155,29 @@ impl FlowNetwork {
         for e in &mut self.edges {
             e.cap = e.orig;
         }
+        for &u in &self.dirty {
+            self.imbalance[u] = 0.0;
+        }
+        self.dirty.clear();
         self.last_source = Some(s);
         self.last_sink = Some(t);
-        let mut total = 0.0;
-        // Probe counts accumulate locally, flushed once on return.
+        self.needs_rebuild = false;
+        let (added, phases, augmentations) = self.dinic_augment(s, t);
+        self.flow_value = added;
+        ssp_probe::counter!("maxflow.dinic.runs");
+        ssp_probe::counter!("maxflow.dinic.phases", phases);
+        ssp_probe::counter!("maxflow.dinic.augmentations", augmentations);
+        ssp_probe::counter!("maxflow.rebuild");
+        self.flow_value
+    }
+
+    /// Augment the *current* residual graph to a blocking state repeatedly
+    /// (the Dinic phase loop). Returns `(value added, phases, augmenting
+    /// paths)` on top of whatever flow the edges already carry; callers flush
+    /// the counts to the probe counters that fit their context. Shared by
+    /// cold solves, warm solves, and the drain-repair passes.
+    fn dinic_augment(&mut self, s: usize, t: usize) -> (f64, u64, u64) {
+        let mut added = 0.0;
         let (mut phases, mut augmentations) = (0u64, 0u64);
         while self.build_levels(s, t) {
             phases += 1;
@@ -147,13 +188,214 @@ impl FlowNetwork {
                     break;
                 }
                 augmentations += 1;
-                total += pushed;
+                added += pushed;
             }
         }
-        ssp_probe::counter!("maxflow.dinic.runs");
+        (added, phases, augmentations)
+    }
+
+    /// Value of the flow currently stored on the edges, as of the last solve
+    /// (cold or incremental). Draining [`set_capacity`] calls made since are
+    /// reflected at the *next* [`max_flow_incremental`], which repairs the
+    /// flow and recomputes the value exactly from the source's edges.
+    ///
+    /// [`set_capacity`]: FlowNetwork::set_capacity
+    /// [`max_flow_incremental`]: FlowNetwork::max_flow_incremental
+    pub fn flow_value(&self) -> f64 {
+        self.flow_value
+    }
+
+    /// Re-parameterize a forward edge to capacity `cap`.
+    ///
+    /// * **Increase / slack decrease** — only the residual widens or
+    ///   narrows; the stored flow is untouched.
+    /// * **Decrease below the carried flow** — the edge's flow is clamped to
+    ///   `cap` and the overflow is recorded as a per-node conservation
+    ///   imbalance (a surplus at the tail, a shortfall at the head). The
+    ///   next [`max_flow_incremental`] *drains* all recorded overflow in one
+    ///   batched repair before resuming augmentation — deferring the drain
+    ///   is what makes a bisection probe that shrinks hundreds of source
+    ///   edges cost a constant number of level-graph passes rather than a
+    ///   residual search per edge.
+    ///
+    /// Flows produced by augmenting-path solvers decompose into source→sink
+    /// paths, for which the drain always succeeds; if numerical slivers ever
+    /// leave it short, the network is flagged and the next incremental solve
+    /// silently falls back to a cold rebuild.
+    ///
+    /// [`max_flow_incremental`]: FlowNetwork::max_flow_incremental
+    pub fn set_capacity(&mut self, e: EdgeId, cap: f64) {
+        assert!(
+            cap >= 0.0 && cap.is_finite(),
+            "capacity must be finite and >= 0, got {cap}"
+        );
+        let id = e.0;
+        let flow = (self.edges[id].orig - self.edges[id].cap).max(0.0);
+        let eps = cap * EDGE_EPS_REL;
+        self.edges[id].orig = cap;
+        self.edges[id].eps = eps;
+        self.edges[id ^ 1].eps = eps;
+        if flow <= cap {
+            self.edges[id].cap = cap - flow;
+            return;
+        }
+        // Clamp the flow to the new capacity; the edge becomes saturated.
+        self.edges[id].cap = 0.0;
+        self.edges[id ^ 1].cap = cap;
+        let u = self.edges[id ^ 1].to;
+        let v = self.edges[id].to;
+        if u != v {
+            // Self-loop flow never affected conservation or the value.
+            let excess = flow - cap;
+            self.record_imbalance(u, excess);
+            self.record_imbalance(v, -excess);
+        }
+    }
+
+    /// Record that `node`'s conservation balance changed by `delta`.
+    fn record_imbalance(&mut self, node: usize, delta: f64) {
+        if self.imbalance[node] == 0.0 {
+            self.dirty.push(node);
+        }
+        self.imbalance[node] += delta;
+    }
+
+    /// Drain all recorded overflow in one batched repair, restoring
+    /// conservation at every non-terminal node.
+    ///
+    /// Two temporary super-nodes are appended: a super-source feeding each
+    /// surplus node its excess and a super-sink absorbing each shortfall
+    /// node's deficit. Three Dinic passes then fix the pseudo-flow:
+    ///
+    /// 1. super-source → super-sink: reroute excess into shortfalls through
+    ///    the residual graph (value-preserving; covers cycle flow and
+    ///    alternate routes);
+    /// 2. super-source → `s`: cancel un-reroutable surplus back along the
+    ///    flow that fed it;
+    /// 3. `t` → super-sink: cancel each remaining shortfall's downstream
+    ///    flow from the sink side.
+    ///
+    /// Between passes the helper edges' reverse residuals are frozen so a
+    /// later pass cannot undo an earlier repair. Any leftover helper
+    /// residual beyond tolerance flags the network for a cold rebuild. The
+    /// helper nodes and edges are removed before returning, and the caller
+    /// recomputes the flow value from the source's edges (conservation
+    /// everywhere else makes the s- and t-side values agree automatically).
+    fn repair(&mut self, s: usize, t: usize) {
+        let n_real = self.adj.len();
+        let e_real = self.edges.len();
+        let dirty = std::mem::take(&mut self.dirty);
+        let ss = self.add_node();
+        let tt = self.add_node();
+        let mut total = 0.0;
+        let mut excess_edges: Vec<usize> = Vec::new();
+        let mut deficit_edges: Vec<usize> = Vec::new();
+        let mut touched: Vec<usize> = Vec::new();
+        for &u in &dirty {
+            let b = self.imbalance[u];
+            self.imbalance[u] = 0.0;
+            // Terminals are exempt: their imbalance *is* the value change,
+            // recomputed from the edges afterwards.
+            if u == s || u == t || b == 0.0 {
+                continue;
+            }
+            total += b.abs();
+            if b > 0.0 {
+                excess_edges.push(self.add_edge(ss, u, b).0);
+            } else {
+                deficit_edges.push(self.add_edge(u, tt, -b).0);
+            }
+            touched.push(u);
+        }
+        let mut drain_paths = 0u64;
+        if !excess_edges.is_empty() && !deficit_edges.is_empty() {
+            let (_, _, a) = self.dinic_augment(ss, tt);
+            drain_paths += a;
+        }
+        for &id in excess_edges.iter().chain(&deficit_edges) {
+            self.edges[id ^ 1].cap = 0.0;
+        }
+        if !excess_edges.is_empty() {
+            let (_, _, a) = self.dinic_augment(ss, s);
+            drain_paths += a;
+        }
+        for &id in &excess_edges {
+            self.edges[id ^ 1].cap = 0.0;
+        }
+        if !deficit_edges.is_empty() {
+            let (_, _, a) = self.dinic_augment(t, tt);
+            drain_paths += a;
+        }
+        let shortfall: f64 = excess_edges
+            .iter()
+            .chain(&deficit_edges)
+            .map(|&id| self.edges[id].cap)
+            .sum();
+        if shortfall > total * 1e-9 + 1e-12 {
+            self.needs_rebuild = true;
+        }
+        // Remove the helper nodes and edges; their stubs in real adjacency
+        // lists are the most recently pushed entries.
+        self.edges.truncate(e_real);
+        self.adj.truncate(n_real);
+        self.level.truncate(n_real);
+        self.iter.truncate(n_real);
+        self.imbalance.truncate(n_real);
+        for &u in &touched {
+            while self.adj[u].last().is_some_and(|&ei| ei >= e_real) {
+                self.adj[u].pop();
+            }
+        }
+        ssp_probe::counter!("maxflow.dinic.drain_paths", drain_paths);
+    }
+
+    /// Net flow out of `s` read directly off its incident edges.
+    fn net_source_flow(&self, s: usize) -> f64 {
+        let mut val = 0.0;
+        for &ei in &self.adj[s] {
+            let fwd = ei & !1;
+            let f = (self.edges[fwd].orig - self.edges[fwd].cap).max(0.0);
+            if ei & 1 == 0 {
+                val += f;
+            } else {
+                val -= f;
+            }
+        }
+        val
+    }
+
+    /// Recompute a maximum `s → t` flow *warm*: repair the stored flow if
+    /// draining [`set_capacity`] calls left recorded overflow, then augment
+    /// from the residual graph. Any valid flow extends to a maximum one by
+    /// augmenting its residual, so this returns the same value as a cold
+    /// [`max_flow`] while doing work proportional to the *change*.
+    ///
+    /// Falls back to a cold solve when the terminals differ from the last
+    /// solve, no solve has run yet, or a drain repair fell short.
+    ///
+    /// [`set_capacity`]: FlowNetwork::set_capacity
+    /// [`max_flow`]: FlowNetwork::max_flow
+    pub fn max_flow_incremental(&mut self, s: usize, t: usize) -> f64 {
+        assert!(
+            s < self.adj.len() && t < self.adj.len(),
+            "terminal out of range"
+        );
+        assert_ne!(s, t, "source and sink must differ");
+        if self.needs_rebuild || self.last_source != Some(s) || self.last_sink != Some(t) {
+            return self.max_flow(s, t);
+        }
+        if !self.dirty.is_empty() {
+            self.repair(s, t);
+            if self.needs_rebuild {
+                return self.max_flow(s, t);
+            }
+        }
+        let (_, phases, augmentations) = self.dinic_augment(s, t);
         ssp_probe::counter!("maxflow.dinic.phases", phases);
         ssp_probe::counter!("maxflow.dinic.augmentations", augmentations);
-        total
+        ssp_probe::counter!("maxflow.warm_reuse");
+        self.flow_value = self.net_source_flow(s);
+        self.flow_value
     }
 
     /// BFS on the residual graph building the level structure; `true` iff the
@@ -431,6 +673,141 @@ mod tests {
         g.add_edge(1, 2, 5.0);
         assert_eq!(g.max_flow(0, 2), 0.0);
         assert_eq!(g.flow(e), 0.0);
+    }
+
+    /// Cold-solve a structural copy of `g` (same nodes/edges/orig caps).
+    fn cold_value(g: &FlowNetwork, s: usize, t: usize) -> f64 {
+        let mut fresh = g.clone();
+        fresh.max_flow(s, t)
+    }
+
+    #[test]
+    fn warm_increase_resumes_augmentation() {
+        let (mut g, ids) = clrs();
+        assert!((g.max_flow(0, 5) - 23.0).abs() < 1e-9);
+        // Widen the (4,5) sink edge: 4.0 → 10.0 opens more throughput.
+        g.set_capacity(ids[9], 10.0);
+        let warm = g.max_flow_incremental(0, 5);
+        assert!((warm - cold_value(&g, 0, 5)).abs() < 1e-9);
+        assert!(warm > 23.0);
+        assert!((g.flow_value() - warm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_decrease_drains_overflow() {
+        let (mut g, ids) = clrs();
+        g.max_flow(0, 5);
+        // Choke the (3,5) edge far below the ~19 units it carries.
+        g.set_capacity(ids[8], 2.0);
+        let warm = g.max_flow_incremental(0, 5);
+        assert!((warm - cold_value(&g, 0, 5)).abs() < 1e-9);
+        assert!((warm - 6.0).abs() < 1e-9, "cut is 2.0 + 4.0, got {warm}");
+        assert!(g.flow(ids[8]) <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn warm_matches_cold_through_update_sequence() {
+        let (mut g, ids) = clrs();
+        g.max_flow(0, 5);
+        let updates = [
+            (0usize, 4.0), // shrink s→1 below its flow
+            (9, 9.0),      // widen 4→5
+            (6, 3.0),      // shrink 2→4
+            (0, 16.0),     // restore s→1
+            (8, 11.0),     // shrink 3→5
+            (1, 20.0),     // widen s→2
+        ];
+        for &(k, cap) in &updates {
+            g.set_capacity(ids[k], cap);
+            let warm = g.max_flow_incremental(0, 5);
+            let cold = cold_value(&g, 0, 5);
+            assert!(
+                (warm - cold).abs() < 1e-9,
+                "after set_capacity(#{k}, {cap}): warm {warm} != cold {cold}"
+            );
+            assert!((g.flow_value() - warm).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn drain_to_zero_empties_the_flow() {
+        let (mut g, ids) = clrs();
+        g.max_flow(0, 5);
+        g.set_capacity(ids[0], 0.0);
+        g.set_capacity(ids[1], 0.0);
+        let warm = g.max_flow_incremental(0, 5);
+        assert!(warm.abs() < 1e-9);
+        assert!(g.flow_value().abs() < 1e-9);
+        // The clamped edges must be empty; elsewhere a zero-value
+        // circulation may legitimately remain (it is still a valid flow),
+        // but every edge must respect its capacity.
+        assert!(g.flow(ids[0]) < 1e-12);
+        assert!(g.flow(ids[1]) < 1e-12);
+        for &id in &ids {
+            assert!(g.flow(id) <= g.edges[id.0].orig + 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_cut_valid_after_incremental_updates() {
+        let (mut g, ids) = clrs();
+        g.max_flow(0, 5);
+        g.set_capacity(ids[8], 5.0);
+        g.set_capacity(ids[9], 2.0);
+        let warm = g.max_flow_incremental(0, 5);
+        // The canonical min cut must certify the warm flow exactly as it
+        // would a cold one: capacities sum to the value, every cut edge is
+        // saturated, and the sink stays unreachable.
+        let cut = g.min_cut_edges();
+        let cap: f64 = cut.iter().map(|&e| g.edges[e.0].orig).sum();
+        assert!((cap - warm).abs() < 1e-9, "cut {cap} != warm value {warm}");
+        for e in cut {
+            assert!(g.is_saturated(e));
+        }
+        let side = g.residual_reachable_from_source();
+        assert!(side[0] && !side[5]);
+    }
+
+    #[test]
+    fn residual_reachability_flips_with_capacity() {
+        // s → a → t: saturating and unsaturating the middle edge must flip
+        // a's membership in the source side of the cut.
+        let mut g = FlowNetwork::new(3);
+        let sa = g.add_edge(0, 1, 5.0);
+        let at = g.add_edge(1, 2, 5.0);
+        g.max_flow(0, 2);
+        assert!(!g.residual_reachable_from_source()[1], "s→a saturated");
+        g.set_capacity(sa, 8.0);
+        g.max_flow_incremental(0, 2);
+        assert!(g.residual_reachable_from_source()[1], "slack on s→a now");
+        assert!(g.is_saturated(at));
+        g.set_capacity(at, 1.0);
+        let v = g.max_flow_incremental(0, 2);
+        assert!((v - 1.0).abs() < 1e-12);
+        assert_eq!(g.min_cut_edges(), vec![at]);
+    }
+
+    #[test]
+    fn incremental_with_new_terminals_falls_back_cold() {
+        let (mut g, _) = clrs();
+        g.max_flow(0, 5);
+        // Different terminals: must not try to reuse the stored flow.
+        let v = g.max_flow_incremental(0, 3);
+        assert!((v - cold_value(&g, 0, 3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_without_prior_solve_is_cold() {
+        let (mut g, _) = clrs();
+        let v = g.max_flow_incremental(0, 5);
+        assert!((v - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_capacity_before_any_solve_just_reparameterizes() {
+        let (mut g, ids) = clrs();
+        g.set_capacity(ids[0], 2.0);
+        assert!((g.max_flow(0, 5) - cold_value(&g, 0, 5)).abs() < 1e-12);
     }
 
     #[test]

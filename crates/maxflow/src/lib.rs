@@ -13,8 +13,14 @@
 //!
 //! The engine is Dinic's algorithm over `f64` capacities with an explicit
 //! epsilon (capacities in this workspace are times/works, inherently real).
-//! A slow exact integer Ford–Fulkerson reference lives in [`mod@reference`] and
-//! property tests cross-check the two on random graphs.
+//! It is **parametric**: [`FlowNetwork::set_capacity`] re-parameterizes an
+//! edge in place and [`FlowNetwork::max_flow_incremental`] repairs the
+//! previous flow (draining overflow after decreases, resuming augmentation
+//! after increases) instead of solving from scratch — the BAL bisection
+//! sweeps hundreds of probes over the same network this way. A slow exact
+//! integer Ford–Fulkerson reference lives in [`mod@reference`] and property
+//! tests cross-check the engines on random graphs (see also the root-level
+//! `tests/flow_differential.rs` suite).
 //!
 //! The scheduling networks are *layered* (longest path ≤ 4 edges), where
 //! Dinic's blocking-flow phases terminate very quickly in practice; `f(n)` in

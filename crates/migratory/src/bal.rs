@@ -208,16 +208,20 @@ pub fn try_bal_with_wap(
             lo = lo.max(instance.job(i).work / open);
         }
 
-        let demands_at = |v: f64| -> Vec<f64> {
-            let mut p = vec![0.0; n];
-            for &i in &remaining {
-                p[i] = instance.job(i).work / v;
-            }
-            p
-        };
+        // Build the feasibility network once for this round; every probe
+        // below re-parameterizes its source edges and warm-starts the max
+        // flow from the previous one. Interval capacities change only
+        // *between* rounds, so a fresh solver per round both stays exact
+        // and resets any accumulated floating-point drift.
+        let mut solver = wap.solver();
+        let mut pbuf = vec![0.0; n];
         let mut feasible = |v: f64| -> bool {
             flow_computations += 1;
-            wap.solve(&demands_at(v)).feasible()
+            for &i in &remaining {
+                pbuf[i] = instance.job(i).work / v;
+            }
+            solver.solve(&pbuf);
+            solver.feasible()
         };
 
         // The previous round's speed should be feasible; tolerate boundary
@@ -301,10 +305,16 @@ pub fn try_bal_with_wap(
         // flow engine's epsilon, hence the much coarser 1e-9.
         let probe = v_hi * (1.0 - 1e-9);
 
+        // The classification probe reuses the round's warm solver: the
+        // canonical min cut is a property of the network, not of which max
+        // flow certifies it, so warm and cold probes classify identically.
         flow_computations += 1;
-        let infeasible_flow = wap.solve(&demands_at(probe));
-        let job_side = infeasible_flow.jobs_reachable();
-        let ival_side = infeasible_flow.intervals_reachable();
+        for &i in &remaining {
+            pbuf[i] = instance.job(i).work / probe;
+        }
+        solver.solve(&pbuf);
+        let job_side = solver.jobs_reachable();
+        let ival_side = solver.intervals_reachable();
 
         let mut critical: Vec<usize> = remaining.iter().copied().filter(|&i| job_side[i]).collect();
         if critical.is_empty() {

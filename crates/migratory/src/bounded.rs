@@ -43,9 +43,16 @@ pub fn min_peak_speed(instance: &Instance) -> f64 {
         }
         v * (1.0 + 1e-12)
     };
-    let feasible = |v: f64| -> bool {
-        let p: Vec<f64> = instance.jobs().iter().map(|j| j.work / v).collect();
-        wap.solve(&p).feasible()
+    // One warm-started solver across the whole search: only the uniform
+    // speed (hence the source capacities) varies between probes.
+    let mut solver = wap.solver();
+    let mut p = vec![0.0; instance.len()];
+    let mut feasible = |v: f64| -> bool {
+        for (pi, job) in p.iter_mut().zip(instance.jobs()) {
+            *pi = job.work / v;
+        }
+        solver.solve(&p);
+        solver.feasible()
     };
     let mut guard = 0;
     while !feasible(hi) {

@@ -86,13 +86,24 @@ pub fn mbal(instance: &Instance, budget: f64) -> Option<MbalSolution> {
     }
     // Ensure the upper endpoint is feasible for the *clamped* problem too
     // (deadline interactions can shift the threshold slightly upward).
-    let feasible = |x: f64| -> bool {
+    // Each probe runs a full BAL solve, so cache the last feasible one: the
+    // bisection's returned `hi` is always its most recent feasible probe,
+    // letting the final re-solve below be skipped.
+    let mut last_feasible: Option<(f64, BalSolution, Instance)> = None;
+    let mut feasible = |x: f64| -> bool {
         if x <= max_release {
             return false;
         }
         match instance.clamp_deadlines(x) {
             Err(_) => false,
-            Ok(clamped) => bal(&clamped).energy <= budget * (1.0 + 1e-9),
+            Ok(clamped) => {
+                let sol = bal(&clamped);
+                let ok = sol.energy <= budget * (1.0 + 1e-9);
+                if ok {
+                    last_feasible = Some((x, sol, clamped));
+                }
+                ok
+            }
         }
     };
     let mut guard = 0;
@@ -106,10 +117,17 @@ pub fn mbal(instance: &Instance, budget: f64) -> Option<MbalSolution> {
     }
     let lo = x_lb.min(x_ub).max(max_release * (1.0 + 1e-15));
     let (_, x) = bisect_threshold(lo, x_ub, BINARY_SEARCH_REL_WIDTH.max(1e-11), feasible);
-    let clamped = instance
-        .clamp_deadlines(x)
-        .expect("feasible x clamps validly");
-    let solution = bal(&clamped);
+    let (solution, clamped) = match last_feasible {
+        Some((xf, sol, cl)) if xf == x => (sol, cl),
+        _ => {
+            // Defensive recompute; unreachable when the bisection returned
+            // its last feasible probe, as it always does today.
+            let cl = instance
+                .clamp_deadlines(x)
+                .expect("feasible x clamps validly");
+            (bal(&cl), cl)
+        }
+    };
     let energy = solution.energy;
     Some(MbalSolution {
         makespan: x,

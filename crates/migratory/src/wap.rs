@@ -122,13 +122,16 @@ impl Wap {
         self.open_intervals_of(i).map(|j| self.lengths[j]).sum()
     }
 
-    /// Solve the packing with per-job demands `p` (max-flow) and return the
-    /// annotated flow for feasibility tests / allotment readback /
-    /// residual-reachability queries.
-    pub fn solve(&self, p: &[f64]) -> WapFlow {
-        let _span = ssp_probe::span("wap.solve");
-        ssp_probe::counter!("wap.flow_calls");
-        assert_eq!(p.len(), self.alive.len(), "demand vector length mismatch");
+    /// Build a persistent, warm-startable solver over the *current*
+    /// capacities. The feasibility network is constructed once; each
+    /// [`WapSolver::solve`] re-parameterizes the source edges with the new
+    /// demand vector and repairs the previous max flow instead of
+    /// recomputing it — the hot path of the BAL bisection, where
+    /// consecutive probes differ only in a monotone demand scale.
+    ///
+    /// Snapshot semantics: later [`Wap::set_capacity`] calls do **not**
+    /// propagate into an existing solver; build a fresh one per round.
+    pub fn solver(&self) -> WapSolver {
         let n = self.alive.len();
         let l = self.lengths.len();
         // Node layout: 0 = source, 1..=n jobs, n+1..=n+l intervals, n+l+1 sink.
@@ -137,12 +140,9 @@ impl Wap {
         let mut net = FlowNetwork::new(n + l + 2);
         let mut source_edges = Vec::with_capacity(n);
         let mut job_edges: Vec<Vec<(usize, EdgeId)>> = vec![Vec::new(); n];
-        for (i, &demand) in p.iter().enumerate() {
-            assert!(
-                demand >= 0.0 && demand.is_finite(),
-                "demand must be finite/nonnegative"
-            );
-            source_edges.push(net.add_edge(source, 1 + i, demand));
+        for i in 0..n {
+            // Demands arrive per solve; start the parametric edges at zero.
+            source_edges.push(net.add_edge(source, 1 + i, 0.0));
         }
         for (i, ivals) in self.alive.iter().enumerate() {
             for &j in ivals {
@@ -157,36 +157,86 @@ impl Wap {
         for j in 0..l {
             sink_edges.push(net.add_edge(1 + n + j, sink, self.capacity[j]));
         }
-        let value = net.max_flow(source, sink);
-        WapFlow {
-            value,
-            demand: p.iter().sum(),
+        WapSolver {
+            net,
+            source,
+            sink,
             num_jobs: n,
             num_intervals: l,
-            net,
             source_edges,
             job_edges,
             sink_edges,
+            value: 0.0,
+            demand: 0.0,
+            solved: false,
         }
+    }
+
+    /// Solve the packing with per-job demands `p` (max-flow) and return the
+    /// annotated flow for feasibility tests / allotment readback /
+    /// residual-reachability queries. One-shot: builds a fresh network and
+    /// solves cold; for repeated queries over varying demands use
+    /// [`Wap::solver`].
+    pub fn solve(&self, p: &[f64]) -> WapFlow {
+        let mut solver = self.solver();
+        solver.solve(p);
+        WapFlow { solver }
     }
 }
 
-/// A solved WAP flow with readback accessors.
+/// A persistent WAP feasibility solver: the network is built once, each
+/// [`solve`](WapSolver::solve) re-parameterizes the source capacities and
+/// warm-starts the max flow from the previous one (see
+/// [`FlowNetwork::max_flow_incremental`]).
 #[derive(Debug)]
-pub struct WapFlow {
-    /// Achieved max-flow value.
-    pub value: f64,
-    /// Total demand `Σ p_i`.
-    pub demand: f64,
+pub struct WapSolver {
+    net: FlowNetwork,
+    source: usize,
+    sink: usize,
     num_jobs: usize,
     num_intervals: usize,
-    net: FlowNetwork,
     source_edges: Vec<EdgeId>,
     job_edges: Vec<Vec<(usize, EdgeId)>>,
     sink_edges: Vec<EdgeId>,
+    value: f64,
+    demand: f64,
+    solved: bool,
 }
 
-impl WapFlow {
+impl WapSolver {
+    /// Route the demand vector `p`: cold max-flow on the first call, warm
+    /// repair afterwards. Returns the achieved flow value.
+    pub fn solve(&mut self, p: &[f64]) -> f64 {
+        let _span = ssp_probe::span("wap.solve");
+        ssp_probe::counter!("wap.flow_calls");
+        assert_eq!(p.len(), self.num_jobs, "demand vector length mismatch");
+        for (i, &demand) in p.iter().enumerate() {
+            assert!(
+                demand >= 0.0 && demand.is_finite(),
+                "demand must be finite/nonnegative"
+            );
+            self.net.set_capacity(self.source_edges[i], demand);
+        }
+        self.value = if self.solved {
+            self.net.max_flow_incremental(self.source, self.sink)
+        } else {
+            self.net.max_flow(self.source, self.sink)
+        };
+        self.solved = true;
+        self.demand = p.iter().sum();
+        self.value
+    }
+
+    /// Achieved max-flow value of the last [`solve`](WapSolver::solve).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Total demand `Σ p_i` of the last [`solve`](WapSolver::solve).
+    pub fn demand(&self) -> f64 {
+        self.demand
+    }
+
     /// Feasible iff the flow meets the whole demand (tolerantly: max-flow
     /// arithmetic accumulates `O(E·eps)` error).
     pub fn feasible(&self) -> bool {
@@ -211,7 +261,9 @@ impl WapFlow {
     /// For each job: is its node residual-reachable from the source? On an
     /// *infeasible* instance just below the critical speed, the reachable
     /// jobs are exactly the **critical jobs** (Lemma 5 of the migratory
-    /// analysis).
+    /// analysis). The canonical min cut is invariant across max flows, so
+    /// the classification is identical whether the flow was computed cold
+    /// or repaired warm.
     pub fn jobs_reachable(&self) -> Vec<bool> {
         let side = self.net.residual_reachable_from_source();
         (0..self.num_jobs).map(|i| side[1 + i]).collect()
@@ -230,6 +282,62 @@ impl WapFlow {
     /// Flow into the sink from interval `j` (total time handed out there).
     pub fn interval_usage(&self, j: usize) -> f64 {
         self.net.flow(self.sink_edges[j])
+    }
+}
+
+/// A solved WAP flow with readback accessors (a one-shot
+/// [`WapSolver`] frozen after its first solve).
+#[derive(Debug)]
+pub struct WapFlow {
+    solver: WapSolver,
+}
+
+impl WapFlow {
+    /// Achieved max-flow value.
+    pub fn value(&self) -> f64 {
+        self.solver.value()
+    }
+
+    /// Total demand `Σ p_i`.
+    pub fn demand(&self) -> f64 {
+        self.solver.demand()
+    }
+
+    /// Feasible iff the flow meets the whole demand (tolerantly: max-flow
+    /// arithmetic accumulates `O(E·eps)` error).
+    pub fn feasible(&self) -> bool {
+        self.solver.feasible()
+    }
+
+    /// Time allotted to job `i` in each of its open intervals: `(j, t_ij)`,
+    /// skipping zero allotments.
+    pub fn allotment(&self, i: usize) -> Vec<(usize, f64)> {
+        self.solver.allotment(i)
+    }
+
+    /// Demand actually routed for job `i`.
+    pub fn routed(&self, i: usize) -> f64 {
+        self.solver.routed(i)
+    }
+
+    /// For each job: is its node residual-reachable from the source? On an
+    /// *infeasible* instance just below the critical speed, the reachable
+    /// jobs are exactly the **critical jobs** (Lemma 5 of the migratory
+    /// analysis).
+    pub fn jobs_reachable(&self) -> Vec<bool> {
+        self.solver.jobs_reachable()
+    }
+
+    /// For each interval: is its node residual-reachable from the source?
+    /// On the same infeasible instance these are the **saturated intervals**
+    /// (their `(y_j, sink)` edge lies in the canonical minimum cut).
+    pub fn intervals_reachable(&self) -> Vec<bool> {
+        self.solver.intervals_reachable()
+    }
+
+    /// Flow into the sink from interval `j` (total time handed out there).
+    pub fn interval_usage(&self, j: usize) -> f64 {
+        self.solver.interval_usage(j)
     }
 }
 

@@ -1,0 +1,236 @@
+//! Differential tests for the flow kernels (tier-1, pinned seeds).
+//!
+//! Three independent engines solve the same seeded random networks:
+//!
+//! * `FlowNetwork` — the production f64 Dinic engine (with its parametric
+//!   warm-restart path);
+//! * `PushRelabel` — the highest-label push-relabel cross-check engine;
+//! * `IntFlowNetwork` — the exact integer Edmonds–Karp reference.
+//!
+//! On integer-valued capacities all three must agree exactly. On top of
+//! that, the warm-restart path (`set_capacity` + `max_flow_incremental`)
+//! must match a cold from-scratch solve after *arbitrary* randomized
+//! capacity update sequences — the safety net for the warm-started BAL
+//! bisection — and the min-cut certificate must stay valid after every
+//! incremental repair.
+
+use ssp_maxflow::reference::IntFlowNetwork;
+use ssp_maxflow::{EdgeId, FlowNetwork, PushRelabel};
+use ssp_prng::{check, Rng, StdRng};
+
+/// A random directed graph: node count and edge list `(u, v, cap)` with
+/// integer-valued f64 capacities (exact in all three engines).
+fn random_graph(rng: &mut StdRng) -> (usize, Vec<(usize, usize, f64)>) {
+    let n = rng.gen_range(3usize..12);
+    let edges = check::vec_of(rng, 1..60, |r| {
+        (
+            r.gen_range(0usize..12),
+            r.gen_range(0usize..12),
+            r.gen_range(0u32..100) as f64,
+        )
+    })
+    .into_iter()
+    .filter(|&(u, v, _)| u < n && v < n && u != v)
+    .collect();
+    (n, edges)
+}
+
+fn build_dinic(n: usize, edges: &[(usize, usize, f64)]) -> (FlowNetwork, Vec<EdgeId>) {
+    let mut net = FlowNetwork::new(n);
+    let ids = edges
+        .iter()
+        .map(|&(u, v, c)| net.add_edge(u, v, c))
+        .collect();
+    (net, ids)
+}
+
+/// Certify `value` as a max flow of `net`: the canonical cut's capacity
+/// equals it, every cut edge is saturated, and per-node conservation holds
+/// for the flow read back edge by edge.
+fn certify(net: &FlowNetwork, edges: &[(usize, usize, f64)], ids: &[EdgeId], value: f64) {
+    let side = net.residual_reachable_from_source();
+    let n = side.len();
+    assert!(side[0], "source on its own side");
+    let cut = net.min_cut_edges();
+    let cut_cap: f64 = cut.iter().map(|&e| net.flow(e) + net.residual(e)).sum();
+    for &e in &cut {
+        assert!(net.is_saturated(e), "cut edge with residual slack");
+    }
+    assert!(
+        (cut_cap - value).abs() <= 1e-6 * (1.0 + value.abs()),
+        "cut {cut_cap} vs flow {value}"
+    );
+    for node in 1..n - 1 {
+        let mut balance = 0.0;
+        for (&(u, v, _), &id) in edges.iter().zip(ids) {
+            if v == node {
+                balance += net.flow(id);
+            }
+            if u == node {
+                balance -= net.flow(id);
+            }
+        }
+        assert!(
+            balance.abs() <= 1e-6 * (1.0 + value.abs()),
+            "node {node} imbalance {balance}"
+        );
+    }
+}
+
+/// Dinic == push-relabel == exact integer reference on random networks.
+#[test]
+fn three_engines_agree_on_random_networks() {
+    check::cases(96, 0xD1FF_0001, |rng| {
+        let (n, edges) = random_graph(rng);
+        let (s, t) = (0, n - 1);
+        let (mut dinic, _) = build_dinic(n, &edges);
+        let mut pr = PushRelabel::new(n);
+        let mut exact = IntFlowNetwork::new(n);
+        for &(u, v, c) in &edges {
+            pr.add_edge(u, v, c);
+            exact.add_edge(u, v, c as u64);
+        }
+        let f_dinic = dinic.max_flow(s, t);
+        let f_pr = pr.max_flow(s, t);
+        let f_exact = exact.max_flow(s, t) as f64;
+        assert!(
+            (f_dinic - f_exact).abs() < 1e-6,
+            "dinic {f_dinic} vs exact {f_exact}"
+        );
+        assert!(
+            (f_pr - f_exact).abs() < 1e-6,
+            "push-relabel {f_pr} vs exact {f_exact}"
+        );
+    });
+}
+
+/// Warm-start == cold-start after randomized capacity update sequences,
+/// with the min-cut certificate re-validated after every repair.
+#[test]
+fn warm_start_matches_cold_after_random_updates() {
+    check::cases(96, 0xD1FF_0002, |rng| {
+        let (n, mut edges) = random_graph(rng);
+        if edges.is_empty() {
+            return;
+        }
+        let (s, t) = (0, n - 1);
+        let (mut warm, ids) = build_dinic(n, &edges);
+        warm.max_flow(s, t);
+        for _round in 0..6 {
+            // Mutate a few capacities: mix of shrinks (often below the
+            // carried flow), growths, zeroings, and fractional values.
+            for _ in 0..rng.gen_range(1usize..4) {
+                let k = rng.gen_range(0usize..edges.len());
+                let cap = match rng.gen_range(0u32..4) {
+                    0 => 0.0,
+                    1 => rng.gen_range(0u32..100) as f64,
+                    2 => edges[k].2 * rng.gen_range(0.0f64..1.0),
+                    _ => edges[k].2 + rng.gen_range(0.0f64..50.0),
+                };
+                edges[k].2 = cap;
+                warm.set_capacity(ids[k], cap);
+            }
+            let warm_value = warm.max_flow_incremental(s, t);
+            // Cold baseline: same topology and current capacities, fresh
+            // from-scratch solve.
+            let (mut cold, _) = build_dinic(n, &edges);
+            let cold_value = cold.max_flow(s, t);
+            assert!(
+                (warm_value - cold_value).abs() <= 1e-9 * (1.0 + cold_value.abs()),
+                "warm {warm_value} vs cold {cold_value}"
+            );
+            assert!(
+                (warm.flow_value() - warm_value).abs() <= 1e-12 * (1.0 + warm_value.abs()),
+                "flow_value accessor drifted"
+            );
+            certify(&warm, &edges, &ids, warm_value);
+        }
+    });
+}
+
+/// The BAL access pattern: a WAP-shaped layered network whose source
+/// capacities sweep down and up a bisection ladder. Warm values must track
+/// cold and push-relabel values at every step, and the min cut must keep
+/// certifying the warm flow.
+#[test]
+fn warm_bisection_ladder_on_wap_shaped_networks() {
+    check::cases(48, 0xD1FF_0003, |rng| {
+        let jobs = rng.gen_range(3usize..10);
+        let ivals = rng.gen_range(2usize..6);
+        let s = 0usize;
+        let t = 1 + jobs + ivals;
+        let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+        let demands: Vec<f64> = (0..jobs).map(|_| rng.gen_range(1.0f64..8.0)).collect();
+        for (i, &d) in demands.iter().enumerate() {
+            edges.push((s, 1 + i, d));
+            for j in 0..ivals {
+                if rng.gen_range(0u32..3) > 0 {
+                    edges.push((1 + i, 1 + jobs + j, rng.gen_range(0.5f64..4.0)));
+                }
+            }
+        }
+        for j in 0..ivals {
+            edges.push((1 + jobs + j, t, rng.gen_range(1.0f64..10.0)));
+        }
+        let (mut warm, ids) = build_dinic(t + 1, &edges);
+        warm.max_flow(s, t);
+        // Walk the demand scale down then back up, as a bisection would.
+        for &scale in &[0.8, 0.5, 0.3, 0.45, 0.7, 1.0, 1.3] {
+            // Source edges were pushed first, so edge `i` is job `i`'s.
+            for (i, &d) in demands.iter().enumerate() {
+                edges[i].2 = d * scale;
+                warm.set_capacity(ids[i], d * scale);
+            }
+            let warm_value = warm.max_flow_incremental(s, t);
+            let (mut cold, _) = build_dinic(t + 1, &edges);
+            let cold_value = cold.max_flow(s, t);
+            let mut pr = PushRelabel::new(t + 1);
+            for &(u, v, c) in &edges {
+                pr.add_edge(u, v, c);
+            }
+            let pr_value = pr.max_flow(s, t);
+            assert!(
+                (warm_value - cold_value).abs() <= 1e-9 * (1.0 + cold_value),
+                "scale {scale}: warm {warm_value} vs cold {cold_value}"
+            );
+            assert!(
+                (warm_value - pr_value).abs() <= 1e-6 * (1.0 + pr_value),
+                "scale {scale}: warm {warm_value} vs push-relabel {pr_value}"
+            );
+            certify(&warm, &edges, &ids, warm_value);
+        }
+    });
+}
+
+/// Residual reachability after incremental updates answers the question the
+/// BAL classification asks: which source edges can still grow. Every
+/// unsaturated source edge must keep its job node on the source side, and
+/// on fully-routed (feasible) networks the whole demand must be routed.
+#[test]
+fn residual_reachability_consistent_after_updates() {
+    check::cases(48, 0xD1FF_0004, |rng| {
+        let (n, edges) = random_graph(rng);
+        if edges.is_empty() {
+            return;
+        }
+        let (s, t) = (0, n - 1);
+        let (mut net, ids) = build_dinic(n, &edges);
+        net.max_flow(s, t);
+        for _ in 0..4 {
+            let k = rng.gen_range(0usize..edges.len());
+            net.set_capacity(ids[k], rng.gen_range(0u32..100) as f64);
+            let value = net.max_flow_incremental(s, t);
+            let side = net.residual_reachable_from_source();
+            // An edge out of the source with residual slack keeps its head
+            // on the source side (one residual hop).
+            for (&(u, v, _), &id) in edges.iter().zip(&ids) {
+                if u == s && !net.is_saturated(id) {
+                    assert!(side[v], "unsaturated source edge head cut away");
+                }
+            }
+            if value > 0.0 {
+                assert!(!side[t], "sink residual-reachable after a max flow");
+            }
+        }
+    });
+}
