@@ -1,0 +1,138 @@
+//! Old vs new single-processor YDS kernel across the instance families
+//! that stress it differently: `weighted_agreeable` (few peels, long
+//! critical intervals), `laminar_nested` (deep containment — the
+//! worst case for the quadratic reference), and `crossing` (staircase
+//! overlap, many same-density near-ties).
+//!
+//! Two outputs:
+//!
+//! * the usual harness timing lines (`cargo bench -p ssp-bench --bench
+//!   yds_kernel`), one benchmark per (family, n, kernel);
+//! * a machine-readable artifact: set `SSP_BENCH_JSON=<path>` in
+//!   measurement mode and a self-timed sweep (median of several reps,
+//!   plus `yds.peels` / `yds.candidates` deltas per kernel) is written
+//!   as JSON to `<path>`. The committed `BENCH_yds.json` at the repo
+//!   root is produced this way.
+
+use ssp_bench::fixture;
+use ssp_bench::harness::{BenchmarkId, Criterion};
+use ssp_model::Job;
+use ssp_single::yds::{yds, yds_reference};
+use ssp_workloads::families;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZES: [usize; 4] = [50, 200, 800, 1600];
+const FAMILIES: [&str; 3] = ["agreeable", "laminar_nested", "crossing"];
+
+/// Single-machine job list for one (family, n) cell. Families that only
+/// exist as direct `Instance` constructors are called as such; the
+/// agreeable family goes through the shared deterministic fixture.
+fn family_jobs(family: &str, n: usize) -> Vec<Job> {
+    match family {
+        "agreeable" => fixture("weighted_agreeable", n, 1, 2.0).jobs().to_vec(),
+        "laminar_nested" => families::laminar_nested(n, 1, 2.0, 0x9D5 + n as u64)
+            .jobs()
+            .to_vec(),
+        "crossing" => families::crossing(n, 1, 2.0, 0xC0 + n as u64)
+            .jobs()
+            .to_vec(),
+        _ => unreachable!("unknown family {family}"),
+    }
+}
+
+fn kernels(c: &mut Criterion) {
+    for family in FAMILIES {
+        let mut g = c.benchmark_group(format!("yds_kernel_{family}"));
+        for n in SIZES {
+            let jobs = family_jobs(family, n);
+            g.bench_with_input(BenchmarkId::new("fast", n), &jobs, |b, jobs| {
+                b.iter(|| black_box(yds(jobs, 2.0).energy))
+            });
+            g.bench_with_input(BenchmarkId::new("reference", n), &jobs, |b, jobs| {
+                b.iter(|| black_box(yds_reference(jobs, 2.0).energy))
+            });
+        }
+        g.finish();
+    }
+}
+
+/// One self-timed cell of the JSON artifact.
+fn timed_cell(
+    jobs: &[Job],
+    kernel: fn(&[Job], f64) -> ssp_single::yds::YdsSolution,
+) -> (f64, u64, u64) {
+    // Median of an odd number of reps; large instances get fewer reps so
+    // the quadratic reference keeps the sweep under a minute.
+    let reps = (400_000 / (jobs.len() * jobs.len())).clamp(3, 51) | 1;
+    let p0 = ssp_probe::counter_value("yds.peels");
+    let c0 = ssp_probe::counter_value("yds.candidates");
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(kernel(jobs, 2.0).energy);
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    let peels = (ssp_probe::counter_value("yds.peels") - p0) / reps as u64;
+    let cand = (ssp_probe::counter_value("yds.candidates") - c0) / reps as u64;
+    (times[reps / 2], peels, cand)
+}
+
+fn write_json(path: &str) {
+    let session = ssp_probe::Session::begin();
+    let mut cells = Vec::new();
+    for family in FAMILIES {
+        for n in SIZES {
+            let jobs = family_jobs(family, n);
+            let (fast_ms, fast_peels, fast_cand) = timed_cell(&jobs, yds);
+            let (ref_ms, ref_peels, ref_cand) = timed_cell(&jobs, yds_reference);
+            let fast_e = yds(&jobs, 2.0).energy;
+            let ref_e = yds_reference(&jobs, 2.0).energy;
+            assert_eq!(
+                fast_e.to_bits(),
+                ref_e.to_bits(),
+                "kernel energy mismatch on {family} n={n}"
+            );
+            cells.push(format!(
+                concat!(
+                    "    {{\"family\": \"{}\", \"n\": {}, ",
+                    "\"fast_ms\": {:.4}, \"ref_ms\": {:.4}, \"speedup\": {:.2}, ",
+                    "\"peels\": {}, \"fast_candidates\": {}, \"ref_candidates\": {}, ",
+                    "\"energy\": {:.6}}}"
+                ),
+                family,
+                n,
+                fast_ms,
+                ref_ms,
+                ref_ms / fast_ms,
+                ref_peels.max(fast_peels),
+                fast_cand,
+                ref_cand,
+                fast_e
+            ));
+        }
+    }
+    let body = format!(
+        "{{\n  \"bench\": \"yds_kernel\",\n  \"alpha\": 2.0,\n  \"unit\": \"ms_median\",\n  \"cells\": [\n{}\n  ]\n}}\n",
+        cells.join(",\n")
+    );
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
+    if let Some(s) = session {
+        let _ = s.end();
+    }
+}
+
+fn main() {
+    let mut c = Criterion::from_args();
+    kernels(&mut c);
+    c.final_summary();
+    let measure = std::env::args().any(|a| a == "--bench");
+    if let Ok(path) = std::env::var("SSP_BENCH_JSON") {
+        if measure && !path.is_empty() {
+            write_json(&path);
+        }
+    }
+}

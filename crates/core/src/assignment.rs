@@ -62,18 +62,26 @@ impl Assignment {
 }
 
 /// Optimal energy of an assignment: sum of per-machine YDS energies.
+///
+/// One scratch job buffer is reused across machines (no per-group
+/// allocation); the kernel behind [`yds`] is the fast pruned peel, so this
+/// is also the cheapest way to price a one-off assignment. Searches that
+/// price many *related* assignments should use [`crate::eval::YdsEval`]
+/// instead, which additionally memoizes per-machine energies.
 pub fn assignment_energy(instance: &Instance, assignment: &Assignment) -> f64 {
     assert_eq!(
         assignment.len(),
         instance.len(),
         "assignment length mismatch"
     );
+    let mut scratch = Vec::new();
     assignment
         .groups(instance.machines())
         .into_iter()
         .map(|group| {
-            let jobs: Vec<_> = group.iter().map(|&i| *instance.job(i)).collect();
-            yds(&jobs, instance.alpha()).energy
+            scratch.clear();
+            scratch.extend(group.iter().map(|&i| *instance.job(i)));
+            yds(&scratch, instance.alpha()).energy
         })
         .sum()
 }

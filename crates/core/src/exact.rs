@@ -11,8 +11,8 @@
 //! `n ≲ 12` (EXP-1/2/5), not production use.
 
 use crate::assignment::{assignment_energy, Assignment};
-use ssp_model::{Instance, Job};
-use ssp_single::yds::yds;
+use crate::eval::YdsEval;
+use ssp_model::Instance;
 
 /// Result of the exact search.
 #[derive(Debug, Clone)]
@@ -61,12 +61,10 @@ pub fn exact_nonmigratory(instance: &Instance) -> ExactSolution {
     // meaningful and pruning effective.
     let order = instance.release_order();
     let mut state = Search {
-        instance,
         order: &order,
         m,
-        current: vec![0usize; n],    // machine per *rank* in `order`
-        groups: vec![Vec::new(); m], // jobs (instance indices) per machine
-        machine_energy: vec![0.0; m],
+        current: vec![0usize; n], // machine per *rank* in `order`
+        eval: YdsEval::new(instance),
         best_energy: f64::INFINITY,
         best: vec![0usize; n],
         nodes: 0,
@@ -88,12 +86,13 @@ pub fn exact_nonmigratory(instance: &Instance) -> ExactSolution {
 }
 
 struct Search<'a> {
-    instance: &'a Instance,
     order: &'a [usize],
     m: usize,
     current: Vec<usize>,
-    groups: Vec<Vec<usize>>,
-    machine_energy: Vec<f64>,
+    /// Incremental per-machine energy oracle: prices each child placement
+    /// with a memoized YDS call, and sibling subtrees that rebuild the same
+    /// machine contents become cache hits instead of fresh peels.
+    eval: YdsEval<'a>,
     best_energy: f64,
     best: Vec<usize>,
     nodes: usize,
@@ -114,22 +113,16 @@ impl Search<'_> {
         // the empty ones (identical machines => symmetric).
         let limit = (used + 1).min(self.m);
         for machine in 0..limit {
-            let old_energy = self.machine_energy[machine];
-            self.groups[machine].push(job_idx);
-            let jobs: Vec<Job> = self.groups[machine]
-                .iter()
-                .map(|&i| *self.instance.job(i))
-                .collect();
-            let new_energy = yds(&jobs, self.instance.alpha()).energy;
+            let old_energy = self.eval.machine_energy(machine);
+            let new_energy = self.eval.energy_with(machine, job_idx);
             let new_total = total - old_energy + new_energy;
             if new_total < self.best_energy {
                 self.current[rank] = machine;
-                self.machine_energy[machine] = new_energy;
+                self.eval.add(job_idx, machine);
                 let new_used = used.max(machine + 1);
                 self.recurse(rank + 1, new_used, new_total);
-                self.machine_energy[machine] = old_energy;
+                self.eval.remove(job_idx);
             }
-            self.groups[machine].pop();
         }
     }
 }

@@ -10,8 +10,8 @@
 //!   whose YDS energy increases the least. Stronger but `O(n·m)` YDS calls.
 
 use crate::assignment::Assignment;
-use ssp_model::{Instance, Job};
-use ssp_single::yds::yds;
+use crate::eval::YdsEval;
+use ssp_model::Instance;
 
 /// Least-total-work list assignment in release order.
 pub fn least_loaded(instance: &Instance) -> Assignment {
@@ -28,30 +28,25 @@ pub fn least_loaded(instance: &Instance) -> Assignment {
 }
 
 /// Greedy marginal-energy assignment in release order: place each job on the
-/// machine where the per-machine YDS energy grows the least.
+/// machine where the per-machine YDS energy grows the least. Placements are
+/// priced through the [`YdsEval`] oracle, so each trial append is one
+/// memoized YDS call instead of a `Vec<Job>` push/solve/pop round trip.
 pub fn marginal_energy_greedy(instance: &Instance) -> Assignment {
     let _span = ssp_probe::span("assign.greedy");
     ssp_probe::counter!("assign.greedy_passes");
     let m = instance.machines();
     let mut machine_of = vec![0usize; instance.len()];
-    let mut groups: Vec<Vec<Job>> = vec![Vec::new(); m];
-    let mut energy: Vec<f64> = vec![0.0; m];
+    let mut eval = YdsEval::new(instance);
     for &i in &instance.release_order() {
-        let job = *instance.job(i);
         let mut best = (0usize, f64::INFINITY);
         for p in 0..m {
-            groups[p].push(job);
-            let e = yds(&groups[p], instance.alpha()).energy;
-            groups[p].pop();
-            let delta = e - energy[p];
+            let delta = eval.energy_with(p, i) - eval.machine_energy(p);
             if delta < best.1 {
                 best = (p, delta);
             }
         }
-        let (p, delta) = best;
-        machine_of[i] = p;
-        groups[p].push(job);
-        energy[p] += delta;
+        machine_of[i] = best.0;
+        eval.add(i, best.0);
     }
     Assignment::new(machine_of)
 }

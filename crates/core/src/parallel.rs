@@ -14,9 +14,9 @@
 //! for any tie in the sequential enumeration order.
 
 use crate::assignment::{assignment_energy, Assignment};
+use crate::eval::YdsEval;
 use crate::exact::ExactSolution;
-use ssp_model::{Instance, Job};
-use ssp_single::yds::yds;
+use ssp_model::Instance;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -97,6 +97,10 @@ pub fn exact_nonmigratory_parallel(instance: &Instance) -> ExactSolution {
         machine_energy: vec![0.0; m],
         total: 0.0,
     }];
+    // One oracle prices the whole expansion: sibling prefixes share machine
+    // contents, so most `list_energy` calls below are memo hits.
+    let mut expand_eval = YdsEval::new(instance);
+    let mut list: Vec<u32> = Vec::new();
     while frontier.len() < target_frontier && frontier[0].assigned.len() < n {
         let mut next = Vec::with_capacity(frontier.len() * m);
         for p in frontier {
@@ -104,16 +108,17 @@ pub fn exact_nonmigratory_parallel(instance: &Instance) -> ExactSolution {
                 let mut q = p.clone();
                 q.assigned.push(machine);
                 q.used = q.used.max(machine + 1);
-                // Recompute the receiving machine's energy over its jobs
-                // (the new job is included via the assignment filter).
-                let jobs: Vec<Job> = q
-                    .assigned
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &mm)| mm == machine)
-                    .map(|(rank, _)| *instance.job(order[rank]))
-                    .collect();
-                let e = yds(&jobs, instance.alpha()).energy;
+                // Price the receiving machine's jobs (the new job is
+                // included via the assignment filter).
+                list.clear();
+                list.extend(
+                    q.assigned
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &mm)| mm == machine)
+                        .map(|(rank, _)| order[rank] as u32),
+                );
+                let e = expand_eval.list_energy(&list);
                 q.total = q.total - q.machine_energy[machine] + e;
                 q.machine_energy[machine] = e;
                 next.push(q);
@@ -133,6 +138,10 @@ pub fn exact_nonmigratory_parallel(instance: &Instance) -> ExactSolution {
     std::thread::scope(|scope| {
         for _ in 0..threads.min(frontier.len()) {
             scope.spawn(|| {
+                // Per-thread oracle: the memo persists across the frontier
+                // items this thread drains, so subtrees re-entering the same
+                // machine contents skip the YDS call entirely.
+                let mut eval = YdsEval::new(instance);
                 let mut local_nodes = 0usize;
                 loop {
                     let k = next_item.fetch_add(1, Ordering::Relaxed);
@@ -141,24 +150,24 @@ pub fn exact_nonmigratory_parallel(instance: &Instance) -> ExactSolution {
                     }
                     let p = &frontier[k];
                     if p.total < best.get() {
-                        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); m];
                         for (rank, &mm) in p.assigned.iter().enumerate() {
-                            groups[mm].push(order[rank]);
+                            eval.add(order[rank], mm);
                         }
                         let mut current = p.assigned.clone();
                         dfs(
-                            instance,
                             &order,
                             m,
                             &mut current,
-                            &mut groups,
-                            &mut p.machine_energy.clone(),
+                            &mut eval,
                             p.used,
                             p.total,
                             &best,
                             &best_assignment,
                             &mut local_nodes,
                         );
+                        for (rank, _) in p.assigned.iter().enumerate().rev() {
+                            eval.remove(order[rank]);
+                        }
                     }
                 }
                 nodes.fetch_add(local_nodes, Ordering::Relaxed);
@@ -182,12 +191,10 @@ pub fn exact_nonmigratory_parallel(instance: &Instance) -> ExactSolution {
 
 #[allow(clippy::too_many_arguments)]
 fn dfs(
-    instance: &Instance,
     order: &[usize],
     m: usize,
     current: &mut Vec<usize>,
-    groups: &mut [Vec<usize>],
-    machine_energy: &mut [f64],
+    eval: &mut YdsEval<'_>,
     used: usize,
     total: f64,
     best: &AtomicBest,
@@ -208,31 +215,26 @@ fn dfs(
     }
     let job_idx = order[rank];
     for machine in 0..(used + 1).min(m) {
-        let old_energy = machine_energy[machine];
-        groups[machine].push(job_idx);
-        let jobs: Vec<Job> = groups[machine].iter().map(|&i| *instance.job(i)).collect();
-        let new_energy = yds(&jobs, instance.alpha()).energy;
+        let old_energy = eval.machine_energy(machine);
+        let new_energy = eval.energy_with(machine, job_idx);
         let new_total = total - old_energy + new_energy;
         if new_total < best.get() {
             current.push(machine);
-            machine_energy[machine] = new_energy;
+            eval.add(job_idx, machine);
             dfs(
-                instance,
                 order,
                 m,
                 current,
-                groups,
-                machine_energy,
+                eval,
                 used.max(machine + 1),
                 new_total,
                 best,
                 best_assignment,
                 nodes,
             );
-            machine_energy[machine] = old_energy;
+            eval.remove(job_idx);
             current.pop();
         }
-        groups[machine].pop();
     }
 }
 

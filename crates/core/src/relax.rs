@@ -12,7 +12,10 @@
 //!    *inside the job's window* — the Graham `(2 − 1/m)` step specialized to
 //!    window overlap.
 //! 3. **Re-optimize**: per-machine YDS (never hurts, often recovers most of
-//!    the rounding loss).
+//!    the rounding loss). This step is implicit: pricing or scheduling the
+//!    returned assignment (`assignment_energy` / `assignment_schedule`,
+//!    or [`crate::eval::YdsEval`] when a search keeps refining it) runs the
+//!    fast per-machine YDS kernel.
 //!
 //! The measured ratio versus the migratory lower bound is reported by EXP-3
 //! and stays well under `2(2-1/m)^α` on every family we generate.

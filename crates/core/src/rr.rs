@@ -29,7 +29,9 @@ pub fn rr_assignment(instance: &Instance) -> Assignment {
 }
 
 /// Round-robin assignment followed by per-machine YDS. Optimal for
-/// unit-work agreeable instances; a heuristic otherwise.
+/// unit-work agreeable instances; a heuristic otherwise. The per-machine
+/// solves run the fast pruned kernel behind `ssp_single::yds::yds` (via
+/// [`assignment_schedule`]), so this stays cheap even at large `n`.
 pub fn rr_yds(instance: &Instance) -> Schedule {
     assignment_schedule(instance, &rr_assignment(instance))
 }

@@ -381,11 +381,18 @@ pub fn try_bal_with_wap(
         // the demands by ~1e-7 relative. Normalize each critical job's
         // allotment to its exact demand (energy-irrelevant; downstream
         // tolerances absorb the matching per-interval overshoot).
+        // Allotments are *times*, so the flow engine's absolute noise scales
+        // with the interval lengths, not with the demands. When a
+        // near-zero-width window drives v_crit so high that every demand is
+        // below that noise floor (e.g. ~1e-14 against intervals of length
+        // ~1), the relative check alone is unsatisfiable; anchor an absolute
+        // slack on the decomposition's total length.
+        let horizon: f64 = (0..intervals.len()).map(|j| intervals.length(j)).sum();
         for &i in &critical {
             let need = instance.job(i).work / v_crit;
             let got: f64 = allotments[i].iter().map(|&(_, t)| t).sum();
             // NaN discrepancies must fail, so the comparison stays affirmative.
-            let within_tolerance = (got - need).abs() <= 1e-5 * need;
+            let within_tolerance = (got - need).abs() <= 1e-5 * need + 1e-9 * horizon;
             if !within_tolerance {
                 return Err(SolveError::Numeric {
                     message: format!(

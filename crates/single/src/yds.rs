@@ -7,9 +7,24 @@
 //! interval — and the process repeats. The result is the unique optimal speed
 //! profile; its energy is `Σ w_i · s_i^(α-1)`.
 //!
-//! Complexity: each peel scans `O(n²)` candidate intervals with an `O(n)`
-//! sweep per left endpoint, i.e. `O(n²)` per peel and `O(n³)` worst case —
-//! the classic bound for direct YDS implementations.
+//! Two kernels share one peel driver and produce **bit-identical** output:
+//!
+//! * [`yds`] — the fast kernel: per peel, starts are visited in descending
+//!   order of a certified intensity upper bound, and both whole starts and
+//!   deadline-sweep tails are skipped when the bound proves them *strictly*
+//!   below the incumbent. Candidates that are evaluated use exactly the
+//!   reference arithmetic (sequential work accumulation in deadline order),
+//!   and the incumbent comparator reproduces the reference's first-maximizer
+//!   tie-break, so the selected interval — and therefore every speed and the
+//!   energy — matches [`yds_reference`] bit for bit. Typical peels touch a
+//!   small fraction of the `O(k²)` candidate grid (see the `yds.candidates`
+//!   probe counter and the `yds_kernel` bench); the worst case degrades to
+//!   the reference's `O(k²)` per peel.
+//! * [`yds_reference`] — the retained reference peel: each peel scans `O(k²)`
+//!   candidate intervals with an `O(k)` sweep per left endpoint, i.e. the
+//!   classic `O(n³)` worst-case bound for direct YDS implementations. Kept as
+//!   the differential-testing baseline (`tests/yds_differential.rs`) and the
+//!   "old" side of EXP-19.
 
 use crate::edf::edf_schedule;
 use ssp_model::numeric::energy_of;
@@ -46,7 +61,7 @@ struct Active {
     deadline: f64,
 }
 
-/// Compute the optimal speed per job on a single processor.
+/// Compute the optimal speed per job on a single processor (fast kernel).
 ///
 /// ```
 /// use ssp_model::Job;
@@ -59,6 +74,35 @@ struct Active {
 /// assert!((sol.speeds[0] - 2.0 / 3.0).abs() < 1e-9); // squeezed remainder
 /// ```
 pub fn yds(jobs: &[Job], alpha: f64) -> YdsSolution {
+    let mut scratch = FastScratch::default();
+    let mut candidates = 0u64;
+    let sol = run_peels(jobs, alpha, |active| {
+        scratch.critical_interval(active, &mut candidates)
+    });
+    ssp_probe::counter!("yds.peels", sol.peels.len() as u64);
+    ssp_probe::counter!("yds.candidates", candidates);
+    sol
+}
+
+/// The retained reference peel: brute-force `O(k²)`-per-peel critical
+/// interval scan. Semantics (and bits) match [`yds`]; complexity does not.
+pub fn yds_reference(jobs: &[Job], alpha: f64) -> YdsSolution {
+    let mut candidates = 0u64;
+    let sol = run_peels(jobs, alpha, |active| {
+        critical_interval_reference(active, &mut candidates)
+    });
+    ssp_probe::counter!("yds.peels", sol.peels.len() as u64);
+    ssp_probe::counter!("yds.candidates", candidates);
+    sol
+}
+
+/// The shared peel driver: repeatedly excise the critical interval reported
+/// by `find`, fixing contained jobs at its intensity and squeezing the rest.
+fn run_peels(
+    jobs: &[Job],
+    alpha: f64,
+    mut find: impl FnMut(&[Active]) -> (f64, f64, f64),
+) -> YdsSolution {
     assert!(alpha > 1.0, "alpha must exceed 1");
     let mut speeds = vec![0.0f64; jobs.len()];
     let mut peels = Vec::new();
@@ -74,9 +118,11 @@ pub fn yds(jobs: &[Job], alpha: f64) -> YdsSolution {
         .collect();
 
     while !active.is_empty() {
-        let (a, b, g) = critical_interval(&active);
+        let (a, b, g) = find(&active);
         peels.push((a, b, g));
-        debug_assert!(g.is_finite() && g > 0.0);
+        // Intensity is positive; it is +inf for degenerate zero-width
+        // windows (which are then excised immediately at infinite speed).
+        debug_assert!(g > 0.0);
         // Fix speeds of contained jobs; keep the rest.
         let mut rest = Vec::with_capacity(active.len());
         for job in active.into_iter() {
@@ -91,7 +137,7 @@ pub fn yds(jobs: &[Job], alpha: f64) -> YdsSolution {
         for job in &mut rest {
             job.release = squeeze(job.release, a, b, shift);
             job.deadline = squeeze(job.deadline, a, b, shift);
-            debug_assert!(job.deadline > job.release);
+            debug_assert!(job.deadline >= job.release);
         }
         active = rest;
     }
@@ -119,10 +165,21 @@ fn squeeze(x: f64, a: f64, b: f64, shift: f64) -> f64 {
     }
 }
 
-/// The maximum-intensity interval of the active set. Candidate intervals run
-/// from a release date to a deadline. Ties break toward the earliest start,
-/// then the longest interval, making peeling deterministic.
-fn critical_interval(active: &[Active]) -> (f64, f64, f64) {
+/// Does candidate `(g, a, b)` beat the incumbent under the reference
+/// selection rule? The reference iterates starts ascending, then deadlines
+/// ascending, keeping the first maximizer under strict `>` — equivalent to
+/// the lexicographic argmax of `(g, -a, -b)`, which is what this comparator
+/// implements so candidates may be visited in *any* order.
+#[inline]
+fn beats(g: f64, a: f64, b: f64, best: (f64, f64, f64)) -> bool {
+    g > best.2 || (g == best.2 && (a < best.0 || (a == best.0 && b < best.1)))
+}
+
+/// The maximum-intensity interval of the active set — reference scan.
+/// Candidate intervals run from a release date to a deadline. Ties break
+/// toward the earliest start, then the longest interval, making peeling
+/// deterministic.
+fn critical_interval_reference(active: &[Active], candidates: &mut u64) -> (f64, f64, f64) {
     debug_assert!(!active.is_empty());
     // For each candidate left endpoint `a` (a release), sweep jobs in
     // deadline order accumulating the work of jobs with release >= a.
@@ -140,9 +197,11 @@ fn critical_interval(active: &[Active]) -> (f64, f64, f64) {
         let mut acc = 0.0;
         for &idx in &by_deadline {
             let j = &active[idx];
-            // `release >= a` implies `deadline > a` since windows are nonempty.
+            // `release >= a` implies `deadline >= a` (windows may be
+            // degenerate but never inverted).
             if j.release >= a {
                 acc += j.work;
+                *candidates += 1;
                 let g = acc / (j.deadline - a);
                 if g > best.2 {
                     best = (a, j.deadline, g);
@@ -151,6 +210,312 @@ fn critical_interval(active: &[Active]) -> (f64, f64, f64) {
         }
     }
     best
+}
+
+/// Monotone `u64` image of `f64::total_cmp`: the standard sign-fold trick
+/// (flip all bits of negatives, flip only the sign bit of non-negatives)
+/// maps every float — including `-0.0`, infinities and NaNs — to an
+/// unsigned integer whose `<` order equals `total_cmp`. Packing the image
+/// above a 32-bit index yields a single integer key whose order is exactly
+/// the `(total_cmp, index)` lexicographic order, so the kernel's permutation
+/// sorts run branch-free integer comparisons instead of a float comparator.
+#[inline]
+fn total_cmp_key(x: f64) -> u64 {
+    let b = x.to_bits();
+    b ^ (((b as i64 >> 63) as u64) | 0x8000_0000_0000_0000)
+}
+
+/// Scratch buffers of the fast critical-interval search, reused across the
+/// peels of one [`yds`] call so the kernel allocates a constant number of
+/// vectors per call instead of per peel.
+#[derive(Default)]
+struct FastScratch {
+    /// Packed `(total_cmp_key(time) << 32) | index` sort keys.
+    sort_keys: Vec<u128>,
+    /// Active indices sorted by `(deadline, index)` — identical order to the
+    /// reference's stable sort by deadline.
+    by_deadline: Vec<u32>,
+    /// Deadline-ordered copies of the active jobs' fields (flat arrays keep
+    /// the inner sweep branch-predictable and cache-friendly).
+    dl: Vec<f64>,
+    rl: Vec<f64>,
+    wk: Vec<f64>,
+    /// Active indices sorted by `(release, index)`; drives the suffix scan.
+    by_release: Vec<u32>,
+    /// Distinct release values ascending (the candidate starts).
+    starts: Vec<f64>,
+    /// Per start: certified upper bound on any candidate intensity there and
+    /// the total (inflated) work of jobs released at/after it.
+    ub: Vec<f64>,
+    suffix_work: Vec<f64>,
+    /// Deadline rank of each active index (inverse of `by_deadline`).
+    rank: Vec<u32>,
+    /// Doubly-linked list over deadline ranks holding the jobs released
+    /// at/after the sweep's current start; jobs are unlinked (O(1)) as the
+    /// ascending start passes their release, so each sweep touches only
+    /// genuine candidates — no straddler iterations, no release compare.
+    next: Vec<u32>,
+    prev: Vec<u32>,
+}
+
+/// End-of-list sentinel for [`FastScratch::next`]/[`FastScratch::prev`].
+const LIST_END: u32 = u32::MAX;
+
+impl FastScratch {
+    /// The maximum-intensity interval — same value and tie-break as
+    /// [`critical_interval_reference`], computed with certified pruning.
+    ///
+    /// Soundness of the pruning: for a start `a`, every candidate intensity
+    /// is `fl(acc / fl(d - a))` where `acc` is a sequential float sum of a
+    /// subset of the works of jobs released at/after `a`. That is bounded by
+    /// `W(a) · (1 + O(kε)) / (dmin(a) - a)` with `W(a)` the suffix work sum
+    /// and `dmin(a)` the earliest deadline in the suffix; inflating `W(a)`
+    /// by `(1 + (2k+16)ε)` absorbs every rounding term, so a start (or a
+    /// sweep tail) whose inflated bound is *strictly* below the incumbent
+    /// intensity cannot contain the argmax — not even a tie, which is what
+    /// keeps the tie-break decisions identical to the reference scan.
+    ///
+    /// Visit strategy: the start with the largest bound is swept first to
+    /// seed the incumbent near the true maximum, then the remaining starts
+    /// are visited ascending and skipped outright when their bound is
+    /// strictly below the incumbent. Per kept start the deadline sweep
+    /// begins at the first deadline `>= a` (earlier jobs cannot be released
+    /// at/after `a`) and stops at the certified tail cutoff.
+    fn critical_interval(&mut self, active: &[Active], candidates: &mut u64) -> (f64, f64, f64) {
+        debug_assert!(!active.is_empty());
+        let k = active.len();
+        let inflate = 1.0 + (2.0 * k as f64 + 16.0) * f64::EPSILON;
+
+        self.sort_keys.clear();
+        self.sort_keys.extend(
+            active
+                .iter()
+                .enumerate()
+                .map(|(i, j)| ((total_cmp_key(j.deadline) as u128) << 32) | i as u128),
+        );
+        self.sort_keys.sort_unstable();
+        self.by_deadline.clear();
+        self.by_deadline
+            .extend(self.sort_keys.iter().map(|&v| v as u32));
+        self.dl.clear();
+        self.rl.clear();
+        self.wk.clear();
+        for &idx in &self.by_deadline {
+            let j = &active[idx as usize];
+            self.dl.push(j.deadline);
+            self.rl.push(j.release);
+            self.wk.push(j.work);
+        }
+
+        self.sort_keys.clear();
+        self.sort_keys.extend(
+            active
+                .iter()
+                .enumerate()
+                .map(|(i, j)| ((total_cmp_key(j.release) as u128) << 32) | i as u128),
+        );
+        self.sort_keys.sort_unstable();
+        self.by_release.clear();
+        self.by_release
+            .extend(self.sort_keys.iter().map(|&v| v as u32));
+        self.starts.clear();
+        self.starts
+            .extend(self.by_release.iter().map(|&i| active[i as usize].release));
+        self.starts.dedup_by(|a, b| a == b);
+
+        // Suffix scan (releases descending): accumulate work and the minimum
+        // deadline over jobs released at/after each start.
+        self.ub.clear();
+        self.ub.resize(self.starts.len(), 0.0);
+        self.suffix_work.clear();
+        self.suffix_work.resize(self.starts.len(), 0.0);
+        {
+            let mut ptr = k;
+            let mut work = 0.0f64;
+            let mut dmin = f64::INFINITY;
+            for s in (0..self.starts.len()).rev() {
+                let a = self.starts[s];
+                while ptr > 0 && active[self.by_release[ptr - 1] as usize].release >= a {
+                    let j = &active[self.by_release[ptr - 1] as usize];
+                    work += j.work;
+                    dmin = dmin.min(j.deadline);
+                    ptr -= 1;
+                }
+                let w_infl = work * inflate;
+                self.suffix_work[s] = w_infl;
+                let span = dmin - a;
+                self.ub[s] = if span > 0.0 {
+                    w_infl / span
+                } else {
+                    f64::INFINITY
+                };
+            }
+        }
+
+        // Inverse permutation and the linked list over deadline ranks.
+        self.rank.clear();
+        self.rank.resize(k, 0);
+        for (r, &idx) in self.by_deadline.iter().enumerate() {
+            self.rank[idx as usize] = r as u32;
+        }
+        self.next.clear();
+        self.prev.clear();
+        for j in 0..k as u32 {
+            self.next.push(j + 1);
+            self.prev.push(j.wrapping_sub(1));
+        }
+        self.next[k - 1] = LIST_END;
+        self.prev[0] = LIST_END;
+        let mut head = 0u32;
+
+        // Seed the incumbent from the start with the best bound, then visit
+        // the rest ascending: most of them are now strictly below the
+        // incumbent and skipped without touching the deadline sweep. (A
+        // start *tying* the incumbent bound must still be swept — an equal
+        // intensity at an earlier start wins the tie-break.)
+        let seed = (0..self.starts.len())
+            .max_by(|&x, &y| match self.ub[x].total_cmp(&self.ub[y]) {
+                std::cmp::Ordering::Equal => y.cmp(&x),
+                o => o,
+            })
+            .expect("at least one start");
+
+        let mut best = (0.0, 0.0, f64::NEG_INFINITY); // (a, b, g)
+        let mut evaluated = 0u64;
+        self.sweep_start_array(seed, &mut best, &mut evaluated);
+        let mut rel_ptr = 0usize;
+        for si in 0..self.starts.len() {
+            // The ascending start passed these jobs' releases: unlink them.
+            let a = self.starts[si];
+            while rel_ptr < k {
+                let idx = self.by_release[rel_ptr] as usize;
+                if active[idx].release >= a {
+                    break;
+                }
+                let r = self.rank[idx];
+                let (p, n) = (self.prev[r as usize], self.next[r as usize]);
+                if p == LIST_END {
+                    head = n;
+                } else {
+                    self.next[p as usize] = n;
+                }
+                if n != LIST_END {
+                    self.prev[n as usize] = p;
+                }
+                rel_ptr += 1;
+            }
+            if si != seed && self.ub[si] >= best.2 {
+                self.sweep_start_list(si, head, &mut best, &mut evaluated);
+            }
+        }
+        *candidates += evaluated;
+        debug_assert!(best.2 > f64::NEG_INFINITY);
+        (best.0, best.1, best.2)
+    }
+
+    /// Division filter threshold: a candidate with `acc < best_g·span·(1-4ε)`
+    /// is certainly strictly below the incumbent (`fl(acc/span) < best_g`),
+    /// so the division and comparator run only for potential winners/ties.
+    /// When the incumbent is not a finite positive intensity the filter is
+    /// disabled (0 · span == 0 ≤ acc keeps every candidate on the exact
+    /// path, including zero-width spans).
+    #[inline]
+    fn div_filter(best_g: f64) -> f64 {
+        if best_g.is_finite() && best_g > 0.0 {
+            best_g * (1.0 - 4.0 * f64::EPSILON)
+        } else {
+            0.0
+        }
+    }
+
+    /// Certified tail cutoff on the candidate span: a candidate with
+    /// `span > cut` satisfies `best_g·span > w_infl` (the old multiply-form
+    /// check, proven sound in the struct docs), so the deadline-ascending
+    /// sweep can stop. `+inf` disables the cutoff for non-positive or
+    /// non-finite incumbents, matching the multiply form's behavior there.
+    #[inline]
+    fn tail_cut(best_g: f64, w_infl: f64) -> f64 {
+        if best_g.is_finite() && best_g > 0.0 {
+            (w_infl / best_g) * (1.0 + 4.0 * f64::EPSILON)
+        } else if best_g == f64::INFINITY {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Sweep all candidates at start index `si` over the flat deadline-order
+    /// arrays (used once to seed the incumbent, before the linked list has
+    /// advanced to `si`'s release cutoff). Exactly the reference's
+    /// sequential accumulation over jobs in `(deadline, index)` order
+    /// restricted to `release >= a`.
+    #[inline]
+    fn sweep_start_array(&self, si: usize, best: &mut (f64, f64, f64), evaluated: &mut u64) {
+        let a = self.starts[si];
+        let w_infl = self.suffix_work[si];
+        // Jobs with deadline < a cannot have release >= a (windows are never
+        // inverted), so the sweep starts at the first deadline >= a. Zero
+        // width windows at exactly `a` are kept.
+        let lo = self.dl.partition_point(|&d| d < a);
+        let mut acc = 0.0f64;
+        let mut filter = Self::div_filter(best.2);
+        let mut cut = Self::tail_cut(best.2, w_infl);
+        for j in lo..self.dl.len() {
+            let span = self.dl[j] - a;
+            if span > cut {
+                break;
+            }
+            if self.rl[j] >= a {
+                acc += self.wk[j];
+                *evaluated += 1;
+                if acc >= filter * span {
+                    let g = acc / span;
+                    if beats(g, a, self.dl[j], *best) {
+                        *best = (a, self.dl[j], g);
+                        filter = Self::div_filter(g);
+                        cut = Self::tail_cut(g, w_infl);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sweep all candidates at start index `si` by walking the linked list —
+    /// every visited job is released at/after `a`, in `(deadline, index)`
+    /// order, so the accumulation sequence is identical to the array sweep's.
+    #[inline]
+    fn sweep_start_list(
+        &self,
+        si: usize,
+        head: u32,
+        best: &mut (f64, f64, f64),
+        evaluated: &mut u64,
+    ) {
+        let a = self.starts[si];
+        let w_infl = self.suffix_work[si];
+        let mut acc = 0.0f64;
+        let mut filter = Self::div_filter(best.2);
+        let mut cut = Self::tail_cut(best.2, w_infl);
+        let mut j = head;
+        while j != LIST_END {
+            let d = self.dl[j as usize];
+            let span = d - a;
+            if span > cut {
+                break;
+            }
+            acc += self.wk[j as usize];
+            *evaluated += 1;
+            if acc >= filter * span {
+                let g = acc / span;
+                if beats(g, a, d, *best) {
+                    *best = (a, d, g);
+                    filter = Self::div_filter(g);
+                    cut = Self::tail_cut(g, w_infl);
+                }
+            }
+            j = self.next[j as usize];
+        }
+    }
 }
 
 /// Full pipeline: optimal speeds via [`yds`], then an explicit EDF schedule
@@ -311,6 +676,23 @@ mod tests {
         .enumerate()
         .map(|(i, (w, r, len))| Job::new(i as u32, w, r, r + len))
         .collect()
+    }
+
+    /// The fast kernel and the retained reference peel agree bit-for-bit:
+    /// same peels, same speeds, same energy.
+    #[test]
+    fn fast_kernel_matches_reference_bitwise() {
+        check::cases(60, 0xFA57, |rng| {
+            let jobs = random_jobs(rng, 1..24);
+            let alpha = rng.gen_range(1.4f64..3.0);
+            let fast = yds(&jobs, alpha);
+            let reference = yds_reference(&jobs, alpha);
+            assert_eq!(fast.peels, reference.peels);
+            assert_eq!(fast.energy.to_bits(), reference.energy.to_bits());
+            for (s_fast, s_ref) in fast.speeds.iter().zip(&reference.speeds) {
+                assert_eq!(s_fast.to_bits(), s_ref.to_bits());
+            }
+        });
     }
 
     /// Scale laws: multiplying works by c multiplies OPT by c^alpha;

@@ -93,6 +93,55 @@ pub mod families {
             .collect();
         Instance::new(jobs, machines, alpha).expect("cascade jobs are valid")
     }
+
+    /// Laminar-nested windows: every pair of windows is either disjoint or
+    /// strictly nested. Built by recursively bisecting the horizon and
+    /// emitting one job per tree node, breadth-first, until `n` jobs exist —
+    /// the worst-case shape for naive YDS peeling, since each peel of an
+    /// inner interval squeezes every enclosing window.
+    pub fn laminar_nested(n: usize, machines: usize, alpha: f64, seed: u64) -> Instance {
+        use ssp_prng::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let horizon = n as f64;
+        let mut jobs = Vec::with_capacity(n);
+        let mut frontier = std::collections::VecDeque::new();
+        frontier.push_back((0.0f64, horizon));
+        while jobs.len() < n {
+            let (lo, hi) = frontier.pop_front().expect("frontier never drains first");
+            let w = rng.gen_range(0.2f64..2.0);
+            jobs.push(Job::new(jobs.len() as u32, w, lo, hi));
+            // Split off-center so nesting depths vary; shrink children
+            // strictly inside the parent to keep the nesting strict.
+            let cut = lo + (hi - lo) * rng.gen_range(0.35f64..0.65);
+            let pad = (hi - lo) * 0.02;
+            if cut - pad > lo + 1e-9 {
+                frontier.push_back((lo + pad, cut - pad));
+            }
+            if hi - pad > cut + pad + 1e-9 {
+                frontier.push_back((cut + pad, hi - pad));
+            }
+        }
+        Instance::new(jobs, machines, alpha).expect("laminar jobs are valid")
+    }
+
+    /// Crossing windows: a jittered staircase of long, heavily overlapping
+    /// windows (each window crosses many neighbours — overlapping but never
+    /// nested). Releases and deadlines are both strictly increasing, so the
+    /// instance is agreeable yet every critical-interval sweep sees a long
+    /// run of live candidates.
+    pub fn crossing(n: usize, machines: usize, alpha: f64, seed: u64) -> Instance {
+        use ssp_prng::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let overlap = 12.0; // windows span ~12 release steps
+        let jobs: Vec<Job> = (0..n)
+            .map(|i| {
+                let r = i as f64 + rng.gen_range(0.0f64..0.4);
+                let d = (i + 1) as f64 + overlap + rng.gen_range(0.0f64..0.4);
+                Job::new(i as u32, rng.gen_range(0.3f64..2.5), r, d)
+            })
+            .collect();
+        Instance::new(jobs, machines, alpha).expect("crossing jobs are valid")
+    }
 }
 
 /// A standard normal sample via Box–Muller (`ssp-prng` ships only uniform
@@ -163,6 +212,39 @@ mod tests {
         // Densities grow geometrically toward the deadline.
         let dens: Vec<f64> = inst.jobs().iter().map(|j| j.density()).collect();
         assert!(dens.windows(2).all(|w| w[1] > w[0] * 1.5));
+    }
+
+    #[test]
+    fn laminar_nested_windows_are_laminar() {
+        let inst = families::laminar_nested(48, 4, 2.0, 11);
+        assert_eq!(inst.len(), 48);
+        for a in inst.jobs() {
+            for b in inst.jobs() {
+                if a.id == b.id {
+                    continue;
+                }
+                let disjoint = a.deadline <= b.release || b.deadline <= a.release;
+                let a_in_b = b.release <= a.release && a.deadline <= b.deadline;
+                let b_in_a = a.release <= b.release && b.deadline <= a.deadline;
+                assert!(
+                    disjoint || a_in_b || b_in_a,
+                    "windows {:?} and {:?} cross",
+                    (a.release, a.deadline),
+                    (b.release, b.deadline)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_windows_are_agreeable_and_overlapping() {
+        let inst = families::crossing(40, 4, 2.0, 5);
+        assert_eq!(inst.len(), 40);
+        assert!(inst.is_agreeable());
+        // Neighbouring windows overlap by construction.
+        for w in inst.jobs().windows(2) {
+            assert!(w[1].release < w[0].deadline, "staircase lost its overlap");
+        }
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Differential tests for the fast YDS kernel (tier-1, pinned seeds).
+//!
+//! The fast critical-interval kernel behind `yds()` prunes starts and sweep
+//! tails with certified upper bounds; the retained reference peel
+//! (`yds_reference`) scans every candidate. The two must agree **bit for
+//! bit** — same peel list, same speeds, same energy — because the whole
+//! non-migratory stack (local search transcripts, branch-and-bound pruning,
+//! the `YdsEval` memo) relies on energies being exactly reproducible.
+//!
+//! Families covered: seeded random windows, agreeable staircases, laminar
+//! nests, heavy-crossing staircases, duplicate deadlines on a coarse grid,
+//! and degenerate zero-width windows (release == deadline ⇒ infinite speed).
+//! On non-degenerate instances the explicit `yds_schedule` must also stay
+//! EDF-feasible with validated energy equal to the kernel's.
+
+use ssp_model::schedule::ValidationOptions;
+use ssp_model::{Instance, Job};
+use ssp_prng::{check, Rng, StdRng};
+use ssp_single::yds::{yds, yds_reference, yds_schedule};
+use ssp_workloads::families;
+
+/// Assert the two kernels produce bitwise-identical solutions.
+fn assert_bitwise_equal(jobs: &[Job], alpha: f64, ctx: &str) {
+    let fast = yds(jobs, alpha);
+    let reference = yds_reference(jobs, alpha);
+    assert_eq!(
+        fast.peels, reference.peels,
+        "{ctx}: peel sequences diverged"
+    );
+    assert_eq!(
+        fast.energy.to_bits(),
+        reference.energy.to_bits(),
+        "{ctx}: energy {} vs reference {}",
+        fast.energy,
+        reference.energy
+    );
+    assert_eq!(fast.speeds.len(), reference.speeds.len());
+    for (i, (sf, sr)) in fast.speeds.iter().zip(&reference.speeds).enumerate() {
+        assert_eq!(
+            sf.to_bits(),
+            sr.to_bits(),
+            "{ctx}: speed of job {i} diverged ({sf} vs {sr})"
+        );
+    }
+}
+
+/// Validate the full `yds_schedule` pipeline on a (non-degenerate) job set.
+fn assert_schedule_feasible(jobs: &[Job], alpha: f64, ctx: &str) {
+    let (sol, schedule) = yds_schedule(jobs, alpha, 0);
+    let inst = Instance::new(jobs.to_vec(), 1, alpha).expect("valid instance");
+    let stats = schedule
+        .validate(&inst, ValidationOptions::non_migratory())
+        .unwrap_or_else(|e| panic!("{ctx}: YDS schedule failed validation: {e}"));
+    assert!(
+        (stats.energy - sol.energy).abs() <= 1e-6 * sol.energy.max(1e-12),
+        "{ctx}: schedule energy {} vs kernel energy {}",
+        stats.energy,
+        sol.energy
+    );
+}
+
+#[test]
+fn random_instances_agree_bitwise_and_schedule() {
+    check::cases(120, 0xD1FF_0001, |rng| {
+        let jobs: Vec<Job> = check::vec_of(rng, 1..40, |r| {
+            (
+                r.gen_range(0.05f64..4.0),
+                r.gen_range(0.0f64..12.0),
+                r.gen_range(0.1f64..5.0),
+            )
+        })
+        .into_iter()
+        .enumerate()
+        .map(|(i, (w, r, len))| Job::new(i as u32, w, r, r + len))
+        .collect();
+        let alpha = rng.gen_range(1.3f64..3.2);
+        assert_bitwise_equal(&jobs, alpha, "random");
+        assert_schedule_feasible(&jobs, alpha, "random");
+    });
+}
+
+#[test]
+fn duplicate_deadlines_on_a_grid_agree_bitwise() {
+    // Snapping both endpoints to a coarse grid creates many exactly-equal
+    // deadlines (and releases), exercising the stable-sort tie-breaks.
+    check::cases(80, 0xD1FF_0002, |rng| {
+        let jobs: Vec<Job> = check::vec_of(rng, 2..30, |r| {
+            let rel = r.gen_range(0u32..10) as f64 * 0.5;
+            let span = (1 + r.gen_range(0u32..6)) as f64 * 0.5;
+            (r.gen_range(0.1f64..2.0), rel, rel + span)
+        })
+        .into_iter()
+        .enumerate()
+        .map(|(i, (w, r, d))| Job::new(i as u32, w, r, d))
+        .collect();
+        let alpha = rng.gen_range(1.5f64..3.0);
+        assert_bitwise_equal(&jobs, alpha, "grid");
+        assert_schedule_feasible(&jobs, alpha, "grid");
+    });
+}
+
+#[test]
+fn zero_width_windows_agree_bitwise() {
+    // Degenerate windows (deadline == release) force infinite intensity:
+    // both kernels must peel them identically and report infinite energy.
+    check::cases(60, 0xD1FF_0003, |rng| {
+        let jobs: Vec<Job> = check::vec_of(rng, 1..20, |r| {
+            let rel = r.gen_range(0u32..8) as f64;
+            let width = if r.gen_range(0u32..3) == 0 {
+                0.0
+            } else {
+                r.gen_range(0.2f64..3.0)
+            };
+            (r.gen_range(0.1f64..2.0), rel, rel + width)
+        })
+        .into_iter()
+        .enumerate()
+        .map(|(i, (w, r, d))| Job::new(i as u32, w, r, d))
+        .collect();
+        let has_degenerate = jobs.iter().any(|j| j.deadline == j.release);
+        let alpha = 2.0;
+        assert_bitwise_equal(&jobs, alpha, "zero-width");
+        if has_degenerate {
+            let sol = yds(&jobs, alpha);
+            assert!(
+                sol.energy.is_infinite(),
+                "zero-width window must cost infinite energy, got {}",
+                sol.energy
+            );
+            // Exactly the degenerate jobs run at infinite speed.
+            for (j, &s) in jobs.iter().zip(&sol.speeds) {
+                assert_eq!(
+                    s.is_infinite(),
+                    j.deadline == j.release,
+                    "job {} speed {s} vs window width {}",
+                    j.id,
+                    j.deadline - j.release
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn named_families_agree_bitwise() {
+    for seed in 0..4u64 {
+        for (name, inst) in [
+            (
+                "agreeable",
+                families::weighted_agreeable(60, 1, 2.2).gen(seed),
+            ),
+            ("general", families::general(60, 1, 2.2).gen(seed)),
+            ("laminar", families::laminar_nested(60, 1, 2.2, seed)),
+            ("crossing", families::crossing(60, 1, 2.2, seed)),
+        ] {
+            let ctx = format!("{name}/{seed}");
+            assert_bitwise_equal(inst.jobs(), inst.alpha(), &ctx);
+            assert_schedule_feasible(inst.jobs(), inst.alpha(), &ctx);
+        }
+    }
+}
+
+#[test]
+fn one_large_instance_agrees_bitwise() {
+    // A single bigger case so the pruning paths see real depth in tier-1
+    // without making the suite slow (the reference side is O(n³)).
+    let mut rng = <StdRng as ssp_prng::SeedableRng>::seed_from_u64(0xB16);
+    let jobs: Vec<Job> = (0..300)
+        .map(|i| {
+            let r = rng.gen_range(0.0f64..150.0);
+            Job::new(
+                i as u32,
+                rng.gen_range(0.1f64..3.0),
+                r,
+                r + rng.gen_range(0.5f64..20.0),
+            )
+        })
+        .collect();
+    assert_bitwise_equal(&jobs, 2.4, "large");
+}
