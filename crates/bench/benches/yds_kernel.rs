@@ -12,8 +12,12 @@
 //!   measurement mode and a self-timed sweep (median of several reps,
 //!   plus `yds.peels` / `yds.candidates` deltas per kernel) is written
 //!   as JSON to `<path>`. The committed `BENCH_yds.json` at the repo
-//!   root is produced this way.
+//!   root is produced this way. Additionally setting
+//!   `SSP_BENCH_HISTORY=<path>` appends the same cells as one
+//!   `bench_run` line (tagged with the git revision) to the trajectory
+//!   file — the input of the `speedscale bench-diff` regression gate.
 
+use ssp_bench::artifact::{Artifact, CellBuilder};
 use ssp_bench::fixture;
 use ssp_bench::harness::{BenchmarkId, Criterion};
 use ssp_model::Job;
@@ -80,7 +84,8 @@ fn timed_cell(
     (times[reps / 2], peels, cand)
 }
 
-fn write_json(path: &str) {
+/// Run the self-timed sweep and collect the cells of the JSON artifact.
+fn sweep_artifact() -> Artifact {
     let session = ssp_probe::Session::begin();
     let mut cells = Vec::new();
     for family in FAMILIES {
@@ -95,33 +100,27 @@ fn write_json(path: &str) {
                 ref_e.to_bits(),
                 "kernel energy mismatch on {family} n={n}"
             );
-            cells.push(format!(
-                concat!(
-                    "    {{\"family\": \"{}\", \"n\": {}, ",
-                    "\"fast_ms\": {:.4}, \"ref_ms\": {:.4}, \"speedup\": {:.2}, ",
-                    "\"peels\": {}, \"fast_candidates\": {}, \"ref_candidates\": {}, ",
-                    "\"energy\": {:.6}}}"
-                ),
-                family,
-                n,
-                fast_ms,
-                ref_ms,
-                ref_ms / fast_ms,
-                ref_peels.max(fast_peels),
-                fast_cand,
-                ref_cand,
-                fast_e
-            ));
+            cells.push(
+                CellBuilder::new(family, n)
+                    .metric_ms("fast_ms", fast_ms)
+                    .metric_ms("ref_ms", ref_ms)
+                    .num("speedup", ref_ms / fast_ms, 2)
+                    .int("peels", ref_peels.max(fast_peels))
+                    .int("fast_candidates", fast_cand)
+                    .int("ref_candidates", ref_cand)
+                    .num("energy", fast_e, 6)
+                    .render(),
+            );
         }
     }
-    let body = format!(
-        "{{\n  \"bench\": \"yds_kernel\",\n  \"alpha\": 2.0,\n  \"unit\": \"ms_median\",\n  \"cells\": [\n{}\n  ]\n}}\n",
-        cells.join(",\n")
-    );
-    std::fs::write(path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    eprintln!("wrote {path}");
     if let Some(s) = session {
         let _ = s.end();
+    }
+    Artifact {
+        bench: "yds_kernel".to_string(),
+        alpha: 2.0,
+        unit: "ms_median".to_string(),
+        cells,
     }
 }
 
@@ -130,9 +129,21 @@ fn main() {
     kernels(&mut c);
     c.final_summary();
     let measure = std::env::args().any(|a| a == "--bench");
-    if let Ok(path) = std::env::var("SSP_BENCH_JSON") {
-        if measure && !path.is_empty() {
-            write_json(&path);
+    let json = std::env::var("SSP_BENCH_JSON").unwrap_or_default();
+    let history = std::env::var("SSP_BENCH_HISTORY").unwrap_or_default();
+    if measure && (!json.is_empty() || !history.is_empty()) {
+        let artifact = sweep_artifact();
+        if !json.is_empty() {
+            artifact
+                .write_snapshot(&json)
+                .unwrap_or_else(|e| panic!("write {json}: {e}"));
+            eprintln!("wrote {json}");
+        }
+        if !history.is_empty() {
+            artifact
+                .append_history(&history)
+                .unwrap_or_else(|e| panic!("append {history}: {e}"));
+            eprintln!("appended bench_run to {history}");
         }
     }
 }

@@ -1,0 +1,210 @@
+//! Machine-readable bench artifacts: snapshots and the history trajectory.
+//!
+//! Measured bench runs serialize their cells twice:
+//!
+//! * **Snapshot** (`SSP_BENCH_JSON=<path>`): one pretty-printed JSON object
+//!   — the committed `BENCH_*.json` files at the repo root.
+//! * **Trajectory** (`SSP_BENCH_HISTORY=<path>`): one flat JSON object
+//!   *appended* per run to `BENCH_history.jsonl`, tagged with
+//!   `"type":"bench_run"` and the git revision, so the repo accumulates a
+//!   timing trajectory that `speedscale bench-diff` can gate on.
+//!
+//! Cells are built with [`CellBuilder`]; by convention string fields plus
+//! `n` identify a cell and `*_ms` fields are the gated metrics (see
+//! `docs/OBSERVABILITY.md`).
+
+use std::fmt::Write as _;
+
+/// Incrementally builds one cell object (`{"family": ..., "n": ..., ...}`).
+#[derive(Debug, Clone)]
+pub struct CellBuilder {
+    fields: Vec<(String, String)>,
+}
+
+impl CellBuilder {
+    /// Start a cell identified by `family` and `n` (the diff key).
+    pub fn new(family: &str, n: usize) -> Self {
+        CellBuilder {
+            fields: vec![
+                ("family".into(), format!("\"{family}\"")),
+                ("n".into(), n.to_string()),
+            ],
+        }
+    }
+
+    /// Add a timing metric in milliseconds (4 decimals). `name` should end
+    /// in `_ms` so `bench-diff` picks it up.
+    pub fn metric_ms(mut self, name: &str, ms: f64) -> Self {
+        self.fields.push((name.into(), format!("{ms:.4}")));
+        self
+    }
+
+    /// Add a contextual float (not gated) with the given decimal places.
+    pub fn num(mut self, name: &str, value: f64, decimals: usize) -> Self {
+        self.fields
+            .push((name.into(), format!("{value:.decimals$}")));
+        self
+    }
+
+    /// Add a contextual integer (not gated).
+    pub fn int(mut self, name: &str, value: u64) -> Self {
+        self.fields.push((name.into(), value.to_string()));
+        self
+    }
+
+    /// Render the cell as a single-line JSON object.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{name}\": {value}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One measured bench run, ready to serialize as snapshot and/or history.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Bench id, e.g. `"yds_kernel"`.
+    pub bench: String,
+    /// Power exponent the run used.
+    pub alpha: f64,
+    /// Unit of the timing metrics, e.g. `"ms_median"`.
+    pub unit: String,
+    /// Rendered cells (from [`CellBuilder::render`]).
+    pub cells: Vec<String>,
+}
+
+impl Artifact {
+    /// Pretty-printed snapshot form (the committed `BENCH_*.json` layout).
+    pub fn snapshot_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"{}\",\n  \"alpha\": {},\n  \"unit\": \"{}\",\n  \"cells\": [\n{}\n  ]\n}}\n",
+            self.bench,
+            self.alpha,
+            self.unit,
+            self.cells
+                .iter()
+                .map(|c| format!("    {c}"))
+                .collect::<Vec<_>>()
+                .join(",\n")
+        )
+    }
+
+    /// Flat one-line history form, tagged with the run's git revision.
+    pub fn history_line(&self, rev: &str) -> String {
+        format!(
+            "{{\"type\": \"bench_run\", \"bench\": \"{}\", \"rev\": \"{}\", \"alpha\": {}, \"unit\": \"{}\", \"cells\": [{}]}}",
+            self.bench,
+            rev,
+            self.alpha,
+            self.unit,
+            self.cells.join(", ")
+        )
+    }
+
+    /// Write the snapshot to `path`.
+    pub fn write_snapshot(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.snapshot_json())
+    }
+
+    /// Append one history line (with the current git revision) to `path`,
+    /// creating the file if needed.
+    pub fn append_history(&self, path: &str) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(file, "{}", self.history_line(&git_rev()))
+    }
+}
+
+/// The short git revision of the working tree, or `"unknown"` outside a
+/// repository (artifacts must still be writable from exported tarballs).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Artifact {
+        Artifact {
+            bench: "yds_kernel".into(),
+            alpha: 2.0,
+            unit: "ms_median".into(),
+            cells: vec![
+                CellBuilder::new("agreeable", 50)
+                    .metric_ms("fast_ms", 0.0071239)
+                    .metric_ms("ref_ms", 0.0063)
+                    .num("speedup", 0.886, 2)
+                    .int("peels", 12)
+                    .render(),
+                CellBuilder::new("crossing", 200)
+                    .metric_ms("fast_ms", 0.113)
+                    .render(),
+            ],
+        }
+    }
+
+    #[test]
+    fn cell_builder_renders_flat_json() {
+        let cell = &sample().cells[0];
+        assert_eq!(
+            cell,
+            "{\"family\": \"agreeable\", \"n\": 50, \"fast_ms\": 0.0071, \
+             \"ref_ms\": 0.0063, \"speedup\": 0.89, \"peels\": 12}"
+        );
+    }
+
+    #[test]
+    fn snapshot_matches_committed_layout() {
+        let snap = sample().snapshot_json();
+        assert!(snap.starts_with("{\n  \"bench\": \"yds_kernel\",\n"));
+        assert!(snap.contains("  \"cells\": [\n    {\"family\": \"agreeable\""));
+        assert!(snap.ends_with("\n  ]\n}\n"));
+    }
+
+    #[test]
+    fn history_line_is_single_line_and_tagged() {
+        let line = sample().history_line("abc1234");
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with(
+            "{\"type\": \"bench_run\", \"bench\": \"yds_kernel\", \"rev\": \"abc1234\""
+        ));
+        assert!(line.contains("\"cells\": [{\"family\""));
+    }
+
+    #[test]
+    fn append_history_accumulates_lines() {
+        let path =
+            std::env::temp_dir().join(format!("ssp_bench_hist_{}.jsonl", std::process::id()));
+        let p = path.to_string_lossy().into_owned();
+        std::fs::remove_file(&path).ok();
+        sample().append_history(&p).unwrap();
+        sample().append_history(&p).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.contains("\"type\": \"bench_run\"")));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn git_rev_never_panics() {
+        assert!(!git_rev().is_empty());
+    }
+}

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod harness;
 
 use ssp_model::Instance;

@@ -49,6 +49,17 @@ use std::collections::HashMap;
 /// far below the energy differences that make a candidate interesting.
 const REL_MARGIN: f64 = 1e-9;
 
+/// Outcome codes recorded into the `eval.reject_tier` histogram by
+/// [`YdsEval::certified_reject`]. Powers of two, so each tier occupies its
+/// own log2 bucket and the histogram doubles as an outcome breakdown.
+const TIER_BOUND: u64 = 1;
+/// See [`TIER_BOUND`]: rejected by a depleted-snapshot bound.
+const TIER_DEPLETED: u64 = 2;
+/// See [`TIER_BOUND`]: rejected by partial exact pricing.
+const TIER_PARTIAL: u64 = 4;
+/// See [`TIER_BOUND`]: not rejected — fell through to exact `delta_energy`.
+const TIER_ACCEPTED: u64 = 8;
+
 /// Lower bound on the energy a machine gains when a job of work `w` and
 /// window length `span` arrives, given a certified lower bound `smin` on
 /// the machine's speed profile over the job's window (0 = no information).
@@ -375,7 +386,10 @@ impl<'a> YdsEval<'a> {
     ///    side becomes a cache hit if the candidate falls through to
     ///    `delta_energy`) and combine with the other side's bound.
     ///
-    /// Counters: `eval.reject_bound`, `eval.reject_partial`.
+    /// Counters: `eval.reject_bound`, `eval.reject_partial`. Every call
+    /// also records its outcome tier into the `eval.reject_tier` histogram
+    /// (1 = bound, 2 = depleted, 4 = partial, 8 = fell through to exact
+    /// pricing).
     pub fn certified_reject(&mut self, candidate: Candidate) -> bool {
         match candidate {
             Candidate::Move { job, to } => self.certify_move_reject(job, to),
@@ -393,6 +407,7 @@ impl<'a> YdsEval<'a> {
         // always fails.
         if !self.energy[from].is_finite() || !self.energy[to].is_finite() {
             ssp_probe::counter!("eval.reject_bound");
+            ssp_probe::histogram!("eval.reject_tier", TIER_BOUND);
             return true;
         }
         self.refresh_profile(from);
@@ -415,6 +430,7 @@ impl<'a> YdsEval<'a> {
             * (1.0 - REL_MARGIN);
         if gain_lb >= save_ub + slack {
             ssp_probe::counter!("eval.reject_bound");
+            ssp_probe::histogram!("eval.reject_tier", TIER_BOUND);
             return true;
         }
         // Partial tier: the from-side is shared by all m-1 targets of this
@@ -433,8 +449,10 @@ impl<'a> YdsEval<'a> {
         let exact_save = self.energy[from] - e_from;
         if gain_lb >= exact_save + slack {
             ssp_probe::counter!("eval.reject_partial");
+            ssp_probe::histogram!("eval.reject_tier", TIER_PARTIAL);
             return true;
         }
+        ssp_probe::histogram!("eval.reject_tier", TIER_ACCEPTED);
         false
     }
 
@@ -442,6 +460,7 @@ impl<'a> YdsEval<'a> {
         let (pa, pb) = (self.machine_of(a), self.machine_of(b));
         if !self.energy[pa].is_finite() || !self.energy[pb].is_finite() {
             ssp_probe::counter!("eval.reject_bound");
+            ssp_probe::histogram!("eval.reject_tier", TIER_BOUND);
             return true;
         }
         self.refresh_profile(pa);
@@ -466,6 +485,7 @@ impl<'a> YdsEval<'a> {
             * (1.0 - REL_MARGIN);
         if (gain_b_fl - save_a_ub) + (gain_a_fl - save_b_ub) >= slack {
             ssp_probe::counter!("eval.reject_bound");
+            ssp_probe::histogram!("eval.reject_tier", TIER_BOUND);
             return true;
         }
         // Depleted tier: one snapshot solve per (job, state), amortized
@@ -494,6 +514,7 @@ impl<'a> YdsEval<'a> {
         ) * (1.0 - REL_MARGIN);
         if (gain_x - save_x) + side_x_free >= slack {
             ssp_probe::counter!("eval.reject_depleted");
+            ssp_probe::histogram!("eval.reject_tier", TIER_DEPLETED);
             return true;
         }
         let (y, py, jy) = if a_first { (b, pb, ja) } else { (a, pa, jb) };
@@ -512,6 +533,7 @@ impl<'a> YdsEval<'a> {
         };
         if side_a + side_b >= slack {
             ssp_probe::counter!("eval.reject_depleted");
+            ssp_probe::histogram!("eval.reject_tier", TIER_DEPLETED);
             return true;
         }
         // Partial tier: price the loosest side exactly. If the candidate
@@ -533,8 +555,10 @@ impl<'a> YdsEval<'a> {
         self.key_a = key;
         if exact_side >= slack {
             ssp_probe::counter!("eval.reject_partial");
+            ssp_probe::histogram!("eval.reject_tier", TIER_PARTIAL);
             return true;
         }
+        ssp_probe::histogram!("eval.reject_tier", TIER_ACCEPTED);
         false
     }
 

@@ -94,8 +94,9 @@ fn main() {
         let t0 = std::time::Instant::now();
         // One probe session per experiment: counters in the timings table
         // are per-experiment totals (across all its worker threads). exp17
-        // measures enabled-vs-disabled itself, so it needs the probe idle.
-        let session = if exp.id == "exp17" {
+        // measures enabled-vs-disabled itself and exp20 owns its session,
+        // so both need the probe idle.
+        let session = if matches!(exp.id, "exp17" | "exp20") {
             None
         } else {
             ssp_probe::Session::begin()

@@ -11,6 +11,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Apply `f` to every item on all available cores; results keep input order.
+///
+/// Telemetry: each worker adopts the calling thread's innermost open probe
+/// span ([`ssp_probe::Session::adopt_parent`]), so spans opened inside `f`
+/// attach to the caller's span tree instead of becoming disconnected roots.
+/// This is sound because the scope joins every worker before `par_map`
+/// returns — the adopted parent span cannot close while workers run.
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Sync,
@@ -28,18 +34,22 @@ where
     if threads == 1 {
         return items.iter().map(&f).collect();
     }
+    let parent = ssp_probe::Session::parent_handle();
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    let _adopt = ssp_probe::Session::adopt_parent(parent);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let r = f(&items[i]);
+                        *slots[i].lock().unwrap() = Some(r);
                     }
-                    let r = f(&items[i]);
-                    *slots[i].lock().unwrap() = Some(r);
                 })
             })
             .collect();

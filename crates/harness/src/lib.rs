@@ -420,6 +420,10 @@ pub fn solve(instance: &Instance, requested: Algo, opts: &SolveOptions) -> Solve
             attempt(instance, algo, opts, lower_bound)
         };
         let wall = start.elapsed();
+        // Attempt latency distribution across the whole session (gauntlets
+        // run many solves); microseconds keep the log2 buckets meaningful
+        // from sub-ms heuristics to multi-second exact solves.
+        ssp_probe::histogram!("solve.attempt_us", wall.as_micros() as u64);
         match result {
             Ok((schedule, stats, budget_exhausted)) => {
                 let lb_ratio = ratio(stats.energy, lower_bound);
@@ -468,11 +472,26 @@ pub fn solve(instance: &Instance, requested: Algo, opts: &SolveOptions) -> Solve
 /// carries the captured [`ssp_probe::Trace`] in [`SolveReport::telemetry`].
 /// When another session already holds the probes the solve still runs and
 /// the report's telemetry is simply `None` — tracing never blocks a solve.
+///
+/// When the whole chain fails (no outcome), the trace is still captured
+/// and its [`Trace::error`](ssp_probe::Trace) field carries the last
+/// attempt's error, so failed gauntlet cases stay debuggable.
 pub fn solve_traced(instance: &Instance, requested: Algo, opts: &SolveOptions) -> SolveReport {
     match ssp_probe::Session::begin() {
         Some(session) => {
             let mut report = solve(instance, requested, opts);
-            report.telemetry = Some(session.end());
+            let mut trace = session.end();
+            if report.outcome.is_none() {
+                trace.error = Some(
+                    report
+                        .attempts
+                        .iter()
+                        .rev()
+                        .find_map(|a| a.error.as_ref().map(|e| e.to_string()))
+                        .unwrap_or_else(|| "solve failed with no attempts".to_string()),
+                );
+            }
+            report.telemetry = Some(trace);
             report
         }
         None => solve(instance, requested, opts),

@@ -181,6 +181,10 @@ impl FlowNetwork {
         let (mut phases, mut augmentations) = (0u64, 0u64);
         while self.build_levels(s, t) {
             phases += 1;
+            // Every augmenting path found in this phase has the same length:
+            // the sink's BFS level. One batched histogram record per phase.
+            let path_len = self.level[t].max(0) as u64;
+            let before = augmentations;
             self.iter.iter_mut().for_each(|i| *i = 0);
             loop {
                 let pushed = self.blocking_dfs(s, t, f64::INFINITY);
@@ -190,6 +194,7 @@ impl FlowNetwork {
                 augmentations += 1;
                 added += pushed;
             }
+            ssp_probe::histogram!("maxflow.dinic.path_len", path_len, augmentations - before);
         }
         (added, phases, augmentations)
     }

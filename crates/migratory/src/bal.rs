@@ -277,6 +277,7 @@ pub fn try_bal_with_wap(
             bisect_threshold_budgeted(lo, hi, BINARY_SEARCH_REL_WIDTH, &mut meter, &mut feasible)
         };
         ssp_probe::counter!("bal.bisect_steps", meter.used() - meter_before);
+        ssp_probe::histogram!("bal.bisect.probes", meter.used() - meter_before);
         let (_, v_hi) = bisected?;
         let v_crit = v_hi;
         if meter.exhausted().is_some() {

@@ -1,0 +1,82 @@
+//! Feature-gated (`probe-alloc`) counting global allocator.
+//!
+//! Wraps [`std::alloc::System`] and charges every allocation made while a
+//! session is recording to the innermost open span on the allocating
+//! thread, via a thread-local `(bytes, count)` accumulator that [`crate::span`]
+//! swaps on open and [`crate::SpanGuard`]'s drop reads back. The result is
+//! *self* attribution: a phase is charged only for what it allocates
+//! directly, not for what its children allocate.
+//!
+//! Compiled in only under `--features probe-alloc`, because installing a
+//! `#[global_allocator]` taxes every allocation in the process (an extra
+//! thread-local access) even with no session active.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    /// `(bytes, count)` allocated by the innermost open span on this thread.
+    static CURRENT: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// Called when a span opens: park the enclosing span's totals and start the
+/// new span from zero. Returns the parked totals for [`exit_span`].
+pub(crate) fn enter_span() -> (u64, u64) {
+    CURRENT.try_with(|c| c.replace((0, 0))).unwrap_or((0, 0))
+}
+
+/// Called when a span closes: read its self-allocation totals and resume
+/// the enclosing span's. Must be called exactly once per [`enter_span`].
+pub(crate) fn exit_span(saved: (u64, u64)) -> (u64, u64) {
+    CURRENT.try_with(|c| c.replace(saved)).unwrap_or((0, 0))
+}
+
+#[inline]
+fn charge(bytes: usize) {
+    // `try_with`, not `with`: allocations can happen during thread
+    // teardown after the thread-local was destroyed.
+    let _ = CURRENT.try_with(|c| {
+        let (b, n) = c.get();
+        c.set((b.saturating_add(bytes as u64), n.saturating_add(1)));
+    });
+}
+
+/// The counting allocator installed as `#[global_allocator]` when the
+/// `probe-alloc` feature is enabled. Delegates all real work to
+/// [`System`]; with no session recording the only cost is one relaxed
+/// atomic load per allocation.
+pub struct CountingAlloc;
+
+// SAFETY: delegates verbatim to `System`; the accounting side effects do
+// not touch the allocator state and allocate nothing themselves.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if crate::enabled() {
+            charge(layout.size());
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if crate::enabled() {
+            charge(layout.size());
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Charge only the growth: the shrink/move cases did not ask the
+        // program for new memory.
+        if crate::enabled() && new_size > layout.size() {
+            charge(new_size - layout.size());
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;

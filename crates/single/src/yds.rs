@@ -120,6 +120,10 @@ fn run_peels(
     while !active.is_empty() {
         let (a, b, g) = find(&active);
         peels.push((a, b, g));
+        // Peel interval width in fixed-point micro-units of (abstract)
+        // time, so the log2 buckets resolve sub-unit widths; zero-width
+        // degenerate windows land in bucket 0. The f64→u64 cast saturates.
+        ssp_probe::histogram!("yds.peel_width", ((b - a) * 1e6).round() as u64);
         // Intensity is positive; it is +inf for degenerate zero-width
         // windows (which are then excised immediately at infinite speed).
         debug_assert!(g > 0.0);

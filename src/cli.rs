@@ -69,6 +69,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("analyze") => analyze(&collect(args)?),
         Some("swf") => swf_import(&collect(args)?),
         Some("quantize") => quantize_cmd(&collect(args)?),
+        Some("trace") => trace_cmd(&collect(args)?),
+        Some("bench-diff") => bench_diff_cmd(&collect(args)?),
         Some("help") | Some("-h") | Some("--help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(CliError::usage(format!(
             "unknown command '{other}'\n{USAGE}"
@@ -104,6 +106,20 @@ commands:
                                       schedule, then restrict speeds to a
                                       K-level geometric DVFS grid; report the
                                       energy overhead
+  trace report <trace.jsonl>          span tree with self/total time, counter,
+                                      histogram and allocation tables
+  trace diff <old.jsonl> <new.jsonl> [--threshold PCT]
+                                      per-span / per-counter deltas between two
+                                      traces; rows past PCT% (default 10) are
+                                      flagged with '!'
+  trace fold <trace.jsonl>            flamegraph folded-stack output
+                                      (one 'stack;path self_ns' line per span)
+  bench-diff <old> <new> [--threshold PCT] [--min-ms X]
+                                      compare two bench artifacts (snapshot
+                                      .json or history .jsonl); exit 1 when any
+                                      *_ms median regresses past PCT% (default
+                                      10) and is above the X ms noise floor
+                                      (default 0.05)
 ";
 
 /// Parsed positional + flag arguments.
@@ -287,10 +303,25 @@ fn solve(parsed: &Parsed) -> Result<String, CliError> {
     let outcome = match report.outcome {
         Some(ref o) => o,
         None => {
-            return Err(CliError::runtime(format!(
+            let mut message = format!(
                 "no algorithm produced a valid schedule:\n{}",
                 report.summary().trim_end()
-            )))
+            );
+            // A failed solve is exactly when the trace matters most: still
+            // honor --telemetry with the partial trace (its `error` field is
+            // set by the harness), rather than dropping it on the floor.
+            if let (Some(path), Some(trace)) = (parsed.flag("telemetry"), report.telemetry.as_ref())
+            {
+                match std::fs::write(path, trace.to_jsonl()) {
+                    Ok(()) => {
+                        let _ = write!(message, "\npartial telemetry written to {path}");
+                    }
+                    Err(e) => {
+                        let _ = write!(message, "\ncannot write {path}: {e}");
+                    }
+                }
+            }
+            return Err(CliError::runtime(message));
         }
     };
     let mut out = String::new();
@@ -560,6 +591,110 @@ fn quantize_cmd(parsed: &Parsed) -> Result<String, CliError> {
     ))
 }
 
+/// Read and structurally validate a probe trace file.
+fn load_trace(path: &str) -> Result<ssp_probe::Trace, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    let trace = ssp_probe::Trace::parse(&text)
+        .map_err(|e| CliError::runtime(format!("cannot parse {path}: {e}")))?;
+    trace
+        .validate()
+        .map_err(|e| CliError::runtime(format!("{path}: malformed trace: {e}")))?;
+    Ok(trace)
+}
+
+/// `trace report|diff|fold` — offline analysis of JSONL probe traces.
+fn trace_cmd(parsed: &Parsed) -> Result<String, CliError> {
+    let sub = parsed
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| CliError::usage("trace needs a subcommand: report | diff | fold"))?;
+    match sub {
+        "report" => {
+            let path = parsed
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::usage("trace report needs a trace file"))?;
+            Ok(load_trace(path)?.report())
+        }
+        "fold" => {
+            let path = parsed
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::usage("trace fold needs a trace file"))?;
+            Ok(load_trace(path)?.folded())
+        }
+        "diff" => {
+            let (old, new) = match (parsed.positional.get(1), parsed.positional.get(2)) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err(CliError::usage("trace diff needs two trace files")),
+            };
+            let threshold: f64 = parsed.flag_parse("threshold")?.unwrap_or(10.0);
+            if threshold.is_nan() || threshold < 0.0 {
+                return Err(CliError::usage("--threshold must be >= 0"));
+            }
+            Ok(ssp_probe::diff(
+                &load_trace(old)?,
+                &load_trace(new)?,
+                threshold / 100.0,
+            ))
+        }
+        other => Err(CliError::usage(format!(
+            "unknown trace subcommand '{other}' (expected report | diff | fold)"
+        ))),
+    }
+}
+
+/// `bench-diff` — the bench-trajectory regression gate. Prints the
+/// comparison table; regressions past the threshold make it an exit-1
+/// runtime error (with the same table as the message) so CI can gate on it.
+fn bench_diff_cmd(parsed: &Parsed) -> Result<String, CliError> {
+    use crate::benchdata;
+    let (old_path, new_path) = match (parsed.positional.first(), parsed.positional.get(1)) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(CliError::usage(
+                "bench-diff needs <old> and <new> artifacts",
+            ))
+        }
+    };
+    let threshold: f64 = parsed.flag_parse("threshold")?.unwrap_or(10.0);
+    let min_ms: f64 = parsed.flag_parse("min-ms")?.unwrap_or(0.05);
+    if threshold.is_nan() || threshold < 0.0 || min_ms.is_nan() || min_ms < 0.0 {
+        return Err(CliError::usage("--threshold and --min-ms must be >= 0"));
+    }
+    let mut artifacts = Vec::with_capacity(2);
+    for path in [old_path, new_path] {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+        artifacts.push(
+            benchdata::parse_artifact(&text)
+                .map_err(|e| CliError::runtime(format!("cannot parse {path}: {e}")))?,
+        );
+    }
+    let diff = benchdata::diff_artifacts(&artifacts[0], &artifacts[1], threshold / 100.0, min_ms);
+    let mut out = String::new();
+    if !diff.rows.is_empty() || !diff.missing.is_empty() || !diff.added.is_empty() {
+        let _ = writeln!(
+            out,
+            "comparing {} -> {}{}",
+            old_path,
+            new_path,
+            artifacts[1]
+                .rev
+                .as_deref()
+                .map(|r| format!(" (rev {r})"))
+                .unwrap_or_default()
+        );
+    }
+    out.push_str(&diff.render());
+    if diff.regressions() > 0 {
+        return Err(CliError::runtime(out));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -801,6 +936,13 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    /// Probe sessions are process-global: every test that drives a traced
+    /// solve serializes on this lock so sessions never contend.
+    fn session_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// The observability acceptance path: `solve --telemetry --timings` on a
     /// local-search solve must produce a parseable, well-formed trace whose
     /// span tree covers the assignment, BAL lower-bound and validation
@@ -810,6 +952,7 @@ mod tests {
     #[test]
     fn solve_telemetry_trace_covers_the_pipeline() {
         use ssp_probe::Trace;
+        let _session = session_lock();
         let inst = families::general(12, 3, 2.0).gen(17);
         let dir = std::env::temp_dir();
         let p_inst = dir.join(format!("ssp_cli_tel_{}.ssp", std::process::id()));
@@ -878,6 +1021,142 @@ mod tests {
         assert!(out.contains("certified lower bound"), "{out}");
         assert!(out.contains("ratio 1.0000"), "{out}");
         std::fs::remove_file(&p).ok();
+    }
+
+    /// Satellite fix: a failed solve chain with `--telemetry` must still
+    /// write the partial trace, and the trace must carry the error.
+    #[test]
+    fn failed_solve_still_writes_partial_telemetry() {
+        use ssp_probe::Trace;
+        let _session = session_lock();
+        let inst = families::general(20, 2, 2.0).gen(1);
+        let dir = std::env::temp_dir();
+        let p_inst = dir.join(format!("ssp_cli_ftel_{}.ssp", std::process::id()));
+        let p_trace = dir.join(format!("ssp_cli_ftel_{}.jsonl", std::process::id()));
+        std::fs::write(&p_inst, io::emit(&inst)).unwrap();
+        // `exact` is precondition-limited to n <= 16; --no-fallback makes the
+        // whole chain fail.
+        let err = run(&args(&[
+            "solve",
+            &p_inst.to_string_lossy(),
+            "--algo",
+            "exact",
+            "--no-fallback",
+            "--telemetry",
+            &p_trace.to_string_lossy(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(
+            err.message.contains("partial telemetry written to"),
+            "{}",
+            err.message
+        );
+        let text = std::fs::read_to_string(&p_trace).expect("trace file must exist");
+        let trace = Trace::parse(&text).expect("partial trace must parse");
+        trace.validate().expect("partial trace must be well-formed");
+        let error = trace.error.as_deref().expect("trace carries the error");
+        assert!(error.contains("precondition"), "{error}");
+        // The attempt was still traced: the solve root span exists.
+        assert!(trace.span_count("solve") > 0);
+        std::fs::remove_file(&p_inst).ok();
+        std::fs::remove_file(&p_trace).ok();
+    }
+
+    /// End-to-end trace analysis: a real traced solve rendered through
+    /// `trace report`, `trace fold` and `trace diff` (against itself).
+    #[test]
+    fn trace_report_fold_and_diff_render_a_real_trace() {
+        let _session = session_lock();
+        let inst = families::general(12, 3, 2.0).gen(23);
+        let dir = std::env::temp_dir();
+        let p_inst = dir.join(format!("ssp_cli_trpt_{}.ssp", std::process::id()));
+        let p_trace = dir.join(format!("ssp_cli_trpt_{}.jsonl", std::process::id()));
+        std::fs::write(&p_inst, io::emit(&inst)).unwrap();
+        run(&args(&[
+            "solve",
+            &p_inst.to_string_lossy(),
+            "--algo",
+            "local",
+            "--telemetry",
+            &p_trace.to_string_lossy(),
+        ]))
+        .unwrap();
+        let p = p_trace.to_string_lossy().into_owned();
+
+        let report = run(&args(&["trace", "report", &p])).unwrap();
+        assert!(report.contains("solve"), "{report}");
+        assert!(report.contains("lower_bound"), "{report}");
+        // The histogram table with derived quantiles is present.
+        assert!(report.contains("p50"), "{report}");
+        assert!(report.contains("bal.bisect.probes"), "{report}");
+
+        let folded = run(&args(&["trace", "fold", &p])).unwrap();
+        let first = folded.lines().next().unwrap();
+        assert!(first.starts_with("solve"), "{first}");
+        // Folded format: 'stack;path self_ns' with a numeric sample count.
+        assert!(
+            folded.lines().all(|l| l
+                .rsplit_once(' ')
+                .is_some_and(|(_, n)| n.parse::<u64>().is_ok())),
+            "{folded}"
+        );
+        assert!(folded.lines().any(|l| l.contains(';')), "{folded}");
+
+        // A trace diffed against itself has no regressions to flag.
+        let diff = run(&args(&["trace", "diff", &p, &p])).unwrap();
+        assert!(!diff.contains(" !"), "{diff}");
+
+        // Usage guardrails.
+        assert_eq!(run(&args(&["trace"])).unwrap_err().code, 2);
+        assert_eq!(run(&args(&["trace", "report"])).unwrap_err().code, 2);
+        assert_eq!(run(&args(&["trace", "nope", &p])).unwrap_err().code, 2);
+        std::fs::remove_file(&p_inst).ok();
+        std::fs::remove_file(&p_trace).ok();
+    }
+
+    /// The regression gate: identical artifacts pass; an injected 10%
+    /// regression on a real cell makes `bench-diff` exit nonzero.
+    #[test]
+    fn bench_diff_gates_on_injected_regression() {
+        let dir = std::env::temp_dir();
+        let p_old = dir.join(format!("ssp_cli_bd_old_{}.json", std::process::id()));
+        let p_new = dir.join(format!("ssp_cli_bd_new_{}.json", std::process::id()));
+        let snapshot = |fast: f64| {
+            format!(
+                concat!(
+                    "{{\"bench\":\"yds_kernel\",\"alpha\":2.0,\"unit\":\"ms_median\",\"cells\":[\n",
+                    "  {{\"family\":\"agreeable\",\"n\":50,\"fast_ms\":0.007,\"ref_ms\":0.006}},\n",
+                    "  {{\"family\":\"agreeable\",\"n\":200,\"fast_ms\":{},\"ref_ms\":0.35}}\n",
+                    "]}}"
+                ),
+                fast
+            )
+        };
+        std::fs::write(&p_old, snapshot(0.113)).unwrap();
+        std::fs::write(&p_new, snapshot(0.113)).unwrap();
+        let old = p_old.to_string_lossy().into_owned();
+        let new = p_new.to_string_lossy().into_owned();
+
+        // Unchanged artifact passes.
+        let out = run(&args(&["bench-diff", &old, &new])).unwrap();
+        assert!(out.contains("0 regression(s)"), "{out}");
+
+        // Injected 10%+ regression on the n=200 cell: exit nonzero.
+        std::fs::write(&p_new, snapshot(0.113 * 1.11)).unwrap();
+        let err = run(&args(&["bench-diff", &old, &new])).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("1 regression(s)"), "{}", err.message);
+        assert!(err.message.contains('!'), "{}", err.message);
+
+        // A looser threshold lets the same pair pass.
+        let out = run(&args(&["bench-diff", &old, &new, "--threshold", "25"])).unwrap();
+        assert!(out.contains("0 regression(s)"), "{out}");
+
+        // Usage guardrails.
+        assert_eq!(run(&args(&["bench-diff", &old])).unwrap_err().code, 2);
+        std::fs::remove_file(&p_old).ok();
+        std::fs::remove_file(&p_new).ok();
     }
 
     #[test]

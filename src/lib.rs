@@ -53,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+pub mod benchdata;
 pub mod cli;
 
 pub use ssp_core as core;
