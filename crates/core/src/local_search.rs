@@ -25,16 +25,16 @@
 
 use crate::assignment::Assignment;
 use crate::eval::{Candidate, YdsEval};
-use ssp_model::resource::Budget;
+use ssp_model::resource::{Budget, CancelToken};
 use ssp_model::{Instance, Job};
 use ssp_prng::rngs::StdRng;
 use ssp_prng::seq::SliceRandom;
 use ssp_prng::SeedableRng;
 use ssp_single::yds::yds_reference;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Options for [`improve`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct LocalSearchOptions {
     /// Stop after this many full passes without improvement (1 = plain
     /// hill-climbing to the first local optimum).
@@ -46,6 +46,12 @@ pub struct LocalSearchOptions {
     /// an early-exit, not an error: the best assignment found so far is
     /// returned with [`LocalSearchResult::budget_exhausted`] set.
     pub max_time: Option<Duration>,
+    /// Absolute deadline shared with the caller's other solver phases
+    /// (`"deadline"` exhaustion); `None` = unlimited.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag polled at every candidate evaluation
+    /// (`"cancelled"` exhaustion).
+    pub cancel: Option<CancelToken>,
     /// RNG seed for the move order.
     pub seed: u64,
 }
@@ -56,6 +62,8 @@ impl Default for LocalSearchOptions {
             max_stale_passes: 1,
             max_evaluations: 2_000_000,
             max_time: None,
+            deadline: None,
+            cancel: None,
             seed: 0x5EA7,
         }
     }
@@ -75,8 +83,9 @@ pub struct LocalSearchResult {
     /// Number of candidate moves evaluated.
     pub evaluations: usize,
     /// Which budget stopped the search early (`"iterations"` for the
-    /// evaluation cap, `"time"` for the wall-clock cap), if any. The result
-    /// is still valid and no worse than the seed assignment.
+    /// evaluation cap, `"time"` for the wall-clock cap, `"deadline"` /
+    /// `"cancelled"` for external interruption), if any. The result is
+    /// still valid and no worse than the seed assignment.
     pub budget_exhausted: Option<&'static str>,
 }
 
@@ -106,6 +115,8 @@ pub fn improve(
     let budget = Budget {
         max_iterations: Some(opts.max_evaluations as u64),
         max_time: opts.max_time,
+        deadline: opts.deadline,
+        cancel: opts.cancel.clone(),
     };
     let mut meter = budget.meter();
 
@@ -253,6 +264,8 @@ pub fn improve_reference(
     let budget = Budget {
         max_iterations: Some(opts.max_evaluations as u64),
         max_time: opts.max_time,
+        deadline: opts.deadline,
+        cancel: opts.cancel.clone(),
     };
     let mut meter = budget.meter();
 
@@ -393,7 +406,7 @@ mod tests {
                 seed: seed ^ 0xABCD,
                 ..Default::default()
             };
-            let new = improve(&inst, &start, opts);
+            let new = improve(&inst, &start, opts.clone());
             let old = improve_reference(&inst, &start, opts);
             assert_eq!(new.assignment, old.assignment, "seed {seed}");
             assert_eq!(new.energy.to_bits(), old.energy.to_bits(), "seed {seed}");
@@ -541,5 +554,40 @@ mod tests {
         let inst = families::general(10, 3, 2.0).gen(2);
         let res = improve(&inst, &rr_assignment(&inst), Default::default());
         assert_eq!(res.budget_exhausted, None);
+    }
+
+    #[test]
+    fn pre_cancelled_token_returns_the_seed_assignment() {
+        let inst = families::general(16, 4, 2.0).gen(9);
+        let start = rr_assignment(&inst);
+        let token = CancelToken::new();
+        token.cancel();
+        let res = improve(
+            &inst,
+            &start,
+            LocalSearchOptions {
+                cancel: Some(token),
+                ..Default::default()
+            },
+        );
+        assert_eq!(res.budget_exhausted, Some("cancelled"));
+        assert_eq!(res.evaluations, 0);
+        assert_eq!(res.assignment, start);
+    }
+
+    #[test]
+    fn expired_deadline_returns_the_seed_assignment() {
+        let inst = families::general(16, 4, 2.0).gen(9);
+        let start = rr_assignment(&inst);
+        let res = improve(
+            &inst,
+            &start,
+            LocalSearchOptions {
+                deadline: Some(Instant::now() - Duration::from_millis(1)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(res.budget_exhausted, Some("deadline"));
+        assert_eq!(res.assignment, start);
     }
 }

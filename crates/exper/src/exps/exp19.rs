@@ -93,7 +93,7 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
             seed: subseed(cfg.seed ^ 0x91, n as u64),
             ..Default::default()
         };
-        let (ref_res, ref_ms, ref_peels) = run_side(&inst, &start, opts, true);
+        let (ref_res, ref_ms, ref_peels) = run_side(&inst, &start, opts.clone(), true);
         let (new_res, new_ms, new_peels) = run_side(&inst, &start, opts, false);
         assert_eq!(
             ref_res.energy.to_bits(),

@@ -94,9 +94,10 @@ fn main() {
         let t0 = std::time::Instant::now();
         // One probe session per experiment: counters in the timings table
         // are per-experiment totals (across all its worker threads). exp17
-        // measures enabled-vs-disabled itself and exp20 owns its session,
-        // so both need the probe idle.
-        let session = if matches!(exp.id, "exp17" | "exp20") {
+        // measures enabled-vs-disabled itself; exp20 and exp21 own their
+        // sessions (exp21 reads the serve latency histograms back), so all
+        // three need the probe idle.
+        let session = if matches!(exp.id, "exp17" | "exp20" | "exp21") {
             None
         } else {
             ssp_probe::Session::begin()

@@ -147,7 +147,7 @@ impl fmt::Display for Algo {
 }
 
 /// Harness configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SolveOptions {
     /// Resource budget applied to every iterative solver the harness runs
     /// (BAL peeling/bisection probes, local-search evaluations) — including
@@ -191,7 +191,7 @@ pub fn run_algorithm(
     algo: Algo,
     opts: &SolveOptions,
 ) -> Result<AlgoRun, SolveError> {
-    let budget = opts.budget;
+    let budget = opts.budget.clone();
     let max_exact_jobs = opts.max_exact_jobs;
     boundary::catch(|| {
         let from_assignment = |a: Assignment| AlgoRun {
@@ -224,6 +224,8 @@ pub fn run_algorithm(
                         .map(|n| n.min(usize::MAX as u64) as usize)
                         .unwrap_or(2_000_000),
                     max_time: budget.max_time,
+                    deadline: budget.deadline,
+                    cancel: budget.cancel.clone(),
                     ..Default::default()
                 };
                 let result = improve(instance, &seed, search_opts);
@@ -398,7 +400,7 @@ pub fn solve(instance: &Instance, requested: Algo, opts: &SolveOptions) -> Solve
     let _solve_span = ssp_probe::span("solve");
     let lower_bound = if opts.lower_bound {
         let _lb_span = ssp_probe::span("lower_bound");
-        certified_lower_bound(instance, opts.budget)
+        certified_lower_bound(instance, opts.budget.clone())
     } else {
         None
     };

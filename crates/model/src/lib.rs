@@ -45,7 +45,7 @@ pub use error::{ModelError, SolveError, ValidationError};
 pub use instance::Instance;
 pub use interval::{IntervalSet, Timeline};
 pub use job::{Job, JobId};
-pub use resource::{Budget, Meter};
+pub use resource::{Budget, CancelToken, Meter};
 pub use schedule::{Schedule, ScheduleStats, Segment};
 pub use speed::SpeedAssignment;
 

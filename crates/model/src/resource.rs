@@ -1,4 +1,4 @@
-//! Resource budgets for iterative solvers.
+//! Resource budgets and cooperative cancellation for iterative solvers.
 //!
 //! The expensive loops in the workspace — BAL's critical-speed peeling, the
 //! bisections in [`crate::numeric`], the assignment local search — must stay
@@ -9,17 +9,58 @@
 //! feasible answer so far, and report the exhaustion upward (typically as a
 //! [`crate::error::SolveError::BudgetExhausted`] marker or a flag on the
 //! result), so a capped run still yields a valid, merely suboptimal result.
+//!
+//! Long-running callers (the `ssp serve` daemon, one-shot solves with
+//! `--timeout-ms`) additionally need *external* interruption: a [`Budget`]
+//! can carry an absolute [`Budget::deadline`] (shared across every solver
+//! phase of one request, unlike the per-meter `max_time`) and a
+//! [`CancelToken`] flipped from another thread. Both are checked by every
+//! [`Meter::charge`], so any budget-aware loop doubles as a cooperative
+//! cancellation checkpoint; exhaustion reports as the `"deadline"` /
+//! `"cancelled"` resources and follows the same best-so-far contract.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A shared cooperative cancellation flag. Cheap to clone (one `Arc`) and
+/// cheap to poll (one relaxed atomic load); once cancelled it stays
+/// cancelled. Attach it to a [`Budget`] so every metered loop observes it.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, not-yet-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`CancelToken::cancel`] been called on any clone?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// Caps on the work an iterative solver may perform. `None` means
 /// unlimited in that dimension.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Budget {
     /// Maximum number of charged iterations.
     pub max_iterations: Option<u64>,
     /// Maximum wall-clock time from the first charge.
     pub max_time: Option<Duration>,
+    /// Absolute wall-clock deadline. Unlike `max_time` (which is relative to
+    /// each meter's first charge) a deadline is shared by every meter derived
+    /// from the budget, so one per-request deadline bounds a whole chain of
+    /// solver phases, retries included.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag, polled on every charge.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Budget {
@@ -32,15 +73,15 @@ impl Budget {
     pub fn iterations(n: u64) -> Self {
         Budget {
             max_iterations: Some(n),
-            max_time: None,
+            ..Budget::default()
         }
     }
 
     /// Cap wall-clock time only.
     pub fn time(d: Duration) -> Self {
         Budget {
-            max_iterations: None,
             max_time: Some(d),
+            ..Budget::default()
         }
     }
 
@@ -52,14 +93,37 @@ impl Budget {
         }
     }
 
+    /// Add/replace an absolute deadline on an existing budget.
+    pub fn with_deadline(self, at: Instant) -> Self {
+        Budget {
+            deadline: Some(at),
+            ..self
+        }
+    }
+
+    /// Attach a cancellation token to an existing budget.
+    pub fn with_cancel(self, token: CancelToken) -> Self {
+        Budget {
+            cancel: Some(token),
+            ..self
+        }
+    }
+
     /// Start metering against this budget.
     pub fn meter(&self) -> Meter {
         Meter {
-            budget: *self,
+            budget: self.clone(),
             start: Instant::now(),
             used: 0,
             exhausted: None,
         }
+    }
+
+    /// Time remaining until the absolute deadline, if one is set.
+    /// `Some(Duration::ZERO)` once the deadline has passed.
+    pub fn headroom(&self) -> Option<Duration> {
+        self.deadline
+            .map(|at| at.saturating_duration_since(Instant::now()))
     }
 }
 
@@ -92,16 +156,29 @@ impl Meter {
                 return false;
             }
         }
+        if let Some(token) = &self.budget.cancel {
+            if token.is_cancelled() {
+                self.exhausted = Some("cancelled");
+                return false;
+            }
+        }
         if let Some(cap) = self.budget.max_time {
             if self.start.elapsed() > cap {
                 self.exhausted = Some("time");
                 return false;
             }
         }
+        if let Some(at) = self.budget.deadline {
+            if Instant::now() > at {
+                self.exhausted = Some("deadline");
+                return false;
+            }
+        }
         true
     }
 
-    /// Which budget ran out, if any (`"iterations"` or `"time"`).
+    /// Which budget ran out, if any (`"iterations"`, `"time"`,
+    /// `"deadline"`, or `"cancelled"`).
     pub fn exhausted(&self) -> Option<&'static str> {
         self.exhausted
     }
@@ -164,5 +241,40 @@ mod tests {
         assert!(m.charge(10));
         assert!(!m.charge(1));
         assert_eq!(m.used(), 11);
+    }
+
+    #[test]
+    fn cancel_token_trips_meter() {
+        let token = CancelToken::new();
+        let mut m = Budget::unlimited().with_cancel(token.clone()).meter();
+        assert!(m.tick());
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(!m.tick());
+        assert_eq!(m.exhausted(), Some("cancelled"));
+        assert!(!m.tick(), "cancellation must latch");
+        let err = m.exhaustion_error("bisection").unwrap();
+        assert_eq!(err.kind(), "budget-exhausted");
+    }
+
+    #[test]
+    fn past_deadline_trips_meter() {
+        let now = Instant::now();
+        let mut m = Budget::unlimited().with_deadline(now).meter();
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(!m.tick());
+        assert_eq!(m.exhausted(), Some("deadline"));
+    }
+
+    #[test]
+    fn future_deadline_leaves_headroom() {
+        let b = Budget::unlimited().with_deadline(Instant::now() + Duration::from_secs(60));
+        let h = b.headroom().unwrap();
+        assert!(h > Duration::from_secs(50));
+        assert_eq!(Budget::unlimited().headroom(), None);
+        let mut m = b.meter();
+        for _ in 0..100 {
+            assert!(m.tick());
+        }
     }
 }

@@ -1,0 +1,250 @@
+//! Permutation-invariant instance fingerprints and the certified-result
+//! cache.
+//!
+//! Two requests that describe the same mathematical instance — same
+//! multiset of (work, release, deadline) triples, same machine count, same
+//! α — must hit the same cache line regardless of job order or job ids
+//! (neither affects the optimum). The canonical form is therefore the
+//! *sorted* list of bit-exact triples; job ids are deliberately dropped.
+//!
+//! Correctness over cuteness: the cache key is the **full canonical form**,
+//! not a digest. A 64-bit hash collision between two distinct instances
+//! would silently return a wrong certified energy, which is exactly the
+//! class of bug a robustness layer must not introduce; with the exact key,
+//! a collision degrades to an ordinary equality check. The FNV-1a digest
+//! exists only for display (logs, the `serve.cache` counters, EXP-21
+//! tables).
+//!
+//! Only full-fidelity results are cached: the accepted algorithm must be
+//! the requested one and its budget unexhausted, so a cache hit is
+//! indistinguishable from a fresh solve (same energy, same certified
+//! bound). Entries are evicted least-recently-used beyond a fixed
+//! capacity.
+
+use ssp_harness::Algo;
+use ssp_model::Instance;
+use std::collections::HashMap;
+
+/// The exact canonical form of an instance, used as the cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    /// Sorted `(work, release, deadline)` triples, as raw f64 bits.
+    jobs: Vec<(u64, u64, u64)>,
+    machines: usize,
+    alpha: u64,
+}
+
+impl Fingerprint {
+    /// Canonicalize an instance: job order and job ids do not matter.
+    pub fn of(instance: &Instance) -> Self {
+        let mut jobs: Vec<(u64, u64, u64)> = instance
+            .jobs()
+            .iter()
+            .map(|j| (j.work.to_bits(), j.release.to_bits(), j.deadline.to_bits()))
+            .collect();
+        jobs.sort_unstable();
+        Fingerprint {
+            jobs,
+            machines: instance.machines(),
+            alpha: instance.alpha().to_bits(),
+        }
+    }
+
+    /// 64-bit FNV-1a digest of the canonical form — for display only,
+    /// never for equality.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for &(w, r, d) in &self.jobs {
+            eat(w);
+            eat(r);
+            eat(d);
+        }
+        eat(self.machines as u64);
+        eat(self.alpha);
+        h
+    }
+}
+
+/// A cached full-fidelity solve result.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// Validated schedule energy.
+    pub energy: f64,
+    /// Certified BAL/KKT lower bound, when the solve computed one.
+    pub lower_bound: Option<f64>,
+    /// `energy / lower_bound`, when a bound exists.
+    pub lb_ratio: Option<f64>,
+}
+
+/// LRU-bounded map from `(fingerprint, algorithm)` to certified results.
+#[derive(Debug)]
+pub struct ResultCache {
+    map: HashMap<(Fingerprint, Algo), (CachedResult, u64)>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` entries (0 disables
+    /// caching entirely: every lookup misses, every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            map: HashMap::new(),
+            clock: 0,
+            capacity,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up a result, refreshing its recency on hit.
+    pub fn get(&mut self, fp: &Fingerprint, algo: Algo) -> Option<CachedResult> {
+        self.clock += 1;
+        let clock = self.clock;
+        // A lookup key borrowing `fp` would need a custom Borrow impl;
+        // cloning the fingerprint on lookup is fine at request granularity.
+        let entry = self.map.get_mut(&(fp.clone(), algo))?;
+        entry.1 = clock;
+        Some(entry.0.clone())
+    }
+
+    /// Insert a result, evicting the least-recently-used entry when full.
+    pub fn insert(&mut self, fp: Fingerprint, algo: Algo, result: CachedResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&(fp.clone(), algo)) {
+            // Linear LRU scan: capacity is a few hundred, eviction is rare
+            // relative to solves, and this keeps the structure obvious.
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert((fp, algo), (result, self.clock));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_model::Job;
+
+    fn inst(jobs: Vec<Job>, m: usize, alpha: f64) -> Instance {
+        Instance::new(jobs, m, alpha).unwrap()
+    }
+
+    #[test]
+    fn ignores_job_order_and_ids() {
+        let a = inst(
+            vec![Job::new(0, 1.0, 0.0, 2.0), Job::new(1, 2.0, 1.0, 3.0)],
+            2,
+            2.0,
+        );
+        let b = inst(
+            vec![Job::new(9, 2.0, 1.0, 3.0), Job::new(4, 1.0, 0.0, 2.0)],
+            2,
+            2.0,
+        );
+        assert_eq!(Fingerprint::of(&a), Fingerprint::of(&b));
+        assert_eq!(Fingerprint::of(&a).digest(), Fingerprint::of(&b).digest());
+    }
+
+    #[test]
+    fn distinguishes_machines_alpha_and_any_field() {
+        let base = inst(vec![Job::new(0, 1.0, 0.0, 2.0)], 2, 2.0);
+        let fp = Fingerprint::of(&base);
+        for other in [
+            inst(vec![Job::new(0, 1.0, 0.0, 2.0)], 3, 2.0),
+            inst(vec![Job::new(0, 1.0, 0.0, 2.0)], 2, 2.5),
+            inst(vec![Job::new(0, 1.5, 0.0, 2.0)], 2, 2.0),
+            inst(vec![Job::new(0, 1.0, 0.5, 2.0)], 2, 2.0),
+            inst(vec![Job::new(0, 1.0, 0.0, 2.5)], 2, 2.0),
+            inst(
+                vec![Job::new(0, 1.0, 0.0, 2.0), Job::new(1, 1.0, 0.0, 2.0)],
+                2,
+                2.0,
+            ),
+        ] {
+            assert_ne!(fp, Fingerprint::of(&other), "{other:?}");
+        }
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut cache = ResultCache::new(2);
+        let f = |seed: u32| {
+            Fingerprint::of(&inst(
+                vec![Job::new(0, 1.0 + seed as f64, 0.0, 2.0)],
+                1,
+                2.0,
+            ))
+        };
+        let r = CachedResult {
+            energy: 1.0,
+            lower_bound: None,
+            lb_ratio: None,
+        };
+        cache.insert(f(1), Algo::Rr, r.clone());
+        cache.insert(f(2), Algo::Rr, r.clone());
+        assert!(cache.get(&f(1), Algo::Rr).is_some()); // refresh 1 → 2 is LRU
+        cache.insert(f(3), Algo::Rr, r.clone());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&f(2), Algo::Rr).is_none(), "2 was evicted");
+        assert!(cache.get(&f(1), Algo::Rr).is_some());
+        assert!(cache.get(&f(3), Algo::Rr).is_some());
+    }
+
+    #[test]
+    fn keyed_by_algorithm_too() {
+        let mut cache = ResultCache::new(8);
+        let fp = Fingerprint::of(&inst(vec![Job::new(0, 1.0, 0.0, 2.0)], 1, 2.0));
+        cache.insert(
+            fp.clone(),
+            Algo::Rr,
+            CachedResult {
+                energy: 5.0,
+                lower_bound: None,
+                lb_ratio: None,
+            },
+        );
+        assert!(cache.get(&fp, Algo::Bal).is_none());
+        assert_eq!(cache.get(&fp, Algo::Rr).unwrap().energy, 5.0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ResultCache::new(0);
+        let fp = Fingerprint::of(&inst(vec![Job::new(0, 1.0, 0.0, 2.0)], 1, 2.0));
+        cache.insert(
+            fp.clone(),
+            Algo::Rr,
+            CachedResult {
+                energy: 5.0,
+                lower_bound: None,
+                lb_ratio: None,
+            },
+        );
+        assert!(cache.is_empty());
+        assert!(cache.get(&fp, Algo::Rr).is_none());
+    }
+}

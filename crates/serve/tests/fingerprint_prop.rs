@@ -1,0 +1,110 @@
+//! Property tests for the instance fingerprint: over seeded random
+//! instances, the canonical form must be invariant under job permutation
+//! and id relabeling, and must separate any perturbed instance — the two
+//! properties that make it safe as a cache key.
+
+use ssp_model::{Instance, Job};
+use ssp_prng::rngs::StdRng;
+use ssp_prng::seq::SliceRandom;
+use ssp_prng::{subseed, Rng, SeedableRng};
+use ssp_serve::Fingerprint;
+use ssp_workloads::families;
+
+const CASES: u64 = 60;
+
+fn random_instance(seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2usize..14);
+    let m = rng.gen_range(1usize..5);
+    let alpha = rng.gen_range(1.2f64..3.5);
+    match seed % 3 {
+        0 => families::general(n, m, alpha).gen(seed),
+        1 => families::bursty(n, m, alpha).gen(seed),
+        _ => families::unit_arbitrary(n, m, alpha).gen(seed),
+    }
+}
+
+/// Rebuild the instance with jobs shuffled and ids relabeled; neither
+/// affects the optimum, so neither may affect the fingerprint.
+fn permuted(instance: &Instance, rng: &mut StdRng) -> Instance {
+    let mut jobs: Vec<Job> = instance.jobs().to_vec();
+    jobs.shuffle(rng);
+    let relabel: u32 = rng.gen_range(100u32..1000);
+    for (i, job) in jobs.iter_mut().enumerate() {
+        job.id = (relabel + i as u32).into();
+    }
+    Instance::new(jobs, instance.machines(), instance.alpha()).unwrap()
+}
+
+#[test]
+fn fingerprint_is_invariant_under_permutation_and_relabeling() {
+    for case in 0..CASES {
+        let seed = subseed(0xF1F0, case);
+        let inst = random_instance(seed);
+        let fp = Fingerprint::of(&inst);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        for _ in 0..4 {
+            let shuffled = permuted(&inst, &mut rng);
+            assert_eq!(
+                fp,
+                Fingerprint::of(&shuffled),
+                "seed {seed}: permutation changed the fingerprint"
+            );
+            assert_eq!(fp.digest(), Fingerprint::of(&shuffled).digest());
+        }
+    }
+}
+
+#[test]
+fn fingerprint_separates_perturbed_instances() {
+    for case in 0..CASES {
+        let seed = subseed(0x5E9A, case);
+        let inst = random_instance(seed);
+        let fp = Fingerprint::of(&inst);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+        let jobs = inst.jobs().to_vec();
+        let victim = rng.gen_range(0usize..jobs.len());
+
+        // Perturb one field of one job — the tiniest representable change
+        // (next float up) must already separate the fingerprints: the key
+        // is bit-exact, never tolerance-based.
+        let mut bump_work = jobs.clone();
+        bump_work[victim].work = next_up(bump_work[victim].work);
+        // Widen the window instead of shrinking: always constructible.
+        let mut bump_deadline = jobs.clone();
+        bump_deadline[victim].deadline = next_up(bump_deadline[victim].deadline);
+        let mut dropped = jobs.clone();
+        dropped.remove(victim);
+
+        let m = inst.machines();
+        let a = inst.alpha();
+        let variants: Vec<Instance> = [
+            Instance::new(bump_work, m, a).ok(),
+            Instance::new(bump_deadline, m, a).ok(),
+            (!dropped.is_empty())
+                .then(|| Instance::new(dropped, m, a).ok())
+                .flatten(),
+            Instance::new(jobs.clone(), m + 1, a).ok(),
+            Instance::new(jobs.clone(), m, a + 0.125).ok(),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        assert!(
+            variants.len() >= 4,
+            "seed {seed}: perturbations constructible"
+        );
+        for (k, variant) in variants.iter().enumerate() {
+            assert_ne!(
+                fp,
+                Fingerprint::of(variant),
+                "seed {seed}: perturbation {k} collided"
+            );
+        }
+    }
+}
+
+/// Smallest float strictly greater than `x` (positive finite inputs).
+fn next_up(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() + 1)
+}

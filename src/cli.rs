@@ -71,6 +71,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("quantize") => quantize_cmd(&collect(args)?),
         Some("trace") => trace_cmd(&collect(args)?),
         Some("bench-diff") => bench_diff_cmd(&collect(args)?),
+        Some("serve") => serve_cmd(&collect(args)?),
+        Some("serve-drive") => serve_drive_cmd(&collect(args)?),
         Some("help") | Some("-h") | Some("--help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(CliError::usage(format!(
             "unknown command '{other}'\n{USAGE}"
@@ -90,12 +92,16 @@ commands:
                      | general | bursty
   solve <file> [--algo NAME] [--no-fallback] [--gantt] [--width W]
         [--svg OUT.svg] [--telemetry OUT.jsonl] [--timings]
+        [--timeout-ms MS] [--retries N] [--inject-transient K]
            algos: rr | classified | least-loaded | relax | greedy | local
                   | exact | bal | avr | oa        (default: rr)
            failures degrade through local → greedy → least-loaded → rr
            unless --no-fallback is given
            --telemetry writes the probe trace (spans + counters) as JSONL;
            --timings prints the phase table (see docs/OBSERVABILITY.md)
+           --timeout-ms sets a wall-clock deadline observed inside solver
+           loops; --retries retries transient failures with backoff;
+           --inject-transient fails the first K attempts (testing hook)
   budget <file> --energy E [--gantt] [--non-migratory]
                                       minimize makespan under an energy budget
   compare <file>                      run every algorithm, print the scoreboard
@@ -120,6 +126,19 @@ commands:
                                       *_ms median regresses past PCT% (default
                                       10) and is above the X ms noise floor
                                       (default 0.05)
+  serve [--socket PATH] [--stdin] [--workers N] [--queue-cap N]
+        [--cache-cap N] [--shed-watermark N] [--timeout-ms MS]
+        [--retries N] [--inject-transient K] [--telemetry OUT.jsonl]
+                                      solve service: JSONL requests over stdin
+                                      (default) and/or a Unix socket; bounded
+                                      queue, per-request deadlines, retry with
+                                      backoff, load shedding, result cache.
+                                      SIGTERM/SIGINT drain and exit cleanly
+                                      (protocol: docs/SERVE.md)
+  serve-drive --socket PATH [--count N] [--seed S] [--timeout-ms MS]
+                                      drive a running daemon with N mixed
+                                      requests; exit 1 unless every request
+                                      is answered with well-formed JSON
 ";
 
 /// Parsed positional + flag arguments.
@@ -281,51 +300,149 @@ fn schedule_for(inst: &Instance, algo: &str) -> Result<(Schedule, &'static str),
     }
 }
 
+/// Writes a probe trace to disk when dropped, unless defused by an explicit
+/// [`TelemetryFlushGuard::flush`]. Armed right after the solve so that a
+/// panic anywhere in the rendering path (gantt, SVG, phase table) — or an
+/// early typed-error return — still leaves the trace on disk. A failed or
+/// interrupted solve is exactly when the trace matters most.
+struct TelemetryFlushGuard {
+    path: Option<String>,
+    trace: Option<ssp_probe::Trace>,
+}
+
+impl TelemetryFlushGuard {
+    fn arm(path: Option<&str>, trace: Option<&ssp_probe::Trace>) -> Self {
+        TelemetryFlushGuard {
+            path: path.map(String::from),
+            trace: trace.cloned(),
+        }
+    }
+
+    /// Write the trace now and defuse the drop-path. `None` when there is
+    /// nothing to write (no `--telemetry`, or no trace captured); otherwise
+    /// the `(spans, counters)` counts or the I/O error message.
+    fn flush(&mut self) -> Option<Result<(usize, usize), String>> {
+        let path = self.path.take()?;
+        let trace = self.trace.take()?;
+        Some(
+            std::fs::write(&path, trace.to_jsonl())
+                .map(|()| (trace.spans.len(), trace.counters.len()))
+                .map_err(|e| format!("cannot write {path}: {e}")),
+        )
+    }
+}
+
+impl Drop for TelemetryFlushGuard {
+    fn drop(&mut self) {
+        if let (Some(path), Some(trace)) = (self.path.take(), self.trace.take()) {
+            // Unwinding or erroring out: best-effort write, nowhere to
+            // report an I/O failure.
+            let _ = std::fs::write(path, trace.to_jsonl());
+        }
+    }
+}
+
 /// `solve` goes through the harness: panic-free, post-validated, with a
 /// degradation chain (`--no-fallback` restricts to the requested algorithm)
 /// and an energy check against the certified BAL/KKT lower bound.
+/// `--timeout-ms` and `--retries` map onto the same deadline/retry
+/// machinery the serve daemon uses (`ssp_serve::retry`).
 fn solve(parsed: &Parsed) -> Result<String, CliError> {
     use ssp_harness::{Algo, SolveOptions};
     let inst = load(parsed)?;
     let name = parsed.flag("algo").unwrap_or("rr");
     let algo = Algo::from_name(name)
         .map_err(|_| CliError::usage(format!("unknown algorithm '{name}'")))?;
+    let timeout_ms: Option<u64> = parsed.flag_parse("timeout-ms")?;
+    let max_retries: u32 = parsed.flag_parse("retries")?.unwrap_or(0);
+    let inject: u32 = parsed.flag_parse("inject-transient")?.unwrap_or(0);
+    let (budget, deadline) = ssp_serve::retry::deadline_budget(
+        ssp_model::Budget::unlimited(),
+        std::time::Instant::now(),
+        timeout_ms.map(std::time::Duration::from_millis),
+    );
     let opts = SolveOptions {
+        budget,
         degrade: !parsed.has("no-fallback"),
         ..Default::default()
     };
     let want_trace = parsed.has("telemetry") || parsed.has("timings");
-    let report = if want_trace {
-        ssp_harness::solve_traced(&inst, algo, &opts)
-    } else {
-        ssp_harness::solve(&inst, algo, &opts)
+    let policy = ssp_serve::RetryPolicy {
+        inject_transient: inject,
+        ..Default::default()
     };
-    let outcome = match report.outcome {
-        Some(ref o) => o,
-        None => {
-            let mut message = format!(
-                "no algorithm produced a valid schedule:\n{}",
-                report.summary().trim_end()
+    // Keep the last whole-chain-failed report so its summary and partial
+    // telemetry survive into the error message.
+    let mut last_failed: Option<ssp_harness::SolveReport> = None;
+    let retried = ssp_serve::retry::run_with_retry(&policy, max_retries, deadline, |_attempt| {
+        let report = if want_trace {
+            ssp_harness::solve_traced(&inst, algo, &opts)
+        } else {
+            ssp_harness::solve(&inst, algo, &opts)
+        };
+        if report.outcome.is_some() {
+            Ok(report)
+        } else {
+            let error = report
+                .attempts
+                .iter()
+                .rev()
+                .find_map(|a| a.error.clone())
+                .unwrap_or(ssp_model::SolveError::Numeric {
+                    message: "solve returned neither outcome nor error".into(),
+                });
+            last_failed = Some(report);
+            Err(error)
+        }
+    });
+    let retries_spent = retried.retries;
+    let report = match retried.result {
+        Ok(report) => report,
+        Err(error) => {
+            let mut message = match &last_failed {
+                Some(failed) => format!(
+                    "no algorithm produced a valid schedule:\n{}",
+                    failed.summary().trim_end()
+                ),
+                // Injected transients fail before the solver runs, so there
+                // is no report to summarize.
+                None => format!("solve failed: {error}"),
+            };
+            if retries_spent > 0 {
+                let _ = write!(message, "\n({retries_spent} transient retries spent)");
+            }
+            let mut guard = TelemetryFlushGuard::arm(
+                parsed.flag("telemetry"),
+                last_failed.as_ref().and_then(|r| r.telemetry.as_ref()),
             );
-            // A failed solve is exactly when the trace matters most: still
-            // honor --telemetry with the partial trace (its `error` field is
-            // set by the harness), rather than dropping it on the floor.
-            if let (Some(path), Some(trace)) = (parsed.flag("telemetry"), report.telemetry.as_ref())
-            {
-                match std::fs::write(path, trace.to_jsonl()) {
-                    Ok(()) => {
-                        let _ = write!(message, "\npartial telemetry written to {path}");
-                    }
-                    Err(e) => {
-                        let _ = write!(message, "\ncannot write {path}: {e}");
-                    }
+            match guard.flush() {
+                Some(Ok(_)) => {
+                    let _ = write!(
+                        message,
+                        "\npartial telemetry written to {}",
+                        parsed.flag("telemetry").unwrap_or("?")
+                    );
                 }
+                Some(Err(e)) => {
+                    let _ = write!(message, "\n{e}");
+                }
+                None => {}
             }
             return Err(CliError::runtime(message));
         }
     };
+    // From here on any panic or early error must still flush the trace.
+    let mut telemetry_guard =
+        TelemetryFlushGuard::arm(parsed.flag("telemetry"), report.telemetry.as_ref());
+    let outcome = report.outcome.as_ref().expect("checked in retry loop");
     let mut out = String::new();
     let _ = writeln!(out, "{}", outcome.algorithm.label());
+    if retries_spent > 0 {
+        let _ = writeln!(
+            out,
+            "note: succeeded after {retries_spent} transient retries"
+        );
+    }
     if report.degraded() {
         let _ = writeln!(
             out,
@@ -380,15 +497,16 @@ fn solve(parsed: &Parsed) -> Result<String, CliError> {
         if parsed.has("timings") {
             let _ = write!(out, "{}", trace.phase_table());
         }
-        if let Some(path) = parsed.flag("telemetry") {
-            std::fs::write(path, trace.to_jsonl())
-                .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
-            let _ = writeln!(
-                out,
-                "telemetry written to {path} ({} spans, {} counters)",
-                trace.spans.len(),
-                trace.counters.len()
-            );
+        match telemetry_guard.flush() {
+            Some(Ok((spans, counters))) => {
+                let path = parsed.flag("telemetry").unwrap_or("?");
+                let _ = writeln!(
+                    out,
+                    "telemetry written to {path} ({spans} spans, {counters} counters)"
+                );
+            }
+            Some(Err(e)) => return Err(CliError::runtime(e)),
+            None => {}
         }
     }
     Ok(out)
@@ -693,6 +811,361 @@ fn bench_diff_cmd(parsed: &Parsed) -> Result<String, CliError> {
         return Err(CliError::runtime(out));
     }
     Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// serve: the fault-tolerant solve daemon (transport layer over ssp-serve)
+// ---------------------------------------------------------------------------
+
+/// Set by SIGTERM/SIGINT (and by tests); the daemon loop polls it, stops
+/// accepting, drains the queue, and exits cleanly.
+static SERVE_TERM: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn serve_on_signal(_sig: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    SERVE_TERM.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_serve_signal_handlers() {
+    // The workspace is deliberately dependency-free, so no libc crate:
+    // declare the one libc symbol needed. BSD `signal` semantics (glibc
+    // default) keep the handler installed across deliveries.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = serve_on_signal as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_serve_signal_handlers() {}
+
+/// Response sink writing JSONL to this process's stdout (stdin transport).
+fn stdout_sink() -> ssp_serve::Sink {
+    std::sync::Arc::new(|line: &str| {
+        use std::io::Write;
+        let mut out = std::io::stdout().lock();
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    })
+}
+
+/// The `ssp serve` daemon. Transport only: requests come in as JSONL lines
+/// from stdin and/or a Unix socket and are handed to [`ssp_serve::Server`];
+/// admission control, deadlines, retries, shedding, caching, and isolation
+/// all live in the service crate so tests and EXP-21 exercise the same
+/// code. Shutdown (SIGTERM/SIGINT, or stdin EOF when stdin is the only
+/// transport) drains every admitted request before exiting.
+fn serve_cmd(parsed: &Parsed) -> Result<String, CliError> {
+    use ssp_serve::{RetryPolicy, ServeOptions, Server};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let opts = ServeOptions {
+        workers: parsed.flag_parse("workers")?.unwrap_or(4),
+        queue_cap: parsed.flag_parse("queue-cap")?.unwrap_or(64),
+        cache_cap: parsed.flag_parse("cache-cap")?.unwrap_or(256),
+        shed_watermark: parsed.flag_parse("shed-watermark")?.unwrap_or(48),
+        default_timeout: parsed
+            .flag_parse::<u64>("timeout-ms")?
+            .map(Duration::from_millis),
+        retry: RetryPolicy {
+            max_retries: parsed.flag_parse("retries")?.unwrap_or(2),
+            inject_transient: parsed.flag_parse("inject-transient")?.unwrap_or(0),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    if opts.workers == 0 || opts.queue_cap == 0 {
+        return Err(CliError::usage("--workers and --queue-cap must be >= 1"));
+    }
+    let socket_path = parsed.flag("socket").map(String::from);
+    let use_stdin = parsed.has("stdin") || socket_path.is_none();
+
+    install_serve_signal_handlers();
+    SERVE_TERM.store(false, std::sync::atomic::Ordering::SeqCst);
+
+    // The daemon owns the probe session and keeps a span open so worker
+    // spans nest under it; `None` (another trace in flight) just means an
+    // untraced run.
+    let session = ssp_probe::Session::begin();
+    let span = ssp_probe::span("serve");
+    let mut server = Server::start(opts);
+
+    let stdin_done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    if use_stdin {
+        let handle = server.handle();
+        let done = Arc::clone(&stdin_done);
+        // Never joined: a read blocked on a tty at shutdown dies with the
+        // process after the drain completes.
+        std::thread::spawn(move || {
+            use std::io::BufRead;
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                match line {
+                    Ok(l) if !l.trim().is_empty() => {
+                        handle.submit(&l, stdout_sink());
+                    }
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+            done.store(true, Ordering::SeqCst);
+        });
+    }
+
+    // Readers still draining buffered socket lines at shutdown.
+    let live_conns = Arc::new(AtomicUsize::new(0));
+    #[cfg(unix)]
+    let listener = match &socket_path {
+        Some(path) => {
+            let _ = std::fs::remove_file(path); // stale socket from a crash
+            let l = std::os::unix::net::UnixListener::bind(path)
+                .map_err(|e| CliError::runtime(format!("cannot bind {path}: {e}")))?;
+            l.set_nonblocking(true)
+                .map_err(|e| CliError::runtime(format!("cannot configure {path}: {e}")))?;
+            eprintln!("serve: listening on {path}");
+            Some(l)
+        }
+        None => None,
+    };
+    #[cfg(not(unix))]
+    if socket_path.is_some() {
+        return Err(CliError::runtime("--socket requires a unix platform"));
+    }
+
+    loop {
+        if SERVE_TERM.load(std::sync::atomic::Ordering::SeqCst) {
+            break;
+        }
+        // Stdin EOF ends the daemon only when stdin is the sole transport.
+        if use_stdin && socket_path.is_none() && stdin_done.load(Ordering::SeqCst) {
+            break;
+        }
+        #[cfg(unix)]
+        if let Some(l) = &listener {
+            while let Ok((stream, _)) = l.accept() {
+                let _ = stream.set_nonblocking(false);
+                spawn_socket_reader(stream, server.handle(), Arc::clone(&live_conns));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Shutdown sequence: stop accepting, let connection readers finish
+    // submitting what clients already sent (they half-close after writing;
+    // bounded grace so a hung client cannot wedge the drain), then drain
+    // the queue — every admitted request is answered before workers exit.
+    #[cfg(unix)]
+    drop(listener);
+    let grace = std::time::Instant::now() + Duration::from_secs(5);
+    while live_conns.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < grace {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+    drop(span);
+    if let Some(path) = &socket_path {
+        let _ = std::fs::remove_file(path);
+    }
+
+    let stats = server.stats();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve: {} submitted | {} ok | {} error | {} rejected | {} panic-isolated",
+        stats.submitted, stats.ok, stats.errors, stats.rejected, stats.panics
+    );
+    let _ = writeln!(
+        out,
+        "cache: {} hits, {} misses | shed {} | degraded {}",
+        stats.cache_hits, stats.cache_misses, stats.shed, stats.degraded
+    );
+    if let Some(session) = session {
+        let trace = session.end();
+        if let Some(h) = trace.hist("serve.request_us") {
+            let _ = writeln!(
+                out,
+                "latency: p50 {}us | p90 {}us | p99 {}us ({} requests)",
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.count
+            );
+        }
+        if let Some(path) = parsed.flag("telemetry") {
+            std::fs::write(path, trace.to_jsonl())
+                .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+            let _ = writeln!(out, "telemetry written to {path}");
+        }
+    }
+    Ok(out)
+}
+
+/// One reader thread per socket connection: submit each JSONL line, answer
+/// on the same stream (write half is shared with the worker sinks), exit on
+/// client EOF/half-close.
+#[cfg(unix)]
+fn spawn_socket_reader(
+    stream: std::os::unix::net::UnixStream,
+    handle: ssp_serve::ServerHandle,
+    live_conns: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+) {
+    use std::sync::atomic::Ordering;
+    use std::sync::{Arc, Mutex};
+    live_conns.fetch_add(1, Ordering::SeqCst);
+    std::thread::spawn(move || {
+        use std::io::{BufRead, BufReader, Write};
+        let sink: ssp_serve::Sink = match stream.try_clone() {
+            Ok(write_half) => {
+                let write_half = Arc::new(Mutex::new(write_half));
+                Arc::new(move |line: &str| {
+                    let mut w = write_half.lock().unwrap_or_else(|e| e.into_inner());
+                    let _ = writeln!(w, "{line}");
+                    let _ = w.flush();
+                })
+            }
+            // Cannot answer this client; swallow its responses rather than
+            // refuse the connection.
+            Err(_) => Arc::new(|_line: &str| {}),
+        };
+        for line in BufReader::new(stream).lines() {
+            match line {
+                Ok(l) if !l.trim().is_empty() => {
+                    handle.submit(&l, Arc::clone(&sink));
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        live_conns.fetch_sub(1, Ordering::SeqCst);
+    });
+}
+
+/// `ssp serve-drive`: load-generator client for a running daemon. Sends
+/// `--count` mixed-family requests (every 4th a repeat, so the cache gets
+/// traffic), half-closes, then requires one well-formed JSON response per
+/// request — which is exactly the drain guarantee CI's serve-smoke asserts
+/// across a SIGTERM.
+fn serve_drive_cmd(parsed: &Parsed) -> Result<String, CliError> {
+    #[cfg(not(unix))]
+    {
+        let _ = parsed;
+        return Err(CliError::runtime("serve-drive requires unix sockets"));
+    }
+    #[cfg(unix)]
+    {
+        use ssp_serve::json::Json;
+        use std::io::{BufRead, BufReader, Write};
+        use std::os::unix::net::UnixStream;
+
+        let path = parsed
+            .flag("socket")
+            .ok_or_else(|| CliError::usage("serve-drive needs --socket PATH"))?;
+        let count: usize = parsed.flag_parse("count")?.unwrap_or(24);
+        let seed: u64 = parsed.flag_parse("seed")?.unwrap_or(1);
+        let timeout_ms: Option<u64> = parsed.flag_parse("timeout-ms")?;
+
+        // The daemon may still be binding; retry the connect briefly.
+        let mut stream = None;
+        for _ in 0..40 {
+            match UnixStream::connect(path) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(25)),
+            }
+        }
+        let stream =
+            stream.ok_or_else(|| CliError::runtime(format!("cannot connect to {path}")))?;
+
+        let algos = ["bal", "local", "greedy", "least-loaded", "rr", "avr", "oa"];
+        for i in 0..count {
+            // Every 4th request is the same instance+algo: cache traffic.
+            let (inst, algo) = if i % 4 == 0 {
+                (families::general(6, 2, 2.0).gen(7), "bal")
+            } else {
+                let s = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64);
+                let inst = match i % 3 {
+                    0 => families::bursty(8, 2, 3.0).gen(s),
+                    1 => families::unit_arbitrary(5, 3, 2.0).gen(s),
+                    _ => families::general(10, 2, 2.0).gen(s),
+                };
+                (inst, algos[i % algos.len()])
+            };
+            let mut fields = vec![
+                ("id".to_string(), Json::Str(format!("drive-{i}"))),
+                ("algo".to_string(), Json::Str(algo.to_string())),
+                ("instance".to_string(), Json::Str(io::emit(&inst))),
+            ];
+            if let Some(ms) = timeout_ms {
+                fields.push(("timeout_ms".to_string(), Json::Num(ms as f64)));
+            }
+            let line = Json::Obj(fields).to_string_compact();
+            writeln!(&stream, "{line}")
+                .map_err(|e| CliError::runtime(format!("write to {path} failed: {e}")))?;
+        }
+        // Half-close: tells the daemon's reader this client is done
+        // submitting, which is what lets a SIGTERM'd daemon finish its
+        // drain deterministically.
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .map_err(|e| CliError::runtime(format!("shutdown(Write) failed: {e}")))?;
+
+        let (mut ok, mut errors, mut hits, mut degraded, mut malformed) = (0, 0, 0, 0, 0);
+        let mut got = 0usize;
+        for line in BufReader::new(stream).lines() {
+            let line = line.map_err(|e| CliError::runtime(format!("read failed: {e}")))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            got += 1;
+            match ssp_serve::json::parse(&line) {
+                Ok(v) => match v.get("status").and_then(|s| s.as_str()) {
+                    Some("ok") => {
+                        ok += 1;
+                        if v.get("cache").and_then(|c| c.as_str()) == Some("hit") {
+                            hits += 1;
+                        }
+                        if v.get("degraded").and_then(|d| d.as_bool()) == Some(true) {
+                            degraded += 1;
+                        }
+                    }
+                    Some("error") => errors += 1,
+                    _ => malformed += 1,
+                },
+                Err(_) => malformed += 1,
+            }
+            if got == count {
+                break;
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "serve-drive: {got}/{count} answered | {ok} ok | {errors} error | {hits} cache hits | {degraded} degraded"
+        );
+        if got < count {
+            return Err(CliError::runtime(format!(
+                "{out}daemon answered only {got} of {count} requests (drain violated)"
+            )));
+        }
+        if malformed > 0 {
+            return Err(CliError::runtime(format!(
+                "{out}{malformed} responses were not well-formed"
+            )));
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -1181,5 +1654,221 @@ mod tests {
             );
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    // -- solve deadline/retry flags (serve machinery on the one-shot path) --
+
+    /// `--timeout-ms 0` must thread an already-expired deadline into the
+    /// solver budget: either a best-so-far salvage annotated as exhausted,
+    /// or a typed deadline failure — never an unannotated success.
+    #[test]
+    fn solve_timeout_flag_threads_a_deadline_into_the_budget() {
+        let p = tmp_instance();
+        match run(&args(&[
+            "solve",
+            &p,
+            "--algo",
+            "bal",
+            "--no-fallback",
+            "--timeout-ms",
+            "0",
+        ])) {
+            Ok(out) => assert!(out.contains("deadline budget exhausted"), "{out}"),
+            Err(e) => {
+                assert_eq!(e.code, 1);
+                assert!(e.message.contains("deadline"), "{}", e.message);
+            }
+        }
+        // A generous timeout changes nothing about a healthy solve.
+        let out = run(&args(&[
+            "solve",
+            &p,
+            "--algo",
+            "rr",
+            "--timeout-ms",
+            "60000",
+        ]))
+        .unwrap();
+        assert!(out.contains("energy"), "{out}");
+        assert!(!out.contains("budget exhausted"), "{out}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn solve_retries_recover_from_injected_transients() {
+        let p = tmp_instance();
+        let out = run(&args(&[
+            "solve",
+            &p,
+            "--algo",
+            "rr",
+            "--retries",
+            "2",
+            "--inject-transient",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("succeeded after 2 transient retries"), "{out}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn solve_exhausted_retries_exit_with_a_runtime_error() {
+        let p = tmp_instance();
+        let err = run(&args(&[
+            "solve",
+            &p,
+            "--algo",
+            "rr",
+            "--retries",
+            "1",
+            "--inject-transient",
+            "5",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(
+            err.message.contains("injected transient"),
+            "{}",
+            err.message
+        );
+        assert!(
+            err.message.contains("1 transient retries spent"),
+            "{}",
+            err.message
+        );
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn solve_bad_retry_flag_values_are_usage_errors() {
+        let p = tmp_instance();
+        for flags in [
+            ["--retries", "many"],
+            ["--timeout-ms", "soon"],
+            ["--inject-transient", "x"],
+        ] {
+            let err = run(&args(&["solve", &p, flags[0], flags[1]])).unwrap_err();
+            assert_eq!(err.code, 2, "{flags:?}");
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    /// Satellite fix: the telemetry guard flushes the trace even when the
+    /// path between solve and the explicit write unwinds (a rendering
+    /// panic), not just on typed-error failures.
+    #[test]
+    fn telemetry_guard_flushes_on_unwind() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ssp_cli_guard_{}.jsonl", std::process::id()));
+        let p = path.to_string_lossy().into_owned();
+        let trace = ssp_probe::Trace {
+            error: Some("rendering exploded".into()),
+            ..Default::default()
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = TelemetryFlushGuard::arm(Some(&p), Some(&trace));
+            panic!("boom in gantt rendering");
+        }));
+        assert!(result.is_err());
+        let text = std::fs::read_to_string(&path).expect("guard must have flushed");
+        let parsed = ssp_probe::Trace::parse(&text).expect("flushed trace parses");
+        assert_eq!(parsed.error.as_deref(), Some("rendering exploded"));
+        // An explicit flush defuses the drop-path write.
+        std::fs::remove_file(&path).ok();
+        let mut guard = TelemetryFlushGuard::arm(Some(&p), Some(&trace));
+        assert!(matches!(guard.flush(), Some(Ok(_))));
+        std::fs::remove_file(&path).unwrap();
+        drop(guard);
+        assert!(!path.exists(), "defused guard must not rewrite the trace");
+    }
+
+    // -- serve daemon + drive client over a Unix socket --
+
+    /// End-to-end transport test: a daemon on a Unix socket, driven by the
+    /// `serve-drive` client, then shut down via the TERM flag (the signal
+    /// handler's one store, exercised directly). Every request must be
+    /// answered before the daemon reports its summary.
+    #[test]
+    #[cfg(unix)]
+    fn serve_socket_answers_every_request_and_drains_on_term() {
+        let _session = session_lock(); // the daemon owns a probe session
+        let dir = std::env::temp_dir();
+        let sock = dir.join(format!("ssp_serve_test_{}.sock", std::process::id()));
+        let sock_s = sock.to_string_lossy().into_owned();
+        let p_trace = dir.join(format!("ssp_serve_test_{}.jsonl", std::process::id()));
+        let trace_s = p_trace.to_string_lossy().into_owned();
+
+        let daemon = std::thread::spawn({
+            let sock_s = sock_s.clone();
+            let trace_s = trace_s.clone();
+            move || {
+                run(&args(&[
+                    "serve",
+                    "--socket",
+                    &sock_s,
+                    "--workers",
+                    "2",
+                    "--telemetry",
+                    &trace_s,
+                ]))
+            }
+        });
+
+        // serve-drive connects (with retry while the daemon binds), sends
+        // 9 mixed requests incl. repeats, half-closes, and requires 9
+        // well-formed responses.
+        let drive = run(&args(&[
+            "serve-drive",
+            "--socket",
+            &sock_s,
+            "--count",
+            "9",
+            "--seed",
+            "4",
+        ]))
+        .unwrap();
+        assert!(drive.contains("9/9 answered"), "{drive}");
+        assert!(drive.contains("cache hits"), "{drive}");
+
+        // SIGTERM delivery is one atomic store; perform it directly.
+        serve_on_signal(15);
+        let summary = daemon.join().unwrap().unwrap();
+        assert!(summary.contains("9 submitted"), "{summary}");
+        assert!(summary.contains("0 panic-isolated"), "{summary}");
+        assert!(summary.contains("latency: p50"), "{summary}");
+        assert!(summary.contains("telemetry written to"), "{summary}");
+        let text = std::fs::read_to_string(&p_trace).unwrap();
+        let trace = ssp_probe::Trace::parse(&text).unwrap();
+        trace.validate().unwrap();
+        assert!(trace.counter("serve.ok") > 0, "serve counters in the trace");
+        assert!(trace.hist("serve.request_us").is_some());
+        assert!(!sock.exists(), "socket file removed on shutdown");
+        std::fs::remove_file(&p_trace).ok();
+    }
+
+    #[test]
+    fn serve_rejects_zero_workers() {
+        assert_eq!(
+            run(&args(&["serve", "--workers", "0"])).unwrap_err().code,
+            2
+        );
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn serve_drive_needs_a_socket_and_a_listening_daemon() {
+        assert_eq!(run(&args(&["serve-drive"])).unwrap_err().code, 2);
+        // Nobody listening: runtime error after the connect retries.
+        let err = run(&args(&[
+            "serve-drive",
+            "--socket",
+            "/nonexistent-dir/nope.sock",
+            "--count",
+            "1",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("cannot connect"), "{}", err.message);
     }
 }
