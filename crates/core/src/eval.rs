@@ -749,6 +749,104 @@ impl<'a> YdsEval<'a> {
     }
 }
 
+/// The oracle's online sibling: a memoized YDS pricer over **owned job
+/// lists** instead of a fixed [`Instance`].
+///
+/// [`YdsEval`] assumes a closed universe — every job exists up front, keyed
+/// by instance index. A streaming engine has the opposite shape: jobs appear
+/// over time, expire, and are compacted away, so there is no instance to
+/// index into; what repeats is the *live window* of a machine (the alive
+/// job list), which is re-priced by every density-aware dispatch decision
+/// against `m` machines and changes by one job per arrival. `LiveEval`
+/// memoizes exactly that: the YDS energy of an ordered job list, keyed by
+/// the job-id sequence.
+///
+/// **Contract:** within one `LiveEval`, a job id always denotes the same
+/// `(work, release, deadline)` triple — the id *is* the job. Arrival
+/// traces guarantee this (ids are unique per stream); violating it silently
+/// poisons the memo. Ordered keys for the same reason as [`YdsEval`]: the
+/// kernel is deterministic per ordered list, so a hit is bit-identical to
+/// the recomputation it replaces.
+///
+/// Counters: `eval.live_hit`, `eval.live_miss`, `eval.live_evict`.
+pub struct LiveEval {
+    alpha: f64,
+    cache: HashMap<Box<[u32]>, f64>,
+    cache_cap: usize,
+    key: Vec<u32>,
+    jobs: Vec<Job>,
+}
+
+impl LiveEval {
+    /// Empty oracle for power exponent `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        LiveEval {
+            alpha,
+            // Live windows are short (the whole point of compaction), so a
+            // flat entry cap keeps the memo well under ~64 MB of keys.
+            cache_cap: 262_144,
+            cache: HashMap::new(),
+            key: Vec::new(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Memoized YDS energy of the ordered job list `window`.
+    pub fn energy(&mut self, window: &[Job]) -> f64 {
+        let mut key = std::mem::take(&mut self.key);
+        key.clear();
+        key.extend(window.iter().map(|j| j.id.0));
+        let e = self.keyed_energy(&key, window, None);
+        self.key = key;
+        e
+    }
+
+    /// Memoized YDS energy of `window` with `candidate` appended — the
+    /// add-side of a dispatch decision, priced without materializing the
+    /// appended list at the call site.
+    pub fn energy_with(&mut self, window: &[Job], candidate: &Job) -> f64 {
+        let mut key = std::mem::take(&mut self.key);
+        key.clear();
+        key.extend(window.iter().map(|j| j.id.0));
+        key.push(candidate.id.0);
+        let e = self.keyed_energy(&key, window, Some(candidate));
+        self.key = key;
+        e
+    }
+
+    /// Marginal YDS energy of appending `candidate` to `window`:
+    /// `energy(window ∪ {candidate}) - energy(window)`, both sides through
+    /// the memo (the base term is shared by every candidate priced against
+    /// the same window, and the appended term becomes the next base when
+    /// the candidate is actually dispatched here).
+    pub fn marginal(&mut self, window: &[Job], candidate: &Job) -> f64 {
+        self.energy_with(window, candidate) - self.energy(window)
+    }
+
+    fn keyed_energy(&mut self, key: &[u32], window: &[Job], extra: Option<&Job>) -> f64 {
+        if key.is_empty() {
+            return 0.0;
+        }
+        if let Some(&e) = self.cache.get(key) {
+            ssp_probe::counter!("eval.live_hit");
+            return e;
+        }
+        ssp_probe::counter!("eval.live_miss");
+        self.jobs.clear();
+        self.jobs.extend_from_slice(window);
+        if let Some(j) = extra {
+            self.jobs.push(*j);
+        }
+        let e = yds(&self.jobs, self.alpha).energy;
+        if self.cache.len() >= self.cache_cap {
+            ssp_probe::counter!("eval.live_evict");
+            self.cache.clear();
+        }
+        self.cache.insert(key.to_vec().into_boxed_slice(), e);
+        e
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -915,5 +1013,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn live_eval_matches_kernel_bitwise() {
+        let inst = families::general(14, 1, 2.3).gen(6);
+        let mut live = LiveEval::new(2.3);
+        for cut in [1usize, 5, 14] {
+            let window = &inst.jobs()[..cut];
+            let direct = yds(window, 2.3).energy;
+            assert_eq!(live.energy(window).to_bits(), direct.to_bits());
+            // Second query of the same window must hit the memo and agree.
+            assert_eq!(live.energy(window).to_bits(), direct.to_bits());
+        }
+    }
+
+    #[test]
+    fn live_eval_marginal_is_append_delta() {
+        let inst = families::bursty(10, 1, 2.0).gen(3);
+        let mut live = LiveEval::new(2.0);
+        let (window, cand) = (&inst.jobs()[..6], inst.job(7));
+        let marginal = live.marginal(window, cand);
+        let mut appended = window.to_vec();
+        appended.push(*cand);
+        let expect = yds(&appended, 2.0).energy - yds(window, 2.0).energy;
+        assert_eq!(marginal.to_bits(), expect.to_bits());
+        // energy_with prices the appended list without materializing it.
+        assert_eq!(
+            live.energy_with(window, cand).to_bits(),
+            yds(&appended, 2.0).energy.to_bits()
+        );
     }
 }

@@ -44,7 +44,7 @@ pub use assignment::{assignment_energy, assignment_schedule, Assignment};
 pub use budget::{makespan_under_budget, InnerSolver};
 pub use classified::classified_rr;
 pub use decompose::{decompose, exact_decomposed};
-pub use eval::{Candidate, YdsEval};
+pub use eval::{Candidate, LiveEval, YdsEval};
 pub use exact::exact_nonmigratory;
 pub use list::{least_loaded, marginal_energy_greedy};
 pub use local_search::{improve, LocalSearchOptions};

@@ -1,0 +1,151 @@
+//! EXP-22 — the online arrival stack: streaming dispatch at scale and
+//! empirical competitive ratios against the certified migratory bound.
+//!
+//! Two tables:
+//!
+//! 1. **Scale.** The bursty stream family pushed through the engine at
+//!    growing lengths — 10^4, 10^5 and 10^6 jobs in full mode — with
+//!    round-robin dispatch and per-machine incremental OA. The point is
+//!    the memory story: `peak_live` (live jobs across all machines) and
+//!    `peak_chunk` (the lower-bound buffer) must stay flat while the
+//!    stream grows by two orders of magnitude, and compactions must fire.
+//!    Both are *asserted*, not just reported, which is what CI's
+//!    stream-smoke relies on. The table also reports the incremental
+//!    win: the fraction of machine-events that needed a full OA replan
+//!    (a naive engine replans at every one).
+//!
+//! 2. **Ratio grid.** Every stream family × every dispatch policy
+//!    (round-robin / load-aware / density-aware, per-machine OA) plus an
+//!    AVR column, each reported as the empirical competitive ratio
+//!    `energy / Σ chunk-certified migratory OPT`. Every ratio is asserted
+//!    `>= 1 - 1e-6` — the bound is certified, so a smaller value is a
+//!    bug, not noise. Ratios are *loose* upper estimates of the true
+//!    competitive ratio: the chunked bound under-counts OPT across chunk
+//!    boundaries (docs/ONLINE.md §5 discusses the direction of every
+//!    approximation).
+
+use crate::table::{Cell, Table};
+use crate::RunCfg;
+use ssp_online::{EngineOptions, Policy, SchedulerKind, StreamEngine, StreamReport};
+use ssp_workloads::{stream_family, subseed, STREAM_FAMILIES};
+
+fn run_stream(
+    family: &str,
+    n: usize,
+    machines: usize,
+    alpha: f64,
+    policy: Policy,
+    scheduler: SchedulerKind,
+    seed: u64,
+) -> StreamReport {
+    let spec = stream_family(family, machines, alpha).expect("known family");
+    let mut engine = StreamEngine::new(
+        EngineOptions::new(machines, alpha)
+            .policy(policy)
+            .scheduler(scheduler),
+    )
+    .expect("valid options");
+    for job in spec.jobs(seed).take(n) {
+        engine.push(job).expect("generated arrivals are valid");
+    }
+    engine.finish().expect("finish is total on valid streams")
+}
+
+/// Run EXP-22.
+pub fn run(cfg: &RunCfg) -> Vec<Table> {
+    let machines = 4;
+    let alpha = 2.0;
+    let seed = subseed(cfg.seed ^ 0x22, 0);
+
+    // -- Table 1: scale sweep, memory bounded by compaction --
+    let sizes: &[usize] = if cfg.quick {
+        &[2_000, 20_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let mut scale = Table::new(
+        "EXP-22 — streaming at scale: bursty family, round-robin + incremental OA, m=4, alpha=2",
+        &[
+            "jobs",
+            "energy",
+            "certified LB",
+            "ratio",
+            "peak live",
+            "peak chunk",
+            "compactions",
+            "forced",
+            "recompute %",
+        ],
+    );
+    for &n in sizes {
+        let r = run_stream(
+            "bursty",
+            n,
+            machines,
+            alpha,
+            Policy::RoundRobin,
+            SchedulerKind::Oa,
+            seed,
+        );
+        let ratio = r.ratio().expect("scale sweep runs with the bound on");
+        // The memory claims, asserted: the live window and the chunk
+        // buffer must not grow with the stream.
+        assert!(ratio >= 1.0 - 1e-6, "certified bound violated at n={n}");
+        assert!(r.compactions > 0, "n={n}: compaction never fired");
+        assert!(
+            r.peak_live < 4_096,
+            "n={n}: live window grew to {} — memory is not bounded",
+            r.peak_live
+        );
+        assert!(
+            r.peak_chunk <= 4_096,
+            "n={n}: chunk buffer {} exceeded window_cap",
+            r.peak_chunk
+        );
+        assert!(
+            r.recompute_frac() < 0.5,
+            "n={n}: incremental OA replanned at {:.0}% of machine-events",
+            r.recompute_frac() * 100.0
+        );
+        scale.push(vec![
+            Cell::Int(n as i64),
+            Cell::Num(r.energy, 1),
+            Cell::Num(r.lower_bound.unwrap_or(0.0), 1),
+            Cell::Num(ratio, 4),
+            Cell::Int(r.peak_live as i64),
+            Cell::Int(r.peak_chunk as i64),
+            Cell::Int(r.compactions as i64),
+            Cell::Int(r.forced_compactions as i64),
+            Cell::Num(r.recompute_frac() * 100.0, 1),
+        ]);
+    }
+
+    // -- Table 2: empirical competitive ratios, family × policy --
+    let n = cfg.pick(1_200, 120);
+    let mut grid = Table::new(
+        "EXP-22 — empirical competitive ratio vs the chunk-certified migratory bound (m=3, alpha=2)",
+        &["family", "jobs", "rr/OA", "load/OA", "density/OA", "rr/AVR"],
+    );
+    for (k, family) in STREAM_FAMILIES.iter().enumerate() {
+        let s = subseed(cfg.seed ^ 0x22, 1 + k as u64);
+        let mut row = vec![Cell::Text(family.to_string()), Cell::Int(n as i64)];
+        for (policy, scheduler) in [
+            (Policy::RoundRobin, SchedulerKind::Oa),
+            (Policy::LoadAware, SchedulerKind::Oa),
+            (Policy::DensityAware, SchedulerKind::Oa),
+            (Policy::RoundRobin, SchedulerKind::Avr),
+        ] {
+            let r = run_stream(family, n, 3, alpha, policy, scheduler, s);
+            let ratio = r.ratio().expect("grid runs with the bound on");
+            assert!(
+                ratio >= 1.0 - 1e-6,
+                "{family}/{policy}/{}: certified bound violated ({ratio})",
+                scheduler.name()
+            );
+            row.push(Cell::Num(ratio, 3));
+        }
+        grid.push(row);
+    }
+
+    vec![scale, grid]
+}

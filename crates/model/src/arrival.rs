@@ -1,0 +1,400 @@
+//! Streaming arrival traces: the input side of the online engine.
+//!
+//! An *arrival trace* is the instance text format (see [`crate::io`]) with
+//! one extra contract: jobs appear in **non-decreasing release order**, so a
+//! consumer can process them as they are read without ever holding the whole
+//! trace in memory. That is the difference between an [`crate::Instance`]
+//! (a closed set of jobs, fully materialized and validated up front) and a
+//! trace (an open stream — on 10^6+ jobs the reader stays O(1) in the trace
+//! length).
+//!
+//! ```text
+//! # speedscale stream trace v1
+//! machines 4
+//! alpha 2.0
+//! job 0 1.5 0.0 3.0     # job <id> <work> <release> <deadline>
+//! job 1 2.0 1.0 4.0
+//! ```
+//!
+//! [`ArrivalReader`] parses and validates jobs one line at a time
+//! (per-job invariants plus release monotonicity; duplicate-id detection is
+//! deliberately *not* done here — a set of seen ids would grow with the
+//! stream, and the online engine never indexes by id). [`ArrivalWriter`]
+//! emits the same format with round-trip-exact numbers. Because the formats
+//! coincide, any `.ssp` instance file whose jobs happen to be
+//! release-sorted is a valid trace, and [`trace_of`] converts an instance
+//! into one.
+
+use crate::error::ModelError;
+use crate::instance::Instance;
+use crate::job::Job;
+use std::io::{BufRead, Write};
+
+/// Header of a trace: the stream-wide parameters that precede the jobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceHeader {
+    /// Machine count the stream is dispatched onto.
+    pub machines: usize,
+    /// Power exponent.
+    pub alpha: f64,
+}
+
+/// Streaming reader over an arrival trace. Construction parses the header
+/// (all directives before the first `job` line); each call to
+/// [`ArrivalReader::next`] (via `Iterator`) reads and validates one job.
+///
+/// Memory use is O(1) in the number of jobs.
+pub struct ArrivalReader<R: BufRead> {
+    src: R,
+    lineno: usize,
+    header: TraceHeader,
+    last_release: f64,
+    /// First job line, already parsed while scanning for the header.
+    pending: Option<Job>,
+    buf: String,
+}
+
+impl<R: BufRead> ArrivalReader<R> {
+    /// Parse the header (directives up to and including the first `job`
+    /// line). Defaults mirror [`crate::io::parse`]: `machines 1`,
+    /// `alpha 2.0`.
+    pub fn new(mut src: R) -> Result<Self, ModelError> {
+        let mut machines = 1usize;
+        let mut alpha = 2.0f64;
+        let mut lineno = 0usize;
+        let mut pending = None;
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            let n = src.read_line(&mut buf).map_err(|e| ModelError::Parse {
+                line: lineno + 1,
+                message: format!("io error: {e}"),
+            })?;
+            if n == 0 {
+                break;
+            }
+            lineno += 1;
+            let line = buf.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let head = parts.next().expect("non-empty line has a token");
+            match head {
+                "machines" => {
+                    machines = parse_field(parts.next(), lineno, "machine count")?;
+                    if machines == 0 {
+                        return Err(ModelError::NoMachines);
+                    }
+                }
+                "alpha" => {
+                    alpha = parse_field(parts.next(), lineno, "alpha")?;
+                    if alpha.is_nan() || alpha <= 1.0 {
+                        return Err(ModelError::BadAlpha { alpha });
+                    }
+                }
+                "job" => {
+                    pending = Some(parse_job(parts, lineno)?);
+                    break;
+                }
+                other => {
+                    return Err(ModelError::Parse {
+                        line: lineno,
+                        message: format!("unknown directive '{other}'"),
+                    })
+                }
+            }
+        }
+        let mut reader = ArrivalReader {
+            src,
+            lineno,
+            header: TraceHeader { machines, alpha },
+            last_release: f64::NEG_INFINITY,
+            pending: None,
+            buf,
+        };
+        if let Some(job) = pending {
+            reader.check(&job)?;
+            reader.pending = Some(job);
+        }
+        Ok(reader)
+    }
+
+    /// The stream-wide parameters.
+    pub fn header(&self) -> TraceHeader {
+        self.header
+    }
+
+    /// Validate one job against the per-job invariants and the trace's
+    /// release-monotonicity contract, advancing the monotonicity cursor.
+    fn check(&mut self, job: &Job) -> Result<(), ModelError> {
+        validate_arrival(job, self.last_release)?;
+        self.last_release = job.release;
+        Ok(())
+    }
+
+    fn read_one(&mut self) -> Result<Option<Job>, ModelError> {
+        if let Some(job) = self.pending.take() {
+            return Ok(Some(job));
+        }
+        loop {
+            self.buf.clear();
+            let n = self
+                .src
+                .read_line(&mut self.buf)
+                .map_err(|e| ModelError::Parse {
+                    line: self.lineno + 1,
+                    message: format!("io error: {e}"),
+                })?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.lineno += 1;
+            let line = self.buf.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let head = parts.next().expect("non-empty line has a token");
+            if head != "job" {
+                return Err(ModelError::Parse {
+                    line: self.lineno,
+                    message: format!("expected 'job' after the header, got '{head}'"),
+                });
+            }
+            let job = parse_job(parts, self.lineno)?;
+            self.check(&job)?;
+            return Ok(Some(job));
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for ArrivalReader<R> {
+    type Item = Result<Job, ModelError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_one().transpose()
+    }
+}
+
+/// Per-job validation shared by the reader and any in-process producer: the
+/// instance invariants (finite fields, positive work, non-empty window) plus
+/// the trace contract `release >= last_release`.
+pub fn validate_arrival(job: &Job, last_release: f64) -> Result<(), ModelError> {
+    for (field, value) in [
+        ("work", job.work),
+        ("release", job.release),
+        ("deadline", job.deadline),
+    ] {
+        if !value.is_finite() {
+            return Err(ModelError::NotFinite {
+                job: job.id.0,
+                field,
+                value,
+            });
+        }
+    }
+    if job.work <= 0.0 {
+        return Err(ModelError::NonPositiveWork {
+            job: job.id.0,
+            work: job.work,
+        });
+    }
+    if job.deadline <= job.release {
+        return Err(ModelError::EmptyWindow {
+            job: job.id.0,
+            release: job.release,
+            deadline: job.deadline,
+        });
+    }
+    if job.release < last_release {
+        return Err(ModelError::Parse {
+            line: 0,
+            message: format!(
+                "job {} released at {} after the cursor already reached {} \
+                 (arrival traces must be release-sorted)",
+                job.id, job.release, last_release
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Streaming writer: emits the header eagerly, then one `job` line per
+/// [`ArrivalWriter::push`]. Numbers round-trip exactly (Ryū `{:?}`).
+pub struct ArrivalWriter<W: Write> {
+    dst: W,
+    last_release: f64,
+}
+
+impl<W: Write> ArrivalWriter<W> {
+    /// Write the header and return the writer.
+    pub fn new(mut dst: W, machines: usize, alpha: f64) -> std::io::Result<Self> {
+        writeln!(dst, "# speedscale stream trace v1")?;
+        writeln!(dst, "machines {machines}")?;
+        writeln!(dst, "alpha {alpha:?}")?;
+        Ok(ArrivalWriter {
+            dst,
+            last_release: f64::NEG_INFINITY,
+        })
+    }
+
+    /// Append one arrival. Enforces the same contract the reader checks, so
+    /// a writer can never produce a trace its reader rejects.
+    pub fn push(&mut self, job: &Job) -> std::io::Result<()> {
+        validate_arrival(job, self.last_release)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.last_release = job.release;
+        writeln!(
+            self.dst,
+            "job {} {:?} {:?} {:?}",
+            job.id.0, job.work, job.release, job.deadline
+        )
+    }
+
+    /// Flush and hand back the sink.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.dst.flush()?;
+        Ok(self.dst)
+    }
+}
+
+/// Serialize an instance as an arrival trace: identical text format, jobs
+/// sorted by (release, id) so the result satisfies the streaming contract.
+pub fn trace_of(instance: &Instance) -> String {
+    let mut order: Vec<usize> = (0..instance.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ja, jb) = (instance.job(a), instance.job(b));
+        ja.release.total_cmp(&jb.release).then(ja.id.cmp(&jb.id))
+    });
+    let mut out = Vec::new();
+    let mut w = ArrivalWriter::new(&mut out, instance.machines(), instance.alpha())
+        .expect("vec writes are infallible");
+    for &i in &order {
+        w.push(instance.job(i)).expect("vec writes are infallible");
+    }
+    w.finish().expect("vec writes are infallible");
+    String::from_utf8(out).expect("trace text is ascii")
+}
+
+fn parse_field<T: std::str::FromStr>(
+    tok: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, ModelError> {
+    let tok = tok.ok_or_else(|| ModelError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse().map_err(|_| ModelError::Parse {
+        line,
+        message: format!("bad {what} '{tok}'"),
+    })
+}
+
+fn parse_job<'a>(mut parts: impl Iterator<Item = &'a str>, line: usize) -> Result<Job, ModelError> {
+    let id: u32 = parse_field(parts.next(), line, "job id")?;
+    let work: f64 = parse_field(parts.next(), line, "work")?;
+    let release: f64 = parse_field(parts.next(), line, "release")?;
+    let deadline: f64 = parse_field(parts.next(), line, "deadline")?;
+    if parts.next().is_some() {
+        return Err(ModelError::Parse {
+            line,
+            message: "trailing tokens after job fields".into(),
+        });
+    }
+    Ok(Job::new(id, work, release, deadline))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn read_all(text: &str) -> Result<(TraceHeader, Vec<Job>), ModelError> {
+        let mut r = ArrivalReader::new(BufReader::new(text.as_bytes()))?;
+        let header = r.header();
+        let mut jobs = Vec::new();
+        for j in &mut r {
+            jobs.push(j?);
+        }
+        Ok((header, jobs))
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let inst = Instance::new(
+            vec![
+                Job::new(3, 0.1 + 0.2, 1.0 / 3.0, 2.0),
+                Job::new(1, 1.5, 0.0, 3.0),
+            ],
+            4,
+            2.5,
+        )
+        .unwrap();
+        let text = trace_of(&inst);
+        let (header, jobs) = read_all(&text).unwrap();
+        assert_eq!(
+            header,
+            TraceHeader {
+                machines: 4,
+                alpha: 2.5
+            }
+        );
+        // trace_of sorts by release: job 1 (r=0) before job 3 (r=1/3).
+        assert_eq!(jobs[0].id.0, 1);
+        assert_eq!(jobs[1].id.0, 3);
+        assert_eq!(jobs[1].work.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(jobs[1].release.to_bits(), (1.0f64 / 3.0).to_bits());
+    }
+
+    #[test]
+    fn header_defaults_match_instance_format() {
+        let (header, jobs) = read_all("job 0 1.0 0.0 1.0\n").unwrap();
+        assert_eq!(
+            header,
+            TraceHeader {
+                machines: 1,
+                alpha: 2.0
+            }
+        );
+        assert_eq!(jobs.len(), 1);
+    }
+
+    #[test]
+    fn out_of_order_releases_are_rejected() {
+        let text = "machines 2\njob 0 1.0 5.0 6.0\njob 1 1.0 4.0 9.0\n";
+        let mut r = ArrivalReader::new(text.as_bytes()).unwrap();
+        assert!(r.next().unwrap().is_ok());
+        assert!(r.next().unwrap().is_err());
+    }
+
+    #[test]
+    fn invalid_jobs_are_rejected_with_the_model_error() {
+        for bad in [
+            "job 0 0.0 0.0 1.0",   // zero work
+            "job 0 1.0 2.0 2.0",   // empty window
+            "job 0 nan 0.0 1.0",   // non-finite
+            "job 0 1.0 0.0 1.0 9", // trailing token
+            "jobb 0 1.0 0.0 1.0",  // unknown directive
+        ] {
+            assert!(read_all(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn writer_refuses_out_of_order_pushes() {
+        let mut w = ArrivalWriter::new(Vec::new(), 1, 2.0).unwrap();
+        w.push(&Job::new(0, 1.0, 3.0, 4.0)).unwrap();
+        assert!(w.push(&Job::new(1, 1.0, 2.0, 5.0)).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored_everywhere() {
+        let text = "# header comment\n\nmachines 3\n# mid\nalpha 2.25\n\n\
+                    job 0 1.0 0.0 2.0 # inline\n\njob 1 2.0 1.0 4.0\n";
+        let (header, jobs) = read_all(text).unwrap();
+        assert_eq!(header.machines, 3);
+        assert_eq!(header.alpha, 2.25);
+        assert_eq!(jobs.len(), 2);
+    }
+}

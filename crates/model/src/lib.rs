@@ -19,6 +19,8 @@
 //!   workspace-wide typed failure for any solve attempt.
 //! * [`io`] — a small line-oriented text format for instances so that
 //!   examples/CLI can save and load workloads without extra dependencies.
+//! * [`arrival`] — the same text format read/written as a release-ordered
+//!   *stream* (O(1) memory), the input side of the online engine.
 //!
 //! Every algorithm crate in the workspace (single-processor YDS/AVR/OA, the
 //! migratory BAL solver, the non-migratory SPAA'07 algorithms) consumes and
@@ -28,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod arrival;
 pub mod error;
 pub mod instance;
 pub mod interval;
@@ -41,6 +44,7 @@ pub mod schedule;
 pub mod speed;
 pub mod svg;
 
+pub use arrival::{ArrivalReader, ArrivalWriter, TraceHeader};
 pub use error::{ModelError, SolveError, ValidationError};
 pub use instance::Instance;
 pub use interval::{IntervalSet, Timeline};

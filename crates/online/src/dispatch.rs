@@ -1,0 +1,79 @@
+//! Dispatch policies: the irrevocable job→machine decision at release time.
+//!
+//! The paper's non-migratory model is exactly a cluster without migration:
+//! once a job is placed, it runs (preemptively, speed-scaled) on that
+//! machine alone. The engine supports three online policies, all of which
+//! read only the machines' **live windows** — never the stream's history —
+//! so a dispatch decision costs the same on the 10^6th arrival as on the
+//! first:
+//!
+//! * [`Policy::RoundRobin`] — machine `k mod m` for the `k`-th arrival.
+//!   Jobs arrive in release order, so on the R1 regime (unit works,
+//!   agreeable deadlines) this is the paper's provably optimal sorted
+//!   round-robin, executed online.
+//! * [`Policy::LoadAware`] — least remaining committed work: the machine
+//!   with the smallest backlog (`Σ rem_i` for OA, `Σ den_i·(d_i−t)` for
+//!   AVR) wins; ties go to the lowest index.
+//! * [`Policy::DensityAware`] — cheapest *marginal YDS energy*: the job is
+//!   priced onto every machine's live window through
+//!   [`ssp_core::LiveEval`] (memoized kernel calls — the base term of each
+//!   window is shared across arrivals) and the machine whose window absorbs
+//!   it cheapest wins. When the total live window exceeds the engine's
+//!   pricing cap the policy falls back to overlapped-density counting
+//!   (`Σ den_j` over live jobs whose spans intersect the new job's window;
+//!   counter `online.density_fallback`).
+
+/// An online dispatch policy. See the module docs for semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Arrival-order round-robin (the paper's R1 rule, online).
+    RoundRobin,
+    /// Least remaining committed work.
+    LoadAware,
+    /// Cheapest marginal YDS energy of the live window (capped fallback:
+    /// overlapped density).
+    DensityAware,
+}
+
+impl Policy {
+    /// Parse a CLI name: `rr`, `load`, or `density`.
+    pub fn parse(name: &str) -> Option<Policy> {
+        match name {
+            "rr" => Some(Policy::RoundRobin),
+            "load" => Some(Policy::LoadAware),
+            "density" => Some(Policy::DensityAware),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of the policy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::RoundRobin => "rr",
+            Policy::LoadAware => "load",
+            Policy::DensityAware => "density",
+        }
+    }
+
+    /// All policies, in presentation order.
+    pub const ALL: [Policy; 3] = [Policy::RoundRobin, Policy::LoadAware, Policy::DensityAware];
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in Policy::ALL {
+            assert_eq!(Policy::parse(p.name()), Some(p));
+        }
+        assert_eq!(Policy::parse("nope"), None);
+    }
+}

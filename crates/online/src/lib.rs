@@ -1,0 +1,47 @@
+//! # ssp-online
+//!
+//! The online arrival stack: jobs arrive over time (release-ordered), a
+//! dispatch [`Policy`] irrevocably assigns each to one of `m` machines,
+//! and every machine runs a single-processor online policy — Optimal
+//! Available or Average Rate — *incrementally*, replanning only at its
+//! own arrivals and completions instead of at every event in the stream.
+//!
+//! This is the paper's non-migratory setting made operational: the
+//! classified round-robin reductions of Albers–Müller–Schmelzer assign
+//! jobs to machines and then schedule each machine independently; here
+//! the assignment itself happens online, one arrival at a time, and the
+//! per-machine schedules are the classic `α^α`-competitive OA and
+//! `(2α)^α/2`-style AVR policies.
+//!
+//! The three layers:
+//!
+//! * [`machine`] — incremental per-machine simulators ([`OaMachine`],
+//!   [`AvrMachine`]) with exact event-driven energy accrual, bit-matching
+//!   the offline references in `ssp-single`.
+//! * [`dispatch`] — the job→machine policies ([`Policy`]).
+//! * [`engine`] — the [`StreamEngine`]: validation, advancement, window
+//!   pruning, sliding-window compaction, and a *chunked certified lower
+//!   bound* (BAL per closed window) that turns a finished run into an
+//!   empirical competitive ratio against the migratory optimum.
+//!
+//! Memory stays bounded on unbounded streams: live state is the union of
+//! the machines' unexpired windows plus one chunk buffer capped at
+//! `window_cap`. A 10^6-job stream runs in a few tens of MB regardless of
+//! length (EXP-22 asserts this via the `peak_live`/`peak_chunk` report
+//! fields).
+//!
+//! Entry points: build [`EngineOptions`], construct a [`StreamEngine`],
+//! [`StreamEngine::push`] each arrival, and [`StreamEngine::finish`] for
+//! the [`StreamReport`]. The `ssp stream` CLI subcommand and the EXP-22
+//! runner are thin wrappers over exactly this sequence. The full model
+//! and methodology are documented in docs/ONLINE.md.
+
+#![warn(missing_docs)]
+
+pub mod dispatch;
+pub mod engine;
+pub mod machine;
+
+pub use dispatch::Policy;
+pub use engine::{EngineOptions, LbMode, SchedulerKind, StreamEngine, StreamReport};
+pub use machine::{AvrMachine, OaMachine};

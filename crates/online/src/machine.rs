@@ -1,0 +1,389 @@
+//! Per-machine incremental online schedulers: Optimal Available and AVR.
+//!
+//! Both simulators are *event-local*: the cost of absorbing an arrival or a
+//! completion is a function of the machine's **live window** (its currently
+//! alive jobs), never of the stream's history. That is the property the
+//! engine's compaction invariant rests on — dropping expired state cannot
+//! change future behavior, because future behavior never reads it.
+//!
+//! * [`OaMachine`] — Optimal Available. At any instant the policy runs the
+//!   earliest-deadline alive job at speed `max_k (Σ_{i≤k} rem_i)/(d_k−t)`
+//!   (deadline-sorted prefix intensities of the *remaining* works, YDS of
+//!   the available work re-released at `t`). The speed is piecewise
+//!   constant between the machine's **own** events (its arrivals and
+//!   completions), so the simulator caches it and replans only there:
+//!   advancing past a foreign arrival costs O(1), a replan costs one
+//!   prefix scan of the live window (counter `online.replans`).
+//! * [`AvrMachine`] — Average Rate. The speed is the sum of alive
+//!   densities; each job is processed at exactly its density across its
+//!   whole span. Fully incremental: an arrival adds its density, a
+//!   deadline expiry (min-heap) subtracts it — AVR never replans at all.
+//!
+//! Energies are exact integrals of the simulated speed profiles; neither
+//! simulator materializes a [`ssp_model::Schedule`], which is what keeps
+//! memory flat across 10^6-job streams.
+
+use ssp_model::numeric::{pow_alpha, Tol};
+use ssp_model::{Job, JobId};
+use std::collections::BinaryHeap;
+
+/// An alive job inside an [`OaMachine`]: deadline-sorted, remaining work
+/// decreasing as the simulation executes it.
+#[derive(Debug, Clone, Copy)]
+struct OaJob {
+    deadline: f64,
+    remaining: f64,
+    work: f64,
+    id: JobId,
+}
+
+/// Incremental Optimal Available simulator for one machine.
+pub struct OaMachine {
+    alpha: f64,
+    tol: Tol,
+    now: f64,
+    energy: f64,
+    /// Alive jobs sorted by `(deadline, id)` ascending; front is the EDF job.
+    alive: Vec<OaJob>,
+    /// Cached OA speed, valid until the machine's next own event.
+    speed: f64,
+    replans: u64,
+}
+
+impl OaMachine {
+    /// A fresh, empty machine running at power exponent `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        OaMachine {
+            alpha,
+            tol: Tol::default(),
+            now: f64::NEG_INFINITY,
+            energy: 0.0,
+            alive: Vec::new(),
+            speed: 0.0,
+            replans: 0,
+        }
+    }
+
+    /// Recompute the cached OA speed from the deadline-sorted prefix
+    /// intensities of the remaining works. One scan of the live window.
+    fn replan(&mut self) {
+        self.replans += 1;
+        ssp_probe::counter!("online.replans");
+        let mut acc = 0.0;
+        let mut speed = 0.0f64;
+        for j in &self.alive {
+            acc += j.remaining;
+            debug_assert!(
+                j.deadline > self.now,
+                "OA replanning past deadline {} at {} — this is a bug",
+                j.deadline,
+                self.now
+            );
+            let g = acc / (j.deadline - self.now);
+            if g > speed {
+                speed = g;
+            }
+        }
+        self.speed = speed;
+    }
+
+    /// Execute the cached plan up to time `t` (`t = ∞` drains the machine),
+    /// replanning at completions only.
+    pub fn advance(&mut self, t: f64) {
+        while !self.alive.is_empty() && self.now < t {
+            let speed = self.speed;
+            debug_assert!(speed > 0.0, "alive OA machine must run at positive speed");
+            let front = self.alive[0];
+            let completion = self.now + front.remaining / speed;
+            let until = completion.min(t);
+            let progressed = until > self.now;
+            if progressed {
+                self.energy += (until - self.now) * pow_alpha(speed, self.alpha);
+                self.alive[0].remaining -= speed * (until - self.now);
+                self.now = until;
+            }
+            if self.alive[0].remaining <= self.tol.margin(front.work) {
+                assert!(
+                    self.now <= front.deadline + self.tol.margin(front.deadline.abs().max(1.0)),
+                    "OA missed deadline of {} — this is a bug",
+                    front.id
+                );
+                self.alive.remove(0);
+                self.replan();
+            } else if until >= t || !progressed {
+                // Reached the horizon, or (denormal windows only) the step
+                // cannot make progress — stop rather than spin.
+                break;
+            }
+        }
+        if self.now < t && t.is_finite() {
+            self.now = t;
+        }
+    }
+
+    /// Absorb an arrival (the engine has already advanced the machine to
+    /// the job's release).
+    pub fn arrive(&mut self, job: &Job) {
+        debug_assert!(job.release >= self.now || self.now == f64::NEG_INFINITY);
+        self.now = self.now.max(job.release);
+        let rec = OaJob {
+            deadline: job.deadline,
+            remaining: job.work,
+            work: job.work,
+            id: job.id,
+        };
+        let at = self
+            .alive
+            .partition_point(|j| (j.deadline, j.id) < (rec.deadline, rec.id));
+        self.alive.insert(at, rec);
+        self.replan();
+    }
+
+    /// Remaining (unfinished) work on the machine — the load-aware
+    /// dispatcher's signal.
+    pub fn load(&self) -> f64 {
+        self.alive.iter().map(|j| j.remaining).sum()
+    }
+
+    /// Exact energy of the speed profile simulated so far.
+    pub fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// Prefix-scan replans so far (one per own arrival or completion).
+    pub fn replans(&self) -> u64 {
+        self.replans
+    }
+
+    /// Alive (unfinished, unexpired) jobs on this machine.
+    pub fn live_len(&self) -> usize {
+        self.alive.len()
+    }
+}
+
+/// A pending density expiry inside an [`AvrMachine`]; the heap is a
+/// min-heap on the deadline (ties broken by the bits of the density so the
+/// order is total and deterministic).
+struct Expiry {
+    deadline: f64,
+    den: f64,
+}
+
+impl PartialEq for Expiry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Expiry {}
+impl PartialOrd for Expiry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Expiry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline.
+        other
+            .deadline
+            .total_cmp(&self.deadline)
+            .then(other.den.total_cmp(&self.den))
+    }
+}
+
+/// Incremental Average Rate simulator for one machine.
+pub struct AvrMachine {
+    alpha: f64,
+    now: f64,
+    energy: f64,
+    /// Current speed: the sum of alive densities.
+    density: f64,
+    expiries: BinaryHeap<Expiry>,
+}
+
+impl AvrMachine {
+    /// A fresh, empty machine running at power exponent `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        AvrMachine {
+            alpha,
+            now: f64::NEG_INFINITY,
+            energy: 0.0,
+            density: 0.0,
+            expiries: BinaryHeap::new(),
+        }
+    }
+
+    /// Integrate the density profile up to `t`, expiring deadlines in order.
+    pub fn advance(&mut self, t: f64) {
+        while let Some(e) = self.expiries.peek() {
+            if e.deadline > t {
+                break;
+            }
+            if self.now.is_finite() && e.deadline > self.now {
+                self.energy += (e.deadline - self.now) * pow_alpha(self.density, self.alpha);
+                self.now = e.deadline;
+            }
+            self.density -= e.den;
+            self.expiries.pop();
+        }
+        if self.expiries.is_empty() {
+            // Kill accumulated subtraction residue at every idle point; this
+            // is also what makes natural compaction splits exact.
+            self.density = 0.0;
+        }
+        if t.is_finite() {
+            if self.now.is_finite() && t > self.now && self.density > 0.0 {
+                self.energy += (t - self.now) * pow_alpha(self.density, self.alpha);
+            }
+            self.now = self.now.max(t);
+        }
+    }
+
+    /// Absorb an arrival: add its density until its deadline.
+    pub fn arrive(&mut self, job: &Job) {
+        self.now = self.now.max(job.release);
+        self.density += job.density();
+        self.expiries.push(Expiry {
+            deadline: job.deadline,
+            den: job.density(),
+        });
+    }
+
+    /// Residual committed work `Σ den_i · (d_i − now)` — the load-aware
+    /// dispatcher's signal.
+    pub fn load(&self) -> f64 {
+        self.expiries
+            .iter()
+            .map(|e| e.den * (e.deadline - self.now).max(0.0))
+            .sum()
+    }
+
+    /// Exact energy of the density profile integrated so far.
+    pub fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// Pending deadline expiries (alive jobs) on this machine.
+    pub fn live_len(&self) -> usize {
+        self.expiries.len()
+    }
+}
+
+/// One machine of the engine: either scheduler behind a common surface.
+pub(crate) enum Sched {
+    Oa(OaMachine),
+    Avr(AvrMachine),
+}
+
+impl Sched {
+    pub(crate) fn advance(&mut self, t: f64) {
+        match self {
+            Sched::Oa(m) => m.advance(t),
+            Sched::Avr(m) => m.advance(t),
+        }
+    }
+    pub(crate) fn arrive(&mut self, job: &Job) {
+        match self {
+            Sched::Oa(m) => m.arrive(job),
+            Sched::Avr(m) => m.arrive(job),
+        }
+    }
+    pub(crate) fn load(&self) -> f64 {
+        match self {
+            Sched::Oa(m) => m.load(),
+            Sched::Avr(m) => m.load(),
+        }
+    }
+    pub(crate) fn energy(&self) -> f64 {
+        match self {
+            Sched::Oa(m) => m.energy(),
+            Sched::Avr(m) => m.energy(),
+        }
+    }
+    pub(crate) fn replans(&self) -> u64 {
+        match self {
+            Sched::Oa(m) => m.replans(),
+            Sched::Avr(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_single::avr::avr_energy;
+    use ssp_single::oa::oa_schedule;
+    use ssp_workloads::families;
+
+    /// Feed one machine's whole job list through the incremental simulator
+    /// and compare against the offline reference implementation.
+    #[test]
+    fn oa_machine_matches_offline_oa_schedule() {
+        for seed in [1u64, 2, 3, 4] {
+            let inst = families::bursty(40, 1, 2.0).gen(seed);
+            let mut m = OaMachine::new(2.0);
+            for j in inst.jobs() {
+                m.advance(j.release);
+                m.arrive(j);
+            }
+            m.advance(f64::INFINITY);
+            let reference = oa_schedule(inst.jobs(), 2.0, 0).energy(2.0);
+            assert!(
+                (m.energy() - reference).abs() <= 1e-9 * reference,
+                "seed {seed}: incremental {} vs offline {reference}",
+                m.energy()
+            );
+            assert_eq!(m.live_len(), 0);
+        }
+    }
+
+    #[test]
+    fn avr_machine_matches_offline_avr_energy() {
+        for seed in [5u64, 6, 7] {
+            let inst = families::general(35, 1, 2.4).gen(seed);
+            let mut jobs = inst.jobs().to_vec();
+            jobs.sort_by(|a, b| a.release.total_cmp(&b.release));
+            let mut m = AvrMachine::new(2.4);
+            for j in &jobs {
+                m.advance(j.release);
+                m.arrive(j);
+            }
+            m.advance(f64::INFINITY);
+            let reference = avr_energy(&jobs, 2.4);
+            assert!(
+                (m.energy() - reference).abs() <= 1e-9 * reference,
+                "seed {seed}: incremental {} vs offline {reference}",
+                m.energy()
+            );
+        }
+    }
+
+    #[test]
+    fn oa_replans_only_at_own_events() {
+        // Two far-apart jobs: 2 arrivals + 2 completions = 4 replans, no
+        // matter how many foreign advances happen in between.
+        let mut m = OaMachine::new(2.0);
+        m.advance(0.0);
+        m.arrive(&Job::new(0, 1.0, 0.0, 2.0));
+        for k in 0..50 {
+            m.advance(0.02 * k as f64);
+        }
+        m.advance(10.0);
+        m.arrive(&Job::new(1, 1.0, 10.0, 12.0));
+        m.advance(f64::INFINITY);
+        assert_eq!(m.replans(), 4);
+        // Each job alone in its window: OA runs it at density 0.5.
+        let expect = 2.0 * 2.0 * pow_alpha(0.5, 2.0);
+        assert!((m.energy() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avr_density_resets_exactly_at_idle_points() {
+        let mut m = AvrMachine::new(2.0);
+        m.advance(0.0);
+        m.arrive(&Job::new(0, 0.3, 0.0, 1.0));
+        m.arrive(&Job::new(1, 0.7, 0.0, 1.3));
+        m.advance(5.0);
+        assert_eq!(m.density, 0.0);
+        assert_eq!(m.live_len(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! The compaction invariant, pinned bit-for-bit.
+//!
+//! Sliding-window compaction must be *unobservable* from the schedule's
+//! point of view: the engine with an aggressively small `window_cap`
+//! (forcing frequent chunk flushes) and the engine with an effectively
+//! unbounded one must dispatch every job to the same machine, accrue
+//! bit-identical per-machine energies, and hold identical live windows
+//! after every arrival. Only the *lower bound* may differ (smaller chunks
+//! ⇒ a looser but still valid bound), which is why the runs below disable
+//! the oracle — the invariant under test is about the schedule, and the
+//! lower-bound difference is checked separately for direction.
+
+use ssp_model::Job;
+use ssp_online::{EngineOptions, LbMode, Policy, SchedulerKind, StreamEngine};
+use ssp_workloads::{stream_family, STREAM_FAMILIES};
+
+/// Run two engines in lockstep, one compacting every `cap` jobs and one
+/// effectively never, and assert bit-identical observable state after
+/// every arrival.
+fn assert_lockstep(name: &str, policy: Policy, scheduler: SchedulerKind, n: usize, cap: usize) {
+    let spec = stream_family(name, 3, 2.3).expect("known family");
+    let opts = EngineOptions::new(3, 2.3)
+        .policy(policy)
+        .scheduler(scheduler)
+        .lower_bound(LbMode::Off);
+    let mut compacted = StreamEngine::new(opts.window_cap(cap)).unwrap();
+    let mut replay = StreamEngine::new(opts.window_cap(usize::MAX >> 1)).unwrap();
+
+    for (k, job) in spec.jobs(2024).take(n).enumerate() {
+        let a = compacted.push(job).unwrap();
+        let b = replay.push(job).unwrap();
+        assert_eq!(a, b, "{name}/{policy}: dispatch diverged at arrival {k}");
+        for p in 0..3 {
+            let wa: Vec<Job> = compacted.live_window(p).to_vec();
+            let wb: Vec<Job> = replay.live_window(p).to_vec();
+            assert_eq!(
+                wa.len(),
+                wb.len(),
+                "{name}/{policy}: live window size, machine {p}"
+            );
+            for (x, y) in wa.iter().zip(&wb) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.work.to_bits(), y.work.to_bits());
+                assert_eq!(x.release.to_bits(), y.release.to_bits());
+                assert_eq!(x.deadline.to_bits(), y.deadline.to_bits());
+            }
+        }
+    }
+
+    let ra = compacted.finish().unwrap();
+    let rb = replay.finish().unwrap();
+    assert_eq!(
+        ra.energy.to_bits(),
+        rb.energy.to_bits(),
+        "{name}/{policy}: total energy bits diverged"
+    );
+    for (p, (ea, eb)) in ra.machine_energy.iter().zip(&rb.machine_energy).enumerate() {
+        assert_eq!(
+            ea.to_bits(),
+            eb.to_bits(),
+            "{name}/{policy}: machine {p} energy bits diverged"
+        );
+    }
+    assert!(
+        ra.compactions + ra.forced_compactions >= rb.compactions,
+        "{name}: the capped engine cannot compact less often"
+    );
+}
+
+#[test]
+fn compacted_stream_matches_uncompacted_replay_bitwise() {
+    for name in STREAM_FAMILIES {
+        for policy in Policy::ALL {
+            assert_lockstep(name, policy, SchedulerKind::Oa, 400, 48);
+        }
+        assert_lockstep(name, Policy::RoundRobin, SchedulerKind::Avr, 400, 48);
+    }
+}
+
+#[test]
+fn tiny_caps_are_as_invisible_as_large_ones() {
+    // window_cap 1 forces a flush attempt before (almost) every arrival —
+    // the most hostile compaction schedule possible.
+    assert_lockstep("bursty", Policy::DensityAware, SchedulerKind::Oa, 250, 1);
+    assert_lockstep("tight", Policy::LoadAware, SchedulerKind::Oa, 250, 1);
+}
+
+#[test]
+fn chunked_lower_bound_only_loosens_under_forced_splits() {
+    // With the oracle ON, a smaller window_cap may only lower (never raise)
+    // the certified bound, and both runs bound the same schedule energy.
+    let spec = stream_family("heavy", 2, 2.0).unwrap();
+    let run = |cap: usize| {
+        let mut e = StreamEngine::new(
+            EngineOptions::new(2, 2.0)
+                .window_cap(cap)
+                .lower_bound(LbMode::Chunked { bal_cap: 64 }),
+        )
+        .unwrap();
+        for job in spec.jobs(7).take(600) {
+            e.push(job).unwrap();
+        }
+        e.finish().unwrap()
+    };
+    let fine = run(32);
+    let coarse = run(4096);
+    assert_eq!(fine.energy.to_bits(), coarse.energy.to_bits());
+    let (lb_fine, lb_coarse) = (fine.lower_bound.unwrap(), coarse.lower_bound.unwrap());
+    assert!(lb_fine > 0.0 && lb_coarse > 0.0);
+    assert!(
+        lb_fine <= lb_coarse * (1.0 + 1e-9),
+        "finer partition must not beat the coarser bound: {lb_fine} vs {lb_coarse}"
+    );
+    assert!(fine.energy >= lb_coarse * (1.0 - 1e-9));
+}

@@ -14,9 +14,11 @@
 #![warn(missing_docs)]
 
 pub mod spec;
+pub mod stream;
 pub mod swf;
 
 pub use spec::{ArrivalDist, Spec, WindowDist, WorkDist};
+pub use stream::{stream_family, StreamArrival, StreamGen, StreamSpec, STREAM_FAMILIES};
 pub use swf::{parse_swf, SwfOptions, SwfReport};
 
 use ssp_model::{Instance, Job};

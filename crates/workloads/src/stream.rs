@@ -1,0 +1,228 @@
+//! Open-ended arrival streams: the generator side of the online engine.
+//!
+//! [`Spec`](crate::Spec) materializes a fixed-`n` [`Instance`] up front;
+//! a [`StreamSpec`] instead yields jobs one at a time through an infinite,
+//! seeded iterator ([`StreamGen`]) whose memory use is O(1) in the number
+//! of jobs drawn — that is what lets `ssp stream` and EXP-22 push 10^6+
+//! arrivals through the engine without ever holding the workload.
+//!
+//! Releases are non-decreasing by construction (a clock that only moves
+//! forward), so every stream satisfies the arrival-trace contract of
+//! [`ssp_model::arrival`]. The named families ([`stream_family`]) are the
+//! online experiment's counterpart of [`crate::families`]: same work and
+//! window vocabulary ([`WorkDist`], [`WindowDist`]), arrival processes
+//! chosen to cover the regimes that matter for a streaming engine —
+//! frequent natural idle points (`bursty`, `tight`), a steady near-critical
+//! trickle (`poisson`), and long heavy-tailed windows that defeat natural
+//! splitting (`heavy`).
+
+use crate::spec::{WindowDist, WorkDist};
+use crate::standard_normal;
+use ssp_model::{Instance, Job};
+use ssp_prng::rngs::StdRng;
+use ssp_prng::{Rng, SeedableRng};
+
+/// Arrival process of a stream (all gaps are exponential, so the processes
+/// are memoryless and the stream can run forever).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum StreamArrival {
+    /// One job per event; exponential inter-arrival gaps with mean `gap`.
+    Poisson { gap: f64 },
+    /// `burst` simultaneous releases per event; exponential gaps with mean
+    /// `gap` between events.
+    Bursty { burst: usize, gap: f64 },
+}
+
+/// A seeded, open-ended workload family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSpec {
+    /// Machine count the stream is meant to be dispatched onto.
+    pub machines: usize,
+    /// Power exponent.
+    pub alpha: f64,
+    /// Arrival process.
+    pub arrival: StreamArrival,
+    /// Work distribution (shared vocabulary with [`crate::Spec`]).
+    pub work: WorkDist,
+    /// Window policy (shared vocabulary with [`crate::Spec`]).
+    pub window: WindowDist,
+}
+
+impl StreamSpec {
+    /// The infinite job iterator for `seed`. Deterministic: same spec +
+    /// seed ⇒ identical stream, element for element.
+    pub fn jobs(&self, seed: u64) -> StreamGen {
+        StreamGen {
+            spec: *self,
+            rng: StdRng::seed_from_u64(seed),
+            clock: 0.0,
+            burst_left: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Materialize the first `n` arrivals as a validated [`Instance`] —
+    /// the bridge to the offline oracles (BAL lower bounds, EXP-22's
+    /// ratio table).
+    pub fn instance(&self, seed: u64, n: usize) -> Instance {
+        let jobs: Vec<Job> = self.jobs(seed).take(n).collect();
+        Instance::new(jobs, self.machines, self.alpha)
+            .expect("generated stream jobs always satisfy model invariants")
+    }
+}
+
+/// Iterator over a [`StreamSpec`]'s arrivals. Never ends; callers bound it
+/// with `take(n)` or an external stop condition.
+pub struct StreamGen {
+    spec: StreamSpec,
+    rng: StdRng,
+    clock: f64,
+    burst_left: usize,
+    next_id: u64,
+}
+
+impl StreamGen {
+    fn draw_work(&mut self) -> f64 {
+        match self.spec.work {
+            WorkDist::Unit => 1.0,
+            WorkDist::Uniform { min, max } => min + self.rng.gen::<f64>() * (max - min),
+            WorkDist::LogNormal { mu, sigma } => {
+                (mu + sigma * standard_normal(&mut self.rng)).exp()
+            }
+        }
+    }
+
+    fn draw_window(&mut self, work: f64) -> f64 {
+        match self.spec.window {
+            WindowDist::Uniform { min, max } => min + self.rng.gen::<f64>() * (max - min),
+            WindowDist::LaxityFactor { min, max } => {
+                work * (min + self.rng.gen::<f64>() * (max - min))
+            }
+            WindowDist::Fixed(l) => l,
+        }
+    }
+
+    fn exp_gap(&mut self, mean: f64) -> f64 {
+        -(1.0 - self.rng.gen::<f64>()).ln() * mean
+    }
+}
+
+impl Iterator for StreamGen {
+    type Item = Job;
+
+    fn next(&mut self) -> Option<Job> {
+        match self.spec.arrival {
+            StreamArrival::Poisson { gap } => {
+                self.clock += self.exp_gap(gap);
+            }
+            StreamArrival::Bursty { burst, gap } => {
+                if self.burst_left == 0 {
+                    self.clock += self.exp_gap(gap);
+                    self.burst_left = burst;
+                }
+                self.burst_left -= 1;
+            }
+        }
+        let work = self.draw_work();
+        let len = self.draw_window(work);
+        let id = u32::try_from(self.next_id).expect("stream exceeded u32 job ids");
+        self.next_id += 1;
+        Some(Job::new(id, work, self.clock, self.clock + len))
+    }
+}
+
+/// Names of the canonical stream families, in presentation order.
+pub const STREAM_FAMILIES: [&str; 4] = ["bursty", "poisson", "heavy", "tight"];
+
+/// Look up a canonical stream family by name.
+///
+/// * `bursty` — bursts of 6 uniform-work jobs, generous gaps: the live
+///   window empties often, so natural compaction splits dominate.
+/// * `poisson` — steady unit-work trickle with moderate laxity: long
+///   stretches without an idle point, windows stay small.
+/// * `heavy` — log-normal works with wide laxity factors: rare long
+///   windows straddle would-be split points, forcing capped compaction.
+/// * `tight` — bursts with laxity barely above 1: high speeds, tiny
+///   windows, splits after nearly every burst.
+pub fn stream_family(name: &str, machines: usize, alpha: f64) -> Option<StreamSpec> {
+    let (arrival, work, window) = match name {
+        "bursty" => (
+            StreamArrival::Bursty { burst: 6, gap: 6.0 },
+            WorkDist::Uniform { min: 0.5, max: 2.0 },
+            WindowDist::LaxityFactor { min: 1.2, max: 4.0 },
+        ),
+        "poisson" => (
+            StreamArrival::Poisson { gap: 1.0 },
+            WorkDist::Unit,
+            WindowDist::LaxityFactor { min: 1.5, max: 6.0 },
+        ),
+        "heavy" => (
+            StreamArrival::Poisson { gap: 1.5 },
+            WorkDist::LogNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
+            WindowDist::LaxityFactor { min: 1.5, max: 8.0 },
+        ),
+        "tight" => (
+            StreamArrival::Bursty { burst: 4, gap: 3.0 },
+            WorkDist::Uniform { min: 0.5, max: 1.5 },
+            WindowDist::LaxityFactor {
+                min: 1.05,
+                max: 1.6,
+            },
+        ),
+        _ => return None,
+    };
+    Some(StreamSpec {
+        machines,
+        alpha,
+        arrival,
+        work,
+        window,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssp_model::arrival::validate_arrival;
+
+    #[test]
+    fn streams_are_deterministic_and_release_sorted() {
+        for name in STREAM_FAMILIES {
+            let spec = stream_family(name, 4, 2.0).unwrap();
+            let a: Vec<Job> = spec.jobs(7).take(500).collect();
+            let b: Vec<Job> = spec.jobs(7).take(500).collect();
+            assert_eq!(a, b, "{name} not deterministic");
+            let mut last = f64::NEG_INFINITY;
+            for j in &a {
+                validate_arrival(j, last).unwrap_or_else(|e| panic!("{name}: {e}"));
+                last = j.release;
+            }
+        }
+    }
+
+    #[test]
+    fn instance_bridge_matches_the_stream_prefix() {
+        let spec = stream_family("bursty", 3, 2.5).unwrap();
+        let inst = spec.instance(11, 64);
+        let direct: Vec<Job> = spec.jobs(11).take(64).collect();
+        assert_eq!(inst.jobs(), &direct[..]);
+        assert_eq!(inst.machines(), 3);
+        assert_eq!(inst.alpha(), 2.5);
+    }
+
+    #[test]
+    fn unknown_family_is_none() {
+        assert!(stream_family("nope", 2, 2.0).is_none());
+    }
+
+    #[test]
+    fn bursty_streams_have_simultaneous_releases() {
+        let spec = stream_family("bursty", 2, 2.0).unwrap();
+        let jobs: Vec<Job> = spec.jobs(3).take(60).collect();
+        assert!(jobs.windows(2).any(|w| w[0].release == w[1].release));
+    }
+}

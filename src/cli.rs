@@ -73,6 +73,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("bench-diff") => bench_diff_cmd(&collect(args)?),
         Some("serve") => serve_cmd(&collect(args)?),
         Some("serve-drive") => serve_drive_cmd(&collect(args)?),
+        Some("stream") => stream_cmd(&collect(args)?),
         Some("help") | Some("-h") | Some("--help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(CliError::usage(format!(
             "unknown command '{other}'\n{USAGE}"
@@ -139,6 +140,21 @@ commands:
                                       drive a running daemon with N mixed
                                       requests; exit 1 unless every request
                                       is answered with well-formed JSON
+  stream [<trace.sst>] [--family F --n N --m M --seed S] [--alpha A]
+         [--policy rr|load|density] [--sched oa|avr] [--window-cap N]
+         [--bal-cap N] [--no-lb] [--report] [--check] [--emit FILE]
+         [--telemetry OUT.jsonl]
+                                      run the online arrival engine over a
+                                      stream: jobs dispatched at release to
+                                      per-machine incremental OA/AVR, live
+                                      window compacted, energy reported
+                                      against the chunked certified lower
+                                      bound (docs/ONLINE.md). Input is an
+                                      arrival trace file or a generated
+                                      family: bursty | poisson | heavy |
+                                      tight. --check exits 1 unless
+                                      ratio >= 1; --emit writes the
+                                      generated trace for replay
 ";
 
 /// Parsed positional + flag arguments.
@@ -1168,6 +1184,194 @@ fn serve_drive_cmd(parsed: &Parsed) -> Result<String, CliError> {
     }
 }
 
+/// `ssp stream`: run the online arrival engine (ssp-online) over a stream
+/// of release-ordered jobs — an arrival trace file, or a generated stream
+/// family — and report energy, the chunked certified lower bound, and the
+/// engine's memory/incrementality counters. See docs/ONLINE.md.
+fn stream_cmd(parsed: &Parsed) -> Result<String, CliError> {
+    use ssp_online::{EngineOptions, LbMode, Policy, SchedulerKind, StreamEngine};
+    use ssp_workloads::{stream_family, STREAM_FAMILIES};
+
+    let policy = match parsed.flag("policy") {
+        None => Policy::RoundRobin,
+        Some(name) => Policy::parse(name)
+            .ok_or_else(|| CliError::usage(format!("unknown policy '{name}' (rr|load|density)")))?,
+    };
+    let scheduler = match parsed.flag("sched") {
+        None => SchedulerKind::Oa,
+        Some(name) => SchedulerKind::parse(name)
+            .ok_or_else(|| CliError::usage(format!("unknown scheduler '{name}' (oa|avr)")))?,
+    };
+
+    // Source: a trace file (header supplies m/alpha unless overridden) or a
+    // generated family (needs --family/--n/--m).
+    let file = parsed.positional.first();
+    let family = parsed.flag("family");
+    let (label, machines, alpha, jobs): (String, usize, f64, Vec<ssp_model::Job>) =
+        match (file, family) {
+            (Some(path), None) => {
+                let f = std::fs::File::open(path)
+                    .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+                let reader = ssp_model::ArrivalReader::new(std::io::BufReader::new(f))
+                    .map_err(|e| CliError::runtime(format!("cannot parse {path}: {e}")))?;
+                let header = reader.header();
+                let machines = parsed.flag_parse("m")?.unwrap_or(header.machines);
+                let alpha = parsed.flag_parse("alpha")?.unwrap_or(header.alpha);
+                let jobs: Vec<ssp_model::Job> = reader
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| CliError::runtime(format!("bad trace {path}: {e}")))?;
+                (format!("trace {path}"), machines, alpha, jobs)
+            }
+            (None, Some(name)) => {
+                let n: usize = parsed
+                    .flag_parse("n")?
+                    .ok_or_else(|| CliError::usage("generated stream needs --n"))?;
+                let machines: usize = parsed
+                    .flag_parse("m")?
+                    .ok_or_else(|| CliError::usage("generated stream needs --m"))?;
+                let alpha: f64 = parsed.flag_parse("alpha")?.unwrap_or(2.0);
+                let seed: u64 = parsed.flag_parse("seed")?.unwrap_or(0);
+                let spec = stream_family(name, machines, alpha).ok_or_else(|| {
+                    CliError::usage(format!(
+                        "unknown stream family '{name}' (expected one of: {})",
+                        STREAM_FAMILIES.join(" | ")
+                    ))
+                })?;
+                let jobs: Vec<ssp_model::Job> = spec.jobs(seed).take(n).collect();
+                (
+                    format!("family {name} (seed {seed})"),
+                    machines,
+                    alpha,
+                    jobs,
+                )
+            }
+            (Some(_), Some(_)) => {
+                return Err(CliError::usage(
+                    "give either a trace file or --family, not both",
+                ))
+            }
+            (None, None) => {
+                return Err(CliError::usage(
+                    "stream needs a trace file or --family NAME --n N --m M",
+                ))
+            }
+        };
+
+    if let Some(dest) = parsed.flag("emit") {
+        let mut w = ssp_model::ArrivalWriter::new(Vec::new(), machines, alpha)
+            .map_err(|e| CliError::runtime(format!("emit failed: {e}")))?;
+        for job in &jobs {
+            w.push(job)
+                .map_err(|e| CliError::runtime(format!("emit failed: {e}")))?;
+        }
+        let buf = w
+            .finish()
+            .map_err(|e| CliError::runtime(format!("emit failed: {e}")))?;
+        std::fs::write(dest, buf)
+            .map_err(|e| CliError::runtime(format!("cannot write {dest}: {e}")))?;
+    }
+
+    let mut opts = EngineOptions::new(machines, alpha)
+        .policy(policy)
+        .scheduler(scheduler);
+    if let Some(cap) = parsed.flag_parse("window-cap")? {
+        opts = opts.window_cap(cap);
+    }
+    if parsed.has("no-lb") {
+        opts = opts.lower_bound(LbMode::Off);
+    } else if let Some(cap) = parsed.flag_parse("bal-cap")? {
+        opts = opts.lower_bound(LbMode::Chunked { bal_cap: cap });
+    }
+
+    // A session only when telemetry is requested, so `ssp stream` composes
+    // with outer sessions (tests, the exper runner) by default.
+    let session = if parsed.has("telemetry") {
+        ssp_probe::Session::begin()
+    } else {
+        None
+    };
+    let mut engine =
+        StreamEngine::new(opts).map_err(|e| CliError::runtime(format!("bad options: {e}")))?;
+    for job in jobs {
+        engine
+            .push(job)
+            .map_err(|e| CliError::runtime(format!("bad arrival: {e}")))?;
+    }
+    let r = engine
+        .finish()
+        .map_err(|e| CliError::runtime(format!("stream failed: {e}")))?;
+    let telemetry_note = match (session, parsed.flag("telemetry")) {
+        (Some(session), Some(path)) => {
+            let trace = session.end();
+            std::fs::write(path, trace.to_jsonl())
+                .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+            Some(format!("telemetry written to {path}"))
+        }
+        _ => None,
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "stream: {label} | {} jobs | m {} | alpha {} | policy {} | sched {}",
+        r.arrivals,
+        r.machines,
+        r.alpha,
+        r.policy,
+        r.scheduler.name()
+    );
+    match (r.lower_bound, r.ratio()) {
+        (Some(lb), Some(ratio)) => {
+            let _ = writeln!(
+                out,
+                "energy {:.6} | certified LB {lb:.6} | ratio {ratio:.4}",
+                r.energy
+            );
+        }
+        _ => {
+            let _ = writeln!(out, "energy {:.6} (lower bound off)", r.energy);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "peak live window {} jobs | peak chunk {} | compactions {} ({} forced)",
+        r.peak_live, r.peak_chunk, r.compactions, r.forced_compactions
+    );
+    let _ = writeln!(
+        out,
+        "replans {} / {} machine-events (recompute {:.1}%)",
+        r.replans,
+        r.machine_events,
+        r.recompute_frac() * 100.0
+    );
+    if parsed.has("report") {
+        for (p, e) in r.machine_energy.iter().enumerate() {
+            let _ = writeln!(out, "  machine {p}: energy {e:.6}");
+        }
+        if r.density_fallbacks > 0 {
+            let _ = writeln!(
+                out,
+                "  density pricing fell back to overlap counting {} times",
+                r.density_fallbacks
+            );
+        }
+    }
+    if let Some(note) = telemetry_note {
+        let _ = writeln!(out, "{note}");
+    }
+    if parsed.has("check") {
+        let ratio = r
+            .ratio()
+            .ok_or_else(|| CliError::runtime("--check needs the lower bound (drop --no-lb)"))?;
+        if ratio < 1.0 - 1e-6 {
+            return Err(CliError::runtime(format!(
+                "{out}ratio {ratio} below 1: the certified bound is violated — this is a bug"
+            )));
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1870,5 +2074,127 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.code, 1);
         assert!(err.message.contains("cannot connect"), "{}", err.message);
+    }
+
+    // -- stream: the online arrival engine --
+
+    #[test]
+    fn stream_generated_family_reports_and_checks() {
+        for policy in ["rr", "load", "density"] {
+            let out = run(&args(&[
+                "stream", "--family", "bursty", "--n", "300", "--m", "3", "--seed", "2",
+                "--policy", policy, "--report", "--check",
+            ]))
+            .unwrap();
+            assert!(out.contains("certified LB"), "{policy}: {out}");
+            assert!(out.contains("ratio"), "{policy}: {out}");
+            assert!(out.contains("compactions"), "{policy}: {out}");
+            assert!(out.contains("machine 2: energy"), "{policy}: {out}");
+        }
+    }
+
+    #[test]
+    fn stream_emit_then_replay_gives_identical_energy() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join(format!("ssp_cli_stream_{}.sst", std::process::id()));
+        let t = trace.to_string_lossy().into_owned();
+        let gen_out = run(&args(&[
+            "stream", "--family", "poisson", "--n", "200", "--m", "2", "--seed", "11", "--emit", &t,
+        ]))
+        .unwrap();
+        // Replay the emitted trace: header carries m/alpha, energy matches.
+        let replay_out = run(&args(&["stream", &t])).unwrap();
+        let energy_of = |s: &str| {
+            s.split("energy ")
+                .nth(1)
+                .unwrap()
+                .split(' ')
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(energy_of(&gen_out), energy_of(&replay_out));
+        assert!(replay_out.contains("| m 2 |"), "{replay_out}");
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn stream_avr_and_no_lb_modes() {
+        let out = run(&args(&[
+            "stream", "--family", "tight", "--n", "150", "--m", "2", "--sched", "avr", "--no-lb",
+        ]))
+        .unwrap();
+        assert!(out.contains("sched avr"), "{out}");
+        assert!(out.contains("lower bound off"), "{out}");
+        // --check without a bound is a runtime error, not a silent pass.
+        let err = run(&args(&[
+            "stream", "--family", "tight", "--n", "50", "--m", "2", "--no-lb", "--check",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+    }
+
+    #[test]
+    fn stream_telemetry_carries_online_counters_and_spans() {
+        let _session = session_lock(); // stream owns a probe session here
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ssp_cli_stream_tel_{}.jsonl", std::process::id()));
+        let t = path.to_string_lossy().into_owned();
+        let out = run(&args(&[
+            "stream",
+            "--family",
+            "bursty",
+            "--n",
+            "250",
+            "--m",
+            "2",
+            "--telemetry",
+            &t,
+        ]))
+        .unwrap();
+        assert!(out.contains("telemetry written to"), "{out}");
+        let trace = ssp_probe::Trace::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        trace.validate().unwrap();
+        assert_eq!(trace.counter("online.arrivals"), 250);
+        assert!(trace.counter("online.compactions") > 0);
+        assert!(trace.hist("online.window_jobs").is_some());
+        assert!(
+            trace.spans.iter().any(|s| s.name == "online.compact"),
+            "chunk flushes must appear as online.compact spans"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_usage_errors() {
+        assert_eq!(run(&args(&["stream"])).unwrap_err().code, 2);
+        assert_eq!(
+            run(&args(&[
+                "stream", "--family", "nope", "--n", "10", "--m", "2"
+            ]))
+            .unwrap_err()
+            .code,
+            2
+        );
+        assert_eq!(
+            run(&args(&["stream", "--family", "bursty", "--n", "10"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(
+            run(&args(&[
+                "stream", "--family", "bursty", "--n", "10", "--m", "2", "--policy", "psychic",
+            ]))
+            .unwrap_err()
+            .code,
+            2
+        );
+        assert_eq!(
+            run(&args(&["stream", "/nonexistent/trace.sst"]))
+                .unwrap_err()
+                .code,
+            1
+        );
     }
 }
