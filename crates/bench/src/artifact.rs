@@ -107,20 +107,48 @@ impl Artifact {
         )
     }
 
-    /// Write the snapshot to `path`.
+    /// Write the snapshot to `path` (resolved by
+    /// [`resolve_artifact_path`]).
     pub fn write_snapshot(&self, path: &str) -> std::io::Result<()> {
-        std::fs::write(path, self.snapshot_json())
+        std::fs::write(resolve_artifact_path(path), self.snapshot_json())
     }
 
-    /// Append one history line (with the current git revision) to `path`,
-    /// creating the file if needed.
+    /// Append one history line (with the current git revision) to `path`
+    /// (resolved by [`resolve_artifact_path`]), creating the file if
+    /// needed.
     pub fn append_history(&self, path: &str) -> std::io::Result<()> {
         use std::io::Write as _;
         let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(path)?;
+            .open(resolve_artifact_path(path))?;
         writeln!(file, "{}", self.history_line(&git_rev()))
+    }
+}
+
+/// Resolve an artifact path: absolute paths pass through; relative paths
+/// are anchored at the workspace root — the nearest ancestor of the
+/// current directory holding a `Cargo.lock`. Cargo runs bench binaries
+/// with the *package* directory as cwd, so without this
+/// `SSP_BENCH_JSON=BENCH_new.json` would land in `crates/bench/` instead
+/// of next to the committed `BENCH_*.json` baselines at the repo root
+/// (where CI's `bench-diff` step expects it).
+pub fn resolve_artifact_path(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        return p.to_path_buf();
+    }
+    let mut dir = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(_) => return p.to_path_buf(),
+    };
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.join(p);
+        }
+        if !dir.pop() {
+            return p.to_path_buf();
+        }
     }
 }
 
@@ -141,6 +169,19 @@ pub fn git_rev() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn relative_artifact_paths_anchor_at_the_workspace_root() {
+        // Test binaries run with the package dir as cwd; the resolved
+        // parent must be the workspace root (it holds Cargo.lock).
+        let resolved = resolve_artifact_path("BENCH_test_probe.json");
+        let parent = resolved.parent().expect("resolved path has a parent");
+        assert!(
+            parent.join("Cargo.lock").is_file(),
+            "resolved {resolved:?} is not anchored at a workspace root"
+        );
+        assert!(resolve_artifact_path("/abs/x.json").is_absolute());
+    }
 
     fn sample() -> Artifact {
         Artifact {

@@ -39,7 +39,7 @@
 use crate::assignment::Assignment;
 use ssp_model::numeric::energy_of;
 use ssp_model::{Instance, Job};
-use ssp_single::yds::{yds, yds_schedule};
+use ssp_single::yds::{yds_energy_in, yds_schedule, YdsArena};
 use std::collections::HashMap;
 
 /// Relative safety margin applied to every analytic bound before it is
@@ -178,6 +178,9 @@ pub struct YdsEval<'a> {
     /// Entry cap; the cache is cleared (not LRU-evicted) on overflow.
     cache_cap: usize,
     scratch_jobs: Vec<Job>,
+    /// Kernel buffers reused across every memoized energy query, so a cache
+    /// miss costs only the YDS arithmetic ([`yds_energy_in`]).
+    arena: YdsArena,
     key_a: Vec<u32>,
     key_b: Vec<u32>,
     key_peek: Vec<u32>,
@@ -230,6 +233,7 @@ impl<'a> YdsEval<'a> {
             cache: HashMap::new(),
             cache_cap,
             scratch_jobs: Vec::new(),
+            arena: YdsArena::default(),
             key_a: Vec::new(),
             key_b: Vec::new(),
             key_peek: Vec::new(),
@@ -739,7 +743,7 @@ impl<'a> YdsEval<'a> {
         self.scratch_jobs.clear();
         self.scratch_jobs
             .extend(key.iter().map(|&i| *self.instance.job(i as usize)));
-        let e = yds(&self.scratch_jobs, self.instance.alpha()).energy;
+        let e = yds_energy_in(&mut self.arena, &self.scratch_jobs, self.instance.alpha());
         if self.cache.len() >= self.cache_cap {
             ssp_probe::counter!("eval.cache_evict");
             self.cache.clear();
@@ -775,6 +779,9 @@ pub struct LiveEval {
     cache_cap: usize,
     key: Vec<u32>,
     jobs: Vec<Job>,
+    /// Kernel buffers reused across misses (see [`YdsEval::arena`] — same
+    /// role, same bit-identity contract via [`yds_energy_in`]).
+    arena: YdsArena,
 }
 
 impl LiveEval {
@@ -788,6 +795,7 @@ impl LiveEval {
             cache: HashMap::new(),
             key: Vec::new(),
             jobs: Vec::new(),
+            arena: YdsArena::default(),
         }
     }
 
@@ -837,7 +845,7 @@ impl LiveEval {
         if let Some(j) = extra {
             self.jobs.push(*j);
         }
-        let e = yds(&self.jobs, self.alpha).energy;
+        let e = yds_energy_in(&mut self.arena, &self.jobs, self.alpha);
         if self.cache.len() >= self.cache_cap {
             ssp_probe::counter!("eval.live_evict");
             self.cache.clear();
@@ -851,7 +859,7 @@ impl LiveEval {
 mod tests {
     use super::*;
     use crate::rr::rr_assignment;
-    use ssp_single::yds::yds_reference;
+    use ssp_single::yds::{yds, yds_reference};
     use ssp_workloads::families;
 
     /// Recompute a machine's energy the naive way, with the reference peel.

@@ -14,6 +14,7 @@ pub mod exp2;
 pub mod exp20;
 pub mod exp21;
 pub mod exp22;
+pub mod exp23;
 pub mod exp3;
 pub mod exp4;
 pub mod exp5;

@@ -1,142 +1,9 @@
 //! Scoped-thread parallel map for parameter sweeps.
 //!
-//! Experiments are embarrassingly parallel over `(seed, parameter)` grids.
-//! Rather than pull in a thread-pool crate, a single `std::thread::scope`
-//! with an atomic work index gives the same data-race-free fan-out (the
-//! borrow checker enforces that `f` only captures `Sync` state): each worker
-//! claims indices from a shared counter, so uneven item costs balance
-//! automatically.
+//! The implementation moved to [`ssp_model::par`] so solver kernels (the
+//! BAL probe ladder) can share it; this module re-exports it for the
+//! experiment runners. The fan-out width obeys `SSP_THREADS` and the
+//! in-process [`ssp_model::par::set_thread_override`] pin — see the model
+//! module docs for the bit-identity contract parallel callers must keep.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Apply `f` to every item on all available cores; results keep input order.
-///
-/// Telemetry: each worker adopts the calling thread's innermost open probe
-/// span ([`ssp_probe::Session::adopt_parent`]), so spans opened inside `f`
-/// attach to the caller's span tree instead of becoming disconnected roots.
-/// This is sound because the scope joins every worker before `par_map`
-/// returns — the adopted parent span cannot close while workers run.
-pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    if threads == 1 {
-        return items.iter().map(&f).collect();
-    }
-    let parent = ssp_probe::Session::parent_handle();
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let _adopt = ssp_probe::Session::adopt_parent(parent);
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let r = f(&items[i]);
-                        *slots[i].lock().unwrap() = Some(r);
-                    }
-                })
-            })
-            .collect();
-        // Join manually: `scope` alone would replace a worker's panic
-        // payload with a generic "a scoped thread panicked". Re-raising the
-        // first payload makes `f`'s panic observable to the caller exactly
-        // as in the sequential path (and no slot is silently left `None`).
-        let mut first_panic = None;
-        for handle in handles {
-            if let Err(payload) = handle.join() {
-                first_panic.get_or_insert(payload);
-            }
-        }
-        if let Some(payload) = first_panic {
-            std::panic::resume_unwind(payload);
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("worker filled every claimed slot")
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::AtomicUsize;
-
-    #[test]
-    fn preserves_order() {
-        let out = par_map((0..100).collect(), |&x| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn empty_input() {
-        let out: Vec<i32> = par_map(Vec::<i32>::new(), |&x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn runs_every_item_exactly_once() {
-        static CALLS: AtomicUsize = AtomicUsize::new(0);
-        let _ = par_map((0..57).collect::<Vec<i32>>(), |_| {
-            CALLS.fetch_add(1, Ordering::Relaxed);
-        });
-        assert_eq!(CALLS.load(Ordering::Relaxed), 57);
-    }
-
-    #[test]
-    fn worker_panic_propagates_with_its_payload() {
-        let result = std::panic::catch_unwind(|| {
-            par_map((0..64).collect::<Vec<i32>>(), |&x| {
-                if x == 13 {
-                    panic!("boom at 13");
-                }
-                x * 2
-            })
-        });
-        let payload = result.expect_err("panic in `f` must propagate to the caller");
-        let message = payload
-            .downcast_ref::<&str>()
-            .copied()
-            .map(str::to_string)
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_default();
-        assert!(
-            message.contains("boom at 13"),
-            "original payload must survive, got: {message:?}"
-        );
-    }
-
-    #[test]
-    fn uneven_work_is_balanced() {
-        // Just a smoke test that heavy items don't break ordering.
-        let out = par_map(vec![30u64, 1, 25, 2, 20], |&ms| {
-            let mut acc = 0u64;
-            for i in 0..(ms * 100_000) {
-                acc = acc.wrapping_add(i);
-            }
-            (ms, acc != u64::MAX)
-        });
-        let keys: Vec<u64> = out.iter().map(|&(k, _)| k).collect();
-        assert_eq!(keys, vec![30, 1, 25, 2, 20]);
-    }
-}
+pub use ssp_model::par::{par_map, par_map_mut, set_thread_override, thread_count};

@@ -139,6 +139,15 @@ impl FlowNetwork {
         self.edges[e.0].cap
     }
 
+    /// Current capacity parameter of a forward edge (as set at
+    /// [`add_edge`](FlowNetwork::add_edge) or by the last
+    /// [`set_capacity`](FlowNetwork::set_capacity)). Cut readback uses this:
+    /// the capacity of a saturated cut edge, unlike [`flow`](FlowNetwork::flow),
+    /// is exact — no max-flow arithmetic noise.
+    pub fn capacity(&self, e: EdgeId) -> f64 {
+        self.edges[e.0].orig
+    }
+
     /// Is a forward edge saturated (residual below its epsilon)?
     pub fn is_saturated(&self, e: EdgeId) -> bool {
         self.edges[e.0].cap <= self.edges[e.0].eps
@@ -840,5 +849,52 @@ mod tests {
         // Value equals min-cut capacity.
         let cut_cap: f64 = g.min_cut_edges().iter().map(|&e| g.edges[e.0].orig).sum();
         assert!((cut_cap - v).abs() < 1e-6);
+    }
+
+    /// Cloning a solved network forks the parametric state: the clone warm
+    /// repairs independently, and solving the clone leaves the original's
+    /// flow, value, and residual structure bit-identical. This is the
+    /// contract the parallel probe ladder relies on (one probe per clone).
+    #[test]
+    fn clone_split_solves_are_independent_and_bit_identical() {
+        let mut g = FlowNetwork::new(6);
+        let s_edges: Vec<EdgeId> = (1..=3).map(|i| g.add_edge(0, i, 1.0)).collect();
+        let mid: Vec<EdgeId> = (1..=3).map(|i| g.add_edge(i, 4, 0.8)).collect();
+        let out = g.add_edge(4, 5, 2.0);
+        g.max_flow(0, 5);
+        let value0 = g.flow_value();
+        let flows0: Vec<u64> = mid.iter().map(|&e| g.flow(e).to_bits()).collect();
+
+        // Fork two clones and re-parameterize them differently.
+        let mut a = g.clone();
+        let mut b = g.clone();
+        for &e in &s_edges {
+            a.set_capacity(e, 0.4);
+            b.set_capacity(e, 1.5);
+        }
+        let va = a.max_flow_incremental(0, 5);
+        let vb = b.max_flow_incremental(0, 5);
+        assert!((va - 1.2).abs() < 1e-9, "clone a value {va}");
+        assert!((vb - 2.0).abs() < 1e-9, "clone b value {vb}");
+
+        // The original is untouched, bit for bit.
+        assert_eq!(g.flow_value().to_bits(), value0.to_bits());
+        let flows_after: Vec<u64> = mid.iter().map(|&e| g.flow(e).to_bits()).collect();
+        assert_eq!(flows_after, flows0);
+        assert_eq!(g.capacity(out).to_bits(), 2.0f64.to_bits());
+        // And identical clones repair to identical flows (determinism).
+        let mut c = g.clone();
+        let mut d = g.clone();
+        for &e in &s_edges {
+            c.set_capacity(e, 0.9);
+            d.set_capacity(e, 0.9);
+        }
+        assert_eq!(
+            c.max_flow_incremental(0, 5).to_bits(),
+            d.max_flow_incremental(0, 5).to_bits()
+        );
+        for &e in &mid {
+            assert_eq!(c.flow(e).to_bits(), d.flow(e).to_bits());
+        }
     }
 }

@@ -188,7 +188,14 @@ impl Wap {
 /// [`solve`](WapSolver::solve) re-parameterizes the source capacities and
 /// warm-starts the max flow from the previous one (see
 /// [`FlowNetwork::max_flow_incremental`]).
-#[derive(Debug)]
+///
+/// `Clone` forks the whole parametric state (network, flow, value): a clone
+/// warm-starts from exactly the flow its original held, and solving either
+/// side never perturbs the other. The BAL probe ladder leans on this — each
+/// candidate speed of a fan-out solves on its own clone of one shared base
+/// state, so the probe results are bit-identical at any thread count (a
+/// probe can never observe a sibling's flow).
+#[derive(Debug, Clone)]
 pub struct WapSolver {
     net: FlowNetwork,
     source: usize,
@@ -282,6 +289,58 @@ impl WapSolver {
     /// Flow into the sink from interval `j` (total time handed out there).
     pub fn interval_usage(&self, j: usize) -> f64 {
         self.net.flow(self.sink_edges[j])
+    }
+
+    /// Cut-derived speed lower bound (the "discrete Newton step" of the BAL
+    /// probe ladder), read from the last solve's residual cut. Returns
+    /// `None` when the cut carries no information (feasible state — no job
+    /// reachable — or a degenerate fixed capacity).
+    ///
+    /// Derivation: let `S` be the source side of the min cut at an
+    /// *infeasible* speed `v` (`works[i] / v` demands). Its capacity splits
+    /// into the demand part `Σ_{i∉S} works_i/v` and a `v`-independent part
+    /// `F = Σ_{i∈S, j∉S} min(|I_j|, c_j) + Σ_{j∈S} c_j`. Infeasibility at
+    /// `v` means the cut is below the total demand, i.e. `W_S/v > F` with
+    /// `W_S = Σ_{i∈S} works_i`. At any feasible speed `v'` the *same* cut
+    /// must clear the total demand, which rearranges to `v' ≥ W_S/F`. Hence
+    /// `W_S/F` is a certified lower bound on the critical speed, and it is
+    /// strictly above `v` — each Newton step jumps past everything the
+    /// current cut can rule out, so the ladder converges in one step per
+    /// distinct cut instead of one bit per bisection probe.
+    ///
+    /// `works` must hold each job's work (0 for jobs with zero demand in
+    /// the last solve). Cut capacities are read from the edge *parameters*
+    /// ([`FlowNetwork::capacity`]), not the noisy flow values, so the bound
+    /// is exact up to one summation.
+    pub fn cut_speed_bound(&self, works: &[f64]) -> Option<f64> {
+        assert_eq!(works.len(), self.num_jobs, "works vector length mismatch");
+        let side = self.net.residual_reachable_from_source();
+        let mut w_s = 0.0f64;
+        let mut fixed = 0.0f64;
+        let mut any_job = false;
+        for i in 0..self.num_jobs {
+            if !side[1 + i] {
+                continue;
+            }
+            any_job = true;
+            w_s += works[i];
+            for &(j, e) in &self.job_edges[i] {
+                if !side[1 + self.num_jobs + j] {
+                    fixed += self.net.capacity(e);
+                }
+            }
+        }
+        for j in 0..self.num_intervals {
+            if side[1 + self.num_jobs + j] {
+                fixed += self.net.capacity(self.sink_edges[j]);
+            }
+        }
+        // NaN sums fall through here and are caught by the is_finite gate.
+        if !any_job || w_s <= 0.0 || fixed <= 0.0 {
+            return None;
+        }
+        let v = w_s / fixed;
+        v.is_finite().then_some(v)
     }
 }
 

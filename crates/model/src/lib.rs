@@ -37,6 +37,7 @@ pub mod interval;
 pub mod io;
 pub mod job;
 pub mod numeric;
+pub mod par;
 pub mod quantize;
 pub mod render;
 pub mod resource;

@@ -10,21 +10,35 @@
 //! Two kernels share one peel driver and produce **bit-identical** output:
 //!
 //! * [`yds`] — the fast kernel: per peel, starts are visited in descending
-//!   order of a certified intensity upper bound, and both whole starts and
-//!   deadline-sweep tails are skipped when the bound proves them *strictly*
-//!   below the incumbent. Candidates that are evaluated use exactly the
-//!   reference arithmetic (sequential work accumulation in deadline order),
-//!   and the incumbent comparator reproduces the reference's first-maximizer
-//!   tie-break, so the selected interval — and therefore every speed and the
-//!   energy — matches [`yds_reference`] bit for bit. Typical peels touch a
-//!   small fraction of the `O(k²)` candidate grid (see the `yds.candidates`
-//!   probe counter and the `yds_kernel` bench); the worst case degrades to
-//!   the reference's `O(k²)` per peel.
+//!   order of a certified intensity upper bound, and whole starts, epigraph
+//!   regions, and deadline-sweep tails are skipped when a bound proves them
+//!   *strictly* below the incumbent. Candidates that are evaluated use
+//!   exactly the reference arithmetic (sequential work accumulation in
+//!   deadline order), and the incumbent comparator reproduces the reference's
+//!   first-maximizer tie-break, so the selected interval — and therefore
+//!   every speed and the energy — matches [`yds_reference`] bit for bit.
+//!   Typical peels touch a small fraction of the `O(k²)` candidate grid (see
+//!   the `yds.candidates` probe counter and the `yds_kernel` bench); the
+//!   worst case degrades to the reference's `O(k²)` per peel. Below
+//!   [`SMALL_PEEL_CUTOFF`] active jobs a peel falls back to the reference
+//!   scan — the scaffolding (two integer sorts, suffix scans, the linked
+//!   list) costs more than it saves there — bit-identical by construction.
 //! * [`yds_reference`] — the retained reference peel: each peel scans `O(k²)`
 //!   candidate intervals with an `O(k)` sweep per left endpoint, i.e. the
 //!   classic `O(n³)` worst-case bound for direct YDS implementations. Kept as
 //!   the differential-testing baseline (`tests/yds_differential.rs`) and the
 //!   "old" side of EXP-19.
+//!
+//! Both kernels run on a structure-of-arrays working set (`ActiveSet`):
+//! the peel driver keeps original index, work, release and deadline in four
+//! parallel vectors, compacted in place after each excision, so a whole
+//! [`yds`] call allocates a constant number of buffers instead of one vector
+//! per peel and the hot sweeps read contiguous `f64` slices. Callers that
+//! price many short job lists (the `YdsEval`/`LiveEval` oracles in
+//! `ssp-core`) go one step further with [`YdsArena`] + [`yds_energy_in`]:
+//! every buffer — including the output speeds — lives in a caller-owned
+//! arena reused across calls, making the energy query allocation-free after
+//! warm-up while returning the same bits as [`yds`].
 
 use crate::edf::edf_schedule;
 use ssp_model::numeric::energy_of;
@@ -52,13 +66,64 @@ impl YdsSolution {
     }
 }
 
-/// Working copy of a job during peeling.
-#[derive(Debug, Clone, Copy)]
-struct Active {
-    orig: usize,
-    work: f64,
-    release: f64,
-    deadline: f64,
+/// Below this many *active* jobs a peel routes through the reference scan:
+/// the fast kernel's per-peel scaffolding (two integer sorts, suffix scans,
+/// the linked list) dominates at small sizes (BENCH_yds.json measured the
+/// n = 50 cells at 0.8–0.97× before the cutoff), while the `O(k²)` reference
+/// sweep is branch-light and allocation-free on the SoA driver. The cutoff
+/// is applied per peel, not per call, so the shrinking tail of a long peel
+/// sequence (e.g. laminar nests) also drops to the cheap scan. Both finders
+/// return bit-identical intervals, so mixing them is invisible in the output
+/// (pinned by `cutoff_boundary_is_bit_identical`).
+pub const SMALL_PEEL_CUTOFF: usize = 32;
+
+/// Structure-of-arrays working set during peeling: one parallel vector per
+/// field. The peel driver compacts survivors in place after each excision
+/// (stable order, exactly the old `Vec<Active>` retain semantics), so the
+/// only allocations per [`yds`] call are these four buffers.
+#[derive(Default)]
+struct ActiveSet {
+    /// Original input index of each active job.
+    orig: Vec<u32>,
+    /// Remaining work.
+    work: Vec<f64>,
+    /// Squeezed release date.
+    release: Vec<f64>,
+    /// Squeezed deadline.
+    deadline: Vec<f64>,
+}
+
+impl ActiveSet {
+    /// Refill from `jobs`, reusing the buffers' capacity.
+    fn load(&mut self, jobs: &[Job]) {
+        assert!(
+            jobs.len() < u32::MAX as usize,
+            "job count exceeds u32 index"
+        );
+        self.orig.clear();
+        self.orig.extend(0..jobs.len() as u32);
+        self.work.clear();
+        self.work.extend(jobs.iter().map(|j| j.work));
+        self.release.clear();
+        self.release.extend(jobs.iter().map(|j| j.release));
+        self.deadline.clear();
+        self.deadline.extend(jobs.iter().map(|j| j.deadline));
+    }
+
+    fn len(&self) -> usize {
+        self.orig.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.orig.is_empty()
+    }
+
+    fn truncate(&mut self, len: usize) {
+        self.orig.truncate(len);
+        self.work.truncate(len);
+        self.release.truncate(len);
+        self.deadline.truncate(len);
+    }
 }
 
 /// Compute the optimal speed per job on a single processor (fast kernel).
@@ -75,21 +140,89 @@ struct Active {
 /// ```
 pub fn yds(jobs: &[Job], alpha: f64) -> YdsSolution {
     let mut scratch = FastScratch::default();
+    let mut by_deadline = Vec::new();
+    let mut starts = Vec::new();
     let mut candidates = 0u64;
+    let mut small_peels = 0u64;
     let sol = run_peels(jobs, alpha, |active| {
-        scratch.critical_interval(active, &mut candidates)
+        if active.len() < SMALL_PEEL_CUTOFF {
+            // Below the measured crossover the reference scan wins
+            // outright; it returns the bit-identical interval, so the
+            // dispatch cannot perturb the output.
+            small_peels += 1;
+            critical_interval_reference(active, &mut by_deadline, &mut starts, &mut candidates)
+        } else {
+            scratch.critical_interval(active, &mut candidates)
+        }
     });
     ssp_probe::counter!("yds.peels", sol.peels.len() as u64);
     ssp_probe::counter!("yds.candidates", candidates);
+    ssp_probe::counter!("yds.soa_small_peels", small_peels);
+    ssp_probe::counter!("yds.soa_pruned_starts", scratch.pruned_starts);
+    ssp_probe::counter!("yds.soa_sm_rebuilds", scratch.sm_rebuilds);
     sol
+}
+
+/// Reusable buffers for repeated [`yds_energy_in`] calls: everything a
+/// [`yds`] call would allocate — kernel scratch, the SoA working set, and
+/// the output speeds/peels, which an energy-only caller discards anyway —
+/// lives here and is cleared, not freed, between calls. The memoizing
+/// oracles in `ssp-core` (`YdsEval`, `LiveEval`) price thousands of short
+/// job lists per search pass; with an arena each cache miss costs exactly
+/// the kernel arithmetic after the first call.
+#[derive(Default)]
+pub struct YdsArena {
+    scratch: FastScratch,
+    by_deadline: Vec<usize>,
+    starts: Vec<f64>,
+    active: ActiveSet,
+    speeds: Vec<f64>,
+    peels: Vec<(f64, f64, f64)>,
+}
+
+/// Optimal YDS energy of `jobs`, computed in `arena`'s buffers —
+/// bit-identical to `yds(jobs, alpha).energy` (same kernels, same dispatch,
+/// same arithmetic; pinned by `arena_energy_matches_yds_bitwise`), but
+/// allocation-free once the arena is warm.
+pub fn yds_energy_in(arena: &mut YdsArena, jobs: &[Job], alpha: f64) -> f64 {
+    let mut candidates = 0u64;
+    let mut small_peels = 0u64;
+    let YdsArena {
+        scratch,
+        by_deadline,
+        starts,
+        active,
+        speeds,
+        peels,
+    } = arena;
+    // The scratch persists across calls; zero its per-call probe tallies so
+    // each call emits its own counts (as a fresh [`yds`] call would).
+    scratch.pruned_starts = 0;
+    scratch.sm_rebuilds = 0;
+    let energy = run_peels_into(jobs, alpha, active, speeds, peels, |active| {
+        if active.len() < SMALL_PEEL_CUTOFF {
+            small_peels += 1;
+            critical_interval_reference(active, by_deadline, starts, &mut candidates)
+        } else {
+            scratch.critical_interval(active, &mut candidates)
+        }
+    });
+    ssp_probe::counter!("yds.peels", peels.len() as u64);
+    ssp_probe::counter!("yds.candidates", candidates);
+    ssp_probe::counter!("yds.soa_small_peels", small_peels);
+    ssp_probe::counter!("yds.soa_pruned_starts", scratch.pruned_starts);
+    ssp_probe::counter!("yds.soa_sm_rebuilds", scratch.sm_rebuilds);
+    energy
 }
 
 /// The retained reference peel: brute-force `O(k²)`-per-peel critical
 /// interval scan. Semantics (and bits) match [`yds`]; complexity does not.
 pub fn yds_reference(jobs: &[Job], alpha: f64) -> YdsSolution {
     let mut candidates = 0u64;
+    let mut by_deadline: Vec<usize> = Vec::new();
+    let mut starts: Vec<f64> = Vec::new();
     let sol = run_peels(jobs, alpha, |active| {
-        critical_interval_reference(active, &mut candidates)
+        critical_interval_reference(active, &mut by_deadline, &mut starts, &mut candidates)
     });
     ssp_probe::counter!("yds.peels", sol.peels.len() as u64);
     ssp_probe::counter!("yds.candidates", candidates);
@@ -98,27 +231,43 @@ pub fn yds_reference(jobs: &[Job], alpha: f64) -> YdsSolution {
 
 /// The shared peel driver: repeatedly excise the critical interval reported
 /// by `find`, fixing contained jobs at its intensity and squeezing the rest.
+/// The working set is compacted in place (stable order), so no per-peel
+/// allocation happens here.
 fn run_peels(
     jobs: &[Job],
     alpha: f64,
-    mut find: impl FnMut(&[Active]) -> (f64, f64, f64),
+    find: impl FnMut(&ActiveSet) -> (f64, f64, f64),
 ) -> YdsSolution {
-    assert!(alpha > 1.0, "alpha must exceed 1");
-    let mut speeds = vec![0.0f64; jobs.len()];
+    let mut active = ActiveSet::default();
+    let mut speeds = Vec::new();
     let mut peels = Vec::new();
-    let mut active: Vec<Active> = jobs
-        .iter()
-        .enumerate()
-        .map(|(i, j)| Active {
-            orig: i,
-            work: j.work,
-            release: j.release,
-            deadline: j.deadline,
-        })
-        .collect();
+    let energy = run_peels_into(jobs, alpha, &mut active, &mut speeds, &mut peels, find);
+    YdsSolution {
+        speeds,
+        energy,
+        peels,
+    }
+}
+
+/// [`run_peels`] over caller-owned buffers (cleared and refilled), so
+/// repeated calls reuse capacity. Returns the optimal energy; `speeds` and
+/// `peels` hold the rest of the [`YdsSolution`] fields on return.
+fn run_peels_into(
+    jobs: &[Job],
+    alpha: f64,
+    active: &mut ActiveSet,
+    speeds: &mut Vec<f64>,
+    peels: &mut Vec<(f64, f64, f64)>,
+    mut find: impl FnMut(&ActiveSet) -> (f64, f64, f64),
+) -> f64 {
+    assert!(alpha > 1.0, "alpha must exceed 1");
+    speeds.clear();
+    speeds.resize(jobs.len(), 0.0);
+    peels.clear();
+    active.load(jobs);
 
     while !active.is_empty() {
-        let (a, b, g) = find(&active);
+        let (a, b, g) = find(active);
         peels.push((a, b, g));
         // Peel interval width in fixed-point micro-units of (abstract)
         // time, so the log2 buckets resolve sub-unit widths; zero-width
@@ -127,35 +276,31 @@ fn run_peels(
         // Intensity is positive; it is +inf for degenerate zero-width
         // windows (which are then excised immediately at infinite speed).
         debug_assert!(g > 0.0);
-        // Fix speeds of contained jobs; keep the rest.
-        let mut rest = Vec::with_capacity(active.len());
-        for job in active.into_iter() {
-            if a <= job.release && job.deadline <= b {
-                speeds[job.orig] = g;
+        // Fix speeds of contained jobs; keep the rest, squeezed. Stable
+        // in-place compaction over the parallel arrays reproduces the old
+        // `rest.push` order exactly.
+        let shift = b - a;
+        let mut w = 0usize;
+        for r in 0..active.len() {
+            let (rel, dl) = (active.release[r], active.deadline[r]);
+            if a <= rel && dl <= b {
+                speeds[active.orig[r] as usize] = g;
             } else {
-                rest.push(job);
+                active.orig[w] = active.orig[r];
+                active.work[w] = active.work[r];
+                active.release[w] = squeeze(rel, a, b, shift);
+                active.deadline[w] = squeeze(dl, a, b, shift);
+                debug_assert!(active.deadline[w] >= active.release[w]);
+                w += 1;
             }
         }
-        // Squeeze the excised interval out of the timeline.
-        let shift = b - a;
-        for job in &mut rest {
-            job.release = squeeze(job.release, a, b, shift);
-            job.deadline = squeeze(job.deadline, a, b, shift);
-            debug_assert!(job.deadline >= job.release);
-        }
-        active = rest;
+        active.truncate(w);
     }
 
-    let energy = jobs
-        .iter()
-        .zip(&speeds)
+    jobs.iter()
+        .zip(speeds.iter())
         .map(|(j, &s)| energy_of(j.work, s, alpha))
-        .sum();
-    YdsSolution {
-        speeds,
-        energy,
-        peels,
-    }
+        .sum()
 }
 
 /// Map a time coordinate after excising `[a, b]`.
@@ -182,14 +327,22 @@ fn beats(g: f64, a: f64, b: f64, best: (f64, f64, f64)) -> bool {
 /// The maximum-intensity interval of the active set — reference scan.
 /// Candidate intervals run from a release date to a deadline. Ties break
 /// toward the earliest start, then the longest interval, making peeling
-/// deterministic.
-fn critical_interval_reference(active: &[Active], candidates: &mut u64) -> (f64, f64, f64) {
+/// deterministic. The caller lends the two scratch vectors so repeated
+/// peels reuse their capacity.
+fn critical_interval_reference(
+    active: &ActiveSet,
+    by_deadline: &mut Vec<usize>,
+    starts: &mut Vec<f64>,
+    candidates: &mut u64,
+) -> (f64, f64, f64) {
     debug_assert!(!active.is_empty());
     // For each candidate left endpoint `a` (a release), sweep jobs in
     // deadline order accumulating the work of jobs with release >= a.
-    let mut by_deadline: Vec<usize> = (0..active.len()).collect();
-    by_deadline.sort_by(|&x, &y| active[x].deadline.total_cmp(&active[y].deadline));
-    let mut starts: Vec<f64> = active.iter().map(|j| j.release).collect();
+    by_deadline.clear();
+    by_deadline.extend(0..active.len());
+    by_deadline.sort_by(|&x, &y| active.deadline[x].total_cmp(&active.deadline[y]));
+    starts.clear();
+    starts.extend_from_slice(&active.release);
     starts.sort_by(f64::total_cmp);
     starts.dedup();
 
@@ -197,18 +350,17 @@ fn critical_interval_reference(active: &[Active], candidates: &mut u64) -> (f64,
     // deadlines ascending), strict `>` keeps the first maximizer — i.e. the
     // earliest start, then the earliest right endpoint achieving the maximum.
     let mut best = (0.0, 0.0, f64::NEG_INFINITY);
-    for &a in &starts {
+    for &a in starts.iter() {
         let mut acc = 0.0;
-        for &idx in &by_deadline {
-            let j = &active[idx];
+        for &idx in by_deadline.iter() {
             // `release >= a` implies `deadline >= a` (windows may be
             // degenerate but never inverted).
-            if j.release >= a {
-                acc += j.work;
+            if active.release[idx] >= a {
+                acc += active.work[idx];
                 *candidates += 1;
-                let g = acc / (j.deadline - a);
+                let g = acc / (active.deadline[idx] - a);
                 if g > best.2 {
-                    best = (a, j.deadline, g);
+                    best = (a, active.deadline[idx], g);
                 }
             }
         }
@@ -260,6 +412,18 @@ struct FastScratch {
     /// genuine candidates — no straddler iterations, no release compare.
     next: Vec<u32>,
     prev: Vec<u32>,
+    /// Prefix sums of `wk` in deadline order: `ps[j] = Σ_{t<j} wk[t]`
+    /// (plain float sums; the epigraph filter adds an absolute slack).
+    ps: Vec<f64>,
+    /// Epigraph suffix maxima for the incumbent start filter:
+    /// `sm[j] = max_{t >= j} (ps[t+1] - g·dl[t])` for the incumbent
+    /// intensity `g` it was last built at (see `rebuild_sm`).
+    sm: Vec<f64>,
+    /// Starts skipped by the epigraph filter (probe counter
+    /// `yds.soa_pruned_starts`), accumulated across the call's peels.
+    pruned_starts: u64,
+    /// Epigraph rebuilds (probe counter `yds.soa_sm_rebuilds`).
+    sm_rebuilds: u64,
 }
 
 /// End-of-list sentinel for [`FastScratch::next`]/[`FastScratch::prev`].
@@ -279,13 +443,26 @@ impl FastScratch {
     /// intensity cannot contain the argmax — not even a tie, which is what
     /// keeps the tie-break decisions identical to the reference scan.
     ///
+    /// On top of that per-start bound sits the **epigraph filter**: because
+    /// works are nonnegative, the accumulator of any candidate `(a, dl[j])`
+    /// is at most the deadline-rank prefix-sum difference
+    /// `ps[j+1] - ps[lo(a)]` (`lo(a)` = first deadline rank `>= a`; ranks
+    /// below it are certain straddlers, their windows would be inverted
+    /// otherwise) plus an absolute float slack. A candidate can therefore
+    /// reach intensity `g` only if `ps[j+1] - g·dl[j] >= ps[lo] - g·a -
+    /// slack`, and precomputing the suffix maxima `sm[lo] = max_{j>=lo}
+    /// (ps[j+1] - g·dl[j])` turns "can this start still tie the incumbent"
+    /// into a single comparison. `sm` is rebuilt (one O(k) pass) only when
+    /// the incumbent *intensity* changes — tie-break replacements at equal
+    /// `g` keep it valid.
+    ///
     /// Visit strategy: the start with the largest bound is swept first to
     /// seed the incumbent near the true maximum, then the remaining starts
-    /// are visited ascending and skipped outright when their bound is
-    /// strictly below the incumbent. Per kept start the deadline sweep
+    /// are visited ascending and skipped outright when either bound proves
+    /// them strictly below the incumbent. Per kept start the deadline sweep
     /// begins at the first deadline `>= a` (earlier jobs cannot be released
     /// at/after `a`) and stops at the certified tail cutoff.
-    fn critical_interval(&mut self, active: &[Active], candidates: &mut u64) -> (f64, f64, f64) {
+    fn critical_interval(&mut self, active: &ActiveSet, candidates: &mut u64) -> (f64, f64, f64) {
         debug_assert!(!active.is_empty());
         let k = active.len();
         let inflate = 1.0 + (2.0 * k as f64 + 16.0) * f64::EPSILON;
@@ -293,9 +470,10 @@ impl FastScratch {
         self.sort_keys.clear();
         self.sort_keys.extend(
             active
+                .deadline
                 .iter()
                 .enumerate()
-                .map(|(i, j)| ((total_cmp_key(j.deadline) as u128) << 32) | i as u128),
+                .map(|(i, &d)| ((total_cmp_key(d) as u128) << 32) | i as u128),
         );
         self.sort_keys.sort_unstable();
         self.by_deadline.clear();
@@ -305,18 +483,18 @@ impl FastScratch {
         self.rl.clear();
         self.wk.clear();
         for &idx in &self.by_deadline {
-            let j = &active[idx as usize];
-            self.dl.push(j.deadline);
-            self.rl.push(j.release);
-            self.wk.push(j.work);
+            self.dl.push(active.deadline[idx as usize]);
+            self.rl.push(active.release[idx as usize]);
+            self.wk.push(active.work[idx as usize]);
         }
 
         self.sort_keys.clear();
         self.sort_keys.extend(
             active
+                .release
                 .iter()
                 .enumerate()
-                .map(|(i, j)| ((total_cmp_key(j.release) as u128) << 32) | i as u128),
+                .map(|(i, &r)| ((total_cmp_key(r) as u128) << 32) | i as u128),
         );
         self.sort_keys.sort_unstable();
         self.by_release.clear();
@@ -324,7 +502,7 @@ impl FastScratch {
             .extend(self.sort_keys.iter().map(|&v| v as u32));
         self.starts.clear();
         self.starts
-            .extend(self.by_release.iter().map(|&i| active[i as usize].release));
+            .extend(self.by_release.iter().map(|&i| active.release[i as usize]));
         self.starts.dedup_by(|a, b| a == b);
 
         // Suffix scan (releases descending): accumulate work and the minimum
@@ -339,10 +517,10 @@ impl FastScratch {
             let mut dmin = f64::INFINITY;
             for s in (0..self.starts.len()).rev() {
                 let a = self.starts[s];
-                while ptr > 0 && active[self.by_release[ptr - 1] as usize].release >= a {
-                    let j = &active[self.by_release[ptr - 1] as usize];
-                    work += j.work;
-                    dmin = dmin.min(j.deadline);
+                while ptr > 0 && active.release[self.by_release[ptr - 1] as usize] >= a {
+                    let i = self.by_release[ptr - 1] as usize;
+                    work += active.work[i];
+                    dmin = dmin.min(active.deadline[i]);
                     ptr -= 1;
                 }
                 let w_infl = work * inflate;
@@ -354,6 +532,17 @@ impl FastScratch {
                     f64::INFINITY
                 };
             }
+        }
+
+        // Prefix sums over the deadline order (the epigraph filter's
+        // numerators).
+        self.ps.clear();
+        self.ps.reserve(k + 1);
+        self.ps.push(0.0);
+        let mut acc = 0.0f64;
+        for &w in &self.wk {
+            acc += w;
+            self.ps.push(acc);
         }
 
         // Inverse permutation and the linked list over deadline ranks.
@@ -387,13 +576,24 @@ impl FastScratch {
         let mut best = (0.0, 0.0, f64::NEG_INFINITY); // (a, b, g)
         let mut evaluated = 0u64;
         self.sweep_start_array(seed, &mut best, &mut evaluated);
+
+        // Epigraph state: `sm` is valid for incumbent intensity `sm_g`;
+        // `sm_slack` absorbs every float error of the test (prefix-sum
+        // drift, the `g·dl` products, the comparisons), all anchored on
+        // absolute scales so tiny segment sums inside a large total are
+        // still covered. The filter is disabled for non-positive or huge
+        // incumbents (±inf arithmetic would produce NaNs; above ~1e300 an
+        // overflowed candidate division could evade the slack).
+        let mut sm_g = f64::NAN;
+        let mut sm_slack = 0.0f64;
+        let mut lo_ptr = 0usize;
         let mut rel_ptr = 0usize;
         for si in 0..self.starts.len() {
             // The ascending start passed these jobs' releases: unlink them.
             let a = self.starts[si];
             while rel_ptr < k {
                 let idx = self.by_release[rel_ptr] as usize;
-                if active[idx].release >= a {
+                if active.release[idx] >= a {
                     break;
                 }
                 let r = self.rank[idx];
@@ -408,13 +608,67 @@ impl FastScratch {
                 }
                 rel_ptr += 1;
             }
-            if si != seed && self.ub[si] >= best.2 {
-                self.sweep_start_list(si, head, &mut best, &mut evaluated);
+            if si == seed || self.ub[si] < best.2 {
+                continue;
             }
+            if best.2 > 0.0 && best.2 < 1e300 {
+                if sm_g != best.2 {
+                    self.rebuild_sm(best.2);
+                    sm_g = best.2;
+                    sm_slack = self.epigraph_slack(best.2);
+                    self.sm_rebuilds += 1;
+                }
+                while lo_ptr < k && self.dl[lo_ptr] < a {
+                    lo_ptr += 1;
+                }
+                if self.sm[lo_ptr] < self.ps[lo_ptr] - best.2 * a - sm_slack {
+                    self.pruned_starts += 1;
+                    continue;
+                }
+            }
+            self.sweep_start_list(si, head, &mut best, &mut evaluated);
         }
         *candidates += evaluated;
         debug_assert!(best.2 > f64::NEG_INFINITY);
         (best.0, best.1, best.2)
+    }
+
+    /// Rebuild the epigraph suffix maxima for incumbent intensity `g`:
+    /// `sm[j] = max_{t >= j} (ps[t+1] - g·dl[t])`, `sm[k] = -inf`. All
+    /// inputs are finite here (`g` is a finite positive incumbent, `ps` and
+    /// `dl` are finite), so no NaN can poison the running maximum.
+    fn rebuild_sm(&mut self, g: f64) {
+        let k = self.dl.len();
+        self.sm.clear();
+        self.sm.resize(k + 1, f64::NEG_INFINITY);
+        let mut m = f64::NEG_INFINITY;
+        for j in (0..k).rev() {
+            let f = self.ps[j + 1] - g * self.dl[j];
+            if f > m {
+                m = f;
+            }
+            self.sm[j] = m;
+        }
+    }
+
+    /// Absolute slack certifying the epigraph test at incumbent `g`.
+    ///
+    /// Error sources it must dominate, for `k` jobs of total work `W =
+    /// ps[k]` and time magnitude `T`: the prefix sums drift by `O(kε·W)`
+    /// *absolutely* (a small segment inside a large total inherits the
+    /// total's error), the evaluated accumulators drift by `O(kε)` relative,
+    /// the division and the `g·dl` / `g·a` products each add `O(ε·(W +
+    /// g·T))`. `(8k + 64)·ε·(W + g·T)` covers all of them with an order of
+    /// magnitude to spare; the filter only loses a ~1e-12-relative sliver of
+    /// pruning power for it.
+    fn epigraph_slack(&self, g: f64) -> f64 {
+        let k = self.dl.len();
+        let t_mag = self.dl[0]
+            .abs()
+            .max(self.dl[k - 1].abs())
+            .max(self.starts[0].abs())
+            .max(self.starts[self.starts.len() - 1].abs());
+        (8.0 * k as f64 + 64.0) * f64::EPSILON * (self.ps[k] + g * t_mag)
     }
 
     /// Division filter threshold: a candidate with `acc < best_g·span·(1-4ε)`
@@ -682,21 +936,75 @@ mod tests {
         .collect()
     }
 
+    /// Run the fast finder directly (bypassing the small-n entry cutoff) and
+    /// assert bitwise agreement with the reference kernel.
+    fn assert_fast_path_matches_reference(jobs: &[Job], alpha: f64) {
+        let mut scratch = FastScratch::default();
+        let mut candidates = 0u64;
+        let fast = run_peels(jobs, alpha, |active| {
+            scratch.critical_interval(active, &mut candidates)
+        });
+        let reference = yds_reference(jobs, alpha);
+        assert_eq!(fast.peels, reference.peels);
+        assert_eq!(fast.energy.to_bits(), reference.energy.to_bits());
+        for (s_fast, s_ref) in fast.speeds.iter().zip(&reference.speeds) {
+            assert_eq!(s_fast.to_bits(), s_ref.to_bits());
+        }
+    }
+
     /// The fast kernel and the retained reference peel agree bit-for-bit:
-    /// same peels, same speeds, same energy.
+    /// same peels, same speeds, same energy. Runs the fast finder directly
+    /// so small random instances exercise the pruning paths rather than the
+    /// entry cutoff.
     #[test]
     fn fast_kernel_matches_reference_bitwise() {
         check::cases(60, 0xFA57, |rng| {
             let jobs = random_jobs(rng, 1..24);
             let alpha = rng.gen_range(1.4f64..3.0);
-            let fast = yds(&jobs, alpha);
-            let reference = yds_reference(&jobs, alpha);
-            assert_eq!(fast.peels, reference.peels);
-            assert_eq!(fast.energy.to_bits(), reference.energy.to_bits());
-            for (s_fast, s_ref) in fast.speeds.iter().zip(&reference.speeds) {
-                assert_eq!(s_fast.to_bits(), s_ref.to_bits());
-            }
+            assert_fast_path_matches_reference(&jobs, alpha);
         });
+    }
+
+    /// The public entry's small-peel cutoff must be invisible in the
+    /// output: instances straddling [`SMALL_PEEL_CUTOFF`] agree with the
+    /// reference bit-for-bit on both sides of the boundary (instances above
+    /// it still cross the boundary mid-call as peels shrink the active set).
+    #[test]
+    fn cutoff_boundary_is_bit_identical() {
+        let mut rng = <StdRng as ssp_prng::SeedableRng>::seed_from_u64(0xC07F);
+        for n in [
+            SMALL_PEEL_CUTOFF - 2,
+            SMALL_PEEL_CUTOFF - 1,
+            SMALL_PEEL_CUTOFF,
+            SMALL_PEEL_CUTOFF + 1,
+            2 * SMALL_PEEL_CUTOFF,
+        ] {
+            let jobs = random_jobs(&mut rng, n..n + 1);
+            assert_eq!(jobs.len(), n);
+            let fast = yds(&jobs, 2.2);
+            let reference = yds_reference(&jobs, 2.2);
+            assert_eq!(fast.peels, reference.peels, "n={n}");
+            assert_eq!(fast.energy.to_bits(), reference.energy.to_bits(), "n={n}");
+            for (s_fast, s_ref) in fast.speeds.iter().zip(&reference.speeds) {
+                assert_eq!(s_fast.to_bits(), s_ref.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    /// A warm arena must return the same bits as a fresh [`yds`] call — in
+    /// particular, stale buffer contents from a *larger* earlier list must
+    /// never leak into a smaller one.
+    #[test]
+    fn arena_energy_matches_yds_bitwise() {
+        let mut arena = YdsArena::default();
+        let mut rng = <StdRng as ssp_prng::SeedableRng>::seed_from_u64(0xA2E7A);
+        // Sizes deliberately zig-zag across the peel cutoff.
+        for n in [40usize, 3, 70, 1, 33, 12, 64, 2] {
+            let jobs = random_jobs(&mut rng, n..n + 1);
+            let fresh = yds(&jobs, 2.3).energy;
+            let warm = yds_energy_in(&mut arena, &jobs, 2.3);
+            assert_eq!(warm.to_bits(), fresh.to_bits(), "n={n}");
+        }
     }
 
     /// Scale laws: multiplying works by c multiplies OPT by c^alpha;

@@ -1,0 +1,209 @@
+//! Property tests for the pricing edges of the online dispatch stack
+//! (tier-1, pinned seeds).
+//!
+//! Two memoized YDS pricers sit on the dispatch hot path:
+//!
+//! * [`LiveEval`] prices a machine's live window for the density-aware
+//!   streaming policy — but only while the total live job count stays at or
+//!   under the engine's `price_cap`; past the cap it falls back to
+//!   overlapped-density counting.
+//! * [`YdsEval`] prices local-search candidates over a closed instance and
+//!   commits them with `apply`.
+//!
+//! The walls here pin the edges of both: the price cap must be invisible
+//! until it actually binds (and really engage past it), a memoized marginal
+//! must equal the fresh-kernel marginal bit for bit no matter how windows
+//! mutate between queries, and `apply` must never leave a stale price
+//! behind in the memoized per-machine energies.
+
+use ssp_core::eval::{Candidate, LiveEval, YdsEval};
+use ssp_model::Job;
+use ssp_online::{EngineOptions, LbMode, Policy, StreamEngine};
+use ssp_prng::{check, Rng, SeedableRng, StdRng};
+use ssp_single::yds::yds;
+use ssp_workloads::{families, stream_family};
+
+/// Run a density-aware stream under `price_cap` and return the dispatch
+/// sequence plus the finished report.
+fn run_capped(n: usize, seed: u64, price_cap: usize) -> (Vec<usize>, ssp_online::StreamReport) {
+    let spec = stream_family("bursty", 3, 2.2).expect("known family");
+    let opts = EngineOptions::new(3, 2.2)
+        .policy(Policy::DensityAware)
+        .lower_bound(LbMode::Off)
+        .price_cap(price_cap);
+    let mut engine = StreamEngine::new(opts).unwrap();
+    let mut placements = Vec::with_capacity(n);
+    for job in spec.jobs(seed).take(n) {
+        placements.push(engine.push(job).unwrap());
+    }
+    (placements, engine.finish().unwrap())
+}
+
+#[test]
+fn price_cap_is_invisible_until_it_binds() {
+    // Reference run with an unbindable cap: every decision prices marginal
+    // YDS energies exactly.
+    let (exact_placements, exact) = run_capped(300, 7, usize::MAX >> 1);
+    assert_eq!(exact.density_fallbacks, 0, "unbindable cap must never bind");
+
+    // A cap at the observed live peak never binds either (the policy
+    // prices when `live <= cap`, and pick-time live is below the post-push
+    // peak), so the whole run must replay bit-identically.
+    let (tight_placements, tight) = run_capped(300, 7, exact.peak_live);
+    assert_eq!(
+        tight.density_fallbacks, 0,
+        "cap at the live peak must not bind"
+    );
+    assert_eq!(
+        exact_placements, tight_placements,
+        "a non-binding cap changed a dispatch decision"
+    );
+    assert_eq!(
+        exact.energy.to_bits(),
+        tight.energy.to_bits(),
+        "a non-binding cap changed the schedule energy"
+    );
+
+    // Cap 0: every multi-job decision falls back to overlap counting. The
+    // run must still be total and produce a valid finite schedule.
+    let (_, capped) = run_capped(300, 7, 0);
+    assert!(
+        capped.density_fallbacks > 0,
+        "a zero cap must engage the overlap fallback"
+    );
+    assert!(
+        capped.energy.is_finite() && capped.energy > 0.0,
+        "fallback schedule energy must stay finite, got {}",
+        capped.energy
+    );
+    assert_eq!(capped.arrivals, 300);
+}
+
+#[test]
+fn live_marginal_matches_fresh_kernel_bitwise() {
+    // LiveEval's memoized marginal vs the fresh kernel difference, across
+    // randomized windows that grow, shrink (expiry-style retain), and
+    // repeat — repeats exercise memo hits, shrinks exercise the key
+    // discipline (a changed window must never alias an old price).
+    check::cases(40, 0x9A1CE, |rng| {
+        let alpha = rng.gen_range(1.4f64..3.0);
+        let mut eval = LiveEval::new(alpha);
+        let mut window: Vec<Job> = Vec::new();
+        let mut next_id = 0u32;
+        for _ in 0..30 {
+            let action = rng.gen_range(0u32..4);
+            if action == 0 && !window.is_empty() {
+                // Expire the oldest jobs, order-preserving.
+                let cut = rng.gen_range(0usize..window.len());
+                window.drain(..cut);
+            } else {
+                let r = rng.gen_range(0.0f64..8.0);
+                window.push(Job::new(
+                    next_id,
+                    rng.gen_range(0.05f64..2.0),
+                    r,
+                    r + rng.gen_range(0.1f64..5.0),
+                ));
+                next_id += 1;
+            }
+            let r = rng.gen_range(0.0f64..8.0);
+            let candidate = Job::new(
+                next_id,
+                rng.gen_range(0.05f64..2.0),
+                r,
+                r + rng.gen_range(0.1f64..5.0),
+            );
+            next_id += 1;
+            let memoized = eval.marginal(&window, &candidate);
+            let mut appended = window.clone();
+            appended.push(candidate);
+            let fresh = yds(&appended, alpha).energy - yds(&window, alpha).energy;
+            assert_eq!(
+                memoized.to_bits(),
+                fresh.to_bits(),
+                "marginal diverged from fresh kernel: {memoized} vs {fresh} \
+                 (window of {} jobs)",
+                window.len()
+            );
+        }
+    });
+}
+
+#[test]
+fn apply_never_serves_a_stale_machine_price() {
+    // Random walks of Move/Swap applies over a YdsEval. After every
+    // commit, each machine's memoized energy must equal a fresh kernel
+    // solve of its (insertion-ordered) job list — a stale memo entry or a
+    // missed invalidation shows up as a bit mismatch. The shadow groups
+    // mirror the documented order contract: append on add, order-
+    // preserving filter on remove.
+    let instance = families::general(40, 4, 2.1).gen(0x9A1CF);
+    let m = instance.machines();
+    let mut rng = <StdRng as SeedableRng>::seed_from_u64(0x9A1D0);
+    let mut eval = YdsEval::new(&instance);
+    let mut shadow: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut machine_of: Vec<usize> = Vec::with_capacity(instance.len());
+    for i in 0..instance.len() {
+        let p = rng.gen_range(0usize..m);
+        eval.add(i, p);
+        shadow[p].push(i);
+        machine_of.push(p);
+    }
+
+    let verify = |eval: &YdsEval, shadow: &[Vec<usize>], step: usize| {
+        for (p, group) in shadow.iter().enumerate() {
+            let jobs: Vec<Job> = group.iter().map(|&i| *instance.job(i)).collect();
+            let fresh = yds(&jobs, instance.alpha()).energy;
+            assert_eq!(
+                eval.machine_energy(p).to_bits(),
+                fresh.to_bits(),
+                "step {step}: machine {p} serves a stale price: memo {} vs fresh {fresh}",
+                eval.machine_energy(p)
+            );
+        }
+    };
+    verify(&eval, &shadow, 0);
+
+    for step in 1..=60 {
+        let candidate = if rng.gen_range(0u32..2) == 0 {
+            let job = rng.gen_range(0usize..instance.len());
+            let to = (machine_of[job] + 1 + rng.gen_range(0usize..m - 1)) % m;
+            Candidate::Move { job, to }
+        } else {
+            let a = rng.gen_range(0usize..instance.len());
+            let mut b = rng.gen_range(0usize..instance.len());
+            while b == a || machine_of[b] == machine_of[a] {
+                b = rng.gen_range(0usize..instance.len());
+            }
+            Candidate::Swap { a, b }
+        };
+        // The committed delta must be exactly what pricing promised.
+        let before: f64 = (0..m).map(|p| eval.machine_energy(p)).sum();
+        let promised = eval.delta_energy(candidate);
+        eval.apply(candidate);
+        match candidate {
+            Candidate::Move { job, to } => {
+                let from = machine_of[job];
+                shadow[from].retain(|&k| k != job);
+                shadow[to].push(job);
+                machine_of[job] = to;
+            }
+            Candidate::Swap { a, b } => {
+                let (pa, pb) = (machine_of[a], machine_of[b]);
+                shadow[pa].retain(|&k| k != a);
+                shadow[pa].push(b);
+                shadow[pb].retain(|&k| k != b);
+                shadow[pb].push(a);
+                machine_of[a] = pb;
+                machine_of[b] = pa;
+            }
+        }
+        let after: f64 = (0..m).map(|p| eval.machine_energy(p)).sum();
+        assert!(
+            ((after - before) - promised).abs() <= 1e-9 * before.abs().max(1.0),
+            "step {step}: committed delta {} vs promised {promised}",
+            after - before
+        );
+        verify(&eval, &shadow, step);
+    }
+}

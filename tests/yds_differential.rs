@@ -16,7 +16,7 @@
 use ssp_model::schedule::ValidationOptions;
 use ssp_model::{Instance, Job};
 use ssp_prng::{check, Rng, StdRng};
-use ssp_single::yds::{yds, yds_reference, yds_schedule};
+use ssp_single::yds::{yds, yds_energy_in, yds_reference, yds_schedule, YdsArena};
 use ssp_workloads::families;
 
 /// Assert the two kernels produce bitwise-identical solutions.
@@ -157,6 +157,113 @@ fn named_families_agree_bitwise() {
             assert_bitwise_equal(inst.jobs(), inst.alpha(), &ctx);
             assert_schedule_feasible(inst.jobs(), inst.alpha(), &ctx);
         }
+    }
+}
+
+#[test]
+fn peel_size_cutoff_boundary_agrees_bitwise() {
+    // The kernel dispatches each peel to the reference scan below
+    // `SMALL_PEEL_CUTOFF` (32) active jobs and to the epigraph sweep above
+    // it; instances sized right around the cutoff make individual peels
+    // land on both sides of the boundary within one solve.
+    check::cases(60, 0xD1FF_0004, |rng| {
+        let n = rng.gen_range(28usize..38);
+        let jobs: Vec<Job> = (0..n)
+            .map(|i| {
+                let r = rng.gen_range(0.0f64..6.0);
+                Job::new(
+                    i as u32,
+                    rng.gen_range(0.1f64..3.0),
+                    r,
+                    r + rng.gen_range(0.2f64..8.0),
+                )
+            })
+            .collect();
+        let alpha = rng.gen_range(1.4f64..3.0);
+        assert_bitwise_equal(&jobs, alpha, "cutoff-boundary");
+    });
+}
+
+#[test]
+fn arena_reuse_agrees_bitwise_across_mixed_calls() {
+    // The arena entry point (`yds_energy_in`) reuses one set of kernel
+    // buffers across calls — the allocation-free path `YdsEval`/`LiveEval`
+    // take. Interleaving instance sizes and families through a single warm
+    // arena must leave every energy bit-identical to a fresh solve: no
+    // stale buffer contents may leak between calls.
+    let mut arena = YdsArena::default();
+    let mut rng = <StdRng as ssp_prng::SeedableRng>::seed_from_u64(0xD1FF_0005);
+    for round in 0..30 {
+        let jobs: Vec<Job> = if round % 3 == 0 {
+            let inst = families::laminar_nested(5 + (round % 7) * 13, 1, 2.0, round as u64);
+            inst.jobs().to_vec()
+        } else if round % 3 == 1 {
+            let inst = families::crossing(4 + (round % 5) * 17, 1, 2.0, round as u64);
+            inst.jobs().to_vec()
+        } else {
+            let n = rng.gen_range(1usize..70);
+            (0..n)
+                .map(|i| {
+                    let r = rng.gen_range(0.0f64..10.0);
+                    Job::new(
+                        i as u32,
+                        rng.gen_range(0.05f64..2.5),
+                        r,
+                        r + rng.gen_range(0.1f64..6.0),
+                    )
+                })
+                .collect()
+        };
+        let alpha = 1.5 + (round % 4) as f64 * 0.4;
+        let warm = yds_energy_in(&mut arena, &jobs, alpha);
+        let fresh = yds(&jobs, alpha).energy;
+        assert_eq!(
+            warm.to_bits(),
+            fresh.to_bits(),
+            "round {round}: warm arena energy {warm} vs fresh {fresh}"
+        );
+    }
+}
+
+#[test]
+fn arena_handles_zero_width_and_duplicate_deadlines() {
+    // The degenerate cases go through the same reused buffers: zero-width
+    // windows (infinite peel speed) followed by well-posed instances must
+    // not poison later calls.
+    let mut arena = YdsArena::default();
+    let degenerate = vec![
+        Job::new(0, 1.0, 2.0, 2.0),
+        Job::new(1, 0.5, 0.0, 4.0),
+        Job::new(2, 0.7, 2.0, 2.0),
+    ];
+    let warm = yds_energy_in(&mut arena, &degenerate, 2.0);
+    assert!(warm.is_infinite(), "zero-width windows must cost infinity");
+    // Duplicate deadlines on a coarse grid, solved right after the
+    // degenerate call on the same arena.
+    let dup: Vec<Job> = (0..24)
+        .map(|i| Job::new(i as u32, 0.3 + (i % 5) as f64 * 0.2, (i % 4) as f64, 4.0))
+        .collect();
+    let warm = yds_energy_in(&mut arena, &dup, 2.0);
+    let fresh = yds_reference(&dup, 2.0).energy;
+    assert_eq!(
+        warm.to_bits(),
+        fresh.to_bits(),
+        "duplicate-deadline energy {warm} vs reference {fresh} after a degenerate call"
+    );
+}
+
+#[test]
+fn larger_family_instances_agree_bitwise() {
+    // Deeper laminar/crossing cases than `named_families_agree_bitwise`:
+    // enough peels that the epigraph sweep, the start filter, and the
+    // per-peel dispatch all fire many times (reference side stays feasible
+    // for tier-1 at n=160).
+    for (name, inst) in [
+        ("laminar", families::laminar_nested(160, 1, 2.0, 7)),
+        ("crossing", families::crossing(160, 1, 2.0, 7)),
+        ("general", families::general(160, 1, 2.0).gen(7)),
+    ] {
+        assert_bitwise_equal(inst.jobs(), inst.alpha(), name);
     }
 }
 
