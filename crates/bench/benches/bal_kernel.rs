@@ -14,12 +14,18 @@
 //!   committed `BENCH_bal.json` at the repo root is produced this way;
 //!   `SSP_BENCH_HISTORY=<path>` additionally appends the cells to the
 //!   `BENCH_history.jsonl` trajectory for `speedscale bench-diff`.
+//!
+//! Each cell also carries a kernel column (`ladder_dinic_ms` /
+//! `kernel_speedup`): the same ladder run with the WAP interval sweep
+//! disabled (`WapKernel::Flow`), isolating the structure-aware fast path's
+//! contribution from the ladder's probe-count savings. The two kernels must
+//! agree on the final energy to the bit — asserted on every cell.
 
 use ssp_bench::artifact::{Artifact, CellBuilder};
 use ssp_bench::fixture;
 use ssp_bench::harness::{BenchmarkId, Criterion};
 use ssp_migratory::bal::{try_bal_with_wap_strategy, BalSolution, ProbeStrategy};
-use ssp_migratory::wap::Wap;
+use ssp_migratory::wap::{Wap, WapKernel};
 use ssp_model::{Budget, Instance};
 use ssp_workloads::families;
 use std::hint::black_box;
@@ -39,11 +45,22 @@ fn family_instance(family: &str, n: usize) -> Instance {
     }
 }
 
-/// One end-to-end solve (WAP construction included) under `strategy`.
-fn solve(instance: &Instance, strategy: ProbeStrategy) -> BalSolution {
-    let (wap, intervals) = Wap::from_instance(instance);
+/// One end-to-end solve (WAP construction included) under `strategy`,
+/// with the WAP feasibility kernel pinned to `kernel`.
+fn solve_with_kernel(
+    instance: &Instance,
+    strategy: ProbeStrategy,
+    kernel: WapKernel,
+) -> BalSolution {
+    let (mut wap, intervals) = Wap::from_instance(instance);
+    wap.set_kernel(kernel);
     try_bal_with_wap_strategy(instance, wap, intervals, Budget::unlimited(), strategy)
         .expect("BAL is total on feasible instances")
+}
+
+/// One end-to-end solve under the default (`Auto`) kernel dispatch.
+fn solve(instance: &Instance, strategy: ProbeStrategy) -> BalSolution {
+    solve_with_kernel(instance, strategy, WapKernel::Auto)
 }
 
 fn kernels(c: &mut Criterion) {
@@ -63,7 +80,7 @@ fn kernels(c: &mut Criterion) {
 }
 
 /// One self-timed cell: median wall time and the flow-probe count.
-fn timed_cell(instance: &Instance, strategy: ProbeStrategy) -> (f64, u64) {
+fn timed_cell(instance: &Instance, strategy: ProbeStrategy, kernel: WapKernel) -> (f64, u64) {
     // Median of an odd number of reps; the large cells run once or thrice —
     // BAL at n=1600 is seconds, not microseconds.
     let reps = (2_000_000 / (instance.len() * instance.len())).clamp(3, 21) | 1;
@@ -71,7 +88,7 @@ fn timed_cell(instance: &Instance, strategy: ProbeStrategy) -> (f64, u64) {
     let mut times: Vec<f64> = (0..reps)
         .map(|_| {
             let t = Instant::now();
-            let sol = solve(instance, strategy);
+            let sol = solve_with_kernel(instance, strategy, kernel);
             let ms = t.elapsed().as_secs_f64() * 1e3;
             probes = sol.flow_computations as u64;
             black_box(sol.energy);
@@ -88,13 +105,23 @@ fn sweep_artifact() -> Artifact {
     for family in FAMILIES {
         for n in SIZES {
             let instance = family_instance(family, n);
-            let (ladder_ms, ladder_probes) = timed_cell(&instance, ProbeStrategy::Ladder);
-            let (bisect_ms, bisect_probes) = timed_cell(&instance, ProbeStrategy::Bisection);
+            let (ladder_ms, ladder_probes) =
+                timed_cell(&instance, ProbeStrategy::Ladder, WapKernel::Auto);
+            let (bisect_ms, bisect_probes) =
+                timed_cell(&instance, ProbeStrategy::Bisection, WapKernel::Auto);
+            // The kernel column: the same ladder run with the interval sweep
+            // disabled (generic flow engine only), so the fast path's
+            // contribution is visible separately from the ladder's probe
+            // savings.
+            let (ladder_dinic_ms, _) =
+                timed_cell(&instance, ProbeStrategy::Ladder, WapKernel::Flow);
             let ladder_e = solve(&instance, ProbeStrategy::Ladder).energy;
             let bisect_e = solve(&instance, ProbeStrategy::Bisection).energy;
+            let dinic_e =
+                solve_with_kernel(&instance, ProbeStrategy::Ladder, WapKernel::Flow).energy;
             eprintln!(
-                "bal_kernel {family} n={n}: ladder {ladder_ms:.2}ms/{ladder_probes} probes, \
-                 bisect {bisect_ms:.2}ms/{bisect_probes} probes"
+                "bal_kernel {family} n={n}: ladder {ladder_ms:.2}ms/{ladder_probes} probes \
+                 (dinic-only {ladder_dinic_ms:.2}ms), bisect {bisect_ms:.2}ms/{bisect_probes} probes"
             );
             let rel = (ladder_e - bisect_e).abs() / bisect_e.abs().max(1e-300);
             // Both strategies stop inside the probe classifier's 1e-9
@@ -104,11 +131,21 @@ fn sweep_artifact() -> Artifact {
                 rel <= 1e-8,
                 "strategy energy mismatch on {family} n={n}: ladder={ladder_e} bisect={bisect_e}"
             );
+            // Kernel choice, by contrast, must be invisible: both kernels
+            // classify every probe identically (the sweep's certificate and
+            // cut sides are canonical), so the energies agree to the bit.
+            assert_eq!(
+                ladder_e.to_bits(),
+                dinic_e.to_bits(),
+                "kernel energy mismatch on {family} n={n}: sweep={ladder_e} dinic={dinic_e}"
+            );
             cells.push(
                 CellBuilder::new(family, n)
                     .metric_ms("ladder_ms", ladder_ms)
                     .metric_ms("bisect_ms", bisect_ms)
+                    .metric_ms("ladder_dinic_ms", ladder_dinic_ms)
                     .num("speedup", bisect_ms / ladder_ms, 2)
+                    .num("kernel_speedup", ladder_dinic_ms / ladder_ms, 2)
                     .int("ladder_probes", ladder_probes)
                     .int("bisect_probes", bisect_probes)
                     .num("energy", ladder_e, 6)

@@ -19,7 +19,7 @@ use crate::table::{Cell, Table};
 use crate::RunCfg;
 use ssp_migratory::bal::bal;
 use ssp_migratory::kkt::certify;
-use ssp_migratory::wap::Wap;
+use ssp_migratory::wap::{Wap, WapKernel};
 use ssp_model::numeric::{bisect_threshold, Tol, BINARY_SEARCH_REL_WIDTH};
 use ssp_model::Instance;
 use ssp_workloads::{families, subseed};
@@ -127,7 +127,10 @@ pub fn run(cfg: &RunCfg) -> Vec<Table> {
     let mut warm_total = 0u64;
     for &n in &sizes {
         let inst = families::general(n, 4, 2.0).gen(subseed(cfg.seed ^ 0x18, n as u64));
-        let (wap, _) = Wap::from_instance(&inst);
+        let (mut wap, _) = Wap::from_instance(&inst);
+        // This experiment measures the *generic flow engine's* warm-start
+        // repair; the sweep kernel never touches those counters.
+        wap.set_kernel(WapKernel::Flow);
         let (lo, hi) = speed_bracket(&inst, &wap);
         let (v_cold, cold_ms, cold_work, probes_cold) = run_bisection(&inst, &wap, lo, hi, false);
         let (v_warm, warm_ms, warm_work, probes_warm) = run_bisection(&inst, &wap, lo, hi, true);

@@ -120,14 +120,19 @@ fn counters_match_solver_accounting() {
         "trace and BalSolution must agree on flow-call count"
     );
     assert_eq!(trace.counter("bal.rounds"), sol.rounds.len() as u64);
-    // Every flow computation is either a cold Dinic run or a warm restart
-    // of a previous one (the parametric bisection path).
+    // Every flow computation either ran the generic engine (cold Dinic
+    // rebuild, warm restart of a previous run, or a resume seeded from the
+    // sweep's greedy flow) or was answered entirely by the certified sweep
+    // fast path, which never touches the network.
     assert!(
-        trace.counter("maxflow.rebuild") + trace.counter("maxflow.warm_reuse")
+        trace.counter("maxflow.rebuild")
+            + trace.counter("maxflow.warm_reuse")
+            + trace.counter("maxflow.dinic.seeded_resumes")
+            + trace.counter("wap.fast_path")
             >= sol.flow_computations as u64
     );
     assert!(
-        trace.counter("maxflow.warm_reuse") > 0,
-        "the BAL bisection must warm-start its probes"
+        trace.counter("maxflow.warm_reuse") + trace.counter("wap.fast_path") > 0,
+        "probes must be answered warm-started or by the sweep fast path"
     );
 }

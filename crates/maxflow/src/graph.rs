@@ -5,28 +5,34 @@
 //! previous maximum flow instead of recomputing it from scratch — the
 //! primitive behind the warm-started BAL bisection (see
 //! `DESIGN.md` §"Parametric max-flow").
+//!
+//! Layout: the edge store is flat structure-of-arrays (`to`/`cap`/`orig`/
+//! `eps`, pairs at `2k`/`2k+1`) and adjacency is a CSR index built from the
+//! edge list by a stable counting sort, so the BFS/DFS hot loops walk two
+//! contiguous arrays instead of chasing one heap allocation per node. The
+//! counting sort preserves insertion order within each node, which keeps
+//! traversal order — and therefore every flow, residual pattern, and cut —
+//! bit-identical to the per-node `Vec` adjacency this replaced.
 
 /// Handle to a *forward* edge added with [`FlowNetwork::add_edge`]. Used to
 /// read back the flow it carries after [`FlowNetwork::max_flow`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EdgeId(usize);
 
-#[derive(Debug, Clone)]
-struct Edge {
-    to: usize,
-    /// Remaining residual capacity.
-    cap: f64,
-    /// Original capacity (forward edges) or 0 (reverse edges).
-    orig: f64,
-    /// Saturation threshold: residual below this counts as zero. Scales with
-    /// the *pair's* original capacity so that networks mixing very large and
-    /// very small capacities (common in scheduling: long and short intervals)
-    /// classify each edge at its own magnitude.
-    eps: f64,
-}
-
 /// Relative per-edge saturation threshold.
 const EDGE_EPS_REL: f64 = 1e-12;
+
+/// A per-node drain budget during [`FlowNetwork::repair`]: the node's
+/// recorded surplus, consumed as repair passes route it away.
+#[derive(Debug, Clone, Copy)]
+struct Budget {
+    node: usize,
+    /// Remaining un-drained amount.
+    rem: f64,
+    /// Exhaustion threshold (`initial · EDGE_EPS_REL`), fixed at collection
+    /// exactly like a helper edge's epsilon would be at `add_edge`.
+    eps: f64,
+}
 
 /// A directed flow network. Nodes are `0..n`; parallel edges are allowed.
 ///
@@ -39,9 +45,24 @@ const EDGE_EPS_REL: f64 = 1e-12;
 /// residual connectivity.
 #[derive(Debug, Clone)]
 pub struct FlowNetwork {
-    /// `adj[v]` = indices into `edges` (edge pairs are at `2k`, `2k+1`).
-    adj: Vec<Vec<usize>>,
-    edges: Vec<Edge>,
+    num_nodes: usize,
+    /// Head of each directed edge (pairs at `2k`, `2k+1`).
+    to: Vec<u32>,
+    /// Remaining residual capacity per directed edge.
+    cap: Vec<f64>,
+    /// Original capacity (forward edges) or 0 (reverse edges).
+    orig: Vec<f64>,
+    /// Saturation threshold per directed edge. Scales with the *pair's*
+    /// original capacity so that networks mixing very large and very small
+    /// capacities (common in scheduling: long and short intervals) classify
+    /// each edge at its own magnitude.
+    eps: Vec<f64>,
+    /// CSR adjacency over the edge store: node `u`'s incident edge indices
+    /// are `csr_edges[csr_start[u]..csr_start[u+1]]`, in insertion order.
+    csr_start: Vec<u32>,
+    csr_edges: Vec<u32>,
+    /// Set by `add_edge`/`add_node`; the next solve rebuilds the CSR.
+    csr_stale: bool,
     /// Source of the last `max_flow` call (for reachability queries).
     last_source: Option<usize>,
     /// Sink of the last `max_flow` call.
@@ -54,7 +75,10 @@ pub struct FlowNetwork {
     needs_rebuild: bool,
     // Scratch buffers reused across blocking-flow phases.
     level: Vec<i32>,
-    iter: Vec<usize>,
+    /// Per-node DFS cursor: an absolute index into `csr_edges`, running to
+    /// `csr_start[u+1]` (one past, for the virtual drain edge — see
+    /// [`FlowNetwork::repair`]).
+    iter: Vec<u32>,
     /// Per-node conservation imbalance (inflow − outflow) accumulated by
     /// draining [`FlowNetwork::set_capacity`] calls, repaired lazily by the
     /// next [`FlowNetwork::max_flow_incremental`]. Positive = surplus.
@@ -67,8 +91,14 @@ impl FlowNetwork {
     /// An empty network with `n` nodes.
     pub fn new(n: usize) -> Self {
         FlowNetwork {
-            adj: vec![Vec::new(); n],
-            edges: Vec::new(),
+            num_nodes: n,
+            to: Vec::new(),
+            cap: Vec::new(),
+            orig: Vec::new(),
+            eps: Vec::new(),
+            csr_start: vec![0; n + 1],
+            csr_edges: Vec::new(),
+            csr_stale: false,
             last_source: None,
             last_sink: None,
             flow_value: 0.0,
@@ -82,61 +112,109 @@ impl FlowNetwork {
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.num_nodes
     }
 
     /// Number of forward edges.
     pub fn num_edges(&self) -> usize {
-        self.edges.len() / 2
+        self.to.len() / 2
     }
 
     /// Append a new node, returning its index.
     pub fn add_node(&mut self) -> usize {
-        self.adj.push(Vec::new());
+        self.num_nodes += 1;
         self.level.push(-1);
         self.iter.push(0);
         self.imbalance.push(0.0);
-        self.adj.len() - 1
+        self.csr_stale = true;
+        self.num_nodes - 1
     }
 
     /// Add a directed edge `u → v` with capacity `cap >= 0`.
     pub fn add_edge(&mut self, u: usize, v: usize, cap: f64) -> EdgeId {
         assert!(
-            u < self.adj.len() && v < self.adj.len(),
+            u < self.num_nodes && v < self.num_nodes,
             "edge endpoint out of range"
         );
         assert!(
             cap >= 0.0 && cap.is_finite(),
             "capacity must be finite and >= 0, got {cap}"
         );
-        let id = self.edges.len();
+        let id = self.to.len();
         let eps = cap * EDGE_EPS_REL;
-        self.adj[u].push(id);
-        self.edges.push(Edge {
-            to: v,
-            cap,
-            orig: cap,
-            eps,
-        });
-        self.adj[v].push(id + 1);
-        self.edges.push(Edge {
-            to: u,
-            cap: 0.0,
-            orig: 0.0,
-            eps,
-        });
+        self.to.push(v as u32);
+        self.cap.push(cap);
+        self.orig.push(cap);
+        self.eps.push(eps);
+        self.to.push(u as u32);
+        self.cap.push(0.0);
+        self.orig.push(0.0);
+        self.eps.push(eps);
+        self.csr_stale = true;
         EdgeId(id)
+    }
+
+    /// Rebuild the CSR adjacency from the edge list: a stable counting sort
+    /// by tail node, so each node's incident edges appear in insertion
+    /// order — exactly the order a per-node adjacency `Vec` would hold.
+    fn rebuild_csr(&mut self) {
+        let n = self.num_nodes;
+        self.csr_start.clear();
+        self.csr_start.resize(n + 1, 0);
+        for id in 0..self.to.len() {
+            // Tail of edge `id` is the head of its partner.
+            self.csr_start[self.to[id ^ 1] as usize + 1] += 1;
+        }
+        for u in 0..n {
+            self.csr_start[u + 1] += self.csr_start[u];
+        }
+        self.csr_edges.resize(self.to.len(), 0);
+        // `iter` doubles as the insertion cursor; it is reset at the start
+        // of every blocking-flow phase anyway.
+        self.iter.copy_from_slice(&self.csr_start[..n]);
+        for id in 0..self.to.len() {
+            let u = self.to[id ^ 1] as usize;
+            self.csr_edges[self.iter[u] as usize] = id as u32;
+            self.iter[u] += 1;
+        }
+        self.csr_stale = false;
+    }
+
+    /// Fresh CSR adjacency ignoring (not updating) the cached one — the
+    /// slow path for `&self` queries issued while the cache is stale.
+    fn build_csr_fresh(&self) -> (Vec<u32>, Vec<u32>) {
+        let n = self.num_nodes;
+        let mut start = vec![0u32; n + 1];
+        for id in 0..self.to.len() {
+            start[self.to[id ^ 1] as usize + 1] += 1;
+        }
+        for u in 0..n {
+            start[u + 1] += start[u];
+        }
+        let mut cursor: Vec<u32> = start[..n].to_vec();
+        let mut edges = vec![0u32; self.to.len()];
+        for id in 0..self.to.len() {
+            let u = self.to[id ^ 1] as usize;
+            edges[cursor[u] as usize] = id as u32;
+            cursor[u] += 1;
+        }
+        (start, edges)
+    }
+
+    fn ensure_csr(&mut self) {
+        if self.csr_stale {
+            self.rebuild_csr();
+        }
     }
 
     /// Flow currently routed through a forward edge (its reverse residual).
     pub fn flow(&self, e: EdgeId) -> f64 {
-        let fwd = &self.edges[e.0];
-        (fwd.orig - fwd.cap).max(0.0)
+        (self.orig[e.0] - self.cap[e.0]).max(0.0)
     }
 
     /// Remaining residual capacity of a forward edge.
     pub fn residual(&self, e: EdgeId) -> f64 {
-        self.edges[e.0].cap
+        self.cap[e.0]
     }
 
     /// Current capacity parameter of a forward edge (as set at
@@ -145,25 +223,24 @@ impl FlowNetwork {
     /// the capacity of a saturated cut edge, unlike [`flow`](FlowNetwork::flow),
     /// is exact — no max-flow arithmetic noise.
     pub fn capacity(&self, e: EdgeId) -> f64 {
-        self.edges[e.0].orig
+        self.orig[e.0]
     }
 
     /// Is a forward edge saturated (residual below its epsilon)?
     pub fn is_saturated(&self, e: EdgeId) -> bool {
-        self.edges[e.0].cap <= self.edges[e.0].eps
+        self.cap[e.0] <= self.eps[e.0]
     }
 
     /// Compute a maximum `s → t` flow (Dinic) and return its value. Resets
     /// any previous flow first, so the call is idempotent.
     pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
         assert!(
-            s < self.adj.len() && t < self.adj.len(),
+            s < self.num_nodes && t < self.num_nodes,
             "terminal out of range"
         );
         assert_ne!(s, t, "source and sink must differ");
-        for e in &mut self.edges {
-            e.cap = e.orig;
-        }
+        self.ensure_csr();
+        self.cap.copy_from_slice(&self.orig);
         for &u in &self.dirty {
             self.imbalance[u] = 0.0;
         }
@@ -188,13 +265,17 @@ impl FlowNetwork {
     fn dinic_augment(&mut self, s: usize, t: usize) -> (f64, u64, u64) {
         let mut added = 0.0;
         let (mut phases, mut augmentations) = (0u64, 0u64);
-        while self.build_levels(s, t) {
+        loop {
+            self.build_levels(&[s]);
+            if self.level[t] < 0 {
+                break;
+            }
             phases += 1;
             // Every augmenting path found in this phase has the same length:
             // the sink's BFS level. One batched histogram record per phase.
             let path_len = self.level[t].max(0) as u64;
             let before = augmentations;
-            self.iter.iter_mut().for_each(|i| *i = 0);
+            self.reset_cursors();
             loop {
                 let pushed = self.blocking_dfs(s, t, f64::INFINITY);
                 if pushed <= 0.0 {
@@ -216,6 +297,56 @@ impl FlowNetwork {
     /// [`set_capacity`]: FlowNetwork::set_capacity
     /// [`max_flow_incremental`]: FlowNetwork::max_flow_incremental
     pub fn flow_value(&self) -> f64 {
+        self.flow_value
+    }
+
+    /// Overwrite the flow carried by a forward edge: its residual becomes
+    /// `capacity − f`, its partner's `f`. This *seeds* the network with an
+    /// externally computed flow (e.g. the sweep kernel's water-filling
+    /// allocation) so [`resume_max_flow`](FlowNetwork::resume_max_flow)
+    /// only has to augment the difference to maximality instead of solving
+    /// cold. The caller is responsible for seeding a conservation-respecting
+    /// flow across all edges it touches; `f` is clamped into
+    /// `[0, capacity]` (summation slivers from the external solver may
+    /// overshoot by an ulp).
+    pub fn set_flow(&mut self, e: EdgeId, f: f64) {
+        let id = e.0;
+        debug_assert!(
+            f.is_finite() && f >= -self.eps[id] && f <= self.orig[id] + self.eps[id],
+            "seeded flow {f} outside [0, {}]",
+            self.orig[id]
+        );
+        let f = f.clamp(0.0, self.orig[id]);
+        self.cap[id] = self.orig[id] - f;
+        self.cap[id ^ 1] = f;
+    }
+
+    /// Run Dinic *without* resetting the carried flow: augment whatever the
+    /// edges currently hold (a flow seeded via
+    /// [`set_flow`](FlowNetwork::set_flow)) to maximality and return the
+    /// exact source outflow. The caller guarantees the carried flow is
+    /// valid — within capacities and conserving at every non-terminal; any
+    /// pending [`set_capacity`](FlowNetwork::set_capacity) imbalance
+    /// records are discarded, since the seeded flow supersedes them.
+    pub fn resume_max_flow(&mut self, s: usize, t: usize) -> f64 {
+        assert!(
+            s < self.num_nodes && t < self.num_nodes,
+            "terminal out of range"
+        );
+        assert_ne!(s, t, "source and sink must differ");
+        self.ensure_csr();
+        for &u in &self.dirty {
+            self.imbalance[u] = 0.0;
+        }
+        self.dirty.clear();
+        self.last_source = Some(s);
+        self.last_sink = Some(t);
+        self.needs_rebuild = false;
+        let (_, phases, augmentations) = self.dinic_augment(s, t);
+        self.flow_value = self.net_source_flow(s);
+        ssp_probe::counter!("maxflow.dinic.seeded_resumes");
+        ssp_probe::counter!("maxflow.dinic.phases", phases);
+        ssp_probe::counter!("maxflow.dinic.augmentations", augmentations);
         self.flow_value
     }
 
@@ -244,20 +375,20 @@ impl FlowNetwork {
             "capacity must be finite and >= 0, got {cap}"
         );
         let id = e.0;
-        let flow = (self.edges[id].orig - self.edges[id].cap).max(0.0);
+        let flow = (self.orig[id] - self.cap[id]).max(0.0);
         let eps = cap * EDGE_EPS_REL;
-        self.edges[id].orig = cap;
-        self.edges[id].eps = eps;
-        self.edges[id ^ 1].eps = eps;
+        self.orig[id] = cap;
+        self.eps[id] = eps;
+        self.eps[id ^ 1] = eps;
         if flow <= cap {
-            self.edges[id].cap = cap - flow;
+            self.cap[id] = cap - flow;
             return;
         }
         // Clamp the flow to the new capacity; the edge becomes saturated.
-        self.edges[id].cap = 0.0;
-        self.edges[id ^ 1].cap = cap;
-        let u = self.edges[id ^ 1].to;
-        let v = self.edges[id].to;
+        self.cap[id] = 0.0;
+        self.cap[id ^ 1] = cap;
+        let u = self.to[id ^ 1] as usize;
+        let v = self.to[id] as usize;
         if u != v {
             // Self-loop flow never affected conservation or the value.
             let excess = flow - cap;
@@ -277,34 +408,34 @@ impl FlowNetwork {
     /// Drain all recorded overflow in one batched repair, restoring
     /// conservation at every non-terminal node.
     ///
-    /// Two temporary super-nodes are appended: a super-source feeding each
-    /// surplus node its excess and a super-sink absorbing each shortfall
-    /// node's deficit. Three Dinic passes then fix the pseudo-flow:
+    /// Conceptually a super-source feeds each surplus node its excess and a
+    /// super-sink absorbs each shortfall node's deficit; three Dinic passes
+    /// fix the pseudo-flow:
     ///
-    /// 1. super-source → super-sink: reroute excess into shortfalls through
-    ///    the residual graph (value-preserving; covers cycle flow and
-    ///    alternate routes);
-    /// 2. super-source → `s`: cancel un-reroutable surplus back along the
-    ///    flow that fed it;
-    /// 3. `t` → super-sink: cancel each remaining shortfall's downstream
+    /// 1. surplus → shortfall: reroute excess into shortfalls through the
+    ///    residual graph (value-preserving; covers cycle flow and alternate
+    ///    routes);
+    /// 2. surplus → `s`: cancel un-reroutable surplus back along the flow
+    ///    that fed it;
+    /// 3. `t` → shortfall: cancel each remaining shortfall's downstream
     ///    flow from the sink side.
     ///
-    /// Between passes the helper edges' reverse residuals are frozen so a
-    /// later pass cannot undo an earlier repair. Any leftover helper
-    /// residual beyond tolerance flags the network for a cold rebuild. The
-    /// helper nodes and edges are removed before returning, and the caller
-    /// recomputes the flow value from the source's edges (conservation
-    /// everywhere else makes the s- and t-side values agree automatically).
+    /// Unlike the old implementation this never materializes the super
+    /// nodes: the budgets live in side arrays, the BFS seeds every
+    /// budget-positive surplus node at level 0, and the DFS treats a node
+    /// with remaining shortfall budget at the virtual sink level as one
+    /// extra adjacency slot (so the CSR layout is never invalidated by a
+    /// repair). Helper reverse residuals are frozen *by construction* — a
+    /// later pass cannot undo an earlier pass's repair because budget slots
+    /// have no traversable reverse direction. Any leftover budget beyond
+    /// tolerance flags the network for a cold rebuild; the caller recomputes
+    /// the flow value from the source's edges (conservation everywhere else
+    /// makes the s- and t-side values agree automatically).
     fn repair(&mut self, s: usize, t: usize) {
-        let n_real = self.adj.len();
-        let e_real = self.edges.len();
         let dirty = std::mem::take(&mut self.dirty);
-        let ss = self.add_node();
-        let tt = self.add_node();
+        let mut sources: Vec<Budget> = Vec::new();
+        let mut sinks: Vec<Budget> = Vec::new();
         let mut total = 0.0;
-        let mut excess_edges: Vec<usize> = Vec::new();
-        let mut deficit_edges: Vec<usize> = Vec::new();
-        let mut touched: Vec<usize> = Vec::new();
         for &u in &dirty {
             let b = self.imbalance[u];
             self.imbalance[u] = 0.0;
@@ -314,61 +445,158 @@ impl FlowNetwork {
                 continue;
             }
             total += b.abs();
+            let budget = Budget {
+                node: u,
+                rem: b.abs(),
+                eps: b.abs() * EDGE_EPS_REL,
+            };
             if b > 0.0 {
-                excess_edges.push(self.add_edge(ss, u, b).0);
+                sources.push(budget);
             } else {
-                deficit_edges.push(self.add_edge(u, tt, -b).0);
+                sinks.push(budget);
             }
-            touched.push(u);
         }
         let mut drain_paths = 0u64;
-        if !excess_edges.is_empty() && !deficit_edges.is_empty() {
-            let (_, _, a) = self.dinic_augment(ss, tt);
-            drain_paths += a;
+        if !sources.is_empty() && !sinks.is_empty() {
+            drain_paths += self.drain_pass(Some(&mut sources), s, Some(&mut sinks), t, true);
         }
-        for &id in excess_edges.iter().chain(&deficit_edges) {
-            self.edges[id ^ 1].cap = 0.0;
+        if !sources.is_empty() {
+            // Virtual sources to the real source node `s`.
+            drain_paths += self.drain_pass(Some(&mut sources), s, None, s, false);
         }
-        if !excess_edges.is_empty() {
-            let (_, _, a) = self.dinic_augment(ss, s);
-            drain_paths += a;
+        if !sinks.is_empty() {
+            // The real sink node `t` to the virtual sinks.
+            drain_paths += self.drain_pass(None, t, Some(&mut sinks), t, true);
         }
-        for &id in &excess_edges {
-            self.edges[id ^ 1].cap = 0.0;
-        }
-        if !deficit_edges.is_empty() {
-            let (_, _, a) = self.dinic_augment(t, tt);
-            drain_paths += a;
-        }
-        let shortfall: f64 = excess_edges
+        let shortfall: f64 = sources
             .iter()
-            .chain(&deficit_edges)
-            .map(|&id| self.edges[id].cap)
+            .chain(&sinks)
+            .map(|b| if b.rem > b.eps { b.rem } else { 0.0 })
             .sum();
         if shortfall > total * 1e-9 + 1e-12 {
             self.needs_rebuild = true;
         }
-        // Remove the helper nodes and edges; their stubs in real adjacency
-        // lists are the most recently pushed entries.
-        self.edges.truncate(e_real);
-        self.adj.truncate(n_real);
-        self.level.truncate(n_real);
-        self.iter.truncate(n_real);
-        self.imbalance.truncate(n_real);
-        for &u in &touched {
-            while self.adj[u].last().is_some_and(|&ei| ei >= e_real) {
-                self.adj[u].pop();
+        ssp_probe::counter!("maxflow.dinic.drain_paths", drain_paths);
+    }
+
+    /// One Dinic sub-solve of [`FlowNetwork::repair`]: from virtual budgeted
+    /// sources (or the single real node `real_s`) to virtual budgeted sinks
+    /// (or the single real node `real_t`, when `virtual_sink` is false).
+    /// Returns the number of augmenting paths.
+    fn drain_pass(
+        &mut self,
+        mut sources: Option<&mut Vec<Budget>>,
+        real_s: usize,
+        mut sinks: Option<&mut Vec<Budget>>,
+        real_t: usize,
+        virtual_sink: bool,
+    ) -> u64 {
+        let mut augmentations = 0u64;
+        // Dense sink-budget view for O(1) lookup inside the DFS.
+        let (mut sink_rem, mut sink_eps) = (Vec::new(), Vec::new());
+        if virtual_sink {
+            sink_rem = vec![0.0; self.num_nodes];
+            sink_eps = vec![f64::INFINITY; self.num_nodes];
+            for b in sinks.as_deref().unwrap() {
+                sink_rem[b.node] = b.rem;
+                sink_eps[b.node] = b.eps;
             }
         }
-        ssp_probe::counter!("maxflow.dinic.drain_paths", drain_paths);
+        loop {
+            // Level graph from the (virtual or real) source side.
+            match sources.as_deref() {
+                Some(srcs) => {
+                    let seeds: Vec<usize> = srcs
+                        .iter()
+                        .filter(|b| b.rem > b.eps)
+                        .map(|b| b.node)
+                        .collect();
+                    if seeds.is_empty() {
+                        break;
+                    }
+                    self.build_levels(&seeds);
+                }
+                None => self.build_levels(&[real_s]),
+            }
+            // Virtual sink level: one past the closest budget-positive sink.
+            let vt = if virtual_sink {
+                let min_level = sinks
+                    .as_deref()
+                    .unwrap()
+                    .iter()
+                    .filter(|b| b.rem > b.eps && self.level[b.node] >= 0)
+                    .map(|b| self.level[b.node])
+                    .min();
+                match min_level {
+                    Some(l) => l + 1,
+                    None => break,
+                }
+            } else {
+                if self.level[real_t] < 0 {
+                    break;
+                }
+                self.level[real_t]
+            };
+            let before = augmentations;
+            self.reset_cursors();
+            match sources.as_deref_mut() {
+                Some(srcs) => {
+                    for b in srcs.iter_mut() {
+                        while b.rem > b.eps {
+                            let pushed = if virtual_sink {
+                                self.blocking_dfs_vsink(b.node, vt, b.rem, &mut sink_rem, &sink_eps)
+                            } else {
+                                self.blocking_dfs(b.node, real_t, b.rem)
+                            };
+                            if pushed <= 0.0 {
+                                break;
+                            }
+                            b.rem -= pushed;
+                            augmentations += 1;
+                        }
+                    }
+                }
+                None => loop {
+                    let pushed = self.blocking_dfs_vsink(
+                        real_s,
+                        vt,
+                        f64::INFINITY,
+                        &mut sink_rem,
+                        &sink_eps,
+                    );
+                    if pushed <= 0.0 {
+                        break;
+                    }
+                    augmentations += 1;
+                },
+            }
+            ssp_probe::histogram!(
+                "maxflow.dinic.path_len",
+                vt.max(0) as u64,
+                augmentations - before
+            );
+            if augmentations == before {
+                // A blocking phase that found no path: the remaining budget
+                // is unreachable; the shortfall check decides what it means.
+                break;
+            }
+            // Write the consumed budgets back for the next level rebuild.
+            if let Some(sks) = sinks.as_deref_mut() {
+                for b in sks.iter_mut() {
+                    b.rem = sink_rem[b.node];
+                }
+            }
+        }
+        augmentations
     }
 
     /// Net flow out of `s` read directly off its incident edges.
     fn net_source_flow(&self, s: usize) -> f64 {
         let mut val = 0.0;
-        for &ei in &self.adj[s] {
+        for idx in self.csr_start[s]..self.csr_start[s + 1] {
+            let ei = self.csr_edges[idx as usize] as usize;
             let fwd = ei & !1;
-            let f = (self.edges[fwd].orig - self.edges[fwd].cap).max(0.0);
+            let f = (self.orig[fwd] - self.cap[fwd]).max(0.0);
             if ei & 1 == 0 {
                 val += f;
             } else {
@@ -391,13 +619,14 @@ impl FlowNetwork {
     /// [`max_flow`]: FlowNetwork::max_flow
     pub fn max_flow_incremental(&mut self, s: usize, t: usize) -> f64 {
         assert!(
-            s < self.adj.len() && t < self.adj.len(),
+            s < self.num_nodes && t < self.num_nodes,
             "terminal out of range"
         );
         assert_ne!(s, t, "source and sink must differ");
         if self.needs_rebuild || self.last_source != Some(s) || self.last_sink != Some(t) {
             return self.max_flow(s, t);
         }
+        self.ensure_csr();
         if !self.dirty.is_empty() {
             self.repair(s, t);
             if self.needs_rebuild {
@@ -412,23 +641,32 @@ impl FlowNetwork {
         self.flow_value
     }
 
-    /// BFS on the residual graph building the level structure; `true` iff the
-    /// sink is reachable.
-    fn build_levels(&mut self, s: usize, t: usize) -> bool {
+    /// BFS on the residual graph from `seeds` (all at level 0), building the
+    /// level structure. The caller must have ensured the CSR is fresh.
+    fn build_levels(&mut self, seeds: &[usize]) {
         self.level.iter_mut().for_each(|l| *l = -1);
         let mut queue = std::collections::VecDeque::new();
-        self.level[s] = 0;
-        queue.push_back(s);
+        for &s in seeds {
+            if self.level[s] < 0 {
+                self.level[s] = 0;
+                queue.push_back(s);
+            }
+        }
         while let Some(u) = queue.pop_front() {
-            for &ei in &self.adj[u] {
-                let e = &self.edges[ei];
-                if e.cap > e.eps && self.level[e.to] < 0 {
-                    self.level[e.to] = self.level[u] + 1;
-                    queue.push_back(e.to);
+            for idx in self.csr_start[u]..self.csr_start[u + 1] {
+                let ei = self.csr_edges[idx as usize] as usize;
+                let v = self.to[ei] as usize;
+                if self.cap[ei] > self.eps[ei] && self.level[v] < 0 {
+                    self.level[v] = self.level[u] + 1;
+                    queue.push_back(v);
                 }
             }
         }
-        self.level[t] >= 0
+    }
+
+    /// Reset the per-node DFS cursors to the start of each CSR range.
+    fn reset_cursors(&mut self) {
+        self.iter.copy_from_slice(&self.csr_start[..self.num_nodes]);
     }
 
     /// DFS with per-node edge iterators; pushes a blocking path and returns
@@ -437,17 +675,14 @@ impl FlowNetwork {
         if u == t {
             return limit;
         }
-        while self.iter[u] < self.adj[u].len() {
-            let ei = self.adj[u][self.iter[u]];
-            let (to, cap, eps) = {
-                let e = &self.edges[ei];
-                (e.to, e.cap, e.eps)
-            };
+        while self.iter[u] < self.csr_start[u + 1] {
+            let ei = self.csr_edges[self.iter[u] as usize] as usize;
+            let (to, cap, eps) = (self.to[ei] as usize, self.cap[ei], self.eps[ei]);
             if cap > eps && self.level[to] == self.level[u] + 1 {
                 let pushed = self.blocking_dfs(to, t, limit.min(cap));
                 if pushed > 0.0 {
-                    self.edges[ei].cap -= pushed;
-                    self.edges[ei ^ 1].cap += pushed;
+                    self.cap[ei] -= pushed;
+                    self.cap[ei ^ 1] += pushed;
                     return pushed;
                 }
             }
@@ -456,18 +691,64 @@ impl FlowNetwork {
         0.0
     }
 
+    /// [`FlowNetwork::blocking_dfs`] against the virtual budgeted sink of a
+    /// repair pass: a node with remaining sink budget at level `vt - 1`
+    /// carries one extra adjacency slot (cursor position `csr_start[u+1]`)
+    /// that absorbs flow into its budget instead of an edge.
+    fn blocking_dfs_vsink(
+        &mut self,
+        u: usize,
+        vt: i32,
+        limit: f64,
+        sink_rem: &mut [f64],
+        sink_eps: &[f64],
+    ) -> f64 {
+        while self.iter[u] < self.csr_start[u + 1] {
+            let ei = self.csr_edges[self.iter[u] as usize] as usize;
+            let (to, cap, eps) = (self.to[ei] as usize, self.cap[ei], self.eps[ei]);
+            if cap > eps && self.level[to] == self.level[u] + 1 {
+                let pushed = self.blocking_dfs_vsink(to, vt, limit.min(cap), sink_rem, sink_eps);
+                if pushed > 0.0 {
+                    self.cap[ei] -= pushed;
+                    self.cap[ei ^ 1] += pushed;
+                    return pushed;
+                }
+            }
+            self.iter[u] += 1;
+        }
+        if self.iter[u] == self.csr_start[u + 1] {
+            if self.level[u] + 1 == vt && sink_rem[u] > sink_eps[u] {
+                let take = limit.min(sink_rem[u]);
+                sink_rem[u] -= take;
+                // Keep the cursor on the budget slot: it may absorb the
+                // next path too.
+                return take;
+            }
+            self.iter[u] += 1; // budget exhausted or inadmissible
+        }
+        0.0
+    }
+
     /// Nodes reachable from `node` in the residual graph of the current flow.
     pub fn residual_reachable(&self, node: usize) -> Vec<bool> {
-        let mut seen = vec![false; self.adj.len()];
+        let storage;
+        let (start, edges): (&[u32], &[u32]) = if self.csr_stale {
+            storage = self.build_csr_fresh();
+            (&storage.0, &storage.1)
+        } else {
+            (&self.csr_start, &self.csr_edges)
+        };
+        let mut seen = vec![false; self.num_nodes];
         let mut queue = std::collections::VecDeque::new();
         seen[node] = true;
         queue.push_back(node);
         while let Some(u) = queue.pop_front() {
-            for &ei in &self.adj[u] {
-                let e = &self.edges[ei];
-                if e.cap > e.eps && !seen[e.to] {
-                    seen[e.to] = true;
-                    queue.push_back(e.to);
+            for idx in start[u]..start[u + 1] {
+                let ei = edges[idx as usize] as usize;
+                let v = self.to[ei] as usize;
+                if self.cap[ei] > self.eps[ei] && !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
                 }
             }
         }
@@ -489,20 +770,25 @@ impl FlowNetwork {
     /// migratory solver.
     pub fn residual_coreachable_to_sink(&self) -> Vec<bool> {
         let t = self.last_sink.expect("call max_flow first");
-        let mut seen = vec![false; self.adj.len()];
+        let storage;
+        let (start, edges): (&[u32], &[u32]) = if self.csr_stale {
+            storage = self.build_csr_fresh();
+            (&storage.0, &storage.1)
+        } else {
+            (&self.csr_start, &self.csr_edges)
+        };
+        let mut seen = vec![false; self.num_nodes];
         let mut queue = std::collections::VecDeque::new();
         seen[t] = true;
         queue.push_back(t);
         while let Some(u) = queue.pop_front() {
-            // Traverse edges *into* u with residual capacity: edge e = (v, u)
-            // has residual cap iff edges[ei].cap > eps where ei is stored in
-            // adj[v]; equivalently, for each edge pair index at u, the
-            // partner edge (u → v reversed) tells us about (v → u).
-            for &ei in &self.adj[u] {
-                // `ei` is an edge u → w; its partner `ei ^ 1` is w → u.
+            // Traverse edges *into* u with residual capacity: for each edge
+            // `ei` = u → w in u's adjacency, its partner `ei ^ 1` is w → u.
+            for idx in start[u]..start[u + 1] {
+                let ei = edges[idx as usize] as usize;
                 let partner = ei ^ 1;
-                let w = self.edges[ei].to;
-                if self.edges[partner].cap > self.edges[partner].eps && !seen[w] {
+                let w = self.to[ei] as usize;
+                if self.cap[partner] > self.eps[partner] && !seen[w] {
                     seen[w] = true;
                     queue.push_back(w);
                 }
@@ -517,11 +803,11 @@ impl FlowNetwork {
     pub fn min_cut_edges(&self) -> Vec<EdgeId> {
         let side = self.residual_reachable_from_source();
         let mut cut = Vec::new();
-        for id in (0..self.edges.len()).step_by(2) {
-            let e = &self.edges[id];
-            // Forward edge u→v: u is edges[id^1].to.
-            let u = self.edges[id ^ 1].to;
-            if side[u] && !side[e.to] && e.orig > 0.0 {
+        for id in (0..self.to.len()).step_by(2) {
+            // Forward edge u→v: u is the partner's head.
+            let u = self.to[id ^ 1] as usize;
+            let v = self.to[id] as usize;
+            if side[u] && !side[v] && self.orig[id] > 0.0 {
                 cut.push(EdgeId(id));
             }
         }
@@ -578,7 +864,7 @@ mod tests {
         // Each flow within capacity.
         for &id in &ids {
             assert!(g.flow(id) >= -1e-12);
-            assert!(g.flow(id) <= g.edges[id.0].orig + 1e-12);
+            assert!(g.flow(id) <= g.capacity(id) + 1e-12);
         }
     }
 
@@ -587,7 +873,7 @@ mod tests {
         let (mut g, _) = clrs();
         let v = g.max_flow(0, 5);
         let cut = g.min_cut_edges();
-        let cap: f64 = cut.iter().map(|&e| g.edges[e.0].orig).sum();
+        let cap: f64 = cut.iter().map(|&e| g.capacity(e)).sum();
         assert!((cap - v).abs() < 1e-9);
         // Every cut edge is saturated.
         for e in cut {
@@ -758,7 +1044,7 @@ mod tests {
         assert!(g.flow(ids[0]) < 1e-12);
         assert!(g.flow(ids[1]) < 1e-12);
         for &id in &ids {
-            assert!(g.flow(id) <= g.edges[id.0].orig + 1e-12);
+            assert!(g.flow(id) <= g.capacity(id) + 1e-12);
         }
     }
 
@@ -773,7 +1059,7 @@ mod tests {
         // would a cold one: capacities sum to the value, every cut edge is
         // saturated, and the sink stays unreachable.
         let cut = g.min_cut_edges();
-        let cap: f64 = cut.iter().map(|&e| g.edges[e.0].orig).sum();
+        let cap: f64 = cut.iter().map(|&e| g.capacity(e)).sum();
         assert!((cap - warm).abs() < 1e-9, "cut {cap} != warm value {warm}");
         for e in cut {
             assert!(g.is_saturated(e));
@@ -825,6 +1111,20 @@ mod tests {
     }
 
     #[test]
+    fn queries_survive_edges_added_after_a_solve() {
+        // Adding an edge staleness-marks the CSR; `&self` reachability
+        // queries must still answer (over the up-to-date topology) without
+        // a solve in between.
+        let (mut g, _) = clrs();
+        g.max_flow(0, 5);
+        let before = g.residual_reachable_from_source();
+        g.add_edge(0, 4, 0.0); // zero-cap: reachability unchanged
+        let after = g.residual_reachable_from_source();
+        assert_eq!(before, after);
+        assert!(!g.residual_coreachable_to_sink()[0]);
+    }
+
+    #[test]
     fn large_layered_network_is_fast_and_exact() {
         // 200 jobs × 50 intervals bipartite-ish WAP-shaped graph.
         let (jobs, ivals) = (200usize, 50usize);
@@ -847,7 +1147,7 @@ mod tests {
         let v = g.max_flow(s, t);
         assert!(v > 0.0 && v <= jobs as f64);
         // Value equals min-cut capacity.
-        let cut_cap: f64 = g.min_cut_edges().iter().map(|&e| g.edges[e.0].orig).sum();
+        let cut_cap: f64 = g.min_cut_edges().iter().map(|&e| g.capacity(e)).sum();
         assert!((cut_cap - v).abs() < 1e-6);
     }
 

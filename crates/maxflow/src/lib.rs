@@ -24,16 +24,23 @@
 //!
 //! The scheduling networks are *layered* (longest path ≤ 4 edges), where
 //! Dinic's blocking-flow phases terminate very quickly in practice; `f(n)` in
-//! the paper's complexity statements is exactly this primitive.
+//! the paper's complexity statements is exactly this primitive. For the
+//! WAP shape specifically, [`mod@sweep`] decides feasibility without any
+//! flow search at all: the consecutive-ones structure of the alive sets
+//! admits an `O(n log n)` deadline-ordered water-filling sweep whose value
+//! and canonical min-cut side match the generic engines bit for bit in the
+//! quantities downstream consumers read (verdicts, cut sides, cut sums).
 
 #![warn(missing_docs)]
 
 pub mod graph;
 pub mod push_relabel;
 pub mod reference;
+pub mod sweep;
 
 pub use graph::{EdgeId, FlowNetwork};
 pub use push_relabel::PushRelabel;
+pub use sweep::SweepFlow;
 
 #[cfg(test)]
 mod cross_tests {

@@ -1,6 +1,6 @@
 //! Push–relabel max-flow (highest-label selection with the gap heuristic).
 //!
-//! An independent second engine: same edge-list representation as
+//! An independent second engine: same flat SoA edge layout as
 //! [`crate::FlowNetwork`] but a completely different algorithm family
 //! (preflows instead of augmenting paths). It exists for two reasons:
 //!
@@ -18,80 +18,105 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrEdgeId(usize);
 
-#[derive(Debug, Clone)]
-struct Edge {
-    to: usize,
-    cap: f64,
-    orig: f64,
-    eps: f64,
-}
-
-/// A push–relabel max-flow solver over `f64` capacities.
+/// A push–relabel max-flow solver over `f64` capacities. Edges live in flat
+/// structure-of-arrays storage (pairs at `2k`/`2k+1`); the CSR adjacency is
+/// built once per [`PushRelabel::max_flow`] call by a stable counting sort,
+/// so the discharge loop walks contiguous memory.
 #[derive(Debug, Clone)]
 pub struct PushRelabel {
-    adj: Vec<Vec<usize>>,
-    edges: Vec<Edge>,
+    num_nodes: usize,
+    to: Vec<u32>,
+    cap: Vec<f64>,
+    orig: Vec<f64>,
+    eps: Vec<f64>,
+    csr_start: Vec<u32>,
+    csr_edges: Vec<u32>,
+    csr_stale: bool,
 }
 
 impl PushRelabel {
     /// An empty network with `n` nodes.
     pub fn new(n: usize) -> Self {
         PushRelabel {
-            adj: vec![Vec::new(); n],
-            edges: Vec::new(),
+            num_nodes: n,
+            to: Vec::new(),
+            cap: Vec::new(),
+            orig: Vec::new(),
+            eps: Vec::new(),
+            csr_start: vec![0; n + 1],
+            csr_edges: Vec::new(),
+            csr_stale: false,
         }
     }
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.num_nodes
     }
 
     /// Add a directed edge `u → v` with capacity `cap >= 0`.
     pub fn add_edge(&mut self, u: usize, v: usize, cap: f64) -> PrEdgeId {
         assert!(
-            u < self.adj.len() && v < self.adj.len(),
+            u < self.num_nodes && v < self.num_nodes,
             "edge endpoint out of range"
         );
         assert!(
             cap >= 0.0 && cap.is_finite(),
             "capacity must be finite and >= 0"
         );
-        let id = self.edges.len();
+        let id = self.to.len();
         let eps = cap * 1e-12;
-        self.adj[u].push(id);
-        self.edges.push(Edge {
-            to: v,
-            cap,
-            orig: cap,
-            eps,
-        });
-        self.adj[v].push(id + 1);
-        self.edges.push(Edge {
-            to: u,
-            cap: 0.0,
-            orig: 0.0,
-            eps,
-        });
+        self.to.push(v as u32);
+        self.cap.push(cap);
+        self.orig.push(cap);
+        self.eps.push(eps);
+        self.to.push(u as u32);
+        self.cap.push(0.0);
+        self.orig.push(0.0);
+        self.eps.push(eps);
+        self.csr_stale = true;
         PrEdgeId(id)
     }
 
     /// Flow routed through a forward edge after [`PushRelabel::max_flow`].
     pub fn flow(&self, e: PrEdgeId) -> f64 {
-        let fwd = &self.edges[e.0];
-        (fwd.orig - fwd.cap).max(0.0)
+        (self.orig[e.0] - self.cap[e.0]).max(0.0)
+    }
+
+    /// Stable counting sort of the edge list by tail node (the partner's
+    /// head), preserving insertion order within each node.
+    fn ensure_csr(&mut self) {
+        if !self.csr_stale {
+            return;
+        }
+        let n = self.num_nodes;
+        self.csr_start.clear();
+        self.csr_start.resize(n + 1, 0);
+        for id in 0..self.to.len() {
+            self.csr_start[self.to[id ^ 1] as usize + 1] += 1;
+        }
+        for u in 0..n {
+            self.csr_start[u + 1] += self.csr_start[u];
+        }
+        self.csr_edges.resize(self.to.len(), 0);
+        let mut cursor: Vec<u32> = self.csr_start[..n].to_vec();
+        for id in 0..self.to.len() {
+            let u = self.to[id ^ 1] as usize;
+            self.csr_edges[cursor[u] as usize] = id as u32;
+            cursor[u] += 1;
+        }
+        self.csr_stale = false;
     }
 
     /// Compute the maximum `s → t` flow value. Resets previous state.
     pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
-        let n = self.adj.len();
+        let n = self.num_nodes;
         assert!(s < n && t < n && s != t);
+        self.ensure_csr();
         // Probe counts accumulate locally and flush once on return, so the
         // hot loop only pays plain register increments.
         let (mut pushes, mut relabels, mut gap_firings) = (0u64, 0u64, 0u64);
-        for e in &mut self.edges {
-            e.cap = e.orig;
-        }
+        self.cap.copy_from_slice(&self.orig);
         let mut height = vec![0usize; n];
         let mut excess = vec![0.0f64; n];
         height[s] = n;
@@ -106,14 +131,14 @@ impl PushRelabel {
         }
 
         // Saturate all source edges.
-        let source_edges: Vec<usize> = self.adj[s].clone();
-        for ei in source_edges {
-            if ei % 2 == 0 {
-                let cap = self.edges[ei].cap;
-                if cap > self.edges[ei].eps {
-                    let v = self.edges[ei].to;
-                    self.edges[ei].cap = 0.0;
-                    self.edges[ei ^ 1].cap += cap;
+        for idx in self.csr_start[s]..self.csr_start[s + 1] {
+            let ei = self.csr_edges[idx as usize] as usize;
+            if ei.is_multiple_of(2) {
+                let cap = self.cap[ei];
+                if cap > self.eps[ei] {
+                    let v = self.to[ei] as usize;
+                    self.cap[ei] = 0.0;
+                    self.cap[ei ^ 1] += cap;
                     excess[v] += cap;
                     if v != t && v != s && !in_bucket[v] {
                         buckets[height[v]].push(v);
@@ -143,12 +168,9 @@ impl PushRelabel {
             // Discharge u.
             'discharge: loop {
                 let mut lowest_neighbor = usize::MAX;
-                for k in 0..self.adj[u].len() {
-                    let ei = self.adj[u][k];
-                    let (to, cap, eps) = {
-                        let e = &self.edges[ei];
-                        (e.to, e.cap, e.eps)
-                    };
+                for idx in self.csr_start[u]..self.csr_start[u + 1] {
+                    let ei = self.csr_edges[idx as usize] as usize;
+                    let (to, cap, eps) = (self.to[ei] as usize, self.cap[ei], self.eps[ei]);
                     if cap <= eps.max(0.0) {
                         continue;
                     }
@@ -156,8 +178,8 @@ impl PushRelabel {
                         // Push.
                         pushes += 1;
                         let delta = excess[u].min(cap);
-                        self.edges[ei].cap -= delta;
-                        self.edges[ei ^ 1].cap += delta;
+                        self.cap[ei] -= delta;
+                        self.cap[ei ^ 1] += delta;
                         excess[u] -= delta;
                         excess[to] += delta;
                         if to != s && to != t && !in_bucket[to] {

@@ -140,6 +140,58 @@ pub fn energy_of(work: f64, s: f64, alpha: f64) -> f64 {
     }
 }
 
+/// Batched total energy `Σ_i energy_of(works[i], speeds[i], alpha)`.
+///
+/// The hot summation of the YDS peel and the `YdsEval` memo oracle: one
+/// pass over two flat `f64` slices with four independent accumulator
+/// lanes, so the adds pipeline (and auto-vectorize) instead of serializing
+/// on one register. The common exponents `α = 2` and `α = 3` reduce the
+/// inner `powf` to zero or one multiply.
+///
+/// Determinism: the lane structure is a function of `works.len()` only, so
+/// the result is bit-stable for a given input — but it intentionally
+/// differs from naive left-to-right order. Callers pinning bit-identity
+/// must route *every* compared path through this function (as the YDS
+/// kernels do).
+pub fn energy_sum(works: &[f64], speeds: &[f64], alpha: f64) -> f64 {
+    assert_eq!(works.len(), speeds.len(), "works/speeds length mismatch");
+    debug_assert!(alpha > 1.0);
+    if alpha == 2.0 {
+        energy_sum_with(works, speeds, |s| s)
+    } else if alpha == 3.0 {
+        energy_sum_with(works, speeds, |s| s * s)
+    } else {
+        let e = alpha - 1.0;
+        energy_sum_with(works, speeds, |s| s.powf(e))
+    }
+}
+
+/// The lane-structured kernel behind [`energy_sum`]. Zero-work entries
+/// contribute exactly `0` regardless of speed (mirroring [`energy_of`]'s
+/// NaN guard: a zero-residual job may carry speed `0` and `0 * 0^e` would
+/// otherwise poison the sum at fractional exponents).
+#[inline(always)]
+fn energy_sum_with(works: &[f64], speeds: &[f64], pow: impl Fn(f64) -> f64) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let head = works.len() & !3;
+    for (w4, s4) in works[..head]
+        .chunks_exact(4)
+        .zip(speeds[..head].chunks_exact(4))
+    {
+        for k in 0..4 {
+            acc[k] += if w4[k] == 0.0 {
+                0.0
+            } else {
+                w4[k] * pow(s4[k])
+            };
+        }
+    }
+    for (k, (&w, &s)) in works[head..].iter().zip(&speeds[head..]).enumerate() {
+        acc[k] += if w == 0.0 { 0.0 } else { w * pow(s) };
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
 /// Generic tolerant binary search for the smallest `x` in `[lo, hi]` with
 /// `feasible(x)`; requires `feasible(hi)` (checked) and assumes monotonicity.
 /// Returns `(last_infeasible, first_feasible)` bracketing the threshold with

@@ -15,7 +15,7 @@
 //! incremental repair.
 
 use ssp_maxflow::reference::IntFlowNetwork;
-use ssp_maxflow::{EdgeId, FlowNetwork, PushRelabel};
+use ssp_maxflow::{EdgeId, FlowNetwork, PushRelabel, SweepFlow};
 use ssp_prng::{check, Rng, StdRng};
 
 /// A random directed graph: node count and edge list `(u, v, cap)` with
@@ -199,6 +199,299 @@ fn warm_bisection_ladder_on_wap_shaped_networks() {
             );
             certify(&warm, &edges, &ids, warm_value);
         }
+    });
+}
+
+/// A random contiguous-window WAP instance: per-job windows `(lo, hi)` over
+/// `m` cells (occasionally empty), per-cell single-job edge caps, cell caps,
+/// and job demands — all integer-valued so the exact reference applies.
+struct WapShape {
+    windows: Vec<(u32, u32)>,
+    edge_cap: Vec<f64>,
+    cell_cap: Vec<f64>,
+    demands: Vec<f64>,
+}
+
+fn random_wap_shape(rng: &mut StdRng) -> WapShape {
+    let m = rng.gen_range(2usize..8);
+    let n = rng.gen_range(3usize..14);
+    let windows = (0..n)
+        .map(|_| {
+            if rng.gen_range(0u32..12) == 0 {
+                (1u32, 0u32) // alive nowhere
+            } else {
+                let lo = rng.gen_range(0u32..m as u32);
+                let hi = rng.gen_range(lo..m as u32);
+                (lo, hi)
+            }
+        })
+        .collect();
+    let cell_cap: Vec<f64> = (0..m).map(|_| rng.gen_range(0u32..10) as f64).collect();
+    let edge_cap = cell_cap
+        .iter()
+        .map(|&c| {
+            if c == 0.0 {
+                0.0
+            } else {
+                rng.gen_range(1.0f64..c.min(4.0) + 1.0).floor()
+            }
+        })
+        .collect();
+    let demands = (0..n).map(|_| rng.gen_range(0u32..12) as f64).collect();
+    WapShape {
+        windows,
+        edge_cap,
+        cell_cap,
+        demands,
+    }
+}
+
+/// The generic three-layer network equivalent to a [`WapShape`], plus the
+/// edge ids needed to re-parameterize and to seed flows: `(net, edges,
+/// source_ids, job_cell_ids, sink_ids)` with node layout
+/// `source = 0, job i = 1 + i, cell j = 1 + n + j, sink = 1 + n + m`.
+#[allow(clippy::type_complexity)]
+fn build_wap_network(
+    shape: &WapShape,
+) -> (
+    FlowNetwork,
+    Vec<(usize, usize, f64)>,
+    Vec<EdgeId>,
+    Vec<Vec<(usize, EdgeId)>>,
+    Vec<EdgeId>,
+    Vec<EdgeId>,
+) {
+    let n = shape.windows.len();
+    let m = shape.cell_cap.len();
+    let (s, t) = (0usize, 1 + n + m);
+    let mut net = FlowNetwork::new(t + 1);
+    let mut edges = Vec::new();
+    let mut ids = Vec::new();
+    let mut source_ids = Vec::with_capacity(n);
+    for (i, &d) in shape.demands.iter().enumerate() {
+        let e = net.add_edge(s, 1 + i, d);
+        edges.push((s, 1 + i, d));
+        ids.push(e);
+        source_ids.push(e);
+    }
+    let mut job_cell_ids = vec![Vec::new(); n];
+    for (i, &(lo, hi)) in shape.windows.iter().enumerate() {
+        if lo > hi {
+            continue;
+        }
+        for j in lo as usize..=hi as usize {
+            let c = shape.edge_cap[j];
+            let e = net.add_edge(1 + i, 1 + n + j, c);
+            edges.push((1 + i, 1 + n + j, c));
+            ids.push(e);
+            job_cell_ids[i].push((j, e));
+        }
+    }
+    let mut sink_ids = Vec::with_capacity(m);
+    for (j, &c) in shape.cell_cap.iter().enumerate() {
+        let e = net.add_edge(1 + n + j, t, c);
+        edges.push((1 + n + j, t, c));
+        ids.push(e);
+        sink_ids.push(e);
+    }
+    (net, edges, ids, job_cell_ids, source_ids, sink_ids)
+}
+
+fn exact_value(shape: &WapShape) -> f64 {
+    let n = shape.windows.len();
+    let m = shape.cell_cap.len();
+    let (s, t) = (0usize, 1 + n + m);
+    let mut exact = IntFlowNetwork::new(t + 1);
+    for (i, &d) in shape.demands.iter().enumerate() {
+        exact.add_edge(s, 1 + i, d as u64);
+    }
+    for (i, &(lo, hi)) in shape.windows.iter().enumerate() {
+        if lo > hi {
+            continue;
+        }
+        for j in lo as usize..=hi as usize {
+            exact.add_edge(1 + i, 1 + n + j, shape.edge_cap[j] as u64);
+        }
+    }
+    for (j, &c) in shape.cell_cap.iter().enumerate() {
+        exact.add_edge(1 + n + j, t, c as u64);
+    }
+    exact.max_flow(s, t) as f64
+}
+
+/// The interval sweep kernel against all three generic engines on random
+/// contiguous WAP instances. A certified sweep must reproduce the exact max
+/// flow value *and* the canonical min-cut sides a residual BFS on the Dinic
+/// network reports (the canonical side is a property of the network, not of
+/// the particular maximum flow). An uncertified sweep must undershoot —
+/// never exceed — the true value.
+#[test]
+fn sweep_matches_engines_on_random_wap_instances() {
+    check::cases(128, 0xD1FF_0005, |rng| {
+        let shape = random_wap_shape(rng);
+        let n = shape.windows.len();
+        let m = shape.cell_cap.len();
+        let (s, t) = (0usize, 1 + n + m);
+        let mut sweep = SweepFlow::new(
+            shape.windows.clone(),
+            shape.edge_cap.clone(),
+            shape.cell_cap.clone(),
+        );
+        let sweep_value = sweep.solve(&shape.demands);
+        let (mut dinic, _, _, _, _, _) = build_wap_network(&shape);
+        let dinic_value = dinic.max_flow(s, t);
+        let mut pr = PushRelabel::new(t + 1);
+        for (i, &d) in shape.demands.iter().enumerate() {
+            pr.add_edge(s, 1 + i, d);
+        }
+        for (i, &(lo, hi)) in shape.windows.iter().enumerate() {
+            if lo <= hi {
+                for j in lo as usize..=hi as usize {
+                    pr.add_edge(1 + i, 1 + n + j, shape.edge_cap[j]);
+                }
+            }
+        }
+        for (j, &c) in shape.cell_cap.iter().enumerate() {
+            pr.add_edge(1 + n + j, t, c);
+        }
+        let pr_value = pr.max_flow(s, t);
+        let exact = exact_value(&shape);
+        assert!((dinic_value - exact).abs() < 1e-6, "dinic vs exact");
+        assert!((pr_value - exact).abs() < 1e-6, "push-relabel vs exact");
+        if sweep.certified() {
+            assert!(
+                (sweep_value - exact).abs() <= 1e-9 * (1.0 + exact),
+                "certified sweep {sweep_value} vs exact {exact}"
+            );
+            let side = dinic.residual_reachable_from_source();
+            for i in 0..n {
+                assert_eq!(sweep.job_side()[i], side[1 + i], "job {i} cut side");
+            }
+            for j in 0..m {
+                assert_eq!(sweep.cell_side()[j], side[1 + n + j], "cell {j} cut side");
+            }
+        } else {
+            assert!(
+                sweep_value <= exact + 1e-9 * (1.0 + exact),
+                "uncertified sweep overshoots: {sweep_value} vs {exact}"
+            );
+        }
+    });
+}
+
+/// Randomized capacity re-parameterizations: each round rescales demands and
+/// caps, the sweep is rebuilt (its constructor is the re-parameterization
+/// path the `WapSolver` uses), and the warm Dinic engine repairs in place.
+/// Certified sweep values, warm values, and the cold exact reference must
+/// all agree at every round.
+#[test]
+fn sweep_reparameterization_tracks_warm_and_exact_engines() {
+    check::cases(64, 0xD1FF_0006, |rng| {
+        let mut shape = random_wap_shape(rng);
+        let n = shape.windows.len();
+        let m = shape.cell_cap.len();
+        let (s, t) = (0usize, 1 + n + m);
+        let (mut warm, _, _, job_cell_ids, source_ids, sink_ids) = build_wap_network(&shape);
+        warm.max_flow(s, t);
+        for _round in 0..5 {
+            for d in shape.demands.iter_mut() {
+                if rng.gen_range(0u32..3) == 0 {
+                    *d = rng.gen_range(0u32..12) as f64;
+                }
+            }
+            for j in 0..m {
+                if rng.gen_range(0u32..3) == 0 {
+                    shape.cell_cap[j] = rng.gen_range(0u32..10) as f64;
+                    shape.edge_cap[j] = shape.edge_cap[j].min(shape.cell_cap[j]);
+                }
+            }
+            for (i, &d) in shape.demands.iter().enumerate() {
+                warm.set_capacity(source_ids[i], d);
+            }
+            for cells in &job_cell_ids {
+                for &(j, e) in cells {
+                    warm.set_capacity(e, shape.edge_cap[j]);
+                }
+            }
+            for (j, &e) in sink_ids.iter().enumerate() {
+                warm.set_capacity(e, shape.cell_cap[j]);
+            }
+            let warm_value = warm.max_flow_incremental(s, t);
+            let exact = exact_value(&shape);
+            assert!(
+                (warm_value - exact).abs() <= 1e-9 * (1.0 + exact),
+                "warm {warm_value} vs exact {exact}"
+            );
+            let mut sweep = SweepFlow::new(
+                shape.windows.clone(),
+                shape.edge_cap.clone(),
+                shape.cell_cap.clone(),
+            );
+            let sweep_value = sweep.solve(&shape.demands);
+            if sweep.certified() {
+                assert!(
+                    (sweep_value - exact).abs() <= 1e-9 * (1.0 + exact),
+                    "certified sweep {sweep_value} vs exact {exact}"
+                );
+            } else {
+                assert!(sweep_value <= exact + 1e-9 * (1.0 + exact));
+            }
+        }
+    });
+}
+
+/// The seeded-resume fallback path: the sweep's greedy allocation is loaded
+/// into a generic network with `set_flow` and completed with
+/// `resume_max_flow`. The resumed value must match cold Dinic, push-relabel,
+/// and the exact reference, and the resulting flow must certify (canonical
+/// cut saturated, conservation at every node) — exactly what `WapSolver`
+/// relies on when the fast path declines.
+#[test]
+fn seeded_resume_from_sweep_matches_cold_engines() {
+    check::cases(96, 0xD1FF_0007, |rng| {
+        let shape = random_wap_shape(rng);
+        let n = shape.windows.len();
+        let m = shape.cell_cap.len();
+        let (s, t) = (0usize, 1 + n + m);
+        let mut sweep = SweepFlow::new(
+            shape.windows.clone(),
+            shape.edge_cap.clone(),
+            shape.cell_cap.clone(),
+        );
+        sweep.solve(&shape.demands);
+        let (mut seeded, edges, ids, job_cell_ids, source_ids, sink_ids) =
+            build_wap_network(&shape);
+        for (i, &e) in source_ids.iter().enumerate() {
+            seeded.set_flow(e, sweep.routed(i));
+        }
+        for (i, cells) in job_cell_ids.iter().enumerate() {
+            let mut alloc = sweep.allocs_of(i);
+            let mut cur = alloc.next();
+            for &(j, e) in cells {
+                while let Some((c, _)) = cur {
+                    if c < j {
+                        cur = alloc.next();
+                    } else {
+                        break;
+                    }
+                }
+                let f = match cur {
+                    Some((c, amt)) if c == j => amt,
+                    _ => 0.0,
+                };
+                seeded.set_flow(e, f);
+            }
+        }
+        for (j, &e) in sink_ids.iter().enumerate() {
+            seeded.set_flow(e, sweep.cell_usage(j));
+        }
+        let resumed = seeded.resume_max_flow(s, t);
+        let exact = exact_value(&shape);
+        assert!(
+            (resumed - exact).abs() <= 1e-9 * (1.0 + exact),
+            "seeded resume {resumed} vs exact {exact}"
+        );
+        certify(&seeded, &edges, &ids, resumed);
     });
 }
 
