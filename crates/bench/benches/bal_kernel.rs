@@ -21,9 +21,9 @@
 //! contribution from the ladder's probe-count savings. The two kernels must
 //! agree on the final energy to the bit — asserted on every cell.
 
-use ssp_bench::artifact::{Artifact, CellBuilder};
-use ssp_bench::fixture;
+use ssp_bench::artifact::{Artifact, CellBuilder, CellMeta};
 use ssp_bench::harness::{BenchmarkId, Criterion};
+use ssp_bench::{fixture, trajectory};
 use ssp_migratory::bal::{try_bal_with_wap_strategy, BalSolution, ProbeStrategy};
 use ssp_migratory::wap::{Wap, WapKernel};
 use ssp_model::{Budget, Instance};
@@ -99,9 +99,11 @@ fn timed_cell(instance: &Instance, strategy: ProbeStrategy, kernel: WapKernel) -
     (times[reps / 2], probes)
 }
 
-/// Run the self-timed sweep and collect the cells of the JSON artifact.
-fn sweep_artifact() -> Artifact {
+/// Run the self-timed sweep and collect the cells of the JSON artifact,
+/// plus their diff identities for the in-run regression check.
+fn sweep_artifact() -> (Artifact, Vec<CellMeta>) {
     let mut cells = Vec::new();
+    let mut metas = Vec::new();
     for family in FAMILIES {
         for n in SIZES {
             let instance = family_instance(family, n);
@@ -139,26 +141,28 @@ fn sweep_artifact() -> Artifact {
                 dinic_e.to_bits(),
                 "kernel energy mismatch on {family} n={n}: sweep={ladder_e} dinic={dinic_e}"
             );
-            cells.push(
-                CellBuilder::new(family, n)
-                    .metric_ms("ladder_ms", ladder_ms)
-                    .metric_ms("bisect_ms", bisect_ms)
-                    .metric_ms("ladder_dinic_ms", ladder_dinic_ms)
-                    .num("speedup", bisect_ms / ladder_ms, 2)
-                    .num("kernel_speedup", ladder_dinic_ms / ladder_ms, 2)
-                    .int("ladder_probes", ladder_probes)
-                    .int("bisect_probes", bisect_probes)
-                    .num("energy", ladder_e, 6)
-                    .render(),
-            );
+            let cell = CellBuilder::new(family, n)
+                .metric_ms("ladder_ms", ladder_ms)
+                .metric_ms("bisect_ms", bisect_ms)
+                .metric_ms("ladder_dinic_ms", ladder_dinic_ms)
+                .num("speedup", bisect_ms / ladder_ms, 2)
+                .num("kernel_speedup", ladder_dinic_ms / ladder_ms, 2)
+                .int("ladder_probes", ladder_probes)
+                .int("bisect_probes", bisect_probes)
+                .num("energy", ladder_e, 6);
+            metas.push(cell.meta());
+            cells.push(cell.render());
         }
     }
-    Artifact {
-        bench: "bal_kernel".to_string(),
-        alpha: ALPHA,
-        unit: "ms_median".to_string(),
-        cells,
-    }
+    (
+        Artifact {
+            bench: "bal_kernel".to_string(),
+            alpha: ALPHA,
+            unit: "ms_median".to_string(),
+            cells,
+        },
+        metas,
+    )
 }
 
 fn main() {
@@ -169,7 +173,21 @@ fn main() {
     let json = std::env::var("SSP_BENCH_JSON").unwrap_or_default();
     let history = std::env::var("SSP_BENCH_HISTORY").unwrap_or_default();
     if measure && (!json.is_empty() || !history.is_empty()) {
-        let artifact = sweep_artifact();
+        let (artifact, metas) = sweep_artifact();
+        if !history.is_empty() {
+            // Compare against the trajectory before appending this run; a
+            // regressed cell re-runs once per strategy/kernel variant under
+            // a probe session so the attached trace splits "more flow
+            // probes" from "slower probes".
+            trajectory::check_and_attach("bal_kernel", &metas, &history, |family, n| {
+                let instance = family_instance(family, n);
+                black_box(solve(&instance, ProbeStrategy::Ladder).energy);
+                black_box(solve(&instance, ProbeStrategy::Bisection).energy);
+                black_box(
+                    solve_with_kernel(&instance, ProbeStrategy::Ladder, WapKernel::Flow).energy,
+                );
+            });
+        }
         if !json.is_empty() {
             artifact
                 .write_snapshot(&json)

@@ -2,7 +2,7 @@
 //! (wall-clock complement of the flow-count series in `ssp-exper exp6`).
 
 use ssp_bench::harness::{BenchmarkId, Criterion, Throughput};
-use ssp_bench::{criterion_group, criterion_main, fixture};
+use ssp_bench::{criterion_group, fixture};
 use ssp_core::assignment::assignment_energy;
 use ssp_core::rr::rr_assignment;
 use ssp_migratory::bal::bal;
@@ -34,4 +34,10 @@ fn rr_yds_scaling(c: &mut Criterion) {
 }
 
 criterion_group!(scaling, bal_scaling, rr_yds_scaling);
-criterion_main!(scaling);
+
+fn main() {
+    let mut c = Criterion::from_args();
+    scaling(&mut c);
+    c.final_summary();
+    c.emit_artifact("scaling", 2.0);
+}

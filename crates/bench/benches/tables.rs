@@ -2,7 +2,7 @@
 //! target times the computational kernel that regenerates the artifact.
 
 use ssp_bench::harness::{BenchmarkId, Criterion};
-use ssp_bench::{criterion_group, criterion_main, fixture};
+use ssp_bench::{criterion_group, fixture};
 use ssp_core::assignment::assignment_energy;
 use ssp_core::classified::classified_assignment;
 use ssp_core::classified::classified_assignment_with_base;
@@ -209,4 +209,9 @@ criterion_group!(
     exp12_throughput,
     exp13_flowtime
 );
-criterion_main!(tables);
+fn main() {
+    let mut c = Criterion::from_args();
+    tables(&mut c);
+    c.final_summary();
+    c.emit_artifact("tables", 2.0);
+}

@@ -64,6 +64,39 @@ impl CellBuilder {
         out.push('}');
         out
     }
+
+    /// The cell's diff identity and gated metrics, derived by the same
+    /// convention the `bench-diff`/`bench report` readers apply: string
+    /// fields plus `n` (in builder order) form the key, `*_ms` fields are
+    /// the metrics. Used by the trajectory layer to compare a freshly
+    /// measured cell against its history without re-parsing the rendered
+    /// JSON.
+    pub fn meta(&self) -> CellMeta {
+        let mut key = String::new();
+        let mut metrics = Vec::new();
+        for (name, value) in &self.fields {
+            if value.starts_with('"') || name == "n" {
+                if !key.is_empty() {
+                    key.push(',');
+                }
+                let _ = write!(key, "{name}={}", value.trim_matches('"'));
+            } else if name.ends_with("_ms") {
+                if let Ok(ms) = value.parse::<f64>() {
+                    metrics.push((name.clone(), ms));
+                }
+            }
+        }
+        CellMeta { key, metrics }
+    }
+}
+
+/// A cell's identity and gated metrics (see [`CellBuilder::meta`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMeta {
+    /// Stable diff key, e.g. `family=agreeable,n=200`.
+    pub key: String,
+    /// `(name, milliseconds)` for every `*_ms` field, in builder order.
+    pub metrics: Vec<(String, f64)>,
 }
 
 /// One measured bench run, ready to serialize as snapshot and/or history.
@@ -96,13 +129,31 @@ impl Artifact {
     }
 
     /// Flat one-line history form, tagged with the run's git revision.
+    /// Collects the run environment via [`RunMeta::collect`]; see
+    /// [`Artifact::history_line_with`] for the format.
     pub fn history_line(&self, rev: &str) -> String {
+        self.history_line_with(rev, &RunMeta::collect())
+    }
+
+    /// [`Artifact::history_line`] with an explicit [`RunMeta`] (injectable
+    /// for tests). The v1 prefix (`type`/`bench`/`rev`/`alpha`/`unit`) is
+    /// stable; the run metadata rides between `unit` and `cells`, and
+    /// readers must tolerate its absence (v1 lines have none) — `ts` is
+    /// itself omitted when the commit timestamp is unknown.
+    pub fn history_line_with(&self, rev: &str, meta: &RunMeta) -> String {
+        let ts = meta
+            .commit_ts
+            .map(|t| format!("\"ts\": {t}, "))
+            .unwrap_or_default();
         format!(
-            "{{\"type\": \"bench_run\", \"bench\": \"{}\", \"rev\": \"{}\", \"alpha\": {}, \"unit\": \"{}\", \"cells\": [{}]}}",
+            "{{\"type\": \"bench_run\", \"bench\": \"{}\", \"rev\": \"{}\", \"alpha\": {}, \"unit\": \"{}\", {}\"threads\": {}, \"host\": \"{}\", \"cells\": [{}]}}",
             self.bench,
             rev,
             self.alpha,
             self.unit,
+            ts,
+            meta.threads,
+            meta.host,
             self.cells.join(", ")
         )
     }
@@ -123,6 +174,68 @@ impl Artifact {
             .append(true)
             .open(resolve_artifact_path(path))?;
         writeln!(file, "{}", self.history_line(&git_rev()))
+    }
+}
+
+/// Run-level environment recorded on every `bench_run` history line, so
+/// the trajectory can separate code regressions from environment changes
+/// (a different machine, a different thread width) when reading a history
+/// accumulated across hosts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMeta {
+    /// Unix timestamp of the HEAD commit (`git show -s --format=%ct`);
+    /// `None` outside a repository. Orders trajectory points by *code*
+    /// age, unlike the run's wall clock.
+    pub commit_ts: Option<u64>,
+    /// Effective worker thread count: `SSP_THREADS` when set (the knob the
+    /// parallel probe ladder honors), the machine's available parallelism
+    /// otherwise.
+    pub threads: u64,
+    /// Short host fingerprint (hex hash of hostname/OS/arch/cpu count):
+    /// cross-host timing comparisons are noise, and the fingerprint lets
+    /// readers notice.
+    pub host: String,
+}
+
+impl RunMeta {
+    /// Collect the metadata of the current process/repository.
+    pub fn collect() -> Self {
+        let commit_ts = std::process::Command::new("git")
+            .args(["show", "-s", "--format=%ct", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .and_then(|s| s.trim().parse::<u64>().ok());
+        let cpus = std::thread::available_parallelism().map_or(1, |p| p.get() as u64);
+        let threads = std::env::var("SSP_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or(cpus);
+        let hostname = std::fs::read_to_string("/proc/sys/kernel/hostname")
+            .map(|s| s.trim().to_string())
+            .ok()
+            .or_else(|| std::env::var("HOSTNAME").ok())
+            .unwrap_or_else(|| "unknown".to_string());
+        // FNV-1a over the identity tuple; 8 hex digits is plenty to tell
+        // hosts apart without leaking the hostname into committed files.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!(
+            "{hostname}/{}/{}/{cpus}",
+            std::env::consts::OS,
+            std::env::consts::ARCH
+        )
+        .bytes()
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        RunMeta {
+            commit_ts,
+            threads,
+            host: format!("{:08x}", (h >> 32) as u32 ^ h as u32),
+        }
     }
 }
 
@@ -228,6 +341,61 @@ mod tests {
             "{\"type\": \"bench_run\", \"bench\": \"yds_kernel\", \"rev\": \"abc1234\""
         ));
         assert!(line.contains("\"cells\": [{\"family\""));
+    }
+
+    #[test]
+    fn cell_meta_matches_reader_convention() {
+        let meta = CellBuilder::new("agreeable", 50)
+            .metric_ms("fast_ms", 0.0071239)
+            .metric_ms("ref_ms", 0.0063)
+            .num("speedup", 0.886, 2)
+            .int("peels", 12)
+            .meta();
+        assert_eq!(meta.key, "family=agreeable,n=50");
+        assert_eq!(
+            meta.metrics,
+            vec![
+                ("fast_ms".to_string(), 0.0071),
+                ("ref_ms".to_string(), 0.0063)
+            ]
+        );
+    }
+
+    #[test]
+    fn history_line_carries_run_metadata() {
+        let meta = RunMeta {
+            commit_ts: Some(1754500000),
+            threads: 4,
+            host: "ab12cd34".into(),
+        };
+        let line = sample().history_line_with("abc1234", &meta);
+        assert!(!line.contains('\n'));
+        // v1 prefix stays stable; metadata rides between unit and cells.
+        assert!(line.starts_with(
+            "{\"type\": \"bench_run\", \"bench\": \"yds_kernel\", \"rev\": \"abc1234\""
+        ));
+        assert!(line.contains(
+            "\"unit\": \"ms_median\", \"ts\": 1754500000, \"threads\": 4, \
+             \"host\": \"ab12cd34\", \"cells\": ["
+        ));
+        // Unknown commit timestamp: the ts field is omitted entirely.
+        let no_ts = sample().history_line_with(
+            "abc1234",
+            &RunMeta {
+                commit_ts: None,
+                ..meta
+            },
+        );
+        assert!(!no_ts.contains("\"ts\""));
+        assert!(no_ts.contains("\"threads\": 4"));
+    }
+
+    #[test]
+    fn run_meta_collects_without_panicking() {
+        let meta = RunMeta::collect();
+        assert!(meta.threads >= 1);
+        assert_eq!(meta.host.len(), 8);
+        assert!(meta.host.chars().all(|c| c.is_ascii_hexdigit()));
     }
 
     #[test]

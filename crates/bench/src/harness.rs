@@ -26,25 +26,43 @@
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
+/// One measured benchmark, retained so the run can be serialized as an
+/// artifact after all groups finish (see [`Criterion::emit_artifact`]).
+struct BenchRecord {
+    label: String,
+    per_iter_ms: f64,
+    iters: u64,
+    trace: Option<ssp_probe::Trace>,
+}
+
 /// Measurement configuration plus run-wide counters.
 pub struct Criterion {
     measure: bool,
     probe: bool,
     ran: usize,
+    records: Vec<BenchRecord>,
 }
 
 impl Criterion {
     /// Build from the process arguments (`--bench` selects measurement
     /// mode, anything else the single-pass smoke mode; `--probe` or the
     /// `SSP_BENCH_PROBE` env var adds per-iteration counter reporting).
+    ///
+    /// Setting [`crate::trajectory::TRACE_DIR_ENV`] also turns probing on:
+    /// auto-attaching a trace for a regressed cell requires the trace to
+    /// exist by the time [`Criterion::emit_artifact`] compares against
+    /// history, because macro-driven benches cannot re-run a closure after
+    /// their group returns.
     pub fn from_args() -> Self {
         let measure = std::env::args().any(|a| a == "--bench");
         let probe = std::env::args().any(|a| a == "--probe")
-            || std::env::var_os("SSP_BENCH_PROBE").is_some();
+            || std::env::var_os("SSP_BENCH_PROBE").is_some()
+            || crate::trajectory::trace_dir().is_some();
         Criterion {
             measure,
             probe,
             ran: 0,
+            records: Vec::new(),
         }
     }
 
@@ -72,6 +90,109 @@ impl Criterion {
             "smoke-tested"
         };
         println!("{} {} benchmark(s)", mode, self.ran);
+    }
+
+    /// Serialize the measured run as a bench artifact, honoring the same
+    /// environment contract as the structured kernel benches:
+    /// `SSP_BENCH_JSON=<path>` writes a snapshot, `SSP_BENCH_HISTORY=<path>`
+    /// appends a `bench_run` trajectory line, and
+    /// [`crate::trajectory::TRACE_DIR_ENV`] stores the captured probe trace
+    /// of every cell that regresses against its own history-calibrated
+    /// noise band. No-op in smoke mode or when neither path is set.
+    ///
+    /// Labels map to cells as `group/123` → `family="group", n=123` when
+    /// the last `/`-segment is an integer, `family=<label>, n=0` otherwise;
+    /// the mean per-iteration time lands in `time_ms`.
+    pub fn emit_artifact(&self, bench: &str, alpha: f64) {
+        use crate::artifact::Artifact;
+        if !self.measure {
+            return;
+        }
+        let snapshot = std::env::var("SSP_BENCH_JSON")
+            .ok()
+            .filter(|p| !p.is_empty());
+        let history = std::env::var("SSP_BENCH_HISTORY")
+            .ok()
+            .filter(|p| !p.is_empty());
+        if snapshot.is_none() && history.is_none() {
+            return;
+        }
+        let builders: Vec<_> = self
+            .records
+            .iter()
+            .map(|r| {
+                let (family, n) = split_label(&r.label);
+                crate::artifact::CellBuilder::new(family, n)
+                    .metric_ms("time_ms", r.per_iter_ms)
+                    .int("iters", r.iters)
+            })
+            .collect();
+        let artifact = Artifact {
+            bench: bench.to_string(),
+            alpha,
+            unit: "ms_mean".to_string(),
+            cells: builders.iter().map(|b| b.render()).collect(),
+        };
+        // Regression check against the history as it stood *before* this
+        // run is appended, so a fresh slowdown is compared to its past.
+        if let (Some(path), Some(dir)) = (&history, crate::trajectory::trace_dir()) {
+            let prior = std::fs::read_to_string(crate::artifact::resolve_artifact_path(path))
+                .unwrap_or_default();
+            let metas: Vec<_> = builders.iter().map(|b| b.meta()).collect();
+            for reg in crate::trajectory::detect_regressions(
+                bench,
+                &metas,
+                &prior,
+                crate::trajectory::DEFAULT_WINDOW,
+            ) {
+                eprintln!(
+                    "regressed {bench} {} {}: {:.4} ms vs baseline {:.4} ms (+{:.1}% > band {:.1}%)",
+                    reg.key,
+                    reg.metric,
+                    reg.latest,
+                    reg.baseline,
+                    reg.delta * 100.0,
+                    reg.band * 100.0
+                );
+                let trace = metas
+                    .iter()
+                    .position(|m| m.key == reg.key)
+                    .and_then(|i| self.records[i].trace.as_ref());
+                match trace {
+                    Some(trace) => {
+                        match crate::trajectory::write_attachment(&dir, bench, &reg.key, trace) {
+                            Ok(p) => eprintln!("  trace attached: {}", p.display()),
+                            Err(e) => eprintln!("  warning: cannot attach trace: {e}"),
+                        }
+                    }
+                    None => eprintln!("  no probe trace captured for this cell"),
+                }
+            }
+        }
+        if let Some(path) = &snapshot {
+            match artifact.write_snapshot(path) {
+                Ok(()) => println!("wrote snapshot {path}"),
+                Err(e) => eprintln!("warning: cannot write snapshot {path}: {e}"),
+            }
+        }
+        if let Some(path) = &history {
+            match artifact.append_history(path) {
+                Ok(()) => println!("appended history {path}"),
+                Err(e) => eprintln!("warning: cannot append history {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// `group/123` → `("group", 123)`; labels without a trailing integer
+/// segment keep the whole label as the family with `n = 0`.
+fn split_label(label: &str) -> (&str, usize) {
+    match label.rsplit_once('/') {
+        Some((family, tail)) => match tail.parse::<usize>() {
+            Ok(n) => (family, n),
+            Err(_) => (label, 0),
+        },
+        None => (label, 0),
     }
 }
 
@@ -269,6 +390,12 @@ fn run_one(
     }
     println!("{line}");
     print_trace_counters(label, &b.trace);
+    criterion.records.push(BenchRecord {
+        label: label.to_string(),
+        per_iter_ms: per_iter * 1e3,
+        iters: b.iters,
+        trace: b.trace,
+    });
 }
 
 /// In probe mode, report the solver counters of one traced iteration under
@@ -339,6 +466,7 @@ mod tests {
             measure: false,
             probe: false,
             ran: 0,
+            records: Vec::new(),
         };
         let mut calls = 0u32;
         c.bench_function("probe", |b| b.iter(|| calls += 1));
@@ -352,6 +480,7 @@ mod tests {
             measure: true,
             probe: false,
             ran: 0,
+            records: Vec::new(),
         };
         let mut g = c.benchmark_group("grp");
         g.sample_size(3).throughput(Throughput::Elements(8));
@@ -385,6 +514,7 @@ mod tests {
             measure: false,
             probe: true,
             ran: 0,
+            records: Vec::new(),
         };
         let mut smoke_calls = 0u32;
         c.bench_function("probe_smoke", |b| b.iter(|| smoke_calls += 1));

@@ -33,6 +33,7 @@
 
 pub mod artifact;
 pub mod harness;
+pub mod trajectory;
 
 use ssp_model::Instance;
 use ssp_workloads::{families, subseed};

@@ -16,6 +16,7 @@ pub mod exp21;
 pub mod exp22;
 pub mod exp23;
 pub mod exp24;
+pub mod exp25;
 pub mod exp3;
 pub mod exp4;
 pub mod exp5;

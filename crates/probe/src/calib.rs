@@ -1,0 +1,141 @@
+//! History-calibrated noise bands for timing trajectories.
+//!
+//! The bench trajectory (`BENCH_history.jsonl`) accumulates one timing
+//! sample per cell per run. A single global regression threshold treats a
+//! 6 µs cell and a 1.3 s cell identically, but their run-to-run noise
+//! differs by an order of magnitude. This module derives a **per-cell
+//! relative band** from the cell's own trailing samples using robust
+//! statistics — median and MAD (median absolute deviation) — so one
+//! outlier run cannot widen the band the way a standard deviation would.
+//!
+//! The band is used in three places with one formula: `ssp bench report`
+//! flags trajectory points outside the band, the bench harness decides
+//! which regressed cells deserve an auto-attached probe trace, and EXP-25
+//! asserts the calibration separates a true 20% step from run-to-run
+//! noise. Keeping the formula here (rather than in `ssp-bench`) lets all
+//! three crates share it without a dependency cycle.
+
+/// Minimum relative band: even a perfectly quiet history (zero measured
+/// dispersion) keeps a 5% guard against timer quantization.
+pub const MIN_BAND: f64 = 0.05;
+
+/// Maximum relative band: a wildly noisy history never excuses more than a
+/// 50% slowdown.
+pub const MAX_BAND: f64 = 0.50;
+
+/// Dispersion multiplier: the band is `BAND_SIGMAS` robust standard
+/// deviations (`1.4826 * MAD / median`), clamped to
+/// [`MIN_BAND`]..[`MAX_BAND`]. Six sigmas keeps ±2% uniform noise (robust
+/// sigma ≈ 1.5%) comfortably inside the band while a 20% step lands far
+/// outside it.
+pub const BAND_SIGMAS: f64 = 6.0;
+
+/// Median of `samples` (NaNs excluded). `None` when no finite sample
+/// remains.
+pub fn median(samples: &[f64]) -> Option<f64> {
+    let mut v: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(f64::total_cmp);
+    let mid = v.len() / 2;
+    Some(if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        0.5 * (v[mid - 1] + v[mid])
+    })
+}
+
+/// Median absolute deviation around the sample median. `None` when
+/// [`median`] is.
+pub fn mad(samples: &[f64]) -> Option<f64> {
+    let med = median(samples)?;
+    let deviations: Vec<f64> = samples
+        .iter()
+        .filter(|x| x.is_finite())
+        .map(|x| (x - med).abs())
+        .collect();
+    median(&deviations)
+}
+
+/// The calibrated relative noise band for a cell's trailing samples:
+/// `clamp(BAND_SIGMAS * 1.4826 * MAD / median, MIN_BAND, MAX_BAND)`.
+///
+/// Degenerate histories fall back to [`MIN_BAND`]: fewer than 3 finite
+/// samples (nothing to calibrate from), or a non-positive median (timing
+/// samples are positive by construction; zeros mean a broken writer, not a
+/// quiet cell).
+pub fn noise_band(samples: &[f64]) -> f64 {
+    let finite = samples.iter().filter(|x| x.is_finite()).count();
+    if finite < 3 {
+        return MIN_BAND;
+    }
+    let (Some(med), Some(mad)) = (median(samples), mad(samples)) else {
+        return MIN_BAND;
+    };
+    if med <= 0.0 {
+        return MIN_BAND;
+    }
+    let sigma_rel = 1.4826 * mad / med;
+    (BAND_SIGMAS * sigma_rel).clamp(MIN_BAND, MAX_BAND)
+}
+
+/// Whether `latest` regresses against `baseline` past the calibrated
+/// `band` (a relative fraction): the relative slowdown `latest/baseline -
+/// 1` must reach the band and `latest` must sit at or above the `min_ms`
+/// noise floor (sub-floor cells are dominated by fixed overhead and timer
+/// quantization and never gate — same rule as `bench-diff`).
+pub fn crosses(latest: f64, baseline: f64, band: f64, min_ms: f64) -> bool {
+    baseline > 0.0 && latest.is_finite() && latest >= min_ms && latest / baseline - 1.0 >= band
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad_are_robust_to_one_outlier() {
+        let samples = [1.0, 1.02, 0.98, 1.01, 50.0];
+        assert_eq!(median(&samples), Some(1.01));
+        let mad = mad(&samples).unwrap();
+        assert!(mad < 0.05, "one outlier must not inflate the MAD: {mad}");
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[f64::NAN]), None);
+        assert_eq!(median(&[2.0, 4.0]), Some(3.0));
+    }
+
+    #[test]
+    fn quiet_history_gets_the_floor_band() {
+        assert_eq!(noise_band(&[1.0, 1.0, 1.0, 1.0]), MIN_BAND);
+        // Too few samples to calibrate: floor.
+        assert_eq!(noise_band(&[1.0, 1.3]), MIN_BAND);
+        assert_eq!(noise_band(&[]), MIN_BAND);
+        // NaNs don't count as samples.
+        assert_eq!(noise_band(&[1.0, f64::NAN, 1.0]), MIN_BAND);
+    }
+
+    #[test]
+    fn band_scales_with_dispersion_and_clamps() {
+        // ±2% noise: robust sigma ~1.5%, band ~9% — between floor and cap.
+        let pm2 = [1.0, 1.02, 0.98, 1.01, 0.99, 1.015, 0.985];
+        let band = noise_band(&pm2);
+        assert!(
+            (MIN_BAND..0.15).contains(&band),
+            "±2% noise should calibrate under 15%: {band}"
+        );
+        // A 20% true step crosses that band; in-noise points do not.
+        let med = median(&pm2).unwrap();
+        assert!(crosses(med * 1.20, med, band, 0.0));
+        assert!(!crosses(med * 1.02, med, band, 0.0));
+        // Wild history clamps at the cap.
+        assert_eq!(noise_band(&[1.0, 3.0, 0.2, 5.0, 0.1]), MAX_BAND);
+    }
+
+    #[test]
+    fn noise_floor_shields_tiny_cells() {
+        assert!(!crosses(0.04, 0.02, 0.05, 0.05), "sub-floor never gates");
+        assert!(crosses(0.06, 0.02, 0.05, 0.05));
+        assert!(!crosses(1.0, 0.0, 0.05, 0.05), "zero baseline never gates");
+        assert!(!crosses(f64::NAN, 1.0, 0.05, 0.05));
+    }
+}

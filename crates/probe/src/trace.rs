@@ -681,9 +681,9 @@ impl Trace {
 }
 
 /// Compare two traces: per-span-name total time, per-counter totals, and
-/// per-histogram p50/p99, with relative deltas. Rows whose relative change
-/// reaches `threshold` (a fraction, e.g. `0.10`) are flagged with `!`.
-/// This is what `ssp trace diff` prints.
+/// per-histogram count/sum/p50/p99/max, with relative deltas. Rows whose
+/// relative change reaches `threshold` (a fraction, e.g. `0.10`) are
+/// flagged with `!`. This is what `ssp trace diff` prints.
 pub fn diff(old: &Trace, new: &Trace, threshold: f64) -> String {
     let mut out = String::new();
     let agg = |t: &Trace| -> BTreeMap<String, (u64, usize)> {
@@ -744,22 +744,36 @@ pub fn diff(old: &Trace, new: &Trace, threshold: f64) -> String {
     if !old.hists.is_empty() || !new.hists.is_empty() {
         let _ = writeln!(
             out,
-            "histograms (p99):\n  {:<34} {:>12} {:>12} {:>9}",
-            "name", "old", "new", "delta"
+            "histograms:\n  {:<28} {:<5} {:>12} {:>12} {:>9}",
+            "name", "stat", "old", "new", "delta"
         );
         let mut seen = HashSet::new();
         for h in old.hists.iter().chain(new.hists.iter()) {
             if !seen.insert(h.name.clone()) {
                 continue;
             }
-            let o = old.hist(&h.name).map_or(0, HistRec::p99);
-            let n = new.hist(&h.name).map_or(0, HistRec::p99);
-            let _ = writeln!(
-                out,
-                "  {:<34} {o:>12} {n:>12} {:>9}",
-                h.name,
-                delta_label(o as f64, n as f64, threshold)
-            );
+            // Five stats per histogram, so an attachment separates "more
+            // samples" (count/sum) from "the distribution moved"
+            // (p50/p99/max). A histogram missing on one side reads 0
+            // everywhere, which delta_label renders as new/gone.
+            let stats = |rec: Option<&HistRec>| -> [u64; 5] {
+                rec.map_or([0; 5], |r| [r.count, r.sum, r.p50(), r.p99(), r.max])
+            };
+            let o = stats(old.hist(&h.name));
+            let n = stats(new.hist(&h.name));
+            for (k, stat) in ["count", "sum", "p50", "p99", "max"]
+                .into_iter()
+                .enumerate()
+            {
+                let name = if k == 0 { h.name.as_str() } else { "" };
+                let _ = writeln!(
+                    out,
+                    "  {name:<28} {stat:<5} {:>12} {:>12} {:>9}",
+                    o[k],
+                    n[k],
+                    delta_label(o[k] as f64, n[k] as f64, threshold)
+                );
+            }
         }
     }
     out
@@ -1158,5 +1172,59 @@ mod tests {
         assert!(!lb_line.contains('!'), "lower_bound unchanged:\n{text}");
         assert!(text.contains("bal.flow_calls"));
         assert!(text.contains("bal.bisect.probes"));
+    }
+
+    #[test]
+    fn diff_reports_per_histogram_stats() {
+        let old = sample();
+        let mut new = sample();
+        // Same distribution shape, twice the samples: count and sum must
+        // flag, p50/p99/max must not.
+        new.hists[0].count = 8;
+        new.hists[0].sum = 180;
+        new.hists[0].buckets = vec![(4, 2), (5, 6)];
+        new.hists.push(HistRec {
+            name: "yds.peel_width".into(),
+            count: 2,
+            sum: 6,
+            max: 4,
+            buckets: vec![(3, 2)],
+        });
+        let text = diff(&old, &new, 0.10);
+        let hist_section = text.split("histograms:").nth(1).unwrap();
+        let stat_line = |stat: &str, after: &str| {
+            hist_section
+                .split(after)
+                .nth(1)
+                .unwrap()
+                .lines()
+                .find(|l| l.split_whitespace().next() == Some(stat))
+                .unwrap_or_else(|| panic!("no {stat} row after {after}:\n{text}"))
+                .to_string()
+        };
+        let count = hist_section
+            .lines()
+            .find(|l| l.trim_start().starts_with("bal.bisect.probes"))
+            .unwrap();
+        assert!(
+            count.contains("count") && count.contains('!'),
+            "doubled count must flag:\n{text}"
+        );
+        assert!(stat_line("sum", "bal.bisect.probes").contains('!'));
+        for stat in ["p50", "p99", "max"] {
+            assert!(
+                !stat_line(stat, "bal.bisect.probes").contains('!'),
+                "{stat} unchanged, must not flag:\n{text}"
+            );
+        }
+        // A histogram present only on the new side reads `new` on count.
+        assert!(
+            hist_section
+                .lines()
+                .find(|l| l.trim_start().starts_with("yds.peel_width"))
+                .unwrap()
+                .contains("new"),
+            "one-sided histogram:\n{text}"
+        );
     }
 }

@@ -122,6 +122,10 @@ impl Parser<'_> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'n') => self.literal("null", Json::Null),
+            // Not JSON, but a writer formatting a poisoned f64 emits the
+            // bare token; accepting it lets the reader drop the one metric
+            // instead of rejecting the whole line.
+            Some(b'N') => self.literal("NaN", Json::Num(f64::NAN)),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(format!("unexpected value at byte {}", self.pos)),
         }
@@ -318,6 +322,102 @@ pub fn parse_artifact(text: &str) -> Result<BenchArtifact, String> {
         rev: doc.get("rev").and_then(Json::as_str).map(str::to_string),
         cells: cells.iter().map(cell_from).collect(),
     })
+}
+
+/// One `bench_run` line of a `BENCH_history.jsonl` trajectory, with the
+/// run-level environment metadata newer writers append (`None` on v1
+/// lines, which carried none).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRun {
+    /// Bench id (`"yds_kernel"`).
+    pub bench: String,
+    /// Short git revision the run was taken at.
+    pub rev: String,
+    /// Unix timestamp of the HEAD commit at run time.
+    pub ts: Option<f64>,
+    /// Effective worker thread count of the run.
+    pub threads: Option<u64>,
+    /// Host fingerprint (hex hash); cross-host comparisons are noise.
+    pub host: Option<String>,
+    /// The measured cells, deduplicated by key (first occurrence wins).
+    pub cells: Vec<BenchCell>,
+}
+
+/// Parse a whole history trajectory: every `bench_run` line, in file
+/// order, with per-line resilience. Malformed lines (e.g. a run killed
+/// mid-append leaving a truncated tail), duplicate cell keys within one
+/// run, and non-finite `*_ms` metrics are *skipped with a warning* rather
+/// than failing the parse — one bad append must not take down the whole
+/// trajectory report. Lines that parse but are not `bench_run` records
+/// are ignored silently (the file format admits other record types).
+pub fn parse_history(text: &str) -> (Vec<BenchRun>, Vec<String>) {
+    let mut runs = Vec::new();
+    let mut warnings = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let doc = match parse_json(line) {
+            Ok(doc) => doc,
+            Err(e) => {
+                warnings.push(format!("line {lineno}: skipped unparseable line ({e})"));
+                continue;
+            }
+        };
+        if doc.get("type").and_then(Json::as_str) != Some("bench_run") {
+            continue;
+        }
+        let Some(cells) = doc.get("cells").and_then(Json::as_arr) else {
+            warnings.push(format!("line {lineno}: bench_run without a 'cells' array"));
+            continue;
+        };
+        let mut run = BenchRun {
+            bench: doc
+                .get("bench")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            rev: doc
+                .get("rev")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            ts: doc.get("ts").and_then(Json::as_f64),
+            threads: doc
+                .get("threads")
+                .and_then(Json::as_f64)
+                .filter(|t| t.is_finite() && *t >= 0.0)
+                .map(|t| t as u64),
+            host: doc.get("host").and_then(Json::as_str).map(str::to_string),
+            cells: Vec::new(),
+        };
+        for cell in cells {
+            let mut parsed = cell_from(cell);
+            parsed.metrics.retain(|(name, v)| {
+                if v.is_finite() {
+                    true
+                } else {
+                    warnings.push(format!(
+                        "line {lineno}: dropped non-finite metric {name} of cell {}",
+                        parsed.key
+                    ));
+                    false
+                }
+            });
+            if run.cells.iter().any(|c| c.key == parsed.key) {
+                warnings.push(format!(
+                    "line {lineno}: duplicate cell {} (kept the first)",
+                    parsed.key
+                ));
+                continue;
+            }
+            run.cells.push(parsed);
+        }
+        runs.push(run);
+    }
+    (runs, warnings)
 }
 
 /// Key = string fields plus `n` (in member order); metrics = `*_ms` fields.
@@ -608,6 +708,112 @@ mod tests {
                 .as_deref(),
             Some("abc1234")
         );
+    }
+
+    #[test]
+    fn history_parses_all_runs_with_metadata() {
+        let text = format!(
+            "{}\n{}\n",
+            r#"{"type":"bench_run","bench":"yds_kernel","rev":"aaa111","cells":[{"family":"agreeable","n":200,"fast_ms":0.100}]}"#,
+            r#"{"type":"bench_run","bench":"yds_kernel","rev":"bbb222","alpha":2,"unit":"ms_median","ts":1754500000,"threads":4,"host":"ab12cd34","cells":[{"family":"agreeable","n":200,"fast_ms":0.120}]}"#
+        );
+        let (runs, warnings) = parse_history(&text);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(runs.len(), 2);
+        // v1 line: no metadata.
+        assert_eq!(runs[0].rev, "aaa111");
+        assert_eq!(runs[0].ts, None);
+        assert_eq!(runs[0].threads, None);
+        assert_eq!(runs[0].host, None);
+        // v2 line: all three fields.
+        assert_eq!(runs[1].ts, Some(1754500000.0));
+        assert_eq!(runs[1].threads, Some(4));
+        assert_eq!(runs[1].host.as_deref(), Some("ab12cd34"));
+        assert_eq!(runs[1].cells[0].metrics[0].1, 0.120);
+    }
+
+    #[test]
+    fn truncated_trailing_line_is_skipped_with_warning() {
+        let text = format!(
+            "{}\n{}",
+            r#"{"type":"bench_run","bench":"b","rev":"aaa","cells":[{"family":"x","n":5,"t_ms":1.0}]}"#,
+            r#"{"type":"bench_run","bench":"b","rev":"bbb","cells":[{"family":"x","#
+        );
+        let (runs, warnings) = parse_history(&text);
+        assert_eq!(runs.len(), 1, "the complete run survives");
+        assert_eq!(runs[0].rev, "aaa");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("line 2"), "{warnings:?}");
+        // Other record types pass without a warning; bench_run without
+        // cells warns.
+        let (runs, warnings) =
+            parse_history("{\"type\":\"note\"}\n{\"type\":\"bench_run\",\"rev\":\"c\"}\n");
+        assert!(runs.is_empty());
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("'cells'"), "{warnings:?}");
+    }
+
+    #[test]
+    fn duplicate_cells_keep_the_first_with_warning() {
+        let text = r#"{"type":"bench_run","bench":"b","rev":"aaa","cells":[{"family":"x","n":5,"t_ms":1.0},{"family":"x","n":5,"t_ms":9.0},{"family":"y","n":5,"t_ms":2.0}]}"#;
+        let (runs, warnings) = parse_history(text);
+        assert_eq!(runs[0].cells.len(), 2);
+        assert_eq!(runs[0].cells[0].metrics[0].1, 1.0, "first wins");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("duplicate cell family=x,n=5"));
+    }
+
+    #[test]
+    fn nan_metrics_are_dropped_with_warning() {
+        // A writer formatting f64::NAN emits the bare token; the line must
+        // survive with that one metric dropped.
+        let text = r#"{"type":"bench_run","bench":"b","rev":"aaa","cells":[{"family":"x","n":5,"bad_ms":NaN,"good_ms":1.5}]}"#;
+        let (runs, warnings) = parse_history(text);
+        assert_eq!(runs[0].cells[0].metrics, vec![("good_ms".to_string(), 1.5)]);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("bad_ms"), "{warnings:?}");
+    }
+
+    /// Writer/reader contract over the run metadata: `history_line_with`
+    /// emits `ts`/`threads`/`host` and [`parse_history`] reads them back.
+    #[test]
+    fn history_metadata_round_trips_from_writer() {
+        use ssp_bench::artifact::{Artifact, CellBuilder, RunMeta};
+        let artifact = Artifact {
+            bench: "yds_kernel".into(),
+            alpha: 2.0,
+            unit: "ms_median".into(),
+            cells: vec![CellBuilder::new("crossing", 800)
+                .metric_ms("fast_ms", 1.25)
+                .render()],
+        };
+        let line = artifact.history_line_with(
+            "abc1234",
+            &RunMeta {
+                commit_ts: Some(1754500000),
+                threads: 8,
+                host: "ab12cd34".into(),
+            },
+        );
+        let (runs, warnings) = parse_history(&line);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(runs[0].bench, "yds_kernel");
+        assert_eq!(runs[0].rev, "abc1234");
+        assert_eq!(runs[0].ts, Some(1754500000.0));
+        assert_eq!(runs[0].threads, Some(8));
+        assert_eq!(runs[0].host.as_deref(), Some("ab12cd34"));
+        assert_eq!(runs[0].cells[0].key, "family=crossing,n=800");
+        // Without a commit timestamp the field is absent, not null.
+        let bare = artifact.history_line_with(
+            "abc1234",
+            &RunMeta {
+                commit_ts: None,
+                threads: 8,
+                host: "ab12cd34".into(),
+            },
+        );
+        assert!(!bare.contains("\"ts\""));
+        assert_eq!(parse_history(&bare).0[0].ts, None);
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("quantize") => quantize_cmd(&collect(args)?),
         Some("trace") => trace_cmd(&collect(args)?),
         Some("bench-diff") => bench_diff_cmd(&collect(args)?),
+        Some("bench") => bench_cmd(&collect(args)?),
         Some("serve") => serve_cmd(&collect(args)?),
         Some("serve-drive") => serve_drive_cmd(&collect(args)?),
         Some("stream") => stream_cmd(&collect(args)?),
@@ -127,6 +128,20 @@ commands:
                                       *_ms median regresses past PCT% (default
                                       10) and is above the X ms noise floor
                                       (default 0.05)
+  bench report <history.jsonl> [--window N] [--min-ms X] [--markdown]
+               [--gate] [--trace-dir DIR]
+                                      per-cell trajectory over the whole
+                                      history: sparkline per *_ms metric,
+                                      best/latest/delta, regressions judged
+                                      against each cell's history-calibrated
+                                      noise band (robust dispersion over the
+                                      trailing N runs, default 8) instead of
+                                      one global threshold; flagged cells get
+                                      their auto-attached probe trace from DIR
+                                      (default: traces/ next to the history)
+                                      diffed against DIR/baseline or folded;
+                                      --gate exits 1 on any flagged cell,
+                                      --markdown emits a GitHub-flavored table
   serve [--socket PATH] [--stdin] [--workers N] [--queue-cap N]
         [--cache-cap N] [--shed-watermark N] [--timeout-ms MS]
         [--retries N] [--inject-transient K] [--telemetry OUT.jsonl]
@@ -824,6 +839,79 @@ fn bench_diff_cmd(parsed: &Parsed) -> Result<String, CliError> {
     }
     out.push_str(&diff.render());
     if diff.regressions() > 0 {
+        return Err(CliError::runtime(out));
+    }
+    Ok(out)
+}
+
+/// `bench report` — the perf-trajectory service: per-cell sparklines and
+/// history-calibrated regression annotations over the whole
+/// `BENCH_history.jsonl`, with auto-attached trace diffs for flagged
+/// cells. `--gate` turns any flagged cell into an exit-1 runtime error
+/// (with the full report as the message) so CI can gate on it.
+fn bench_cmd(parsed: &Parsed) -> Result<String, CliError> {
+    use crate::{benchdata, benchreport};
+    let sub = parsed
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| CliError::usage("bench needs a subcommand: report"))?;
+    if sub != "report" {
+        return Err(CliError::usage(format!(
+            "unknown bench subcommand '{sub}' (expected report)"
+        )));
+    }
+    let path = parsed
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::usage("bench report needs a history.jsonl file"))?;
+    let window: usize = parsed
+        .flag_parse("window")?
+        .unwrap_or(benchreport::DEFAULT_WINDOW);
+    if window == 0 {
+        return Err(CliError::usage("--window must be >= 1"));
+    }
+    let min_ms: f64 = parsed
+        .flag_parse("min-ms")?
+        .unwrap_or(benchreport::DEFAULT_MIN_MS);
+    if min_ms.is_nan() || min_ms < 0.0 {
+        return Err(CliError::usage("--min-ms must be >= 0"));
+    }
+    let markdown = parsed.has("markdown");
+    let gate = parsed.has("gate");
+    // Attached traces default to `traces/` next to the history file —
+    // where the bench harness writes them when SSP_BENCH_TRACE_DIR=traces.
+    let trace_dir = match parsed.flag("trace-dir") {
+        Some(dir) => dir.to_string(),
+        None => std::path::Path::new(path)
+            .parent()
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .join("traces")
+            .to_string_lossy()
+            .into_owned(),
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    let (runs, warnings) = benchdata::parse_history(&text);
+    let rows = benchreport::trajectory_rows(&runs, window, min_ms);
+    let mut out = String::new();
+    for w in &warnings {
+        let _ = writeln!(out, "warning: {path}: {w}");
+    }
+    out.push_str(&benchreport::render(&rows, markdown));
+    let attachments = benchreport::render_attachments(&rows, &trace_dir);
+    if !attachments.is_empty() {
+        if markdown {
+            // Keep the trace section readable inside a GitHub summary.
+            let _ = writeln!(out, "\n```");
+            out.push_str(&attachments);
+            let _ = writeln!(out, "```");
+        } else {
+            out.push('\n');
+            out.push_str(&attachments);
+        }
+    }
+    if gate && benchreport::flagged(&rows) > 0 {
         return Err(CliError::runtime(out));
     }
     Ok(out)
@@ -1834,6 +1922,72 @@ mod tests {
         assert_eq!(run(&args(&["bench-diff", &old])).unwrap_err().code, 2);
         std::fs::remove_file(&p_old).ok();
         std::fs::remove_file(&p_new).ok();
+    }
+
+    /// The trajectory service: sparklines and history-calibrated
+    /// annotations render from a committed-style history, and `--gate`
+    /// exits nonzero on an injected regression.
+    #[test]
+    fn bench_report_renders_trajectory_and_gates() {
+        let dir = std::env::temp_dir();
+        let p_hist = dir.join(format!("ssp_cli_report_{}.jsonl", std::process::id()));
+        let history = |tail_ms: f64| {
+            [0.100, 0.102, 0.098, 0.101, 0.099, tail_ms]
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    format!(
+                        "{{\"type\":\"bench_run\",\"bench\":\"yds_kernel\",\"rev\":\"r{i}\",\"threads\":4,\"host\":\"ab12cd34\",\"cells\":[{{\"family\":\"agreeable\",\"n\":200,\"fast_ms\":{v}}}]}}\n"
+                    )
+                })
+                .collect::<String>()
+        };
+        std::fs::write(&p_hist, history(0.101)).unwrap();
+        let p = p_hist.to_string_lossy().into_owned();
+
+        // In-noise trajectory: a sparkline per metric, nothing flagged.
+        let out = run(&args(&["bench", "report", &p])).unwrap();
+        assert!(out.contains("bench yds_kernel"), "{out}");
+        assert!(out.contains("family=agreeable,n=200"), "{out}");
+        assert!(out.contains("fast_ms"), "{out}");
+        assert!(
+            out.chars().any(|c| ('▁'..='█').contains(&c)),
+            "sparkline present: {out}"
+        );
+        assert!(out.contains("0 regression(s)"), "{out}");
+        run(&args(&["bench", "report", &p, "--gate"])).unwrap();
+
+        // Injected 20% step: annotated, markdown renders, --gate exits 1.
+        std::fs::write(&p_hist, history(0.120)).unwrap();
+        let out = run(&args(&["bench", "report", &p])).unwrap();
+        assert!(out.contains("1 regression(s)"), "{out}");
+        assert!(out.contains(" !"), "{out}");
+        let md = run(&args(&["bench", "report", &p, "--markdown"])).unwrap();
+        assert!(md.contains("### yds_kernel"), "{md}");
+        assert!(md.contains("**regressed**"), "{md}");
+        let err = run(&args(&["bench", "report", &p, "--gate"])).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("1 regression(s)"), "{}", err.message);
+
+        // A malformed trailing line degrades to a warning, not an error.
+        let mut truncated = history(0.101);
+        truncated.push_str("{\"type\":\"bench_run\",\"bench\":\"yds_k");
+        std::fs::write(&p_hist, truncated).unwrap();
+        let out = run(&args(&["bench", "report", &p])).unwrap();
+        assert!(out.contains("warning:"), "{out}");
+        assert!(out.contains("0 regression(s)"), "{out}");
+
+        // Usage guardrails.
+        assert_eq!(run(&args(&["bench"])).unwrap_err().code, 2);
+        assert_eq!(run(&args(&["bench", "nope", &p])).unwrap_err().code, 2);
+        assert_eq!(run(&args(&["bench", "report"])).unwrap_err().code, 2);
+        assert_eq!(
+            run(&args(&["bench", "report", &p, "--window", "0"]))
+                .unwrap_err()
+                .code,
+            2
+        );
+        std::fs::remove_file(&p_hist).ok();
     }
 
     #[test]

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod benchdata;
+pub mod benchreport;
 pub mod cli;
 
 pub use ssp_core as core;
